@@ -1,0 +1,65 @@
+// cusan-bench regenerates the paper's evaluation tables and figures
+// (Fig. 10, Fig. 11, Table I, Fig. 12, plus the §V-B/§VI-D ablations)
+// against the simulated substrate.
+//
+// Usage:
+//
+//	cusan-bench [-experiment all|fig10|fig11|table1|fig12|ablation]
+//	            [-runs N] [-warmup N] [-ranks N]
+//	            [-jacobi-nx N] [-jacobi-ny N] [-jacobi-iters N]
+//	            [-tealeaf-nx N] [-tealeaf-ny N] [-tealeaf-iters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cusango/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultConfig()
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: all, fig10, fig11, table1, fig12, ablation, cells")
+	flag.IntVar(&cfg.Runs, "runs", cfg.Runs, "measured runs per data point")
+	flag.IntVar(&cfg.Warmup, "warmup", cfg.Warmup, "warmup runs per data point")
+	flag.IntVar(&cfg.Ranks, "ranks", cfg.Ranks, "MPI world size")
+	flag.IntVar(&cfg.JacobiCfg.NX, "jacobi-nx", cfg.JacobiCfg.NX, "Jacobi global NX")
+	flag.IntVar(&cfg.JacobiCfg.NY, "jacobi-ny", cfg.JacobiCfg.NY, "Jacobi global NY")
+	flag.IntVar(&cfg.JacobiCfg.Iters, "jacobi-iters", cfg.JacobiCfg.Iters, "Jacobi iterations")
+	flag.IntVar(&cfg.TeaLeafCfg.NX, "tealeaf-nx", cfg.TeaLeafCfg.NX, "TeaLeaf global NX")
+	flag.IntVar(&cfg.TeaLeafCfg.NY, "tealeaf-ny", cfg.TeaLeafCfg.NY, "TeaLeaf global NY")
+	flag.IntVar(&cfg.TeaLeafCfg.Iters, "tealeaf-iters", cfg.TeaLeafCfg.Iters, "TeaLeaf CG iterations")
+	flag.Parse()
+
+	type exp struct {
+		name string
+		run  func(bench.Config) (*bench.Table, error)
+	}
+	all := []exp{
+		{"fig10", bench.Fig10},
+		{"fig11", bench.Fig11},
+		{"table1", bench.Table1},
+		{"fig12", bench.Fig12},
+		{"ablation", bench.Ablation},
+		{"cells", bench.CellsAblation},
+	}
+	ran := false
+	for _, e := range all {
+		if *experiment != "all" && *experiment != e.name {
+			continue
+		}
+		ran = true
+		tab, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cusan-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		tab.Render(os.Stdout)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "cusan-bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,138 @@
+// cusan-run executes a mini-app under a chosen instrumentation flavor
+// and prints race reports, MUST findings, and the runtime event counters
+// — the "make jacobi-run" / "make tealeaf-run" analog of the paper's
+// artifact.
+//
+// Usage:
+//
+//	cusan-run [-app jacobi|tealeaf] [-flavor vanilla|tsan|must|cusan|must+cusan]
+//	          [-ranks N] [-nx N] [-ny N] [-iters N]
+//	          [-inject-race] [-skip-wait]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cusango/internal/apps/jacobi"
+	"cusango/internal/apps/tealeaf"
+	"cusango/internal/core"
+	"cusango/internal/cusan"
+)
+
+func main() {
+	app := flag.String("app", "jacobi", "mini-app: jacobi or tealeaf")
+	flavorName := flag.String("flavor", "must+cusan", "instrumentation flavor")
+	ranks := flag.Int("ranks", 2, "MPI world size")
+	nx := flag.Int("nx", 0, "global NX (0 = app default)")
+	ny := flag.Int("ny", 0, "global NY (0 = app default)")
+	iters := flag.Int("iters", 0, "iterations (0 = app default)")
+	injectRace := flag.Bool("inject-race", false,
+		"omit the CUDA-to-MPI synchronization (the paper's Fig. 4 bug)")
+	skipWait := flag.Bool("skip-wait", false,
+		"tealeaf only: use the halo before MPI_Waitall (MPI-to-CUDA bug)")
+	flag.Parse()
+
+	flavor, err := core.ParseFlavor(*flavorName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var res *core.Result
+	switch *app {
+	case "jacobi":
+		cfg := jacobi.DefaultConfig()
+		override(&cfg.NX, *nx)
+		override(&cfg.NY, *ny)
+		override(&cfg.Iters, *iters)
+		cfg.SkipSync = *injectRace
+		res, err = core.Run(core.Config{Flavor: flavor, Ranks: *ranks, Module: jacobi.Module()},
+			func(s *core.Session) error {
+				r, err := jacobi.Run(s, cfg)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					fmt.Printf("jacobi: %d iters, residual %.3e -> %.3e\n",
+						r.Iters, r.FirstNorm, r.LastNorm)
+				}
+				return nil
+			})
+	case "tealeaf":
+		cfg := tealeaf.DefaultConfig()
+		override(&cfg.NX, *nx)
+		override(&cfg.NY, *ny)
+		override(&cfg.Iters, *iters)
+		cfg.SkipSync = *injectRace
+		cfg.SkipWait = *skipWait
+		res, err = core.Run(core.Config{Flavor: flavor, Ranks: *ranks, Module: tealeaf.Module()},
+			func(s *core.Session) error {
+				r, err := tealeaf.Run(s, cfg)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					fmt.Printf("tealeaf: %d CG iters, ||r||^2 %.3e -> %.3e\n",
+						r.Iters, r.FirstRR, r.LastRR)
+				}
+				return nil
+			})
+	default:
+		fmt.Fprintf(os.Stderr, "cusan-run: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cusan-run:", err)
+		os.Exit(1)
+	}
+	if err := res.FirstError(); err != nil {
+		fmt.Fprintln(os.Stderr, "cusan-run:", err)
+		os.Exit(1)
+	}
+
+	exit := 0
+	for i := range res.Ranks {
+		rr := &res.Ranks[i]
+		for _, rep := range rr.Reports {
+			fmt.Printf("[rank %d] %s\n", rr.Rank, rep)
+			exit = 1
+		}
+		for _, is := range rr.Issues {
+			fmt.Printf("[rank %d] %s\n", rr.Rank, is)
+			exit = 1
+		}
+	}
+	if flavor.HasCuSan() {
+		fmt.Printf("\nCuSan event counters, rank 0 (Table I format):\n%s",
+			formatCounters(res.Ranks[0].CudaCtrs))
+	}
+	if res.TotalRaces() == 0 && res.TotalIssues() == 0 {
+		fmt.Println("no races or findings reported")
+	}
+	os.Exit(exit)
+}
+
+func override(dst *int, v int) {
+	if v > 0 {
+		*dst = v
+	}
+}
+
+// formatCounters renders the per-process counter block.
+func formatCounters(c cusan.Counters) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  Stream                 %8d\n", c.Streams)
+	fmt.Fprintf(&b, "  Memset                 %8d\n", c.Memsets)
+	fmt.Fprintf(&b, "  Memcpy                 %8d\n", c.Memcpys)
+	fmt.Fprintf(&b, "  Synchronization calls  %8d\n", c.SyncCalls)
+	fmt.Fprintf(&b, "  Kernel calls           %8d\n", c.KernelCalls)
+	fmt.Fprintf(&b, "  Switch To Fiber        %8d\n", c.FiberSwitches)
+	fmt.Fprintf(&b, "  AnnotateHappensBefore  %8d\n", c.HBAnnotations)
+	fmt.Fprintf(&b, "  AnnotateHappensAfter   %8d\n", c.HAAnnotations)
+	fmt.Fprintf(&b, "  Read/Write Ranges      %8d/%d (avg %.2f/%.2f KB)\n",
+		c.ReadRanges, c.WriteRanges, c.AvgReadKB(), c.AvgWriteKB())
+	return b.String()
+}

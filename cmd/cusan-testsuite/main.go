@@ -1,0 +1,85 @@
+// cusan-testsuite runs the classified correctness suite (the cusan-tests
+// analog, paper §VI-C) and prints one PASS/FAIL line per case, in the
+// style of the paper's llvm-lit output.
+//
+// Usage:
+//
+//	cusan-testsuite [-filter substring] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cusango/internal/testsuite"
+)
+
+func main() {
+	filter := flag.String("filter", "", "only run cases whose name contains this substring")
+	verbose := flag.Bool("v", false, "print each case's documentation line")
+	doc := flag.Bool("doc", false, "emit the feature-documentation matrix (markdown) instead of running")
+	flag.Parse()
+
+	cases := testsuite.Cases()
+	if *doc {
+		emitFeatureDoc(cases)
+		return
+	}
+	var selected []testsuite.Case
+	for _, c := range cases {
+		if *filter == "" || strings.Contains(c.Name, *filter) {
+			selected = append(selected, c)
+		}
+	}
+	failures := 0
+	for i, c := range selected {
+		v := testsuite.RunCase(c)
+		fmt.Printf("%s (%d of %d)\n", v, i+1, len(selected))
+		if *verbose {
+			fmt.Printf("    %s\n", c.Doc)
+		}
+		if !v.Pass() {
+			failures++
+		}
+	}
+	fmt.Printf("\n%d/%d cases classified correctly\n", len(selected)-failures, len(selected))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// emitFeatureDoc renders the suite as the feature-documentation matrix
+// the paper describes as the test suite's second purpose (§VI-C): which
+// CUDA/MPI behaviours are supported and how each is classified.
+func emitFeatureDoc(cases []testsuite.Case) {
+	fmt.Println("# Supported feature matrix")
+	fmt.Println()
+	fmt.Println("Generated from the classified test suite (`cusan-testsuite -doc`).")
+	byCat := map[string][]testsuite.Case{}
+	var order []string
+	for _, c := range cases {
+		cat, _, _ := strings.Cut(c.Name, "/")
+		if _, seen := byCat[cat]; !seen {
+			order = append(order, cat)
+		}
+		byCat[cat] = append(byCat[cat], c)
+	}
+	for _, cat := range order {
+		fmt.Printf("\n## %s\n\n", cat)
+		fmt.Println("| case | expected | behaviour |")
+		fmt.Println("|---|---|---|")
+		for _, c := range byCat[cat] {
+			verdict := "clean"
+			if c.ExpectRace {
+				verdict = "data race"
+			}
+			if c.ExpectIssue != nil {
+				verdict = "finding: " + c.ExpectIssue.String()
+			}
+			_, name, _ := strings.Cut(c.Name, "/")
+			fmt.Printf("| %s | %s | %s |\n", name, verdict, c.Doc)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package cusango is a pure-Go reproduction of "Compiler-Aided
+// Correctness Checking of CUDA-Aware MPI Applications" (Hück et al.,
+// SC-W 2024): the CuSan data race detector for hybrid CUDA-aware MPI
+// programs, together with every substrate it depends on — a simulated
+// CUDA runtime and UVA address space, a kernel IR with the paper's
+// interprocedural access analysis, a ThreadSanitizer-style
+// happens-before detector with fibers, an in-process CUDA-aware MPI
+// library, and the MUST and TypeART integrations.
+//
+// Entry points:
+//
+//   - internal/core — build and run an instrumented CUDA-aware MPI
+//     application under a tool flavor (vanilla/tsan/must/cusan/must+cusan);
+//   - internal/cusan — the CuSan runtime itself;
+//   - internal/testsuite — the classified correct/incorrect test suite;
+//   - internal/bench — the harness regenerating the paper's tables and
+//     figures;
+//   - cmd/cusan-run, cmd/cusan-bench, cmd/cusan-testsuite — executables;
+//   - examples/ — runnable walk-throughs.
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// substitution mapping from the paper's stack to this repository, and
+// EXPERIMENTS.md for paper-versus-measured results.
+package cusango

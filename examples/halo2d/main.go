@@ -1,0 +1,107 @@
+// Halo2d example: the general 2D-decomposition halo exchange with
+// pack/unpack kernels — every step of
+//
+//	pack kernel -> sync -> Isend | Irecv -> Waitall -> unpack kernel
+//
+// is a synchronization obligation. The example runs a 2x2 process grid,
+// first correctly (clean under MUST & CuSan), then with the pack-to-send
+// synchronization removed (detected), showing the tool catching a bug in
+// library code rather than application code.
+package main
+
+import (
+	"fmt"
+
+	"cusango/internal/apps/halo2d"
+	"cusango/internal/core"
+	"cusango/internal/kinterp"
+	"cusango/internal/kir"
+	"cusango/internal/memspace"
+)
+
+func module() *kir.Module {
+	m := halo2d.Module()
+	m.Add(kir.KernelFunc("smooth", []kir.Param{
+		{Name: "out", Type: kir.TPtrF64},
+		{Name: "in", Type: kir.TPtrF64},
+		{Name: "stride", Type: kir.TInt},
+		{Name: "rows", Type: kir.TInt},
+	}, func(e *kir.Emitter) {
+		ix := e.GlobalIDX()
+		iy := e.GlobalIDY()
+		one := e.ConstI(1)
+		inX := e.AndI(e.Ge(ix, one), e.Le(ix, e.Sub(e.Arg("stride"), e.ConstI(2))))
+		inY := e.AndI(e.Ge(iy, one), e.Le(iy, e.Sub(e.Arg("rows"), e.ConstI(2))))
+		e.If(e.AndI(inX, inY), func() {
+			idx := e.Add(e.Mul(iy, e.Arg("stride")), ix)
+			in := e.Arg("in")
+			sum := e.Add(
+				e.Add(e.LoadIdx(in, e.Sub(idx, one)), e.LoadIdx(in, e.Add(idx, one))),
+				e.Add(e.LoadIdx(in, e.Sub(idx, e.Arg("stride"))), e.LoadIdx(in, e.Add(idx, e.Arg("stride")))),
+			)
+			e.StoreIdx(e.Arg("out"), idx, e.Mul(e.ConstF(0.25), sum))
+		})
+	}))
+	return m
+}
+
+func run(skipPackSync bool) {
+	d := halo2d.Decomp{PX: 2, PY: 2, NX: 32, NY: 32}
+	res, err := core.Run(core.Config{
+		Flavor: core.MUSTCuSan,
+		Ranks:  4,
+		Module: module(),
+	}, func(s *core.Session) error {
+		ex, err := halo2d.NewExchanger(s, d)
+		if err != nil {
+			return err
+		}
+		ex.SkipPackSync = skipPackSync
+		field, err := s.CudaMallocF64(ex.FieldElems())
+		if err != nil {
+			return err
+		}
+		next, err := s.CudaMallocF64(ex.FieldElems())
+		if err != nil {
+			return err
+		}
+		nxl, nyl := d.LocalSize()
+		stride, rows := int64(nxl+2), int64(nyl+2)
+		grid := kinterp.Dim2(1, int(rows))
+		block := kinterp.Dim2(int(stride), 1)
+		var a, b memspace.Addr = field, next
+		for it := 0; it < 5; it++ {
+			if err := ex.Exchange(a); err != nil {
+				return err
+			}
+			if err := s.Dev.LaunchKernel("smooth", grid, block, []kinterp.Arg{
+				kinterp.Ptr(b), kinterp.Ptr(a), kinterp.Int(stride), kinterp.Int(rows),
+			}, nil); err != nil {
+				return err
+			}
+			s.Dev.DeviceSynchronize()
+			a, b = b, a
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := res.FirstError(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("  races: %d\n", res.TotalRaces())
+	for i := range res.Ranks {
+		for _, rep := range res.Ranks[i].Reports {
+			fmt.Printf("  [rank %d] %s\n", res.Ranks[i].Rank, rep)
+			return // one sample report is enough
+		}
+	}
+}
+
+func main() {
+	fmt.Println("2x2 grid, pack/unpack halo exchange, CORRECT:")
+	run(false)
+	fmt.Println("\nsame, with the pack-to-send synchronization removed:")
+	run(true)
+}

@@ -1,0 +1,153 @@
+// Streams example: CUDA stream, event, and legacy default-stream
+// semantics as the tool models them (paper §III-A/§III-B, Fig. 3).
+//
+// Walks through: producer/consumer on unordered streams (race), the same
+// ordered with cudaStreamWaitEvent (clean), the Fig. 3 legacy
+// default-stream interleaving (clean), and the non-blocking-stream
+// exemption (race) — each printed with the tool's verdict.
+package main
+
+import (
+	"fmt"
+
+	"cusango/internal/core"
+	"cusango/internal/cuda"
+	"cusango/internal/kinterp"
+	"cusango/internal/kir"
+	"cusango/internal/memspace"
+)
+
+const n = 256
+
+func module() *kir.Module {
+	m := kir.NewModule()
+	m.Add(kir.KernelFunc("produce", []kir.Param{
+		{Name: "buf", Type: kir.TPtrF64},
+		{Name: "n", Type: kir.TInt},
+	}, func(e *kir.Emitter) {
+		i := e.GlobalIDX()
+		e.If(e.Lt(i, e.Arg("n")), func() {
+			e.StoreIdx(e.Arg("buf"), i, e.ToFloat(i))
+		})
+	}))
+	m.Add(kir.KernelFunc("consume", []kir.Param{
+		{Name: "out", Type: kir.TPtrF64},
+		{Name: "buf", Type: kir.TPtrF64},
+		{Name: "n", Type: kir.TInt},
+	}, func(e *kir.Emitter) {
+		i := e.GlobalIDX()
+		e.If(e.Lt(i, e.Arg("n")), func() {
+			e.StoreIdx(e.Arg("out"), i, e.Mul(e.LoadIdx(e.Arg("buf"), i), e.ConstF(3)))
+		})
+	}))
+	return m
+}
+
+func launch(s *core.Session, kernel string, st *cuda.Stream, ptrs ...memspace.Addr) {
+	args := make([]kinterp.Arg, 0, len(ptrs)+1)
+	for _, p := range ptrs {
+		args = append(args, kinterp.Ptr(p))
+	}
+	args = append(args, kinterp.Int(n))
+	if err := s.Dev.LaunchKernel(kernel, kinterp.Dim(1), kinterp.Dim(n), args, st); err != nil {
+		panic(err)
+	}
+}
+
+func scenario(name string, expectRace bool, body func(s *core.Session)) {
+	res, err := core.Run(core.Config{
+		Flavor: core.MUSTCuSan, Ranks: 1, Module: module(),
+	}, func(s *core.Session) error {
+		body(s)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := res.FirstError(); err != nil {
+		panic(err)
+	}
+	verdict := "clean"
+	if res.TotalRaces() > 0 {
+		verdict = fmt.Sprintf("RACE (%d report(s))", res.TotalRaces())
+	}
+	marker := "as expected"
+	if (res.TotalRaces() > 0) != expectRace {
+		marker = "UNEXPECTED!"
+	}
+	fmt.Printf("%-55s -> %-18s [%s]\n", name, verdict, marker)
+	for i := range res.Ranks {
+		for _, rep := range res.Ranks[i].Reports {
+			fmt.Printf("    %s\n", rep)
+			break
+		}
+	}
+}
+
+func main() {
+	alloc := func(s *core.Session) (memspace.Addr, memspace.Addr) {
+		buf, err := s.CudaMallocF64(n)
+		if err != nil {
+			panic(err)
+		}
+		out, err := s.CudaMallocF64(n)
+		if err != nil {
+			panic(err)
+		}
+		return buf, out
+	}
+
+	scenario("two non-blocking streams, no ordering", true, func(s *core.Session) {
+		buf, out := alloc(s)
+		s1 := s.Dev.StreamCreate(true)
+		s2 := s.Dev.StreamCreate(true)
+		launch(s, "produce", s1, buf)
+		launch(s, "consume", s2, out, buf)
+		s.Dev.DeviceSynchronize()
+	})
+
+	scenario("same, ordered with event + cudaStreamWaitEvent", false, func(s *core.Session) {
+		buf, out := alloc(s)
+		s1 := s.Dev.StreamCreate(true)
+		s2 := s.Dev.StreamCreate(true)
+		ev := s.Dev.EventCreate()
+		launch(s, "produce", s1, buf)
+		must(s.Dev.EventRecord(ev, s1))
+		must(s.Dev.StreamWaitEvent(s2, ev))
+		launch(s, "consume", s2, out, buf)
+		s.Dev.DeviceSynchronize()
+	})
+
+	scenario("legacy Fig. 3: blocking stream / default / blocking", false, func(s *core.Session) {
+		buf, out := alloc(s)
+		s1 := s.Dev.StreamCreate(false) // blocking user streams
+		s2 := s.Dev.StreamCreate(false)
+		launch(s, "produce", s1, buf)       // K1
+		launch(s, "consume", nil, out, buf) // K0 on default: waits for K1
+		launch(s, "produce", s2, out)       // K2: waits for K0
+		must(s.Dev.StreamSynchronize(s2))   // covers K0 and K1 transitively
+		_ = s.LoadF64(buf)
+	})
+
+	scenario("non-blocking stream is exempt from legacy barriers", true, func(s *core.Session) {
+		buf, out := alloc(s)
+		nb := s.Dev.StreamCreate(true)
+		launch(s, "produce", nb, buf)
+		launch(s, "consume", nil, out, buf) // default does NOT wait for nb
+		s.Dev.DeviceSynchronize()
+	})
+
+	scenario("producer + synchronous D2H memcpy (implicit sync)", false, func(s *core.Session) {
+		buf, _ := alloc(s)
+		host := s.HostAllocF64(n)
+		launch(s, "produce", nil, buf)
+		must(s.Dev.Memcpy(host, buf, n*8))
+		_ = s.LoadF64(host)
+	})
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,86 @@
+// TeaLeaf example: the paper's second mini-app — a CG heat-conduction
+// solve with non-blocking CUDA-aware MPI halo exchange.
+//
+// Demonstrates the two hybrid bug classes of paper §III-D on the same
+// application:
+//
+//	case (i)  CUDA-to-MPI: the halo send starts before the device
+//	          finished producing the data (SkipSync);
+//	case (ii) MPI-to-CUDA: the consuming kernel launches before
+//	          MPI_Waitall completed the receives (SkipWait);
+//
+// and that each needs BOTH tools: MUST alone and CuSan alone miss them.
+package main
+
+import (
+	"fmt"
+
+	"cusango/internal/apps/tealeaf"
+	"cusango/internal/core"
+)
+
+func run(flavor core.Flavor, cfg tealeaf.Config) *core.Result {
+	res, err := core.Run(core.Config{
+		Flavor: flavor,
+		Ranks:  2,
+		Module: tealeaf.Module(),
+	}, func(s *core.Session) error {
+		r, err := tealeaf.Run(s, cfg)
+		if err != nil {
+			return err
+		}
+		if s.Rank() == 0 && flavor == core.Vanilla {
+			fmt.Printf("  CG: ||r||^2 %.3e -> %.3e over %d iterations\n",
+				r.FirstRR, r.LastRR, r.Iters)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := res.FirstError(); err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func main() {
+	cfg := tealeaf.Config{NX: 64, NY: 64, Iters: 25, K: 0.1}
+
+	fmt.Println("=== correct TeaLeaf ===")
+	run(core.Vanilla, cfg)
+	res := run(core.MUSTCuSan, cfg)
+	fmt.Printf("  must+cusan: %d races, %d MUST findings (expected: 0, 0)\n",
+		res.TotalRaces(), res.TotalIssues())
+
+	bugs := []struct {
+		name string
+		mut  func(*tealeaf.Config)
+	}{
+		{"missing deviceSynchronize before Isend (CUDA-to-MPI)",
+			func(c *tealeaf.Config) { c.SkipSync = true }},
+		{"matvec before MPI_Waitall (MPI-to-CUDA)",
+			func(c *tealeaf.Config) { c.SkipWait = true }},
+	}
+	for _, bug := range bugs {
+		fmt.Printf("\n=== bug: %s ===\n", bug.name)
+		bcfg := cfg
+		bug.mut(&bcfg)
+		for _, flavor := range []core.Flavor{core.MUST, core.CuSan, core.MUSTCuSan} {
+			res := run(flavor, bcfg)
+			verdict := "MISSED"
+			if res.TotalRaces() > 0 {
+				verdict = "DETECTED"
+			}
+			fmt.Printf("  %-11s -> %s (%d reports)\n", flavor, verdict, res.TotalRaces())
+		}
+		full := run(core.MUSTCuSan, bcfg)
+		for i := range full.Ranks {
+			if len(full.Ranks[i].Reports) > 0 {
+				fmt.Printf("  first report: [rank %d] %s\n",
+					full.Ranks[i].Rank, full.Ranks[i].Reports[0])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Text kernels example: device code written in the IR's textual assembly
+// form, parsed with kir.Parse, analyzed by the compiler pass, and run
+// under the full tool stack — the closest analog of feeding hand-written
+// LLVM IR through the CuSan toolchain.
+//
+// The example also prints the compiler analysis ("kernel analysis data",
+// paper Fig. 7): saxpy's x is read-only, y is read-write — derived from
+// the dataflow, not declared.
+package main
+
+import (
+	"fmt"
+
+	"cusango/internal/core"
+	"cusango/internal/kinterp"
+	"cusango/internal/kir"
+	"cusango/internal/mpi"
+)
+
+const kernelSource = `
+device fma(f64 a, f64 x, f64 y) -> f64 {
+  locals %3:f64
+b0: ; entry
+  %3 = fmul %0, %1
+  %3 = fadd %3, %2
+  ret %3
+}
+
+kernel saxpy(f64* y, f64* x, f64 a, i64 n) {
+  locals %4:i64 %5:i64 %6:f64 %7:f64 %8:f64* %9:f64* %10:f64
+b0: ; entry
+  %4 = globalId.x
+  %5 = icmp.lt %4, %3
+  condbr %5, b1, b2
+b1: ; body
+  %8 = gep %1, %4
+  %6 = load %8
+  %9 = gep %0, %4
+  %7 = load %9
+  %10 = call @fma(%2, %6, %7)
+  store %9, %10
+  br b2
+b2: ; done
+  ret
+}
+`
+
+func main() {
+	module, err := kir.Parse(kernelSource)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("parsed module:")
+	fmt.Println(module)
+
+	const n = 1024
+	res, err := core.Run(core.Config{
+		Flavor: core.MUSTCuSan,
+		Ranks:  2,
+		Module: module,
+	}, func(s *core.Session) error {
+		if s.Rank() == 0 {
+			// The "kernel analysis data" the compiler pass derived.
+			fmt.Printf("compiler access analysis:\n%s\n", s.Dev.Analysis())
+		}
+		y, err := s.CudaMallocF64(n)
+		if err != nil {
+			return err
+		}
+		x, err := s.CudaMallocF64(n)
+		if err != nil {
+			return err
+		}
+		if err := s.Dev.Memset(x, 0, n*8); err != nil {
+			return err
+		}
+		if err := s.Dev.LaunchKernel("saxpy", kinterp.Dim(n/256), kinterp.Dim(256),
+			[]kinterp.Arg{kinterp.Ptr(y), kinterp.Ptr(x), kinterp.F64(2.0), kinterp.Int(n)},
+			nil); err != nil {
+			return err
+		}
+		s.Dev.DeviceSynchronize()
+		// Ring-exchange the results (device pointers, CUDA-aware).
+		peer := 1 - s.Rank()
+		recv, err := s.CudaMallocF64(n)
+		if err != nil {
+			return err
+		}
+		_, err = s.Comm.Sendrecv(
+			y, n, mpi.Float64, peer, 0,
+			recv, n, mpi.Float64, peer, 0,
+		)
+		return err
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := res.FirstError(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("ran on 2 ranks under must+cusan: %d races (expected 0)\n",
+		res.TotalRaces())
+}

@@ -1,0 +1,3 @@
+module cusango
+
+go 1.22

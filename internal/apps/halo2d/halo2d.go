@@ -1,0 +1,290 @@
+// Package halo2d is a reusable CUDA-aware halo-exchange library over a
+// two-dimensional domain decomposition — the communication pattern the
+// paper's introduction motivates, in its general form.
+//
+// Unlike the row-split mini-apps (whose halo rows are contiguous and can
+// be passed to MPI directly), a 2D decomposition exchanges COLUMNS,
+// which are strided in memory: a pack kernel gathers the column into a
+// contiguous device staging buffer, the buffer is sent with CUDA-aware
+// MPI, and an unpack kernel scatters the received bytes into the halo
+// column. Each step is a device operation with its own synchronization
+// obligation, which multiplies the opportunities for the races CuSan
+// exists to catch:
+//
+//	pack kernel -> (sync!) -> MPI_Isend of the staging buffer
+//	MPI_Irecv -> MPI_Wait -> (launch order) -> unpack kernel
+//
+// The Exchanger owns the staging buffers and performs the full
+// four-direction exchange; SkipPackSync injects the missing
+// pack-to-send synchronization.
+package halo2d
+
+import (
+	"fmt"
+
+	"cusango/internal/core"
+	"cusango/internal/kinterp"
+	"cusango/internal/kir"
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+)
+
+// Decomp is a PX x PY cartesian decomposition of a global NX x NY grid.
+type Decomp struct {
+	PX, PY int // process grid
+	NX, NY int // global interior size
+}
+
+// Coords returns rank's (px, py) position (row-major rank order).
+func (d Decomp) Coords(rank int) (int, int) {
+	return rank % d.PX, rank / d.PX
+}
+
+// RankAt returns the rank at (px, py), or -1 outside the process grid.
+func (d Decomp) RankAt(px, py int) int {
+	if px < 0 || px >= d.PX || py < 0 || py >= d.PY {
+		return -1
+	}
+	return py*d.PX + px
+}
+
+// LocalSize returns the per-rank interior size.
+func (d Decomp) LocalSize() (int, int) {
+	return d.NX / d.PX, d.NY / d.PY
+}
+
+// Validate checks divisibility and the world size.
+func (d Decomp) Validate(worldSize int) error {
+	if d.PX*d.PY != worldSize {
+		return fmt.Errorf("halo2d: %dx%d process grid needs %d ranks, world has %d",
+			d.PX, d.PY, d.PX*d.PY, worldSize)
+	}
+	if d.NX%d.PX != 0 || d.NY%d.PY != 0 {
+		return fmt.Errorf("halo2d: global %dx%d not divisible by %dx%d grid",
+			d.NX, d.NY, d.PX, d.PY)
+	}
+	return nil
+}
+
+// Module returns the pack/unpack kernels. Merge it into the application
+// module before building the device.
+func Module() *kir.Module {
+	m := kir.NewModule()
+	AddKernels(m)
+	return m
+}
+
+// AddKernels registers the library's kernels on an existing module.
+func AddKernels(m *kir.Module) {
+	// pack_col: buf[i] = field[(i+1)*stride + col] for i in [0, count).
+	// The +1 skips the corner/halo row: packed elements are the interior
+	// rows of the column.
+	m.Add(kir.KernelFunc("halo2d_pack_col", []kir.Param{
+		{Name: "buf", Type: kir.TPtrF64},
+		{Name: "field", Type: kir.TPtrF64},
+		{Name: "col", Type: kir.TInt},
+		{Name: "stride", Type: kir.TInt},
+		{Name: "count", Type: kir.TInt},
+	}, func(e *kir.Emitter) {
+		i := e.GlobalIDX()
+		e.If(e.Lt(i, e.Arg("count")), func() {
+			src := e.Add(e.Mul(e.Add(i, e.ConstI(1)), e.Arg("stride")), e.Arg("col"))
+			e.StoreIdx(e.Arg("buf"), i, e.LoadIdx(e.Arg("field"), src))
+		})
+	}))
+	m.Add(kir.KernelFunc("halo2d_unpack_col", []kir.Param{
+		{Name: "field", Type: kir.TPtrF64},
+		{Name: "buf", Type: kir.TPtrF64},
+		{Name: "col", Type: kir.TInt},
+		{Name: "stride", Type: kir.TInt},
+		{Name: "count", Type: kir.TInt},
+	}, func(e *kir.Emitter) {
+		i := e.GlobalIDX()
+		e.If(e.Lt(i, e.Arg("count")), func() {
+			dst := e.Add(e.Mul(e.Add(i, e.ConstI(1)), e.Arg("stride")), e.Arg("col"))
+			e.StoreIdx(e.Arg("field"), dst, e.LoadIdx(e.Arg("buf"), i))
+		})
+	}))
+}
+
+// Exchanger performs four-direction halo exchanges for one rank.
+type Exchanger struct {
+	s        *core.Session
+	d        Decomp
+	nxl, nyl int64
+	stride   int64 // nxl + 2
+	rows     int64 // nyl + 2
+	// Column staging buffers (device): send/recv for west and east.
+	sendW, sendE, recvW, recvE memspace.Addr
+	// SkipPackSync injects the missing pack-kernel-to-Isend sync.
+	SkipPackSync bool
+	// Exchanges counts completed exchanges.
+	Exchanges int64
+}
+
+// Tags per direction.
+const (
+	tagNorth = 10 + iota
+	tagSouth
+	tagWest
+	tagEast
+)
+
+// NewExchanger allocates the staging buffers on the device.
+func NewExchanger(s *core.Session, d Decomp) (*Exchanger, error) {
+	if err := d.Validate(s.Size()); err != nil {
+		return nil, err
+	}
+	nxl, nyl := d.LocalSize()
+	ex := &Exchanger{
+		s: s, d: d,
+		nxl: int64(nxl), nyl: int64(nyl),
+		stride: int64(nxl) + 2, rows: int64(nyl) + 2,
+	}
+	var err error
+	alloc := func() memspace.Addr {
+		if err != nil {
+			return 0
+		}
+		var a memspace.Addr
+		a, err = s.CudaMallocF64(ex.nyl)
+		return a
+	}
+	ex.sendW, ex.sendE, ex.recvW, ex.recvE = alloc(), alloc(), alloc(), alloc()
+	if err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// FieldElems returns the per-rank field size (interior + halo ring).
+func (ex *Exchanger) FieldElems() int64 { return ex.stride * ex.rows }
+
+// rowAddr returns the address of (row, col=0) in field.
+func (ex *Exchanger) rowAddr(field memspace.Addr, row int64) memspace.Addr {
+	return field + memspace.Addr(row*ex.stride*8)
+}
+
+func (ex *Exchanger) launch(kernel string, args ...kinterp.Arg) error {
+	grid := kinterp.Dim(int(ex.nyl+127) / 128)
+	return ex.s.Dev.LaunchKernel(kernel, grid, kinterp.Dim(128), args, nil)
+}
+
+// Exchange swaps all four halos of field with the cartesian neighbors.
+// North/south rows are contiguous and communicated directly; west/east
+// columns go through pack/unpack kernels and device staging buffers.
+// The caller must have synchronized any device work that produced field;
+// Exchange itself synchronizes its pack kernels before sending (unless
+// SkipPackSync injects the bug).
+func (ex *Exchanger) Exchange(field memspace.Addr) error {
+	s := ex.s
+	px, py := ex.d.Coords(s.Rank())
+	north := ex.d.RankAt(px, py-1)
+	south := ex.d.RankAt(px, py+1)
+	west := ex.d.RankAt(px-1, py)
+	east := ex.d.RankAt(px+1, py)
+
+	// Pack the non-contiguous columns on the device FIRST. Note the
+	// ordering constraint CuSan's conservative whole-allocation
+	// annotation imposes (paper §V-B/§VI-D): the pack kernel's read
+	// annotation covers the entire field, so it must not be in flight
+	// while an MPI_Irecv writes the field's halo rows — packing strictly
+	// before posting the receives keeps the correct version clean under
+	// the tool, exactly as a real CuSan user would have to order it.
+	packed := false
+	if west >= 0 {
+		if err := ex.launch("halo2d_pack_col",
+			kinterp.Ptr(ex.sendW), kinterp.Ptr(field),
+			kinterp.Int(1), kinterp.Int(ex.stride), kinterp.Int(ex.nyl)); err != nil {
+			return err
+		}
+		packed = true
+	}
+	if east >= 0 {
+		if err := ex.launch("halo2d_pack_col",
+			kinterp.Ptr(ex.sendE), kinterp.Ptr(field),
+			kinterp.Int(ex.stride-2), kinterp.Int(ex.stride), kinterp.Int(ex.nyl)); err != nil {
+			return err
+		}
+		packed = true
+	}
+	// The pack kernels must complete before MPI reads the staging
+	// buffers (paper §III-D case i). SkipPackSync injects the bug.
+	if packed && !ex.SkipPackSync {
+		ex.s.Dev.DeviceSynchronize()
+	}
+
+	var reqs []*mpi.Request
+	post := func(req *mpi.Request, err error) error {
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+		return nil
+	}
+
+	// Receives (posted into halo rows / staging buffers).
+	if north >= 0 {
+		if err := post(s.Comm.Irecv(ex.rowAddr(field, 0)+8, int(ex.nxl), mpi.Float64, north, tagSouth)); err != nil {
+			return err
+		}
+	}
+	if south >= 0 {
+		if err := post(s.Comm.Irecv(ex.rowAddr(field, ex.rows-1)+8, int(ex.nxl), mpi.Float64, south, tagNorth)); err != nil {
+			return err
+		}
+	}
+	if west >= 0 {
+		if err := post(s.Comm.Irecv(ex.recvW, int(ex.nyl), mpi.Float64, west, tagEast)); err != nil {
+			return err
+		}
+	}
+	if east >= 0 {
+		if err := post(s.Comm.Irecv(ex.recvE, int(ex.nyl), mpi.Float64, east, tagWest)); err != nil {
+			return err
+		}
+	}
+
+	// Sends: rows directly from the field, columns from staging buffers.
+	if north >= 0 {
+		if err := post(s.Comm.Isend(ex.rowAddr(field, 1)+8, int(ex.nxl), mpi.Float64, north, tagNorth)); err != nil {
+			return err
+		}
+	}
+	if south >= 0 {
+		if err := post(s.Comm.Isend(ex.rowAddr(field, ex.rows-2)+8, int(ex.nxl), mpi.Float64, south, tagSouth)); err != nil {
+			return err
+		}
+	}
+	if west >= 0 {
+		if err := post(s.Comm.Isend(ex.sendW, int(ex.nyl), mpi.Float64, west, tagWest)); err != nil {
+			return err
+		}
+	}
+	if east >= 0 {
+		if err := post(s.Comm.Isend(ex.sendE, int(ex.nyl), mpi.Float64, east, tagEast)); err != nil {
+			return err
+		}
+	}
+	if err := s.Comm.WaitAll(reqs...); err != nil {
+		return err
+	}
+
+	// Unpack received columns into the halo columns.
+	if west >= 0 {
+		if err := ex.launch("halo2d_unpack_col",
+			kinterp.Ptr(field), kinterp.Ptr(ex.recvW),
+			kinterp.Int(0), kinterp.Int(ex.stride), kinterp.Int(ex.nyl)); err != nil {
+			return err
+		}
+	}
+	if east >= 0 {
+		if err := ex.launch("halo2d_unpack_col",
+			kinterp.Ptr(field), kinterp.Ptr(ex.recvE),
+			kinterp.Int(ex.stride-1), kinterp.Int(ex.stride), kinterp.Int(ex.nyl)); err != nil {
+			return err
+		}
+	}
+	ex.Exchanges++
+	return nil
+}

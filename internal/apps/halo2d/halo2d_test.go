@@ -1,0 +1,255 @@
+package halo2d
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cusango/internal/core"
+	"cusango/internal/kinterp"
+	"cusango/internal/kir"
+	"cusango/internal/memspace"
+)
+
+// testModule adds a fill kernel next to the library kernels: every
+// interior cell gets a value encoding its GLOBAL coordinates, so halo
+// correctness is checkable exactly.
+func testModule() *kir.Module {
+	m := Module()
+	m.Add(kir.KernelFunc("fill_coords", []kir.Param{
+		{Name: "field", Type: kir.TPtrF64},
+		{Name: "stride", Type: kir.TInt},
+		{Name: "rows", Type: kir.TInt},
+		{Name: "gx0", Type: kir.TInt},
+		{Name: "gy0", Type: kir.TInt},
+	}, func(e *kir.Emitter) {
+		ix := e.GlobalIDX()
+		iy := e.GlobalIDY()
+		one := e.ConstI(1)
+		inX := e.AndI(e.Ge(ix, one), e.Le(ix, e.Sub(e.Arg("stride"), e.ConstI(2))))
+		inY := e.AndI(e.Ge(iy, one), e.Le(iy, e.Sub(e.Arg("rows"), e.ConstI(2))))
+		e.If(e.AndI(inX, inY), func() {
+			gx := e.Add(e.Arg("gx0"), e.Sub(ix, one))
+			gy := e.Add(e.Arg("gy0"), e.Sub(iy, one))
+			val := e.Add(e.Mul(gy, e.ConstI(10000)), gx)
+			e.StoreIdx(e.Arg("field"), e.Add(e.Mul(iy, e.Arg("stride")), ix), e.ToFloat(val))
+		})
+	}))
+	return m
+}
+
+// coordVal is the expected encoding of global cell (gx, gy).
+func coordVal(gx, gy int64) float64 { return float64(gy*10000 + gx) }
+
+// runGrid runs body on a PX x PY decomposition of a 12x12 domain.
+func runGrid(t *testing.T, flavor core.Flavor, px, py int,
+	body func(s *core.Session, ex *Exchanger, field memspace.Addr) error) *core.Result {
+	t.Helper()
+	d := Decomp{PX: px, PY: py, NX: 12, NY: 12}
+	res, err := core.Run(core.Config{
+		Flavor: flavor,
+		Ranks:  px * py,
+		Module: testModule(),
+	}, func(s *core.Session) error {
+		ex, err := NewExchanger(s, d)
+		if err != nil {
+			return err
+		}
+		field, err := s.CudaMallocF64(ex.FieldElems())
+		if err != nil {
+			return err
+		}
+		cx, cy := d.Coords(s.Rank())
+		nxl, nyl := d.LocalSize()
+		if err := s.Dev.LaunchKernel("fill_coords",
+			kinterp.Dim2(1, int(ex.rows)), kinterp.Dim2(int(ex.stride), 1),
+			[]kinterp.Arg{
+				kinterp.Ptr(field), kinterp.Int(ex.stride), kinterp.Int(ex.rows),
+				kinterp.Int(int64(cx * nxl)), kinterp.Int(int64(cy * nyl)),
+			}, nil); err != nil {
+			return err
+		}
+		s.Dev.DeviceSynchronize()
+		return body(s, ex, field)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDecompGeometry(t *testing.T) {
+	d := Decomp{PX: 3, PY: 2, NX: 12, NY: 10}
+	if err := d.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(5); err == nil {
+		t.Fatal("wrong world size accepted")
+	}
+	if err := (Decomp{PX: 3, PY: 2, NX: 13, NY: 10}).Validate(6); err == nil {
+		t.Fatal("indivisible domain accepted")
+	}
+	px, py := d.Coords(4)
+	if px != 1 || py != 1 {
+		t.Fatalf("Coords(4) = (%d,%d)", px, py)
+	}
+	if d.RankAt(1, 1) != 4 || d.RankAt(-1, 0) != -1 || d.RankAt(3, 0) != -1 {
+		t.Fatal("RankAt wrong")
+	}
+	nx, ny := d.LocalSize()
+	if nx != 4 || ny != 5 {
+		t.Fatalf("LocalSize = %dx%d", nx, ny)
+	}
+}
+
+// TestExchangeMovesCorrectValues checks every halo cell against the
+// neighbor's global coordinates after one exchange on a 2x2 grid.
+func TestExchangeMovesCorrectValues(t *testing.T) {
+	var failures []string
+	res := runGrid(t, core.Vanilla, 2, 2, func(s *core.Session, ex *Exchanger, field memspace.Addr) error {
+		if err := ex.Exchange(field); err != nil {
+			return err
+		}
+		s.Dev.DeviceSynchronize()
+		d := ex.d
+		cx, cy := d.Coords(s.Rank())
+		nxl, nyl := d.LocalSize()
+		at := func(ix, iy int64) float64 {
+			return s.Mem.Float64(field + memspace.Addr((iy*ex.stride+ix)*8))
+		}
+		check := func(ix, iy, gx, gy int64, what string) {
+			if got := at(ix, iy); got != coordVal(gx, gy) {
+				failures = append(failures,
+					fmt.Sprintf("rank %d %s: field[%d,%d]=%v want (%d,%d)=%v",
+						s.Rank(), what, ix, iy, got, gx, gy, coordVal(gx, gy)))
+			}
+		}
+		gx0, gy0 := int64(cx*nxl), int64(cy*nyl)
+		// north halo row (iy=0): neighbor's last interior row.
+		if d.RankAt(cx, cy-1) >= 0 {
+			for i := int64(0); i < int64(nxl); i++ {
+				check(i+1, 0, gx0+i, gy0-1, "north")
+			}
+		}
+		// south halo row.
+		if d.RankAt(cx, cy+1) >= 0 {
+			for i := int64(0); i < int64(nxl); i++ {
+				check(i+1, ex.rows-1, gx0+i, gy0+int64(nyl), "south")
+			}
+		}
+		// west halo column (packed/unpacked path).
+		if d.RankAt(cx-1, cy) >= 0 {
+			for j := int64(0); j < int64(nyl); j++ {
+				check(0, j+1, gx0-1, gy0+j, "west")
+			}
+		}
+		// east halo column.
+		if d.RankAt(cx+1, cy) >= 0 {
+			for j := int64(0); j < int64(nyl); j++ {
+				check(ex.stride-1, j+1, gx0+int64(nxl), gy0+j, "east")
+			}
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Error(f)
+	}
+}
+
+func TestExchangeRaceFreeUnderFullInstrumentation(t *testing.T) {
+	res := runGrid(t, core.MUSTCuSan, 2, 2, func(s *core.Session, ex *Exchanger, field memspace.Addr) error {
+		for i := 0; i < 3; i++ {
+			if err := ex.Exchange(field); err != nil {
+				return err
+			}
+			// Downstream consumer: a kernel reading the halo (launch
+			// order covers the unpack kernels on the default stream).
+			s.Dev.DeviceSynchronize()
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if n := res.TotalRaces(); n != 0 {
+		for i := range res.Ranks {
+			for _, rep := range res.Ranks[i].Reports {
+				t.Logf("rank %d:\n%s", res.Ranks[i].Rank, rep)
+			}
+		}
+		t.Fatalf("correct 2D exchange flagged: %d races", n)
+	}
+	if res.TotalIssues() != 0 {
+		t.Fatalf("MUST issues on correct exchange: %v", res.Ranks[0].Issues)
+	}
+}
+
+func TestSkipPackSyncDetected(t *testing.T) {
+	// The pack kernel writes the staging buffer; Isend reads it without
+	// synchronization: the library's injectable bug.
+	res := runGrid(t, core.MUSTCuSan, 2, 1, func(s *core.Session, ex *Exchanger, field memspace.Addr) error {
+		ex.SkipPackSync = true
+		return ex.Exchange(field)
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRaces() == 0 {
+		t.Fatal("missing pack-to-send sync not flagged")
+	}
+	// The report must implicate the pack kernel and the Isend.
+	found := false
+	for i := range res.Ranks {
+		for _, rep := range res.Ranks[i].Reports {
+			str := rep.String()
+			if contains(str, "halo2d_pack_col") && contains(str, "MPI_Isend") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("report does not implicate pack kernel vs MPI_Isend")
+	}
+}
+
+func TestSkipPackSyncInvisibleWithoutCuSan(t *testing.T) {
+	res := runGrid(t, core.MUST, 2, 1, func(s *core.Session, ex *Exchanger, field memspace.Addr) error {
+		ex.SkipPackSync = true
+		return ex.Exchange(field)
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRaces() != 0 {
+		t.Fatal("MUST alone cannot see the pack kernel; expected a miss")
+	}
+}
+
+func TestOneByOneGridNoNeighbors(t *testing.T) {
+	res := runGrid(t, core.MUSTCuSan, 1, 1, func(s *core.Session, ex *Exchanger, field memspace.Addr) error {
+		return ex.Exchange(field) // no neighbors: must be a no-op
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRaces() != 0 {
+		t.Fatal("no-neighbor exchange flagged")
+	}
+}
+
+func TestWideGrid4x1(t *testing.T) {
+	res := runGrid(t, core.MUSTCuSan, 4, 1, func(s *core.Session, ex *Exchanger, field memspace.Addr) error {
+		return ex.Exchange(field)
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRaces() != 0 {
+		t.Fatalf("4x1 exchange flagged: %d", res.TotalRaces())
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,442 @@
+// Package core is the toolchain of the reproduction: it "compiles and
+// links" a CUDA-aware MPI application against an instrumentation flavor
+// and runs it.
+//
+// The flavors mirror the paper's evaluation matrix (§V):
+//
+//	Vanilla    — uninstrumented build
+//	TSan       — host memory accesses instrumented, no tool runtimes
+//	MUST       — TSan + MUST's MPI interception
+//	CuSan      — TSan + CuSan's CUDA interception + TypeART
+//	MUSTCuSan  — everything (the full checker)
+//
+// A Session is one rank's view of the "linked binary": its address
+// space, CUDA device, communicator, and — depending on flavor — the
+// sanitizer and tool runtimes. The Session's typed allocation helpers
+// and load/store accessors are the analog of TypeART's allocation
+// instrumentation and TSan's compiler-inserted memory-access callbacks
+// in host code.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cusango/internal/cuda"
+	"cusango/internal/cusan"
+	"cusango/internal/kir"
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+	"cusango/internal/must"
+	"cusango/internal/tsan"
+	"cusango/internal/typeart"
+)
+
+// Flavor selects the instrumentation configuration.
+type Flavor uint8
+
+// Instrumentation flavors (paper §V).
+const (
+	// Vanilla is the unmodified application.
+	Vanilla Flavor = iota
+	// TSan instruments host memory accesses only.
+	TSan
+	// MUST adds MPI semantics on top of TSan.
+	MUST
+	// CuSan adds CUDA semantics and TypeART on top of TSan.
+	CuSan
+	// MUSTCuSan combines MUST and CuSan (the full tool).
+	MUSTCuSan
+)
+
+// Flavors lists all flavors in evaluation order.
+var Flavors = []Flavor{Vanilla, TSan, MUST, CuSan, MUSTCuSan}
+
+func (f Flavor) String() string {
+	switch f {
+	case Vanilla:
+		return "vanilla"
+	case TSan:
+		return "tsan"
+	case MUST:
+		return "must"
+	case CuSan:
+		return "cusan"
+	case MUSTCuSan:
+		return "must+cusan"
+	default:
+		return fmt.Sprintf("flavor(%d)", uint8(f))
+	}
+}
+
+// ParseFlavor resolves a flavor name (case-insensitive).
+func ParseFlavor(s string) (Flavor, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "vanilla":
+		return Vanilla, nil
+	case "tsan":
+		return TSan, nil
+	case "must":
+		return MUST, nil
+	case "cusan":
+		return CuSan, nil
+	case "must+cusan", "mustcusan", "must-cusan", "all":
+		return MUSTCuSan, nil
+	default:
+		return Vanilla, fmt.Errorf("core: unknown flavor %q", s)
+	}
+}
+
+// HasTSan reports whether the flavor carries a sanitizer.
+func (f Flavor) HasTSan() bool { return f != Vanilla }
+
+// HasMUST reports whether the flavor intercepts MPI.
+func (f Flavor) HasMUST() bool { return f == MUST || f == MUSTCuSan }
+
+// HasCuSan reports whether the flavor intercepts CUDA.
+func (f Flavor) HasCuSan() bool { return f == CuSan || f == MUSTCuSan }
+
+// Config describes one job.
+type Config struct {
+	Flavor Flavor
+	// Ranks is the world size (default 2).
+	Ranks int
+	// Module holds the application's device code.
+	Module *kir.Module
+	// Cuda configures the simulated device (worker pool etc).
+	Cuda cuda.Config
+	// TSanCfg configures the sanitizer.
+	TSanCfg tsan.Config
+	// CusanOpts configures the CuSan runtime.
+	CusanOpts cusan.Options
+	// MustOpts configures the MUST runtime. The paper's evaluation
+	// configures MUST "to only check for data races of (non-blocking)
+	// MPI communication"; set DisableTypeChecks for that configuration.
+	MustOpts must.Options
+}
+
+// Session is one rank's execution context.
+type Session struct {
+	rank int
+	size int
+
+	Mem     *memspace.Memory
+	Dev     *cuda.Device
+	Comm    *mpi.Comm
+	San     *tsan.Sanitizer  // nil under Vanilla
+	TypeArt *typeart.Runtime // nil under Vanilla and TSan
+	Cusan   *cusan.Runtime   // nil unless flavor has CuSan
+	Must    *must.Runtime    // nil unless flavor has MUST
+
+	flavor    Flavor
+	loadInfo  *tsan.AccessInfo
+	storeInfo *tsan.AccessInfo
+}
+
+// Rank returns the session's MPI rank.
+func (s *Session) Rank() int { return s.rank }
+
+// Size returns the world size.
+func (s *Session) Size() int { return s.size }
+
+// Flavor returns the instrumentation flavor.
+func (s *Session) Flavor() Flavor { return s.flavor }
+
+func newSession(cfg Config, rank int, world *mpi.World) (*Session, error) {
+	s := &Session{
+		rank:   rank,
+		size:   world.Size(),
+		Mem:    memspace.New(),
+		flavor: cfg.Flavor,
+	}
+	if cfg.Flavor.HasTSan() {
+		s.San = tsan.New(cfg.TSanCfg)
+		s.loadInfo = &tsan.AccessInfo{Site: "host code", Object: "load"}
+		s.storeInfo = &tsan.AccessInfo{Site: "host code", Object: "store"}
+	}
+	var cudaHooks cuda.Hooks
+	if cfg.Flavor.HasCuSan() {
+		s.TypeArt = typeart.NewRuntime(nil)
+		s.Cusan = cusan.New(s.San, s.TypeArt, cfg.CusanOpts)
+		cudaHooks = s.Cusan
+	}
+	mod := cfg.Module
+	if mod == nil {
+		mod = kir.NewModule()
+	}
+	dev, err := cuda.NewDevice(s.Mem, mod, cfg.Cuda, cudaHooks)
+	if err != nil {
+		return nil, fmt.Errorf("core: rank %d device: %w", rank, err)
+	}
+	s.Dev = dev
+	var mpiHooks mpi.Hooks
+	if cfg.Flavor.HasMUST() {
+		s.Must = must.New(s.San, s.TypeArt, cfg.MustOpts)
+		mpiHooks = s.Must
+	}
+	comm, err := world.AttachRank(rank, s.Mem, mpiHooks)
+	if err != nil {
+		return nil, err
+	}
+	s.Comm = comm
+	return s, nil
+}
+
+// --- instrumented host accessors -----------------------------------------
+//
+// Application host code dereferences simulated pointers through these;
+// under a sanitized flavor each access is reported to TSan first, which
+// is what Clang's -fsanitize=thread instrumentation does to host loads
+// and stores (relevant for managed memory and MPI buffers, paper Fig. 5
+// step 1).
+
+// LoadF64 reads a float64 from host-accessible memory.
+func (s *Session) LoadF64(a memspace.Addr) float64 {
+	if s.San != nil {
+		s.San.Read(a, 8, s.loadInfo)
+	}
+	return s.Mem.Float64(a)
+}
+
+// StoreF64 writes a float64.
+func (s *Session) StoreF64(a memspace.Addr, v float64) {
+	if s.San != nil {
+		s.San.Write(a, 8, s.storeInfo)
+	}
+	s.Mem.SetFloat64(a, v)
+}
+
+// LoadI64 reads an int64.
+func (s *Session) LoadI64(a memspace.Addr) int64 {
+	if s.San != nil {
+		s.San.Read(a, 8, s.loadInfo)
+	}
+	return s.Mem.Int64(a)
+}
+
+// StoreI64 writes an int64.
+func (s *Session) StoreI64(a memspace.Addr, v int64) {
+	if s.San != nil {
+		s.San.Write(a, 8, s.storeInfo)
+	}
+	s.Mem.SetInt64(a, v)
+}
+
+// LoadI32 reads an int32.
+func (s *Session) LoadI32(a memspace.Addr) int32 {
+	if s.San != nil {
+		s.San.Read(a, 4, s.loadInfo)
+	}
+	return s.Mem.Int32(a)
+}
+
+// StoreI32 writes an int32.
+func (s *Session) StoreI32(a memspace.Addr, v int32) {
+	if s.San != nil {
+		s.San.Write(a, 4, s.storeInfo)
+	}
+	s.Mem.SetInt32(a, v)
+}
+
+// ReadRangeHost annotates a bulk host read (memcpy-style host code).
+func (s *Session) ReadRangeHost(a memspace.Addr, n int64) {
+	if s.San != nil {
+		s.San.ReadRange(a, n, s.loadInfo)
+	}
+}
+
+// WriteRangeHost annotates a bulk host write.
+func (s *Session) WriteRangeHost(a memspace.Addr, n int64) {
+	if s.San != nil {
+		s.San.WriteRange(a, n, s.storeInfo)
+	}
+}
+
+// --- typed allocation helpers (TypeART host instrumentation) --------------
+
+func (s *Session) track(a memspace.Addr, id typeart.TypeID, count int64, kind memspace.Kind) {
+	if s.TypeArt == nil {
+		return
+	}
+	// CUDA allocations were already tracked (untyped) by CuSan's
+	// allocation callback; refine them. Host allocations are fresh.
+	if _, _, ok := s.TypeArt.Lookup(a); ok {
+		_ = s.TypeArt.Retype(a, id, count)
+		return
+	}
+	_ = s.TypeArt.Track(a, id, count, kind)
+}
+
+// HostAllocF64 allocates a pageable host float64 array (malloc analog).
+func (s *Session) HostAllocF64(count int64) memspace.Addr {
+	a := s.Mem.Alloc(count*8, memspace.KindHostPageable)
+	s.track(a, typeart.TypeFloat64, count, memspace.KindHostPageable)
+	return a
+}
+
+// HostAllocI32 allocates a pageable host int32 array.
+func (s *Session) HostAllocI32(count int64) memspace.Addr {
+	a := s.Mem.Alloc(count*4, memspace.KindHostPageable)
+	s.track(a, typeart.TypeInt32, count, memspace.KindHostPageable)
+	return a
+}
+
+// CudaMallocF64 allocates a device float64 array (cudaMalloc + typed
+// view).
+func (s *Session) CudaMallocF64(count int64) (memspace.Addr, error) {
+	a, err := s.Dev.Malloc(count * 8)
+	if err != nil {
+		return 0, err
+	}
+	s.track(a, typeart.TypeFloat64, count, memspace.KindDevice)
+	return a, nil
+}
+
+// CudaMallocI32 allocates a device int32 array.
+func (s *Session) CudaMallocI32(count int64) (memspace.Addr, error) {
+	a, err := s.Dev.Malloc(count * 4)
+	if err != nil {
+		return 0, err
+	}
+	s.track(a, typeart.TypeInt32, count, memspace.KindDevice)
+	return a, nil
+}
+
+// PinnedAllocF64 allocates a pinned host float64 array (cudaHostAlloc).
+func (s *Session) PinnedAllocF64(count int64) (memspace.Addr, error) {
+	a, err := s.Dev.HostAlloc(count * 8)
+	if err != nil {
+		return 0, err
+	}
+	s.track(a, typeart.TypeFloat64, count, memspace.KindHostPinned)
+	return a, nil
+}
+
+// ManagedAllocF64 allocates a managed float64 array (cudaMallocManaged).
+func (s *Session) ManagedAllocF64(count int64) (memspace.Addr, error) {
+	a, err := s.Dev.MallocManaged(count * 8)
+	if err != nil {
+		return 0, err
+	}
+	s.track(a, typeart.TypeFloat64, count, memspace.KindManaged)
+	return a, nil
+}
+
+// --- results ---------------------------------------------------------------
+
+// RankResult gathers one rank's measurements after the app returned.
+type RankResult struct {
+	Rank    int
+	Err     error
+	Races   int64
+	Reports []*tsan.Report
+	Issues  []*must.Issue
+
+	TSanStats   tsan.Stats
+	CudaCtrs    cusan.Counters
+	MPIStats    mpi.Stats
+	MustStats   must.Stats
+	AppBytes    int64 // live simulated allocation payload at finalize
+	PeakBytes   int64
+	ShadowBytes int64
+}
+
+// ModeledRSS is the deterministic RSS analog used for the memory
+// overhead experiment (Fig. 11): application payload plus tool shadow
+// state at MPI_Finalize time.
+func (r *RankResult) ModeledRSS() int64 {
+	return r.AppBytes + r.ShadowBytes
+}
+
+// Result is the whole job's outcome.
+type Result struct {
+	Flavor Flavor
+	Ranks  []RankResult
+}
+
+// FirstError returns the first rank error, if any.
+func (r *Result) FirstError() error {
+	for i := range r.Ranks {
+		if err := r.Ranks[i].Err; err != nil {
+			return fmt.Errorf("rank %d: %w", r.Ranks[i].Rank, err)
+		}
+	}
+	return nil
+}
+
+// TotalRaces sums race reports across ranks.
+func (r *Result) TotalRaces() int64 {
+	var n int64
+	for i := range r.Ranks {
+		n += r.Ranks[i].Races
+	}
+	return n
+}
+
+// TotalIssues sums MUST findings across ranks.
+func (r *Result) TotalIssues() int64 {
+	var n int64
+	for i := range r.Ranks {
+		n += int64(len(r.Ranks[i].Issues))
+	}
+	return n
+}
+
+// Run builds the instrumented job and executes app on every rank
+// concurrently (mpirun analog). The app's Comm is finalized
+// automatically after app returns.
+func Run(cfg Config, app func(s *Session) error) (*Result, error) {
+	ranks := cfg.Ranks
+	if ranks <= 0 {
+		ranks = 2
+	}
+	world := mpi.NewWorld(ranks)
+	sessions := make([]*Session, ranks)
+	for i := 0; i < ranks; i++ {
+		s, err := newSession(cfg, i, world)
+		if err != nil {
+			return nil, err
+		}
+		sessions[i] = s
+	}
+	res := &Result{Flavor: cfg.Flavor, Ranks: make([]RankResult, ranks)}
+	var wg sync.WaitGroup
+	for i := 0; i < ranks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := sessions[i]
+			rr := &res.Ranks[i]
+			rr.Rank = i
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						rr.Err = fmt.Errorf("rank %d panicked: %v", i, p)
+					}
+				}()
+				rr.Err = app(s)
+			}()
+			s.Dev.Close() // drains async-mode executors; eager no-op
+			s.Comm.Finalize()
+			rr.MPIStats = s.Comm.Stats()
+			rr.AppBytes = s.Mem.LiveBytes()
+			rr.PeakBytes = s.Mem.PeakBytes()
+			if s.San != nil {
+				rr.Races = s.San.RaceCount()
+				rr.Reports = s.San.Reports()
+				rr.TSanStats = s.San.Stats()
+				rr.ShadowBytes = s.San.ShadowBytes()
+			}
+			if s.Cusan != nil {
+				rr.CudaCtrs = s.Cusan.Counters()
+			}
+			if s.Must != nil {
+				rr.Issues = s.Must.Issues()
+				rr.MustStats = s.Must.Stats()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return res, nil
+}

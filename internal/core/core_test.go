@@ -1,0 +1,283 @@
+package core
+
+import (
+	"testing"
+
+	"cusango/internal/kinterp"
+	"cusango/internal/kir"
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+)
+
+var mpiF64 = mpi.Float64
+
+func appModule() *kir.Module {
+	m := kir.NewModule()
+	m.Add(kir.KernelFunc("fill", []kir.Param{
+		{Name: "buf", Type: kir.TPtrF64},
+		{Name: "n", Type: kir.TInt},
+	}, func(e *kir.Emitter) {
+		i := e.GlobalIDX()
+		e.If(e.Lt(i, e.Arg("n")), func() {
+			e.StoreIdx(e.Arg("buf"), i, e.ToFloat(i))
+		})
+	}))
+	return m
+}
+
+// cudaRacyApp launches a kernel and sends the device buffer without
+// synchronizing first (paper Fig. 4 without line 4).
+func cudaRacyApp(s *Session) error {
+	const n = 32
+	buf, err := s.CudaMallocF64(n)
+	if err != nil {
+		return err
+	}
+	if s.Rank() == 0 {
+		if err := s.Dev.LaunchKernel("fill", kinterp.Dim(1), kinterp.Dim(n),
+			[]kinterp.Arg{kinterp.Ptr(buf), kinterp.Int(n)}, nil); err != nil {
+			return err
+		}
+		// MISSING: s.Dev.DeviceSynchronize()
+		return s.Comm.Send(buf, n, mpiF64, 1, 0)
+	}
+	_, err = s.Comm.Recv(buf, n, mpiF64, 0, 0)
+	return err
+}
+
+// cudaCorrectApp is the fixed variant.
+func cudaCorrectApp(s *Session) error {
+	const n = 32
+	buf, err := s.CudaMallocF64(n)
+	if err != nil {
+		return err
+	}
+	if s.Rank() == 0 {
+		if err := s.Dev.LaunchKernel("fill", kinterp.Dim(1), kinterp.Dim(n),
+			[]kinterp.Arg{kinterp.Ptr(buf), kinterp.Int(n)}, nil); err != nil {
+			return err
+		}
+		s.Dev.DeviceSynchronize()
+		return s.Comm.Send(buf, n, mpiF64, 1, 0)
+	}
+	_, err = s.Comm.Recv(buf, n, mpiF64, 0, 0)
+	return err
+}
+
+// mpiRacyApp writes the buffer inside an Irecv's concurrent region.
+func mpiRacyApp(s *Session) error {
+	const n = 32
+	buf := s.HostAllocF64(n)
+	if s.Rank() == 0 {
+		req, err := s.Comm.Irecv(buf, n, mpiF64, 1, 0)
+		if err != nil {
+			return err
+		}
+		s.StoreF64(buf, 1.0) // race
+		_, err = s.Comm.Wait(req)
+		return err
+	}
+	return s.Comm.Send(buf, n, mpiF64, 0, 0)
+}
+
+func runApp(t *testing.T, f Flavor, app func(*Session) error) *Result {
+	t.Helper()
+	res, err := Run(Config{Flavor: f, Ranks: 2, Module: appModule()}, app)
+	if err != nil {
+		t.Fatalf("Run(%v): %v", f, err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatalf("app under %v: %v", f, err)
+	}
+	return res
+}
+
+// TestDetectionMatrix is the reproduction's headline integration test:
+// which flavor catches which class of bug (paper §I: tools that only
+// observe a subset find some issues but not all).
+func TestDetectionMatrix(t *testing.T) {
+	cases := []struct {
+		name   string
+		app    func(*Session) error
+		flavor Flavor
+		want   bool
+	}{
+		{"cuda-race/vanilla", cudaRacyApp, Vanilla, false},
+		{"cuda-race/tsan-only", cudaRacyApp, TSan, false}, // CUDA semantics invisible
+		{"cuda-race/must-only", cudaRacyApp, MUST, false}, // blocking MPI + no CUDA model
+		{"cuda-race/cusan", cudaRacyApp, CuSan, false},    // sees CUDA but not MPI access
+		{"cuda-race/must+cusan", cudaRacyApp, MUSTCuSan, true},
+		{"cuda-correct/must+cusan", cudaCorrectApp, MUSTCuSan, false},
+		{"mpi-race/must", mpiRacyApp, MUST, true},
+		{"mpi-race/must+cusan", mpiRacyApp, MUSTCuSan, true},
+		{"mpi-race/tsan-only", mpiRacyApp, TSan, false},
+		{"mpi-race/vanilla", mpiRacyApp, Vanilla, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := runApp(t, tc.flavor, tc.app)
+			got := res.TotalRaces() > 0
+			if got != tc.want {
+				t.Fatalf("races detected = %v, want %v (count %d)",
+					got, tc.want, res.TotalRaces())
+			}
+		})
+	}
+}
+
+func TestFlavorParsingAndPredicates(t *testing.T) {
+	for _, f := range Flavors {
+		got, err := ParseFlavor(f.String())
+		if err != nil || got != f {
+			t.Errorf("round trip %v: %v %v", f, got, err)
+		}
+	}
+	if _, err := ParseFlavor("bogus"); err == nil {
+		t.Error("bogus flavor accepted")
+	}
+	if Vanilla.HasTSan() || !TSan.HasTSan() {
+		t.Error("HasTSan wrong")
+	}
+	if !MUSTCuSan.HasMUST() || !MUSTCuSan.HasCuSan() || CuSan.HasMUST() || MUST.HasCuSan() {
+		t.Error("flavor predicates wrong")
+	}
+}
+
+func TestSessionWiringPerFlavor(t *testing.T) {
+	for _, f := range Flavors {
+		res, err := Run(Config{Flavor: f, Ranks: 1, Module: appModule()}, func(s *Session) error {
+			if (s.San != nil) != f.HasTSan() {
+				t.Errorf("%v: San presence wrong", f)
+			}
+			if (s.Cusan != nil) != f.HasCuSan() {
+				t.Errorf("%v: Cusan presence wrong", f)
+			}
+			if (s.Must != nil) != f.HasMUST() {
+				t.Errorf("%v: Must presence wrong", f)
+			}
+			if (s.TypeArt != nil) != f.HasCuSan() {
+				t.Errorf("%v: TypeArt presence wrong", f)
+			}
+			return nil
+		})
+		if err != nil || res.FirstError() != nil {
+			t.Fatalf("%v: %v %v", f, err, res.FirstError())
+		}
+	}
+}
+
+func TestInstrumentedAccessors(t *testing.T) {
+	res, _ := Run(Config{Flavor: TSan, Ranks: 1}, func(s *Session) error {
+		a := s.HostAllocF64(4)
+		s.StoreF64(a, 2.5)
+		if s.LoadF64(a) != 2.5 {
+			t.Error("f64 roundtrip failed")
+		}
+		b := s.HostAllocI32(4)
+		s.StoreI32(b, -9)
+		if s.LoadI32(b) != -9 {
+			t.Error("i32 roundtrip failed")
+		}
+		s.StoreI64(a+8, 77)
+		if s.LoadI64(a+8) != 77 {
+			t.Error("i64 roundtrip failed")
+		}
+		s.ReadRangeHost(a, 32)
+		s.WriteRangeHost(a, 32)
+		return nil
+	})
+	st := res.Ranks[0].TSanStats
+	if st.ScalarReads != 3 || st.ScalarWrites != 3 {
+		t.Fatalf("scalar access counts: %+v", st)
+	}
+	if st.ReadRangeCalls != 1 || st.WriteRangeCalls != 1 {
+		t.Fatalf("range counts: %+v", st)
+	}
+}
+
+func TestVanillaAccessorsSkipInstrumentation(t *testing.T) {
+	res, _ := Run(Config{Flavor: Vanilla, Ranks: 1}, func(s *Session) error {
+		a := s.HostAllocF64(1)
+		s.StoreF64(a, 1)
+		_ = s.LoadF64(a)
+		return nil
+	})
+	if res.Ranks[0].TSanStats.ScalarReads != 0 {
+		t.Fatal("vanilla must not touch a sanitizer")
+	}
+}
+
+func TestTypedCudaAllocationsRefineTypeART(t *testing.T) {
+	res, _ := Run(Config{Flavor: CuSan, Ranks: 1, Module: appModule()}, func(s *Session) error {
+		a, err := s.CudaMallocF64(10)
+		if err != nil {
+			return err
+		}
+		rec, _, ok := s.TypeArt.Lookup(a)
+		if !ok {
+			t.Fatal("cuda allocation not tracked")
+		}
+		if rec.ElemSize != 8 || rec.Count != 10 {
+			t.Fatalf("record not refined: %+v", rec)
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultAggregation(t *testing.T) {
+	res := runApp(t, MUSTCuSan, cudaRacyApp)
+	if res.TotalRaces() == 0 {
+		t.Fatal("expected races")
+	}
+	rr := res.Ranks[0]
+	if rr.CudaCtrs.KernelCalls != 1 {
+		t.Fatalf("kernel counter = %d", rr.CudaCtrs.KernelCalls)
+	}
+	if rr.MPIStats.Sends != 1 {
+		t.Fatalf("mpi sends = %d", rr.MPIStats.Sends)
+	}
+	if rr.AppBytes == 0 || rr.ShadowBytes == 0 {
+		t.Fatalf("memory accounting: app=%d shadow=%d", rr.AppBytes, rr.ShadowBytes)
+	}
+	if rr.ModeledRSS() != rr.AppBytes+rr.ShadowBytes {
+		t.Fatal("ModeledRSS mismatch")
+	}
+}
+
+func TestAppPanicCaptured(t *testing.T) {
+	res, err := Run(Config{Flavor: Vanilla, Ranks: 1}, func(s *Session) error {
+		panic("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstError() == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestPinnedAndManagedHelpers(t *testing.T) {
+	res, _ := Run(Config{Flavor: MUSTCuSan, Ranks: 1, Module: appModule()}, func(s *Session) error {
+		p, err := s.PinnedAllocF64(4)
+		if err != nil {
+			return err
+		}
+		if memspace.KindOf(p) != memspace.KindHostPinned {
+			t.Error("pinned kind wrong")
+		}
+		m, err := s.ManagedAllocF64(4)
+		if err != nil {
+			return err
+		}
+		if memspace.KindOf(m) != memspace.KindManaged {
+			t.Error("managed kind wrong")
+		}
+		return nil
+	})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+package cuda
+
+import (
+	"cusango/internal/kinterp"
+	"cusango/internal/memspace"
+)
+
+// Asynchronous device execution.
+//
+// The default execution mode is eager (operations run at enqueue time;
+// concurrency is modeled logically by the tooling). With
+// Config.AsyncStreams, streams become what they are on real hardware:
+// FIFO queues drained by executor goroutines, so kernel launches and
+// async memory operations genuinely overlap host execution, explicit
+// synchronization genuinely blocks, and a missing synchronization is not
+// only *detected* by the tooling but can manifest as real nondeterminism.
+//
+// Ordering model: every enqueued operation carries prerequisite
+// channels. FIFO order within a stream comes from the queue itself;
+// legacy default-stream barriers (paper Fig. 3) and cudaStreamWaitEvent
+// become prerequisites on the producing streams' tails / the event's
+// completion channel. The correctness tooling is entirely unaffected:
+// hooks fire on the host at enqueue time in both modes, which is where
+// the real CuSan intercepts its callbacks.
+//
+// Memory-safety contract: views of the address space are snapshotted on
+// the host at enqueue time; Free and FreeAsync drain the device before
+// releasing memory, so device work never observes a torn segment table.
+
+type asyncOp struct {
+	prereqs []<-chan struct{}
+	run     func()
+	done    chan struct{}
+}
+
+type streamExec struct {
+	ops chan *asyncOp
+	// tail is the completion channel of the most recently enqueued op
+	// (closed channel when idle). Only the host goroutine touches it.
+	tail <-chan struct{}
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+func newStreamExec() *streamExec {
+	se := &streamExec{ops: make(chan *asyncOp, 64), tail: closedChan}
+	go func() {
+		for op := range se.ops {
+			for _, p := range op.prereqs {
+				<-p
+			}
+			if op.run != nil {
+				op.run()
+			}
+			close(op.done)
+		}
+	}()
+	return se
+}
+
+// exec returns (creating on demand) the executor of stream s.
+func (d *Device) exec(s *Stream) *streamExec {
+	se, ok := d.execs[s.id]
+	if !ok {
+		se = newStreamExec()
+		d.execs[s.id] = se
+	}
+	return se
+}
+
+// barrierPrereqs returns the cross-stream prerequisites of an operation
+// enqueued on s under legacy default-stream semantics.
+func (d *Device) barrierPrereqs(s *Stream) []<-chan struct{} {
+	if s.nonBlocking {
+		return nil
+	}
+	var pre []<-chan struct{}
+	if s.IsDefault() {
+		for id, se := range d.execs {
+			st := d.streams[id]
+			if id != 0 && !st.destroyed && !st.nonBlocking {
+				pre = append(pre, se.tail)
+			}
+		}
+	} else if se, ok := d.execs[0]; ok {
+		pre = append(pre, se.tail)
+	}
+	return pre
+}
+
+// enqueue schedules run on stream s with legacy barriers plus extra
+// prerequisites, returning the op's completion channel.
+func (d *Device) enqueue(s *Stream, run func(), extra ...<-chan struct{}) <-chan struct{} {
+	se := d.exec(s)
+	op := &asyncOp{
+		prereqs: append(d.barrierPrereqs(s), extra...),
+		run:     run,
+		done:    make(chan struct{}),
+	}
+	se.tail = op.done
+	se.ops <- op
+	return op.done
+}
+
+// drainStream blocks until all currently enqueued work on s completed.
+func (d *Device) drainStream(s *Stream) {
+	if se, ok := d.execs[s.id]; ok {
+		<-se.tail
+	}
+}
+
+// drainAll blocks until every stream is idle.
+func (d *Device) drainAll() {
+	for _, se := range d.execs {
+		<-se.tail
+	}
+}
+
+// Close shuts down the device's executor goroutines after draining all
+// in-flight work. Further async enqueues panic; eager-mode devices are
+// unaffected. The toolchain closes devices when the job ends.
+func (d *Device) Close() {
+	if !d.cfg.AsyncStreams {
+		return
+	}
+	d.drainAll()
+	for _, se := range d.execs {
+		close(se.ops)
+	}
+	d.execs = make(map[int]*streamExec)
+}
+
+// --- async-mode operation bodies ------------------------------------------
+
+// asyncLaunch enqueues the kernel execution.
+func (d *Device) asyncLaunch(name string, grid, block kinterp.Dim3, args []kinterp.Arg, s *Stream) error {
+	view := d.mem.NewView()
+	errCh := make(chan error, 1)
+	d.enqueue(s, func() {
+		errCh <- d.eng.LaunchView(name, grid, block, args, view)
+	})
+	// Launch errors surface at the next synchronization point, like
+	// asynchronous CUDA errors; we keep the last one.
+	go func() {
+		if err := <-errCh; err != nil {
+			d.asyncErrMu.Lock()
+			d.asyncErr = err
+			d.asyncErrMu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// AsyncError returns and clears the sticky asynchronous execution error
+// (the cudaGetLastError analog for async mode).
+func (d *Device) AsyncError() error {
+	d.asyncErrMu.Lock()
+	defer d.asyncErrMu.Unlock()
+	err := d.asyncErr
+	d.asyncErr = nil
+	return err
+}
+
+// asyncCopy enqueues a memcpy; if the semantics say the call is
+// host-synchronous, it blocks until done.
+func (d *Device) asyncCopy(op *MemOp) error {
+	view := d.mem.NewView()
+	errCh := make(chan error, 1)
+	done := d.enqueue(op.Stream, func() {
+		errCh <- viewCopy(view, op.Dst, op.Src, op.Bytes)
+	})
+	if op.SyncsHost {
+		<-done
+		return <-errCh
+	}
+	go func() {
+		if err := <-errCh; err != nil {
+			d.asyncErrMu.Lock()
+			d.asyncErr = err
+			d.asyncErrMu.Unlock()
+		}
+	}()
+	return nil
+}
+
+func viewCopy(v *memspace.View, dst, src memspace.Addr, n int64) error {
+	db, err := v.Bytes(dst, n)
+	if err != nil {
+		return err
+	}
+	sb, err := v.Bytes(src, n)
+	if err != nil {
+		return err
+	}
+	copy(db, sb)
+	return nil
+}
+
+// asyncSet enqueues a memset with the same host-sync contract.
+func (d *Device) asyncSet(op *MemOp, val byte) error {
+	view := d.mem.NewView()
+	errCh := make(chan error, 1)
+	done := d.enqueue(op.Stream, func() {
+		b, err := view.Bytes(op.Dst, op.Bytes)
+		if err == nil {
+			for i := range b {
+				b[i] = val
+			}
+		}
+		errCh <- err
+	})
+	if op.SyncsHost {
+		<-done
+		return <-errCh
+	}
+	go func() {
+		if err := <-errCh; err != nil {
+			d.asyncErrMu.Lock()
+			d.asyncErr = err
+			d.asyncErrMu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// asyncEventRecord enqueues a marker whose completion the event adopts.
+func (d *Device) asyncEventRecord(e *Event, s *Stream) {
+	e.asyncDone = d.enqueue(s, nil)
+}
+
+// asyncStreamWaitEvent makes future work on s wait for the event.
+func (d *Device) asyncStreamWaitEvent(s *Stream, e *Event) {
+	if e.asyncDone == nil {
+		return // unrecorded event: no-op, as in CUDA
+	}
+	d.enqueue(s, nil, e.asyncDone)
+}
+
+// asyncEventQuery reports event completion without blocking.
+func (d *Device) asyncEventQuery(e *Event) bool {
+	if e.asyncDone == nil {
+		return true
+	}
+	select {
+	case <-e.asyncDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// asyncStreamQuery reports stream completion without blocking.
+func (d *Device) asyncStreamQuery(s *Stream) bool {
+	se, ok := d.execs[s.id]
+	if !ok {
+		return true
+	}
+	select {
+	case <-se.tail:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,169 @@
+package cuda
+
+import (
+	"fmt"
+
+	"cusango/internal/memspace"
+)
+
+// Memory management and memory operations, with the implicit
+// synchronization semantics of paper §III-B2/§III-C encoded in the
+// semantics table (semantics.go).
+
+// Malloc allocates device memory (cudaMalloc).
+func (d *Device) Malloc(bytes int64) (memspace.Addr, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("%w: negative size", ErrInvalidValue)
+	}
+	a := d.mem.Alloc(bytes, memspace.KindDevice)
+	d.hooks.AllocDone(a, bytes, memspace.KindDevice)
+	return a, nil
+}
+
+// HostAlloc allocates pinned (page-locked) host memory (cudaHostAlloc).
+func (d *Device) HostAlloc(bytes int64) (memspace.Addr, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("%w: negative size", ErrInvalidValue)
+	}
+	a := d.mem.Alloc(bytes, memspace.KindHostPinned)
+	d.hooks.AllocDone(a, bytes, memspace.KindHostPinned)
+	return a, nil
+}
+
+// MallocManaged allocates CUDA-managed memory (cudaMallocManaged),
+// accessible from both host and device but requiring explicit
+// synchronization for a consistent view (paper §III-C).
+func (d *Device) MallocManaged(bytes int64) (memspace.Addr, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("%w: negative size", ErrInvalidValue)
+	}
+	a := d.mem.Alloc(bytes, memspace.KindManaged)
+	d.hooks.AllocDone(a, bytes, memspace.KindManaged)
+	return a, nil
+}
+
+// Free releases device or managed memory (cudaFree). It synchronizes the
+// host with all streams (paper §III-B2 / CUDA C guide App. F).
+func (d *Device) Free(a memspace.Addr) error {
+	k := memspace.KindOf(a)
+	if k != memspace.KindDevice && k != memspace.KindManaged {
+		return fmt.Errorf("%w: Free of %v pointer 0x%x", ErrInvalidPointer, k, uint64(a))
+	}
+	d.hooks.PreFree(a, k, true)
+	if d.cfg.AsyncStreams {
+		d.drainAll()
+	}
+	return d.mem.Free(a)
+}
+
+// FreeAsync releases device memory with stream ordering and no host
+// synchronization (cudaFreeAsync).
+func (d *Device) FreeAsync(a memspace.Addr, s *Stream) error {
+	ss, err := d.checkStream(s)
+	if err != nil {
+		return err
+	}
+	k := memspace.KindOf(a)
+	if k != memspace.KindDevice && k != memspace.KindManaged {
+		return fmt.Errorf("%w: FreeAsync of %v pointer 0x%x", ErrInvalidPointer, k, uint64(a))
+	}
+	d.hooks.PreFree(a, k, false)
+	if d.cfg.AsyncStreams {
+		// Stream-ordered free: drain the ordering stream before the
+		// host-side release (memory safety of the simulated table).
+		d.drainStream(ss)
+	}
+	return d.mem.Free(a)
+}
+
+// FreeHost releases pinned host memory (cudaFreeHost).
+func (d *Device) FreeHost(a memspace.Addr) error {
+	if memspace.KindOf(a) != memspace.KindHostPinned {
+		return fmt.Errorf("%w: FreeHost of %v pointer 0x%x", ErrInvalidPointer, memspace.KindOf(a), uint64(a))
+	}
+	d.hooks.PreFree(a, memspace.KindHostPinned, false)
+	if d.cfg.AsyncStreams {
+		d.drainAll()
+	}
+	return d.mem.Free(a)
+}
+
+// Memcpy copies n bytes between any UVA locations (cudaMemcpy with
+// cudaMemcpyDefault direction inference). Synchronization behaviour
+// depends on the source and destination kinds; see MemcpySyncsHost.
+func (d *Device) Memcpy(dst, src memspace.Addr, n int64) error {
+	return d.memcpy(dst, src, n, false, nil)
+}
+
+// MemcpyAsync is the asynchronous variant on a stream (cudaMemcpyAsync).
+func (d *Device) MemcpyAsync(dst, src memspace.Addr, n int64, s *Stream) error {
+	ss, err := d.checkStream(s)
+	if err != nil {
+		return err
+	}
+	return d.memcpy(dst, src, n, true, ss)
+}
+
+func (d *Device) memcpy(dst, src memspace.Addr, n int64, async bool, s *Stream) error {
+	if n < 0 {
+		return fmt.Errorf("%w: negative memcpy size", ErrInvalidValue)
+	}
+	dk, sk := memspace.KindOf(dst), memspace.KindOf(src)
+	if dk == memspace.KindInvalid || sk == memspace.KindInvalid {
+		return fmt.Errorf("%w: memcpy 0x%x <- 0x%x", ErrInvalidPointer, uint64(dst), uint64(src))
+	}
+	if s == nil {
+		s = d.def
+	}
+	op := &MemOp{
+		Dst: dst, Src: src, Bytes: n,
+		DstKind: dk, SrcKind: sk,
+		Async: async, Stream: s,
+		SyncsHost: MemcpySyncsHost(dk, sk, async),
+	}
+	d.hooks.PreMemcpy(op)
+	if d.cfg.AsyncStreams {
+		return d.asyncCopy(op)
+	}
+	return d.mem.Copy(dst, src, n)
+}
+
+// Memset fills n bytes at a with v (cudaMemset). Synchronization depends
+// on the memory kind: pinned host memory synchronizes with the host,
+// device memory generally does not (paper §III-C).
+func (d *Device) Memset(a memspace.Addr, v byte, n int64) error {
+	return d.memset(a, v, n, false, nil)
+}
+
+// MemsetAsync is the asynchronous variant on a stream (cudaMemsetAsync).
+func (d *Device) MemsetAsync(a memspace.Addr, v byte, n int64, s *Stream) error {
+	ss, err := d.checkStream(s)
+	if err != nil {
+		return err
+	}
+	return d.memset(a, v, n, true, ss)
+}
+
+func (d *Device) memset(a memspace.Addr, v byte, n int64, async bool, s *Stream) error {
+	if n < 0 {
+		return fmt.Errorf("%w: negative memset size", ErrInvalidValue)
+	}
+	k := memspace.KindOf(a)
+	if k == memspace.KindInvalid {
+		return fmt.Errorf("%w: memset at 0x%x", ErrInvalidPointer, uint64(a))
+	}
+	if s == nil {
+		s = d.def
+	}
+	op := &MemOp{
+		Dst: a, Bytes: n,
+		DstKind: k, SrcKind: memspace.KindInvalid,
+		Async: async, Stream: s,
+		SyncsHost: MemsetSyncsHost(k, async),
+	}
+	d.hooks.PreMemset(op)
+	if d.cfg.AsyncStreams {
+		return d.asyncSet(op, v)
+	}
+	return d.mem.Set(a, v, n)
+}

@@ -1,0 +1,64 @@
+package cuda
+
+import "cusango/internal/memspace"
+
+// The synchronization-semantics table.
+//
+// The paper (§III-B2, §VI-A) stresses that implicit synchronization
+// behaviour of CUDA memory operations is complex, depends on memory kind
+// and transfer direction, and must be verified per supported call. This
+// file is the machine-readable transcription of that manually verified
+// knowledge (CUDA 11.5 documentation, "API synchronization behavior"):
+//
+//	cudaMemcpy (synchronous variant):
+//	  - transfers involving pageable host memory: synchronous w.r.t. host
+//	    (staged through a host buffer)
+//	  - transfers from pinned host memory to device: synchronous once the
+//	    copy completes — still host-synchronizing for race purposes
+//	  - device-to-device copies: NO host synchronization is performed
+//	cudaMemcpyAsync: asynchronous w.r.t. host. The documentation notes
+//	  "may be synchronous" cases (pageable staging); the paper interprets
+//	  those pessimistically for race detection — a tool must not assume
+//	  an ordering the API does not guarantee — so: never host-syncing.
+//	cudaMemset: asynchronous w.r.t. host for device memory, but
+//	  SYNCHRONOUS when operating on pinned host memory (paper §III-C).
+//	cudaMemsetAsync: asynchronous.
+//	cudaFree: synchronizes the host with all streams of the device;
+//	  cudaFreeAsync does not (paper §III-B2).
+//
+// Managed memory follows the device-memory rows: operations on it must be
+// explicitly synchronized (paper §III-C).
+
+func deviceSide(k memspace.Kind) bool {
+	return k == memspace.KindDevice || k == memspace.KindManaged
+}
+
+// MemcpySyncsHost reports whether a memcpy with the given endpoint kinds
+// blocks the host until the transfer completed.
+func MemcpySyncsHost(dst, src memspace.Kind, async bool) bool {
+	if async {
+		// Pessimistic interpretation of "may be synchronous": assume no
+		// ordering guarantee (paper §III-B2).
+		return false
+	}
+	if deviceSide(dst) && deviceSide(src) {
+		// D2D: no host synchronization is performed.
+		return false
+	}
+	return true
+}
+
+// MemsetSyncsHost reports whether a memset on the given kind blocks the
+// host.
+func MemsetSyncsHost(k memspace.Kind, async bool) bool {
+	if async {
+		return false
+	}
+	// Pinned host memory: synchronizes with the host. Pageable host or
+	// device/managed targets: generally asynchronous (paper §III-C).
+	return k == memspace.KindHostPinned
+}
+
+// FreeSyncsHost reports whether the free variant synchronizes the host
+// across all streams.
+func FreeSyncsHost(async bool) bool { return !async }

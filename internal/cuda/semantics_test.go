@@ -1,0 +1,71 @@
+package cuda
+
+import (
+	"testing"
+
+	"cusango/internal/memspace"
+)
+
+// TestMemcpySemanticsTable pins the full synchronization-semantics table
+// for cudaMemcpy (paper §III-B2) — the "manually verified set" of
+// behaviours CuSan depends on (paper §VI-A).
+func TestMemcpySemanticsTable(t *testing.T) {
+	P, N, D, M := memspace.KindHostPageable, memspace.KindHostPinned,
+		memspace.KindDevice, memspace.KindManaged
+	cases := []struct {
+		dst, src memspace.Kind
+		async    bool
+		want     bool
+	}{
+		// Synchronous variant.
+		{D, P, false, true},  // H2D pageable: staged, sync
+		{D, N, false, true},  // H2D pinned: sync once copy completes
+		{P, D, false, true},  // D2H: sync
+		{N, D, false, true},  // D2H pinned: sync
+		{P, P, false, true},  // H2H: sync
+		{D, D, false, false}, // D2D: no host synchronization
+		{M, D, false, false}, // managed treated as device side
+		{D, M, false, false},
+		{M, M, false, false},
+		// Async variant: pessimistically never host-syncing.
+		{D, P, true, false},
+		{P, D, true, false},
+		{D, D, true, false},
+		{N, D, true, false},
+	}
+	for _, c := range cases {
+		if got := MemcpySyncsHost(c.dst, c.src, c.async); got != c.want {
+			t.Errorf("MemcpySyncsHost(%v<-%v, async=%v) = %v, want %v",
+				c.dst, c.src, c.async, got, c.want)
+		}
+	}
+}
+
+func TestMemsetSemanticsTable(t *testing.T) {
+	cases := []struct {
+		k     memspace.Kind
+		async bool
+		want  bool
+	}{
+		{memspace.KindDevice, false, false},    // device: async w.r.t. host
+		{memspace.KindManaged, false, false},   // managed: async
+		{memspace.KindHostPinned, false, true}, // pinned: synchronizes (paper §III-C)
+		{memspace.KindHostPageable, false, false},
+		{memspace.KindHostPinned, true, false}, // async variant never syncs
+		{memspace.KindDevice, true, false},
+	}
+	for _, c := range cases {
+		if got := MemsetSyncsHost(c.k, c.async); got != c.want {
+			t.Errorf("MemsetSyncsHost(%v, async=%v) = %v, want %v", c.k, c.async, got, c.want)
+		}
+	}
+}
+
+func TestFreeSemantics(t *testing.T) {
+	if !FreeSyncsHost(false) {
+		t.Error("cudaFree must synchronize the host")
+	}
+	if FreeSyncsHost(true) {
+		t.Error("cudaFreeAsync must not synchronize the host")
+	}
+}

@@ -1,0 +1,147 @@
+package kinterp
+
+import (
+	"testing"
+
+	"cusango/internal/kir"
+	"cusango/internal/memspace"
+)
+
+// TestEveryOperator executes a single-thread kernel exercising every
+// arithmetic operator, comparison predicate, conversion, and pointer
+// width, and checks exact results — the interpreter's truth table.
+func TestEveryOperator(t *testing.T) {
+	m := kir.NewModule()
+	m.Add(kir.KernelFunc("truth", []kir.Param{
+		{Name: "fo", Type: kir.TPtrF64},
+		{Name: "io", Type: kir.TPtrI64},
+		{Name: "wo", Type: kir.TPtrI32},
+		{Name: "bo", Type: kir.TPtrU8},
+	}, func(e *kir.Emitter) {
+		slot := 0
+		putF := func(v kir.Value) {
+			e.StoreIdx(e.Arg("fo"), e.ConstI(int64(slot)), v)
+			slot++
+		}
+		islot := 0
+		putI := func(v kir.Value) {
+			e.StoreIdx(e.Arg("io"), e.ConstI(int64(islot)), v)
+			islot++
+		}
+		a := e.ConstF(7.5)
+		b := e.ConstF(2.5)
+		putF(e.Add(a, b))             // 10
+		putF(e.Sub(a, b))             // 5
+		putF(e.Mul(a, b))             // 18.75
+		putF(e.Div(a, b))             // 3
+		putF(e.Min(a, b))             // 2.5
+		putF(e.Max(a, b))             // 7.5
+		putF(e.ToFloat(e.ConstI(-3))) // -3
+
+		x := e.ConstI(13)
+		y := e.ConstI(5)
+		putI(e.Add(x, y))  // 18
+		putI(e.Sub(x, y))  // 8
+		putI(e.Mul(x, y))  // 65
+		putI(e.Div(x, y))  // 2
+		putI(e.Rem(x, y))  // 3
+		putI(e.Min(x, y))  // 5
+		putI(e.Max(x, y))  // 13
+		putI(e.AndI(x, y)) // 5
+		putI(e.OrI(x, y))  // 13
+		sh := e.Var(kir.TInt)
+		e.FB.BinI(sh.Local(), kir.Shl, x.Local(), e.ConstI(2).Local())
+		putI(sh) // 52
+		sh2 := e.Var(kir.TInt)
+		e.FB.BinI(sh2.Local(), kir.Shr, x.Local(), e.ConstI(1).Local())
+		putI(sh2)                    // 6
+		putI(e.ToInt(e.ConstF(9.9))) // 9 (truncation)
+
+		// comparisons (0/1)
+		putI(e.Eq(x, x)) // 1
+		putI(e.Ne(x, y)) // 1
+		putI(e.Lt(y, x)) // 1
+		putI(e.Le(x, x)) // 1
+		putI(e.Gt(y, x)) // 0
+		putI(e.Ge(y, x)) // 0
+		putI(e.Eq(a, b)) // 0 (float cmp)
+		putI(e.Lt(b, a)) // 1
+
+		// narrow pointer widths
+		e.StoreIdx(e.Arg("wo"), e.ConstI(0), e.ConstI(-77))
+		e.StoreIdx(e.Arg("bo"), e.ConstI(0), e.ConstI(200))
+		w := e.LoadIdx(e.Arg("wo"), e.ConstI(0))
+		bb := e.LoadIdx(e.Arg("bo"), e.ConstI(0))
+		putI(w)  // -77 (sign-extended i32)
+		putI(bb) // 200 (zero-extended u8)
+	}))
+
+	mem := memspace.New()
+	fo := mem.Alloc(16*8, memspace.KindDevice)
+	io := mem.Alloc(32*8, memspace.KindDevice)
+	wo := mem.Alloc(4, memspace.KindDevice)
+	bo := mem.Alloc(1, memspace.KindDevice)
+	eng := engine(t, m, Config{})
+	if err := eng.Launch("truth", Dim(1), Dim(1),
+		[]Arg{Ptr(fo), Ptr(io), Ptr(wo), Ptr(bo)}, mem); err != nil {
+		t.Fatal(err)
+	}
+
+	wantF := []float64{10, 5, 18.75, 3, 2.5, 7.5, -3}
+	for i, w := range wantF {
+		if got := mem.Float64(fo + memspace.Addr(i*8)); got != w {
+			t.Errorf("float slot %d = %v, want %v", i, got, w)
+		}
+	}
+	wantI := []int64{18, 8, 65, 2, 3, 5, 13, 5, 13, 52, 6, 9,
+		1, 1, 1, 1, 0, 0, 0, 1, -77, 200}
+	for i, w := range wantI {
+		if got := mem.Int64(io + memspace.Addr(i*8)); got != w {
+			t.Errorf("int slot %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDivByZeroAborts(t *testing.T) {
+	m := kir.NewModule()
+	m.Add(kir.KernelFunc("crash", []kir.Param{
+		{Name: "o", Type: kir.TPtrI64},
+	}, func(e *kir.Emitter) {
+		e.StoreIdx(e.Arg("o"), e.ConstI(0), e.Div(e.ConstI(1), e.ConstI(0)))
+	}))
+	mem := memspace.New()
+	o := mem.Alloc(8, memspace.KindDevice)
+	eng := engine(t, m, Config{})
+	if err := eng.Launch("crash", Dim(1), Dim(1), []Arg{Ptr(o)}, mem); err == nil {
+		t.Fatal("integer division by zero must abort the kernel")
+	}
+	m2 := kir.NewModule()
+	m2.Add(kir.KernelFunc("crash2", []kir.Param{
+		{Name: "o", Type: kir.TPtrI64},
+	}, func(e *kir.Emitter) {
+		e.StoreIdx(e.Arg("o"), e.ConstI(0), e.Rem(e.ConstI(1), e.ConstI(0)))
+	}))
+	eng2 := engine(t, m2, Config{})
+	if err := eng2.Launch("crash2", Dim(1), Dim(1), []Arg{Ptr(o)}, mem); err == nil {
+		t.Fatal("integer remainder by zero must abort the kernel")
+	}
+}
+
+func TestFloatDivByZeroIsInf(t *testing.T) {
+	// Float division follows IEEE semantics, as on the GPU.
+	m := kir.NewModule()
+	m.Add(kir.KernelFunc("inf", []kir.Param{
+		{Name: "o", Type: kir.TPtrF64},
+	}, func(e *kir.Emitter) {
+		e.StoreIdx(e.Arg("o"), e.ConstI(0), e.Div(e.ConstF(1), e.ConstF(0)))
+	}))
+	mem := memspace.New()
+	o := mem.Alloc(8, memspace.KindDevice)
+	eng := engine(t, m, Config{})
+	if err := eng.Launch("inf", Dim(1), Dim(1), []Arg{Ptr(o)}, mem); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Float64(o); got <= 1e308 {
+		t.Fatalf("1/0.0 = %v, want +Inf", got)
+	}
+}

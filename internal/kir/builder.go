@@ -1,0 +1,169 @@
+package kir
+
+import "fmt"
+
+// FuncBuilder constructs a Function block by block. It is the low-level
+// API; most kernels are written with the Emitter on top of it.
+type FuncBuilder struct {
+	f   *Function
+	cur int
+}
+
+// NewFunction starts building a function. Parameters become locals
+// [0, len(params)).
+func NewFunction(name string, params []Param, ret Type) *FuncBuilder {
+	f := &Function{Name: name, Params: params, RetType: ret}
+	for _, p := range params {
+		f.LocalTypes = append(f.LocalTypes, p.Type)
+	}
+	fb := &FuncBuilder{f: f, cur: -1}
+	fb.NewBlock("entry")
+	return fb
+}
+
+// Kernel marks the function as a launchable entry point.
+func (fb *FuncBuilder) Kernel() *FuncBuilder {
+	fb.f.Kernel = true
+	return fb
+}
+
+// Func returns the function under construction.
+func (fb *FuncBuilder) Func() *Function { return fb.f }
+
+// Param returns the local holding the named parameter.
+func (fb *FuncBuilder) Param(name string) Local {
+	i := fb.f.ParamIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("kir: function %q has no parameter %q", fb.f.Name, name))
+	}
+	return Local(i)
+}
+
+// NewLocal allocates a fresh local slot of type t.
+func (fb *FuncBuilder) NewLocal(t Type) Local {
+	fb.f.LocalTypes = append(fb.f.LocalTypes, t)
+	return Local(len(fb.f.LocalTypes) - 1)
+}
+
+// TypeOf returns the static type of l.
+func (fb *FuncBuilder) TypeOf(l Local) Type { return fb.f.LocalTypes[l] }
+
+// NewBlock appends a new basic block, makes it current, and returns its
+// index. The block is created unterminated; the builder must set a
+// terminator before switching away permanently (Verify checks this).
+func (fb *FuncBuilder) NewBlock(name string) int {
+	fb.f.Blocks = append(fb.f.Blocks, &Block{
+		Name: name,
+		// Default terminator: return void. Explicit terminators overwrite it.
+		Term: Terminator{Kind: TermRet},
+	})
+	fb.cur = len(fb.f.Blocks) - 1
+	return fb.cur
+}
+
+// SetBlock switches the insertion point to block idx.
+func (fb *FuncBuilder) SetBlock(idx int) { fb.cur = idx }
+
+// CurrentBlock returns the insertion block index.
+func (fb *FuncBuilder) CurrentBlock() int { return fb.cur }
+
+func (fb *FuncBuilder) emit(in Instr) {
+	b := fb.f.Blocks[fb.cur]
+	b.Instrs = append(b.Instrs, in)
+}
+
+// ConstF emits dst <- imm.
+func (fb *FuncBuilder) ConstF(dst Local, imm float64) {
+	fb.emit(Instr{Op: OpConstF, Dst: dst, FImm: imm})
+}
+
+// ConstI emits dst <- imm.
+func (fb *FuncBuilder) ConstI(dst Local, imm int64) {
+	fb.emit(Instr{Op: OpConstI, Dst: dst, IImm: imm})
+}
+
+// Mov emits dst <- src.
+func (fb *FuncBuilder) Mov(dst, src Local) {
+	fb.emit(Instr{Op: OpMov, Dst: dst, A: src})
+}
+
+// BinF emits dst <- a op b on floats.
+func (fb *FuncBuilder) BinF(dst Local, op BinOp, a, b Local) {
+	fb.emit(Instr{Op: OpBinF, Dst: dst, Bin: op, A: a, B: b})
+}
+
+// BinI emits dst <- a op b on ints.
+func (fb *FuncBuilder) BinI(dst Local, op BinOp, a, b Local) {
+	fb.emit(Instr{Op: OpBinI, Dst: dst, Bin: op, A: a, B: b})
+}
+
+// CmpF emits dst <- a pred b on floats.
+func (fb *FuncBuilder) CmpF(dst Local, p Pred, a, b Local) {
+	fb.emit(Instr{Op: OpCmpF, Dst: dst, Pred: p, A: a, B: b})
+}
+
+// CmpI emits dst <- a pred b on ints.
+func (fb *FuncBuilder) CmpI(dst Local, p Pred, a, b Local) {
+	fb.emit(Instr{Op: OpCmpI, Dst: dst, Pred: p, A: a, B: b})
+}
+
+// I2F emits dst <- float(src).
+func (fb *FuncBuilder) I2F(dst, src Local) { fb.emit(Instr{Op: OpI2F, Dst: dst, A: src}) }
+
+// F2I emits dst <- int(src).
+func (fb *FuncBuilder) F2I(dst, src Local) { fb.emit(Instr{Op: OpF2I, Dst: dst, A: src}) }
+
+// Builtin emits dst <- builtin.
+func (fb *FuncBuilder) Builtin(dst Local, b Builtin) {
+	fb.emit(Instr{Op: OpBuiltin, Dst: dst, Builtin: b})
+}
+
+// GEP emits dst <- base + idx*sizeof(elem).
+func (fb *FuncBuilder) GEP(dst, base, idx Local) {
+	fb.emit(Instr{Op: OpGEP, Dst: dst, A: base, B: idx})
+}
+
+// Load emits dst <- *ptr.
+func (fb *FuncBuilder) Load(dst, ptr Local) {
+	fb.emit(Instr{Op: OpLoad, Dst: dst, A: ptr})
+}
+
+// Store emits *ptr <- val.
+func (fb *FuncBuilder) Store(ptr, val Local) {
+	fb.emit(Instr{Op: OpStore, A: ptr, B: val})
+}
+
+// AtomicAddF emits an atomic *ptr += val on a float pointee.
+func (fb *FuncBuilder) AtomicAddF(ptr, val Local) {
+	fb.emit(Instr{Op: OpAtomicAddF, A: ptr, B: val})
+}
+
+// Call emits a void call.
+func (fb *FuncBuilder) Call(callee string, args ...Local) {
+	fb.emit(Instr{Op: OpCall, Dst: -1, Callee: callee, Args: args})
+}
+
+// CallRet emits dst <- call callee(args...).
+func (fb *FuncBuilder) CallRet(dst Local, callee string, args ...Local) {
+	fb.emit(Instr{Op: OpCall, Dst: dst, Callee: callee, Args: args})
+}
+
+// Br terminates the current block with an unconditional jump.
+func (fb *FuncBuilder) Br(target int) {
+	fb.f.Blocks[fb.cur].Term = Terminator{Kind: TermBr, Target: target}
+}
+
+// CondBr terminates the current block with a conditional jump.
+func (fb *FuncBuilder) CondBr(cond Local, then, els int) {
+	fb.f.Blocks[fb.cur].Term = Terminator{Kind: TermCondBr, Cond: cond, Target: then, Else: els}
+}
+
+// Ret terminates the current block with a void return.
+func (fb *FuncBuilder) Ret() {
+	fb.f.Blocks[fb.cur].Term = Terminator{Kind: TermRet}
+}
+
+// RetVal terminates the current block returning val.
+func (fb *FuncBuilder) RetVal(val Local) {
+	fb.f.Blocks[fb.cur].Term = Terminator{Kind: TermRet, Val: val, HasVal: true}
+}

@@ -1,0 +1,315 @@
+package kir
+
+import "fmt"
+
+// Emitter is an expression-level convenience layer over FuncBuilder,
+// letting kernels be written the way CUDA C reads. Every Value is a typed
+// local; arithmetic helpers allocate result locals and emit instructions
+// into the current block. Structured control flow (If/For/While) manages
+// basic blocks and terminators.
+type Emitter struct {
+	FB *FuncBuilder
+}
+
+// Value wraps a local for the expression API.
+type Value struct {
+	l Local
+	t Type
+}
+
+// Local returns the underlying local slot.
+func (v Value) Local() Local { return v.l }
+
+// Type returns the value's static type.
+func (v Value) Type() Type { return v.t }
+
+// NewEmitter wraps a FuncBuilder.
+func NewEmitter(fb *FuncBuilder) *Emitter { return &Emitter{FB: fb} }
+
+// KernelFunc builds a kernel with the Emitter: params are declared, the
+// body closure emits code, and the finished function is returned.
+func KernelFunc(name string, params []Param, body func(e *Emitter)) *Function {
+	fb := NewFunction(name, params, TInvalid).Kernel()
+	e := NewEmitter(fb)
+	body(e)
+	return fb.Func()
+}
+
+// DeviceFunc builds a non-kernel device function, optionally returning a
+// value produced by body.
+func DeviceFunc(name string, params []Param, ret Type, body func(e *Emitter)) *Function {
+	fb := NewFunction(name, params, ret)
+	e := NewEmitter(fb)
+	body(e)
+	return fb.Func()
+}
+
+// Arg returns the named parameter as a Value.
+func (e *Emitter) Arg(name string) Value {
+	l := e.FB.Param(name)
+	return Value{l: l, t: e.FB.TypeOf(l)}
+}
+
+// Var allocates a fresh mutable local of type t.
+func (e *Emitter) Var(t Type) Value {
+	return Value{l: e.FB.NewLocal(t), t: t}
+}
+
+// ConstF materializes a float constant.
+func (e *Emitter) ConstF(x float64) Value {
+	v := e.Var(TFloat)
+	e.FB.ConstF(v.l, x)
+	return v
+}
+
+// ConstI materializes an int constant.
+func (e *Emitter) ConstI(x int64) Value {
+	v := e.Var(TInt)
+	e.FB.ConstI(v.l, x)
+	return v
+}
+
+// Assign copies src into dst (same types).
+func (e *Emitter) Assign(dst, src Value) {
+	if dst.t != src.t {
+		panic(fmt.Sprintf("kir: Assign type mismatch %v <- %v", dst.t, src.t))
+	}
+	e.FB.Mov(dst.l, src.l)
+}
+
+func (e *Emitter) bin(op BinOp, a, b Value) Value {
+	if a.t != b.t {
+		panic(fmt.Sprintf("kir: binop operand mismatch %v vs %v", a.t, b.t))
+	}
+	v := e.Var(a.t)
+	switch a.t {
+	case TFloat:
+		e.FB.BinF(v.l, op, a.l, b.l)
+	case TInt:
+		e.FB.BinI(v.l, op, a.l, b.l)
+	default:
+		panic(fmt.Sprintf("kir: binop on %v", a.t))
+	}
+	return v
+}
+
+// Add returns a+b.
+func (e *Emitter) Add(a, b Value) Value { return e.bin(Add, a, b) }
+
+// Sub returns a-b.
+func (e *Emitter) Sub(a, b Value) Value { return e.bin(Sub, a, b) }
+
+// Mul returns a*b.
+func (e *Emitter) Mul(a, b Value) Value { return e.bin(Mul, a, b) }
+
+// Div returns a/b.
+func (e *Emitter) Div(a, b Value) Value { return e.bin(Div, a, b) }
+
+// Rem returns a%b (ints).
+func (e *Emitter) Rem(a, b Value) Value { return e.bin(Rem, a, b) }
+
+// Min returns min(a,b).
+func (e *Emitter) Min(a, b Value) Value { return e.bin(Min, a, b) }
+
+// Max returns max(a,b).
+func (e *Emitter) Max(a, b Value) Value { return e.bin(Max, a, b) }
+
+func (e *Emitter) cmp(p Pred, a, b Value) Value {
+	if a.t != b.t {
+		panic(fmt.Sprintf("kir: cmp operand mismatch %v vs %v", a.t, b.t))
+	}
+	v := e.Var(TInt)
+	switch a.t {
+	case TFloat:
+		e.FB.CmpF(v.l, p, a.l, b.l)
+	case TInt:
+		e.FB.CmpI(v.l, p, a.l, b.l)
+	default:
+		panic(fmt.Sprintf("kir: cmp on %v", a.t))
+	}
+	return v
+}
+
+// Eq returns a==b as 0/1.
+func (e *Emitter) Eq(a, b Value) Value { return e.cmp(Eq, a, b) }
+
+// Ne returns a!=b.
+func (e *Emitter) Ne(a, b Value) Value { return e.cmp(Ne, a, b) }
+
+// Lt returns a<b.
+func (e *Emitter) Lt(a, b Value) Value { return e.cmp(Lt, a, b) }
+
+// Le returns a<=b.
+func (e *Emitter) Le(a, b Value) Value { return e.cmp(Le, a, b) }
+
+// Gt returns a>b.
+func (e *Emitter) Gt(a, b Value) Value { return e.cmp(Gt, a, b) }
+
+// Ge returns a>=b.
+func (e *Emitter) Ge(a, b Value) Value { return e.cmp(Ge, a, b) }
+
+// AndI returns a&b for 0/1 conditions.
+func (e *Emitter) AndI(a, b Value) Value { return e.bin(And, a, b) }
+
+// OrI returns a|b for 0/1 conditions.
+func (e *Emitter) OrI(a, b Value) Value { return e.bin(Or, a, b) }
+
+// ToFloat converts an int value to float.
+func (e *Emitter) ToFloat(a Value) Value {
+	v := e.Var(TFloat)
+	e.FB.I2F(v.l, a.l)
+	return v
+}
+
+// ToInt converts a float value to int (truncating).
+func (e *Emitter) ToInt(a Value) Value {
+	v := e.Var(TInt)
+	e.FB.F2I(v.l, a.l)
+	return v
+}
+
+// Builtin reads a thread-geometry builtin.
+func (e *Emitter) Builtin(b Builtin) Value {
+	v := e.Var(TInt)
+	e.FB.Builtin(v.l, b)
+	return v
+}
+
+// GlobalIDX returns blockIdx.x*blockDim.x + threadIdx.x.
+func (e *Emitter) GlobalIDX() Value { return e.Builtin(GlobalIdX) }
+
+// GlobalIDY returns the y analog.
+func (e *Emitter) GlobalIDY() Value { return e.Builtin(GlobalIdY) }
+
+// GEP returns base+idx (element-scaled pointer arithmetic).
+func (e *Emitter) GEP(base, idx Value) Value {
+	if !base.t.IsPtr() {
+		panic("kir: GEP base is not a pointer")
+	}
+	v := e.Var(base.t)
+	e.FB.GEP(v.l, base.l, idx.l)
+	return v
+}
+
+// Load returns *ptr.
+func (e *Emitter) Load(ptr Value) Value {
+	t := TInt
+	if ptr.t.ElemFloat() {
+		t = TFloat
+	}
+	v := e.Var(t)
+	e.FB.Load(v.l, ptr.l)
+	return v
+}
+
+// LoadIdx returns ptr[idx].
+func (e *Emitter) LoadIdx(ptr, idx Value) Value { return e.Load(e.GEP(ptr, idx)) }
+
+// Store writes *ptr = val.
+func (e *Emitter) Store(ptr, val Value) { e.FB.Store(ptr.l, val.l) }
+
+// StoreIdx writes ptr[idx] = val.
+func (e *Emitter) StoreIdx(ptr, idx, val Value) { e.Store(e.GEP(ptr, idx), val) }
+
+// AtomicAddF emits an atomic *ptr += val.
+func (e *Emitter) AtomicAddF(ptr, val Value) { e.FB.AtomicAddF(ptr.l, val.l) }
+
+// Call invokes a void device function.
+func (e *Emitter) Call(callee string, args ...Value) {
+	locals := make([]Local, len(args))
+	for i, a := range args {
+		locals[i] = a.l
+	}
+	e.FB.Call(callee, locals...)
+}
+
+// CallRet invokes a device function and returns its result. The caller
+// supplies the static return type (checked by Verify against the callee).
+func (e *Emitter) CallRet(callee string, ret Type, args ...Value) Value {
+	locals := make([]Local, len(args))
+	for i, a := range args {
+		locals[i] = a.l
+	}
+	v := e.Var(ret)
+	e.FB.CallRet(v.l, callee, locals...)
+	return v
+}
+
+// Return emits a void return and leaves the emitter in a fresh
+// (unreachable) block so further emission is well-formed.
+func (e *Emitter) Return() {
+	e.FB.Ret()
+	e.FB.NewBlock("post.ret")
+}
+
+// ReturnVal emits a value return. The fresh (unreachable) follow-up block
+// is given a well-typed terminator returning the same value so the
+// function verifies even when ReturnVal ends the body.
+func (e *Emitter) ReturnVal(v Value) {
+	e.FB.RetVal(v.l)
+	e.FB.NewBlock("post.ret")
+	e.FB.RetVal(v.l)
+}
+
+// If emits structured if/then: body runs when cond != 0.
+func (e *Emitter) If(cond Value, body func()) {
+	e.IfElse(cond, body, nil)
+}
+
+// IfElse emits structured if/then/else.
+func (e *Emitter) IfElse(cond Value, thenBody, elseBody func()) {
+	fb := e.FB
+	head := fb.CurrentBlock()
+	thenBlk := fb.NewBlock("if.then")
+	thenBody()
+	thenEnd := fb.CurrentBlock()
+
+	elseBlk := -1
+	elseEnd := -1
+	if elseBody != nil {
+		elseBlk = fb.NewBlock("if.else")
+		elseBody()
+		elseEnd = fb.CurrentBlock()
+	}
+	join := fb.NewBlock("if.join")
+
+	fb.SetBlock(head)
+	if elseBlk >= 0 {
+		fb.CondBr(cond.l, thenBlk, elseBlk)
+	} else {
+		fb.CondBr(cond.l, thenBlk, join)
+	}
+	fb.SetBlock(thenEnd)
+	fb.Br(join)
+	if elseEnd >= 0 {
+		fb.SetBlock(elseEnd)
+		fb.Br(join)
+	}
+	fb.SetBlock(join)
+}
+
+// For emits a counted loop: for i := from; i < to; i += step { body(i) }.
+// The induction variable is a fresh int local passed to body.
+func (e *Emitter) For(from, to, step Value, body func(i Value)) {
+	fb := e.FB
+	i := e.Var(TInt)
+	e.Assign(i, from)
+	pred := fb.CurrentBlock()
+	head := fb.NewBlock("for.head")
+	fb.SetBlock(pred)
+	fb.Br(head)
+	fb.SetBlock(head)
+	cond := e.Lt(i, to)
+	condEnd := fb.CurrentBlock()
+	bodyBlk := fb.NewBlock("for.body")
+	body(i)
+	e.Assign(i, e.Add(i, step))
+	bodyEnd := fb.CurrentBlock()
+	exit := fb.NewBlock("for.exit")
+
+	fb.SetBlock(condEnd)
+	fb.CondBr(cond.l, bodyBlk, exit)
+	fb.SetBlock(bodyEnd)
+	fb.Br(head)
+	fb.SetBlock(exit)
+}

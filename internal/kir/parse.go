@@ -1,0 +1,460 @@
+package kir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual IR form emitted by Function.String back into a
+// Module — the "assembler" of the toolchain. Round-tripping is exact:
+// Parse(m.String()) produces a module whose String() is identical.
+//
+// Grammar (one or more functions):
+//
+//	kernel|device NAME(TYPE NAME, ...) [-> TYPE] {
+//	  locals %i:TYPE %j:TYPE ...
+//	b0: ; label
+//	  %dst = consti 42
+//	  store %p, %v
+//	  condbr %c, b1, b2
+//	...
+//	}
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("kir: parse error at line %d: %s", e.line, e.msg)
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+// Parse parses a module from its textual form.
+func Parse(src string) (*Module, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	m := NewModule()
+	for {
+		p.skipBlank()
+		if p.pos >= len(p.lines) {
+			break
+		}
+		f, err := p.function()
+		if err != nil {
+			return nil, err
+		}
+		if m.Func(f.Name) != nil {
+			return nil, &parseError{p.pos, fmt.Sprintf("duplicate function %q", f.Name)}
+		}
+		m.Add(f)
+	}
+	if err := Verify(m); err != nil {
+		return nil, fmt.Errorf("kir: parsed module does not verify: %w", err)
+	}
+	return m, nil
+}
+
+func (p *parser) skipBlank() {
+	for p.pos < len(p.lines) && strings.TrimSpace(p.lines[p.pos]) == "" {
+		p.pos++
+	}
+}
+
+func (p *parser) fail(format string, args ...any) error {
+	return &parseError{p.pos + 1, fmt.Sprintf(format, args...)}
+}
+
+func parseType(s string) (Type, bool) {
+	switch s {
+	case "f64":
+		return TFloat, true
+	case "i64":
+		return TInt, true
+	case "f64*":
+		return TPtrF64, true
+	case "i64*":
+		return TPtrI64, true
+	case "i32*":
+		return TPtrI32, true
+	case "u8*":
+		return TPtrU8, true
+	default:
+		return TInvalid, false
+	}
+}
+
+// function parses one function block.
+func (p *parser) function() (*Function, error) {
+	header := strings.TrimSpace(p.lines[p.pos])
+	kind, rest, ok := strings.Cut(header, " ")
+	if !ok || (kind != "kernel" && kind != "device") {
+		return nil, p.fail("expected 'kernel' or 'device', got %q", header)
+	}
+	open := strings.IndexByte(rest, '(')
+	if open < 0 {
+		return nil, p.fail("missing '(' in %q", header)
+	}
+	name := strings.TrimSpace(rest[:open])
+	if name == "" {
+		return nil, p.fail("missing function name")
+	}
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if closeIdx < open {
+		return nil, p.fail("missing ')' in %q", header)
+	}
+	f := &Function{Name: name, Kernel: kind == "kernel"}
+	// parameters
+	paramsSrc := strings.TrimSpace(rest[open+1 : closeIdx])
+	if paramsSrc != "" {
+		for _, ps := range strings.Split(paramsSrc, ",") {
+			fields := strings.Fields(strings.TrimSpace(ps))
+			if len(fields) != 2 {
+				return nil, p.fail("bad parameter %q", ps)
+			}
+			t, ok := parseType(fields[0])
+			if !ok {
+				return nil, p.fail("bad parameter type %q", fields[0])
+			}
+			f.Params = append(f.Params, Param{Name: fields[1], Type: t})
+			f.LocalTypes = append(f.LocalTypes, t)
+		}
+	}
+	// return type and opening brace
+	tail := strings.TrimSpace(rest[closeIdx+1:])
+	tail = strings.TrimSuffix(tail, "{")
+	tail = strings.TrimSpace(tail)
+	if tail != "" {
+		rt := strings.TrimSpace(strings.TrimPrefix(tail, "->"))
+		t, ok := parseType(rt)
+		if !ok {
+			return nil, p.fail("bad return type %q", tail)
+		}
+		f.RetType = t
+	}
+	p.pos++
+
+	// optional locals line
+	p.skipBlank()
+	if p.pos < len(p.lines) {
+		line := strings.TrimSpace(p.lines[p.pos])
+		if strings.HasPrefix(line, "locals") {
+			for _, tok := range strings.Fields(line)[1:] {
+				idxS, typeS, ok := strings.Cut(tok, ":")
+				if !ok || !strings.HasPrefix(idxS, "%") {
+					return nil, p.fail("bad locals entry %q", tok)
+				}
+				idx, err := strconv.Atoi(idxS[1:])
+				if err != nil || idx != len(f.LocalTypes) {
+					return nil, p.fail("locals entry %q out of order (want %%%d)", tok, len(f.LocalTypes))
+				}
+				t, ok := parseType(typeS)
+				if !ok {
+					return nil, p.fail("bad local type %q", typeS)
+				}
+				f.LocalTypes = append(f.LocalTypes, t)
+			}
+			p.pos++
+		}
+	}
+
+	// blocks until closing brace
+	var cur *Block
+	for {
+		if p.pos >= len(p.lines) {
+			return nil, p.fail("unexpected end of input in function %q", name)
+		}
+		line := strings.TrimSpace(p.lines[p.pos])
+		p.pos++
+		switch {
+		case line == "":
+			continue
+		case line == "}":
+			if cur != nil {
+				f.Blocks = append(f.Blocks, cur)
+			}
+			if len(f.Blocks) == 0 {
+				return nil, p.fail("function %q has no blocks", name)
+			}
+			return f, nil
+		case strings.HasPrefix(line, "b") && strings.Contains(line, ":"):
+			if cur != nil {
+				f.Blocks = append(f.Blocks, cur)
+			}
+			label, comment, _ := strings.Cut(line, ":")
+			idx, err := strconv.Atoi(label[1:])
+			if err != nil || idx != len(f.Blocks) {
+				return nil, p.fail("block label %q out of order (want b%d)", label, len(f.Blocks))
+			}
+			blkName := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(comment), ";"))
+			cur = &Block{Name: blkName, Term: Terminator{Kind: TermRet}}
+		default:
+			if cur == nil {
+				return nil, p.fail("instruction outside block: %q", line)
+			}
+			if err := p.statement(cur, line); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func parseLocal(tok string) (Local, error) {
+	tok = strings.TrimSuffix(strings.TrimSpace(tok), ",")
+	if !strings.HasPrefix(tok, "%") {
+		return 0, fmt.Errorf("expected local, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad local %q", tok)
+	}
+	return Local(n), nil
+}
+
+func parseBlockRef(tok string) (int, error) {
+	tok = strings.TrimSuffix(strings.TrimSpace(tok), ",")
+	if !strings.HasPrefix(tok, "b") {
+		return 0, fmt.Errorf("expected block ref, got %q", tok)
+	}
+	return strconv.Atoi(tok[1:])
+}
+
+var binOps = map[string]BinOp{
+	"add": Add, "sub": Sub, "mul": Mul, "div": Div, "rem": Rem,
+	"min": Min, "max": Max, "and": And, "or": Or, "shl": Shl, "shr": Shr,
+}
+
+var preds = map[string]Pred{
+	"eq": Eq, "ne": Ne, "lt": Lt, "le": Le, "gt": Gt, "ge": Ge,
+}
+
+var builtinNames = func() map[string]Builtin {
+	m := make(map[string]Builtin)
+	for b := ThreadIdxX; b <= GlobalIdY; b++ {
+		m[b.String()] = b
+	}
+	return m
+}()
+
+// statement parses one instruction or terminator into blk.
+func (p *parser) statement(blk *Block, line string) error {
+	fields := strings.Fields(line)
+	fail := func(format string, args ...any) error {
+		return &parseError{p.pos, fmt.Sprintf(format, args...) + " in " + strconv.Quote(line)}
+	}
+
+	// terminators
+	switch fields[0] {
+	case "ret":
+		t := Terminator{Kind: TermRet}
+		if len(fields) == 2 {
+			v, err := parseLocal(fields[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			t.Val, t.HasVal = v, true
+		}
+		blk.Term = t
+		return nil
+	case "br":
+		target, err := parseBlockRef(fields[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		blk.Term = Terminator{Kind: TermBr, Target: target}
+		return nil
+	case "condbr":
+		if len(fields) != 4 {
+			return fail("condbr needs cond and two targets")
+		}
+		c, err := parseLocal(fields[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		then, err := parseBlockRef(fields[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		els, err := parseBlockRef(fields[3])
+		if err != nil {
+			return fail("%v", err)
+		}
+		blk.Term = Terminator{Kind: TermCondBr, Cond: c, Target: then, Else: els}
+		return nil
+	case "store":
+		a, err := parseLocal(fields[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		b, err := parseLocal(fields[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		blk.Instrs = append(blk.Instrs, Instr{Op: OpStore, A: a, B: b})
+		return nil
+	case "atomic.faddstore":
+		a, err := parseLocal(fields[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		b, err := parseLocal(fields[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		blk.Instrs = append(blk.Instrs, Instr{Op: OpAtomicAddF, A: a, B: b})
+		return nil
+	case "call":
+		in, err := parseCall(-1, strings.Join(fields, " "))
+		if err != nil {
+			return fail("%v", err)
+		}
+		blk.Instrs = append(blk.Instrs, in)
+		return nil
+	}
+
+	// assignments: %dst = OP ...
+	if len(fields) < 3 || fields[1] != "=" {
+		return fail("unrecognized statement")
+	}
+	dst, err := parseLocal(fields[0])
+	if err != nil {
+		return fail("%v", err)
+	}
+	op := fields[2]
+	args := fields[3:]
+	one := func() (Local, error) {
+		if len(args) != 1 {
+			return 0, fmt.Errorf("want 1 operand, got %d", len(args))
+		}
+		return parseLocal(args[0])
+	}
+	two := func() (Local, Local, error) {
+		if len(args) != 2 {
+			return 0, 0, fmt.Errorf("want 2 operands, got %d", len(args))
+		}
+		a, err := parseLocal(args[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		b, err := parseLocal(args[1])
+		return a, b, err
+	}
+
+	var in Instr
+	switch {
+	case op == "constf":
+		x, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return fail("bad float %q", args[0])
+		}
+		in = Instr{Op: OpConstF, Dst: dst, FImm: x}
+	case op == "consti":
+		x, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fail("bad int %q", args[0])
+		}
+		in = Instr{Op: OpConstI, Dst: dst, IImm: x}
+	case op == "mov":
+		a, err := one()
+		if err != nil {
+			return fail("%v", err)
+		}
+		in = Instr{Op: OpMov, Dst: dst, A: a}
+	case op == "i2f" || op == "f2i":
+		a, err := one()
+		if err != nil {
+			return fail("%v", err)
+		}
+		code := OpI2F
+		if op == "f2i" {
+			code = OpF2I
+		}
+		in = Instr{Op: code, Dst: dst, A: a}
+	case op == "gep":
+		a, b, err := two()
+		if err != nil {
+			return fail("%v", err)
+		}
+		in = Instr{Op: OpGEP, Dst: dst, A: a, B: b}
+	case op == "load":
+		a, err := one()
+		if err != nil {
+			return fail("%v", err)
+		}
+		in = Instr{Op: OpLoad, Dst: dst, A: a}
+	case strings.HasPrefix(op, "call"):
+		in, err = parseCall(dst, strings.Join(fields[2:], " "))
+		if err != nil {
+			return fail("%v", err)
+		}
+	case strings.HasPrefix(op, "fcmp.") || strings.HasPrefix(op, "icmp."):
+		pr, ok := preds[op[5:]]
+		if !ok {
+			return fail("bad predicate %q", op)
+		}
+		a, b, err := two()
+		if err != nil {
+			return fail("%v", err)
+		}
+		code := OpCmpF
+		if op[0] == 'i' {
+			code = OpCmpI
+		}
+		in = Instr{Op: code, Dst: dst, Pred: pr, A: a, B: b}
+	case op[0] == 'f' || op[0] == 'i':
+		bo, ok := binOps[op[1:]]
+		if !ok {
+			if bi, okb := builtinNames[op]; okb {
+				in = Instr{Op: OpBuiltin, Dst: dst, Builtin: bi}
+				break
+			}
+			return fail("unknown op %q", op)
+		}
+		a, b, err := two()
+		if err != nil {
+			return fail("%v", err)
+		}
+		code := OpBinF
+		if op[0] == 'i' {
+			code = OpBinI
+		}
+		in = Instr{Op: code, Dst: dst, Bin: bo, A: a, B: b}
+	default:
+		if bi, ok := builtinNames[op]; ok {
+			in = Instr{Op: OpBuiltin, Dst: dst, Builtin: bi}
+			break
+		}
+		return fail("unknown op %q", op)
+	}
+	blk.Instrs = append(blk.Instrs, in)
+	return nil
+}
+
+// parseCall parses `call @name(%a, %b)`.
+func parseCall(dst Local, src string) (Instr, error) {
+	src = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(src), "call"))
+	if !strings.HasPrefix(src, "@") {
+		return Instr{}, fmt.Errorf("call missing @callee in %q", src)
+	}
+	open := strings.IndexByte(src, '(')
+	closeIdx := strings.LastIndexByte(src, ')')
+	if open < 0 || closeIdx < open {
+		return Instr{}, fmt.Errorf("call missing argument list in %q", src)
+	}
+	callee := src[1:open]
+	in := Instr{Op: OpCall, Dst: dst, Callee: callee}
+	argsSrc := strings.TrimSpace(src[open+1 : closeIdx])
+	if argsSrc != "" {
+		for _, as := range strings.Split(argsSrc, ",") {
+			l, err := parseLocal(as)
+			if err != nil {
+				return Instr{}, err
+			}
+			in.Args = append(in.Args, l)
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,162 @@
+package kir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTripCopyKernel(t *testing.T) {
+	m := NewModule()
+	m.Add(buildCopyKernel())
+	text := m.Func("copy").String()
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse:\n%s\nerror: %v", text, err)
+	}
+	again := parsed.Func("copy").String()
+	if again != text {
+		t.Fatalf("round trip differs:\n--- original\n%s\n--- reprinted\n%s", text, again)
+	}
+}
+
+func TestParseHandWritten(t *testing.T) {
+	src := `
+device square(f64 x) -> f64 {
+  locals %1:f64
+b0: ; entry
+  %1 = fmul %0, %0
+  ret %1
+}
+
+kernel sq(f64* out, f64* in, i64 n) {
+  locals %3:i64 %4:i64 %5:f64 %6:f64 %7:f64* %8:f64*
+b0: ; entry
+  %3 = globalId.x
+  %4 = icmp.lt %3, %2
+  condbr %4, b1, b2
+b1: ; body
+  %7 = gep %1, %3
+  %5 = load %7
+  %6 = call @square(%5)
+  %8 = gep %0, %3
+  store %8, %6
+  br b2
+b2: ; done
+  ret
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("sq")
+	if f == nil || !f.Kernel || len(f.Blocks) != 3 {
+		t.Fatalf("sq parsed wrong: %+v", f)
+	}
+	if m.Func("square").Kernel {
+		t.Fatal("square must be a device function")
+	}
+	if m.Func("square").RetType != TFloat {
+		t.Fatal("return type lost")
+	}
+	// Parsed modules must verify (Parse enforces this) and reprint
+	// stably; reprint the whole module so the callee travels along.
+	text1 := m.Func("square").String() + "\n" + m.Func("sq").String()
+	m2, err := Parse(text1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m2.Func("square").String() + "\n" + m2.Func("sq").String()
+	if got != text1 {
+		t.Fatalf("unstable reprint:\n%s\nvs\n%s", text1, got)
+	}
+}
+
+func TestParseWholeModulesRoundTrip(t *testing.T) {
+	// Build a module with every opcode reachable from the builders and
+	// check exact round-tripping of all functions together.
+	m := NewModule()
+	m.Add(DeviceFunc("helper", []Param{{Name: "p", Type: TPtrF64}}, TInvalid,
+		func(e *Emitter) {
+			e.AtomicAddF(e.Arg("p"), e.ConstF(1.5))
+		}))
+	m.Add(KernelFunc("all_ops", []Param{
+		{Name: "fp", Type: TPtrF64},
+		{Name: "ip", Type: TPtrI64},
+		{Name: "bp", Type: TPtrU8},
+		{Name: "wp", Type: TPtrI32},
+		{Name: "n", Type: TInt},
+	}, func(e *Emitter) {
+		i := e.GlobalIDX()
+		_ = e.Builtin(ThreadIdxY)
+		_ = e.Builtin(BlockDimX)
+		e.If(e.Lt(i, e.Arg("n")), func() {
+			f := e.LoadIdx(e.Arg("fp"), i)
+			g := e.Div(e.Mul(f, e.ConstF(2)), e.Max(f, e.ConstF(1)))
+			e.StoreIdx(e.Arg("fp"), i, e.Min(g, e.ConstF(100)))
+			iv := e.LoadIdx(e.Arg("ip"), i)
+			e.StoreIdx(e.Arg("ip"), i, e.Rem(e.AndI(iv, e.ConstI(7)), e.ConstI(3)))
+			e.StoreIdx(e.Arg("bp"), i, e.ToInt(f))
+			e.StoreIdx(e.Arg("wp"), i, e.ToInt(e.ToFloat(iv)))
+			e.Call("helper", e.Arg("fp"))
+		})
+		e.For(e.ConstI(0), e.ConstI(4), e.ConstI(1), func(j Value) {
+			e.StoreIdx(e.Arg("ip"), j, j)
+		})
+	}))
+	var text strings.Builder
+	for _, f := range m.Functions() {
+		text.WriteString(f.String())
+		text.WriteByte('\n')
+	}
+	parsed, err := Parse(text.String())
+	if err != nil {
+		t.Fatalf("Parse failed: %v\n%s", err, text.String())
+	}
+	for _, f := range m.Functions() {
+		got := parsed.Func(f.Name).String()
+		if got != f.String() {
+			t.Fatalf("round trip of %s differs:\n%s\nvs\n%s", f.Name, f.String(), got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"garbage header", "banana foo() {\nb0: ;\n  ret\n}"},
+		{"bad param type", "kernel f(q8 x) {\nb0: ;\n  ret\n}"},
+		{"locals out of order", "kernel f(i64 n) {\n  locals %5:i64\nb0: ;\n  ret\n}"},
+		{"unknown op", "kernel f(i64 n) {\n  locals %1:i64\nb0: ;\n  %1 = frobnicate %0\n  ret\n}"},
+		{"unclosed function", "kernel f(i64 n) {\nb0: ;\n  ret\n"},
+		{"type error", "kernel f(f64* p) {\n  locals %1:i64\nb0: ;\n  %1 = load %0\n  ret\n}"},
+		{"unknown callee", "kernel f() {\nb0: ;\n  call @ghost()\n  ret\n}"},
+		{"block out of order", "kernel f() {\nb1: ;\n  ret\n}"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Fatalf("Parse accepted %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestModuleStringRoundTrip(t *testing.T) {
+	m := NewModule()
+	m.Add(buildCopyKernel())
+	m.Add(DeviceFunc("noop", nil, TInvalid, func(e *Emitter) {}))
+	text := m.String()
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.String() != text {
+		t.Fatalf("module round trip differs:\n%s\nvs\n%s", text, parsed.String())
+	}
+	if len(parsed.Functions()) != 2 {
+		t.Fatalf("functions = %d", len(parsed.Functions()))
+	}
+}

@@ -1,0 +1,127 @@
+package kir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function as readable pseudo-IR, for golden tests and
+// diagnostics.
+func (f *Function) String() string {
+	var b strings.Builder
+	kind := "device"
+	if f.Kernel {
+		kind = "kernel"
+	}
+	fmt.Fprintf(&b, "%s %s(", kind, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.Type, p.Name)
+	}
+	b.WriteString(")")
+	if f.RetType != TInvalid {
+		fmt.Fprintf(&b, " -> %s", f.RetType)
+	}
+	b.WriteString(" {\n")
+	// Non-parameter locals with their static types, so the textual form
+	// is parseable without type inference.
+	if len(f.LocalTypes) > len(f.Params) {
+		b.WriteString("  locals")
+		for i := len(f.Params); i < len(f.LocalTypes); i++ {
+			fmt.Fprintf(&b, " %%%d:%s", i, f.LocalTypes[i])
+		}
+		b.WriteByte('\n')
+	}
+	for bi, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d: ; %s\n", bi, blk.Name)
+		for _, in := range blk.Instrs {
+			b.WriteString("  ")
+			b.WriteString(in.String())
+			b.WriteByte('\n')
+		}
+		b.WriteString("  ")
+		b.WriteString(blk.Term.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders one instruction.
+func (in Instr) String() string {
+	l := func(x Local) string { return fmt.Sprintf("%%%d", x) }
+	switch in.Op {
+	case OpConstF:
+		return fmt.Sprintf("%s = constf %g", l(in.Dst), in.FImm)
+	case OpConstI:
+		return fmt.Sprintf("%s = consti %d", l(in.Dst), in.IImm)
+	case OpMov:
+		return fmt.Sprintf("%s = mov %s", l(in.Dst), l(in.A))
+	case OpBinF:
+		return fmt.Sprintf("%s = f%s %s, %s", l(in.Dst), in.Bin, l(in.A), l(in.B))
+	case OpBinI:
+		return fmt.Sprintf("%s = i%s %s, %s", l(in.Dst), in.Bin, l(in.A), l(in.B))
+	case OpCmpF:
+		return fmt.Sprintf("%s = fcmp.%s %s, %s", l(in.Dst), in.Pred, l(in.A), l(in.B))
+	case OpCmpI:
+		return fmt.Sprintf("%s = icmp.%s %s, %s", l(in.Dst), in.Pred, l(in.A), l(in.B))
+	case OpI2F:
+		return fmt.Sprintf("%s = i2f %s", l(in.Dst), l(in.A))
+	case OpF2I:
+		return fmt.Sprintf("%s = f2i %s", l(in.Dst), l(in.A))
+	case OpBuiltin:
+		return fmt.Sprintf("%s = %s", l(in.Dst), in.Builtin)
+	case OpGEP:
+		return fmt.Sprintf("%s = gep %s, %s", l(in.Dst), l(in.A), l(in.B))
+	case OpLoad:
+		return fmt.Sprintf("%s = load %s", l(in.Dst), l(in.A))
+	case OpStore:
+		return fmt.Sprintf("store %s, %s", l(in.A), l(in.B))
+	case OpAtomicAddF:
+		return fmt.Sprintf("atomic.faddstore %s, %s", l(in.A), l(in.B))
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = l(a)
+		}
+		call := fmt.Sprintf("call @%s(%s)", in.Callee, strings.Join(args, ", "))
+		if in.Dst >= 0 {
+			return fmt.Sprintf("%s = %s", l(in.Dst), call)
+		}
+		return call
+	default:
+		return fmt.Sprintf("<op %d>", in.Op)
+	}
+}
+
+// String renders one terminator.
+func (t Terminator) String() string {
+	switch t.Kind {
+	case TermBr:
+		return fmt.Sprintf("br b%d", t.Target)
+	case TermCondBr:
+		return fmt.Sprintf("condbr %%%d, b%d, b%d", t.Cond, t.Target, t.Else)
+	case TermRet:
+		if t.HasVal {
+			return fmt.Sprintf("ret %%%d", t.Val)
+		}
+		return "ret"
+	default:
+		return fmt.Sprintf("<term %d>", t.Kind)
+	}
+}
+
+// String renders the whole module: every function in insertion order,
+// separated by blank lines. Parse round-trips this exactly.
+func (m *Module) String() string {
+	var b strings.Builder
+	for i, f := range m.Functions() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}

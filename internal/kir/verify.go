@@ -1,0 +1,250 @@
+package kir
+
+import "fmt"
+
+// VerifyError describes an ill-formed function.
+type VerifyError struct {
+	Func  string
+	Block int
+	Instr int // -1 for terminator / function-level errors
+	Msg   string
+}
+
+func (e *VerifyError) Error() string {
+	where := fmt.Sprintf("function %q", e.Func)
+	if e.Block >= 0 {
+		where += fmt.Sprintf(", block %d", e.Block)
+	}
+	if e.Instr >= 0 {
+		where += fmt.Sprintf(", instr %d", e.Instr)
+	}
+	return fmt.Sprintf("kir: %s: %s", where, e.Msg)
+}
+
+// Verify type-checks every function in the module and checks call-graph
+// well-formedness (callees exist, arities and types match, kernels take
+// only scalar and pointer params). It must pass before a module is
+// analyzed or executed — the analog of LLVM's module verifier.
+func Verify(m *Module) error {
+	for _, f := range m.Functions() {
+		if err := verifyFunc(m, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyFunc(m *Module, f *Function) error {
+	fail := func(block, instr int, format string, args ...any) error {
+		return &VerifyError{Func: f.Name, Block: block, Instr: instr, Msg: fmt.Sprintf(format, args...)}
+	}
+	if len(f.Blocks) == 0 {
+		return fail(-1, -1, "no blocks")
+	}
+	if len(f.LocalTypes) < len(f.Params) {
+		return fail(-1, -1, "fewer local types than params")
+	}
+	for i, p := range f.Params {
+		if p.Type == TInvalid {
+			return fail(-1, -1, "param %d (%s) has invalid type", i, p.Name)
+		}
+		if f.LocalTypes[i] != p.Type {
+			return fail(-1, -1, "local %d type != param type", i)
+		}
+	}
+	typeOf := func(l Local) (Type, bool) {
+		if l < 0 || int(l) >= len(f.LocalTypes) {
+			return TInvalid, false
+		}
+		return f.LocalTypes[l], true
+	}
+	for bi, b := range f.Blocks {
+		for ii, in := range b.Instrs {
+			check := func(l Local, want Type, role string) error {
+				t, ok := typeOf(l)
+				if !ok {
+					return fail(bi, ii, "%s local %d out of range", role, l)
+				}
+				if want != TInvalid && t != want {
+					return fail(bi, ii, "%s local %d has type %v, want %v", role, l, t, want)
+				}
+				return nil
+			}
+			checkPtr := func(l Local, role string) (Type, error) {
+				t, ok := typeOf(l)
+				if !ok {
+					return TInvalid, fail(bi, ii, "%s local %d out of range", role, l)
+				}
+				if !t.IsPtr() {
+					return TInvalid, fail(bi, ii, "%s local %d is %v, want pointer", role, l, t)
+				}
+				return t, nil
+			}
+			switch in.Op {
+			case OpConstF:
+				if err := check(in.Dst, TFloat, "dst"); err != nil {
+					return err
+				}
+			case OpConstI:
+				if err := check(in.Dst, TInt, "dst"); err != nil {
+					return err
+				}
+			case OpMov:
+				dt, ok := typeOf(in.Dst)
+				if !ok {
+					return fail(bi, ii, "mov dst out of range")
+				}
+				if err := check(in.A, dt, "src"); err != nil {
+					return err
+				}
+			case OpBinF:
+				for _, l := range []Local{in.Dst, in.A, in.B} {
+					if err := check(l, TFloat, "operand"); err != nil {
+						return err
+					}
+				}
+				switch in.Bin {
+				case Rem, And, Or, Shl, Shr:
+					return fail(bi, ii, "float binop %v not supported", in.Bin)
+				}
+			case OpBinI:
+				for _, l := range []Local{in.Dst, in.A, in.B} {
+					if err := check(l, TInt, "operand"); err != nil {
+						return err
+					}
+				}
+			case OpCmpF:
+				if err := check(in.Dst, TInt, "dst"); err != nil {
+					return err
+				}
+				if err := check(in.A, TFloat, "lhs"); err != nil {
+					return err
+				}
+				if err := check(in.B, TFloat, "rhs"); err != nil {
+					return err
+				}
+			case OpCmpI:
+				for _, l := range []Local{in.Dst, in.A, in.B} {
+					if err := check(l, TInt, "operand"); err != nil {
+						return err
+					}
+				}
+			case OpI2F:
+				if err := check(in.Dst, TFloat, "dst"); err != nil {
+					return err
+				}
+				if err := check(in.A, TInt, "src"); err != nil {
+					return err
+				}
+			case OpF2I:
+				if err := check(in.Dst, TInt, "dst"); err != nil {
+					return err
+				}
+				if err := check(in.A, TFloat, "src"); err != nil {
+					return err
+				}
+			case OpBuiltin:
+				if err := check(in.Dst, TInt, "dst"); err != nil {
+					return err
+				}
+			case OpGEP:
+				bt, err := checkPtr(in.A, "base")
+				if err != nil {
+					return err
+				}
+				if err := check(in.Dst, bt, "dst"); err != nil {
+					return err
+				}
+				if err := check(in.B, TInt, "index"); err != nil {
+					return err
+				}
+			case OpLoad:
+				pt, err := checkPtr(in.A, "ptr")
+				if err != nil {
+					return err
+				}
+				want := TInt
+				if pt.ElemFloat() {
+					want = TFloat
+				}
+				if err := check(in.Dst, want, "dst"); err != nil {
+					return err
+				}
+			case OpStore:
+				pt, err := checkPtr(in.A, "ptr")
+				if err != nil {
+					return err
+				}
+				want := TInt
+				if pt.ElemFloat() {
+					want = TFloat
+				}
+				if err := check(in.B, want, "val"); err != nil {
+					return err
+				}
+			case OpAtomicAddF:
+				pt, err := checkPtr(in.A, "ptr")
+				if err != nil {
+					return err
+				}
+				if !pt.ElemFloat() {
+					return fail(bi, ii, "atomicAddF on non-float pointee %v", pt)
+				}
+				if err := check(in.B, TFloat, "val"); err != nil {
+					return err
+				}
+			case OpCall:
+				callee := m.Func(in.Callee)
+				if callee == nil {
+					return fail(bi, ii, "call to unknown function %q", in.Callee)
+				}
+				if len(in.Args) != len(callee.Params) {
+					return fail(bi, ii, "call %q: %d args, want %d", in.Callee, len(in.Args), len(callee.Params))
+				}
+				for ai, a := range in.Args {
+					if err := check(a, callee.Params[ai].Type, "arg"); err != nil {
+						return err
+					}
+				}
+				if in.Dst >= 0 {
+					if callee.RetType == TInvalid {
+						return fail(bi, ii, "call %q: void callee used with result", in.Callee)
+					}
+					if err := check(in.Dst, callee.RetType, "result"); err != nil {
+						return err
+					}
+				}
+			default:
+				return fail(bi, ii, "unknown opcode %d", in.Op)
+			}
+		}
+		t := b.Term
+		switch t.Kind {
+		case TermBr:
+			if t.Target < 0 || t.Target >= len(f.Blocks) {
+				return fail(bi, -1, "br target %d out of range", t.Target)
+			}
+		case TermCondBr:
+			if tt, ok := typeOf(t.Cond); !ok || tt != TInt {
+				return fail(bi, -1, "condbr condition must be an int local")
+			}
+			if t.Target < 0 || t.Target >= len(f.Blocks) || t.Else < 0 || t.Else >= len(f.Blocks) {
+				return fail(bi, -1, "condbr target out of range")
+			}
+		case TermRet:
+			if t.HasVal {
+				if f.RetType == TInvalid {
+					return fail(bi, -1, "ret with value in void function")
+				}
+				if tt, ok := typeOf(t.Val); !ok || tt != f.RetType {
+					return fail(bi, -1, "ret value type mismatch")
+				}
+			} else if f.RetType != TInvalid {
+				return fail(bi, -1, "missing return value")
+			}
+		default:
+			return fail(bi, -1, "unknown terminator %d", t.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,333 @@
+package memspace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindOf(t *testing.T) {
+	m := New()
+	cases := []Kind{KindHostPageable, KindHostPinned, KindDevice, KindManaged}
+	for _, k := range cases {
+		a := m.Alloc(128, k)
+		if got := KindOf(a); got != k {
+			t.Errorf("KindOf(alloc %v) = %v", k, got)
+		}
+		if got := KindOf(a + 127); got != k {
+			t.Errorf("KindOf(interior %v) = %v", k, got)
+		}
+	}
+	if KindOf(0) != KindInvalid {
+		t.Errorf("KindOf(0) should be invalid")
+	}
+	if KindOf(Addr(1)) != KindInvalid {
+		t.Errorf("KindOf(1) should be invalid")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !KindDevice.IsDeviceAccessible() || KindDevice.IsHostAccessible() {
+		t.Error("device kind predicates wrong")
+	}
+	if KindHostPageable.IsDeviceAccessible() || !KindHostPageable.IsHostAccessible() {
+		t.Error("pageable kind predicates wrong")
+	}
+	if !KindManaged.IsDeviceAccessible() || !KindManaged.IsHostAccessible() {
+		t.Error("managed kind predicates wrong")
+	}
+	if !KindHostPinned.IsDeviceAccessible() || !KindHostPinned.IsHostAccessible() {
+		t.Error("pinned kind predicates wrong")
+	}
+}
+
+func TestAllocDistinct(t *testing.T) {
+	m := New()
+	a := m.Alloc(100, KindDevice)
+	b := m.Alloc(100, KindDevice)
+	if a == b {
+		t.Fatal("allocations share an address")
+	}
+	if b < a+100 {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestAllocZeroSize(t *testing.T) {
+	m := New()
+	a := m.Alloc(0, KindHostPageable)
+	b := m.Alloc(0, KindHostPageable)
+	if a == b {
+		t.Fatal("zero-size allocations must have distinct addresses")
+	}
+	if _, err := m.Bytes(a, 1); err == nil {
+		t.Fatal("zero-size allocation must not be dereferenceable")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New()
+	a := m.Alloc(64, KindHostPageable)
+	m.SetFloat64(a, 3.25)
+	if got := m.Float64(a); got != 3.25 {
+		t.Errorf("Float64 = %v", got)
+	}
+	m.SetInt64(a+8, -77)
+	if got := m.Int64(a + 8); got != -77 {
+		t.Errorf("Int64 = %v", got)
+	}
+	m.SetInt32(a+16, 123456)
+	if got := m.Int32(a + 16); got != 123456 {
+		t.Errorf("Int32 = %v", got)
+	}
+	m.SetByte(a+20, 0xAB)
+	if got := m.Byte(a + 20); got != 0xAB {
+		t.Errorf("Byte = %v", got)
+	}
+}
+
+func TestZeroInitialized(t *testing.T) {
+	m := New()
+	a := m.Alloc(256, KindDevice)
+	b := m.MustBytes(a, 256)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("byte %d not zero: %d", i, v)
+		}
+	}
+}
+
+func TestResolveInterior(t *testing.T) {
+	m := New()
+	a := m.Alloc(1000, KindDevice)
+	seg := m.Resolve(a + 999)
+	if seg == nil || seg.Base != a {
+		t.Fatal("interior resolve failed")
+	}
+	if m.Resolve(a+1000) != nil && m.Resolve(a+1000).Base == a {
+		t.Fatal("resolve past end must not hit the same segment")
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	m := New()
+	a := m.Alloc(16, KindHostPageable)
+	if _, err := m.Bytes(a, 17); err == nil {
+		t.Error("expected out-of-bounds error")
+	}
+	if _, err := m.Bytes(a+8, 9); err == nil {
+		t.Error("expected out-of-bounds error for tail overrun")
+	}
+	if _, err := m.Bytes(0, 1); err == nil {
+		t.Error("expected error for null pointer")
+	}
+	if _, err := m.Bytes(a, -1); err == nil {
+		t.Error("expected error for negative length")
+	}
+}
+
+func TestFree(t *testing.T) {
+	m := New()
+	a := m.Alloc(16, KindDevice)
+	if err := m.Free(a + 4); err == nil {
+		t.Error("freeing interior pointer must fail")
+	}
+	if err := m.Free(a); err != nil {
+		t.Errorf("free: %v", err)
+	}
+	if err := m.Free(a); err == nil {
+		t.Error("double free must fail")
+	}
+	if m.Resolve(a) != nil {
+		t.Error("freed segment still resolvable")
+	}
+}
+
+func TestHooks(t *testing.T) {
+	m := New()
+	var allocs, frees int
+	m.OnAlloc(func(*Segment) { allocs++ })
+	m.OnFree(func(*Segment) { frees++ })
+	a := m.Alloc(8, KindDevice)
+	b := m.Alloc(8, KindManaged)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 2 || frees != 2 {
+		t.Errorf("hooks: allocs=%d frees=%d", allocs, frees)
+	}
+}
+
+func TestLiveAndPeakBytes(t *testing.T) {
+	m := New()
+	a := m.Alloc(100, KindDevice)
+	m.Alloc(50, KindHostPageable)
+	if m.LiveBytes() != 150 || m.PeakBytes() != 150 {
+		t.Fatalf("live=%d peak=%d", m.LiveBytes(), m.PeakBytes())
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if m.LiveBytes() != 50 || m.PeakBytes() != 150 {
+		t.Fatalf("after free: live=%d peak=%d", m.LiveBytes(), m.PeakBytes())
+	}
+}
+
+func TestCopyAcrossKinds(t *testing.T) {
+	m := New()
+	h := m.Alloc(32, KindHostPageable)
+	d := m.Alloc(32, KindDevice)
+	for i := int64(0); i < 4; i++ {
+		m.SetFloat64(h+Addr(i*8), float64(i)+0.5)
+	}
+	if err := m.Copy(d, h, 32); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if got := m.Float64(d + Addr(i*8)); got != float64(i)+0.5 {
+			t.Errorf("elem %d = %v", i, got)
+		}
+	}
+}
+
+func TestCopyOutOfBounds(t *testing.T) {
+	m := New()
+	h := m.Alloc(8, KindHostPageable)
+	d := m.Alloc(32, KindDevice)
+	if err := m.Copy(d, h, 16); err == nil {
+		t.Error("copy reading past src must fail")
+	}
+	if err := m.Copy(h, d, 16); err == nil {
+		t.Error("copy writing past dst must fail")
+	}
+}
+
+func TestSet(t *testing.T) {
+	m := New()
+	d := m.Alloc(16, KindDevice)
+	if err := m.Set(d, 0x7f, 16); err != nil {
+		t.Fatal(err)
+	}
+	for i := Addr(0); i < 16; i++ {
+		if m.Byte(d+i) != 0x7f {
+			t.Fatalf("byte %d not set", i)
+		}
+	}
+	if err := m.Set(d, 1, 17); err == nil {
+		t.Error("set past end must fail")
+	}
+}
+
+func TestSegmentsSorted(t *testing.T) {
+	m := New()
+	for i := 0; i < 20; i++ {
+		m.Alloc(int64(8+i), KindDevice)
+		m.Alloc(int64(8+i), KindHostPageable)
+	}
+	segs := m.Segments()
+	for i := 1; i < len(segs); i++ {
+		if segs[i-1].Base >= segs[i].Base {
+			t.Fatal("segments not sorted")
+		}
+	}
+	if len(segs) != 40 {
+		t.Fatalf("expected 40 segments, got %d", len(segs))
+	}
+}
+
+// Property: for any sequence of allocations, every address inside every
+// live allocation resolves to exactly that allocation, and loads after a
+// store round-trip.
+func TestPropertyResolve(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		m := New()
+		kinds := []Kind{KindHostPageable, KindHostPinned, KindDevice, KindManaged}
+		type rec struct {
+			base Addr
+			size int64
+		}
+		var recs []rec
+		for i, s := range sizes {
+			size := int64(s%1024) + 1
+			base := m.Alloc(size, kinds[i%len(kinds)])
+			recs = append(recs, rec{base, size})
+		}
+		for _, r := range recs {
+			for _, off := range []int64{0, r.size / 2, r.size - 1} {
+				seg := m.Resolve(r.base + Addr(off))
+				if seg == nil || seg.Base != r.base {
+					return false
+				}
+			}
+			m.SetByte(r.base, 0x5a)
+			if m.Byte(r.base) != 0x5a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Free removes exactly the freed allocation and leaves all others
+// resolvable.
+func TestPropertyFreeIsolation(t *testing.T) {
+	f := func(n uint8, freeMask uint32) bool {
+		count := int(n%24) + 2
+		m := New()
+		bases := make([]Addr, count)
+		for i := range bases {
+			bases[i] = m.Alloc(64, KindDevice)
+		}
+		freed := make([]bool, count)
+		for i := range bases {
+			if freeMask&(1<<uint(i)) != 0 {
+				if err := m.Free(bases[i]); err != nil {
+					return false
+				}
+				freed[i] = true
+			}
+		}
+		for i, b := range bases {
+			seg := m.Resolve(b)
+			if freed[i] && seg != nil && seg.Base == b {
+				return false
+			}
+			if !freed[i] && (seg == nil || seg.Base != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkResolveHot(b *testing.B) {
+	m := New()
+	var a Addr
+	for i := 0; i < 100; i++ {
+		a = m.Alloc(4096, KindDevice)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Resolve(a + Addr(i%4096))
+	}
+}
+
+func BenchmarkScalarStore(b *testing.B) {
+	m := New()
+	a := m.Alloc(4096, KindHostPageable)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetFloat64(a+Addr((i%512)*8), 1.0)
+	}
+}

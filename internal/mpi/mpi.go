@@ -1,0 +1,294 @@
+// Package mpi is an in-process, CUDA-aware MPI simulation: ranks are
+// goroutines over their own simulated address spaces, exchanging messages
+// through a matching engine with MPI point-to-point semantics (source/tag
+// matching with wildcards, non-overtaking order), non-blocking requests,
+// and the collectives the mini-apps need.
+//
+// CUDA-awareness follows the UVA design the paper describes (§III-D): a
+// buffer argument is just an address, and the library internally
+// distinguishes host from device memory by the pointer's memory kind —
+// device pointers are communicated directly, no staging through host
+// buffers is required of the user.
+//
+// The Hooks interface is the PMPI-style interception layer MUST installs
+// (paper §II-B): every call reports its buffer, datatype, and request
+// arguments before/after executing.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cusango/internal/memspace"
+	"cusango/internal/typeart"
+)
+
+// Wildcards for Recv/Irecv source and tag matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Sentinel errors.
+var (
+	// ErrRank reports an out-of-range rank argument.
+	ErrRank = errors.New("mpi: invalid rank")
+	// ErrCount reports a negative element count.
+	ErrCount = errors.New("mpi: invalid count")
+	// ErrTruncate reports a received message longer than the posted
+	// buffer (MPI_ERR_TRUNCATE).
+	ErrTruncate = errors.New("mpi: message truncated")
+	// ErrRequest reports misuse of a request (double wait, nil request).
+	ErrRequest = errors.New("mpi: invalid request")
+	// ErrCollectiveMismatch reports ranks disagreeing on the collective
+	// operation being performed.
+	ErrCollectiveMismatch = errors.New("mpi: collective call mismatch across ranks")
+	// ErrBuffer reports a buffer range outside any live allocation.
+	ErrBuffer = errors.New("mpi: invalid buffer")
+)
+
+// Datatype describes an MPI basic datatype.
+type Datatype struct {
+	Name string
+	Size int64
+	// TypeartID is the corresponding TypeART type for MUST's datatype
+	// compatibility check.
+	TypeartID typeart.TypeID
+}
+
+// Predefined datatypes.
+var (
+	Byte    = Datatype{Name: "MPI_BYTE", Size: 1, TypeartID: typeart.TypeUint8}
+	Int32   = Datatype{Name: "MPI_INT", Size: 4, TypeartID: typeart.TypeInt32}
+	Int64   = Datatype{Name: "MPI_LONG_LONG", Size: 8, TypeartID: typeart.TypeInt64}
+	Float32 = Datatype{Name: "MPI_FLOAT", Size: 4, TypeartID: typeart.TypeFloat32}
+	Float64 = Datatype{Name: "MPI_DOUBLE", Size: 8, TypeartID: typeart.TypeFloat64}
+)
+
+// Op is a reduction operator.
+type Op uint8
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpProd
+)
+
+func (o Op) String() string {
+	return [...]string{"MPI_SUM", "MPI_MAX", "MPI_MIN", "MPI_PROD"}[o]
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	// Count is the received element count.
+	Count int
+}
+
+// Stats counts library-level events per rank.
+type Stats struct {
+	Sends, Recvs      int64
+	Isends, Irecvs    int64
+	Waits             int64
+	Collectives       int64
+	BytesSent         int64
+	BytesRecv         int64
+	DeviceBufferCalls int64 // calls whose buffer was device or managed
+	HostBufferCalls   int64
+}
+
+// Hooks is the interception interface MUST implements. All callbacks run
+// on the calling rank's goroutine.
+type Hooks interface {
+	PreSend(buf memspace.Addr, count int, dt Datatype, dest, tag int)
+	PostSend(buf memspace.Addr, count int, dt Datatype, dest, tag int)
+	PreRecv(buf memspace.Addr, count int, dt Datatype, src, tag int)
+	PostRecv(buf memspace.Addr, count int, dt Datatype, st Status)
+	PreIsend(buf memspace.Addr, count int, dt Datatype, dest, tag int, req *Request)
+	PreIrecv(buf memspace.Addr, count int, dt Datatype, src, tag int, req *Request)
+	PreWait(req *Request)
+	PostWait(req *Request, st Status)
+	// PreCollective reports a collective with its local read buffer
+	// (0/empty when none) and write buffer (likewise); PostCollective
+	// fires after local completion.
+	PreCollective(name string, read memspace.Addr, readBytes int64, write memspace.Addr, writeBytes int64)
+	PostCollective(name string, read memspace.Addr, readBytes int64, write memspace.Addr, writeBytes int64)
+	PreFinalize()
+}
+
+// BaseHooks implements Hooks with no-ops; embed it for partial
+// implementations.
+type BaseHooks struct{}
+
+// PreSend implements Hooks.
+func (BaseHooks) PreSend(memspace.Addr, int, Datatype, int, int) {}
+
+// PostSend implements Hooks.
+func (BaseHooks) PostSend(memspace.Addr, int, Datatype, int, int) {}
+
+// PreRecv implements Hooks.
+func (BaseHooks) PreRecv(memspace.Addr, int, Datatype, int, int) {}
+
+// PostRecv implements Hooks.
+func (BaseHooks) PostRecv(memspace.Addr, int, Datatype, Status) {}
+
+// PreIsend implements Hooks.
+func (BaseHooks) PreIsend(memspace.Addr, int, Datatype, int, int, *Request) {}
+
+// PreIrecv implements Hooks.
+func (BaseHooks) PreIrecv(memspace.Addr, int, Datatype, int, int, *Request) {}
+
+// PreWait implements Hooks.
+func (BaseHooks) PreWait(*Request) {}
+
+// PostWait implements Hooks.
+func (BaseHooks) PostWait(*Request, Status) {}
+
+// PreCollective implements Hooks.
+func (BaseHooks) PreCollective(string, memspace.Addr, int64, memspace.Addr, int64) {}
+
+// PostCollective implements Hooks.
+func (BaseHooks) PostCollective(string, memspace.Addr, int64, memspace.Addr, int64) {}
+
+// PreFinalize implements Hooks.
+func (BaseHooks) PreFinalize() {}
+
+var _ Hooks = BaseHooks{}
+
+// packet is one in-flight message.
+type packet struct {
+	src, tag int
+	dt       Datatype
+	data     []byte
+	// rendezvous, when non-nil, is closed once a receive matches the
+	// packet (synchronous-mode send).
+	rendezvous chan struct{}
+}
+
+// World is the communication universe of one simulated job.
+type World struct {
+	size  int
+	boxes []*mailbox
+
+	collMu sync.Mutex
+	colls  map[int64]*collOp
+}
+
+// NewWorld creates a world for size ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{size: size, colls: make(map[int64]*collOp)}
+	for i := 0; i < size; i++ {
+		w.boxes = append(w.boxes, newMailbox())
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// AttachRank binds rank's address space and interception hooks, returning
+// its communicator (MPI_COMM_WORLD view). hooks may be nil.
+func (w *World) AttachRank(rank int, mem *memspace.Memory, hooks Hooks) (*Comm, error) {
+	if rank < 0 || rank >= w.size {
+		return nil, fmt.Errorf("%w: %d of %d", ErrRank, rank, w.size)
+	}
+	if hooks == nil {
+		hooks = BaseHooks{}
+	}
+	return &Comm{world: w, rank: rank, mem: mem, hooks: hooks}, nil
+}
+
+// Comm is one rank's view of the world (MPI_COMM_WORLD).
+type Comm struct {
+	world *World
+	rank  int
+	mem   *memspace.Memory
+	hooks Hooks
+
+	collSeq   int64
+	stats     Stats
+	finalized bool
+	// live tracks incomplete requests for MUST's leak check.
+	live map[*Request]struct{}
+}
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Stats returns a snapshot of the per-rank counters.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// SetHooks replaces the interception hooks (toolchain link step).
+func (c *Comm) SetHooks(h Hooks) {
+	if h == nil {
+		h = BaseHooks{}
+	}
+	c.hooks = h
+}
+
+// PendingRequests returns the number of incomplete requests (requests
+// never waited on), for finalize-time leak checks.
+func (c *Comm) PendingRequests() int { return len(c.live) }
+
+// Finalize runs finalize-time hooks. Further communication is a bug.
+func (c *Comm) Finalize() {
+	if c.finalized {
+		return
+	}
+	c.hooks.PreFinalize()
+	c.finalized = true
+}
+
+// Finalized reports whether Finalize ran.
+func (c *Comm) Finalized() bool { return c.finalized }
+
+func (c *Comm) countBufferKind(a memspace.Addr) {
+	switch memspace.KindOf(a) {
+	case memspace.KindDevice, memspace.KindManaged:
+		c.stats.DeviceBufferCalls++
+	default:
+		c.stats.HostBufferCalls++
+	}
+}
+
+func (c *Comm) checkPeer(rank int, wildcardOK bool) error {
+	if wildcardOK && rank == AnySource {
+		return nil
+	}
+	if rank < 0 || rank >= c.world.size {
+		return fmt.Errorf("%w: peer %d of %d", ErrRank, rank, c.world.size)
+	}
+	return nil
+}
+
+// readBuf copies count elements out of the caller's memory.
+func (c *Comm) readBuf(buf memspace.Addr, count int, dt Datatype) ([]byte, error) {
+	n := int64(count) * dt.Size
+	src, err := c.mem.Bytes(buf, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBuffer, err)
+	}
+	out := make([]byte, n)
+	copy(out, src)
+	return out, nil
+}
+
+// writeBuf copies data into the caller's memory.
+func (c *Comm) writeBuf(buf memspace.Addr, data []byte) error {
+	dst, err := c.mem.Bytes(buf, int64(len(data)))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBuffer, err)
+	}
+	copy(dst, data)
+	return nil
+}

@@ -1,0 +1,198 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"cusango/internal/memspace"
+)
+
+// Point-to-point matching engine.
+//
+// Each destination rank owns a mailbox of unmatched posted sends
+// (packets) and unmatched posted receives. Matching follows MPI rules:
+// a receive matches the earliest-posted send whose (source, tag) agree,
+// honouring AnySource/AnyTag wildcards, which preserves the
+// non-overtaking guarantee for identical envelopes.
+
+type recvPost struct {
+	src, tag int
+	done     chan struct{}
+	pkt      *packet // set under the mailbox lock before closing done
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	sends  []*packet
+	recvs  []*recvPost
+	probes []*probeWaiter
+}
+
+func newMailbox() *mailbox { return &mailbox{} }
+
+func envelopeMatch(wantSrc, wantTag int, p *packet) bool {
+	if wantSrc != AnySource && wantSrc != p.src {
+		return false
+	}
+	if wantTag != AnyTag && wantTag != p.tag {
+		return false
+	}
+	return true
+}
+
+// deliver posts a packet to the mailbox, completing the earliest
+// matching posted receive if any, and waking matching probes.
+func (mb *mailbox) deliver(p *packet) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.notifyProbes(p)
+	for i, r := range mb.recvs {
+		if envelopeMatch(r.src, r.tag, p) {
+			mb.recvs = append(mb.recvs[:i], mb.recvs[i+1:]...)
+			r.pkt = p
+			close(r.done)
+			return
+		}
+	}
+	mb.sends = append(mb.sends, p)
+}
+
+// post registers a receive, matching the earliest already-delivered
+// packet if any.
+func (mb *mailbox) post(r *recvPost) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, p := range mb.sends {
+		if envelopeMatch(r.src, r.tag, p) {
+			mb.sends = append(mb.sends[:i], mb.sends[i+1:]...)
+			r.pkt = p
+			close(r.done)
+			if p.rendezvous != nil {
+				close(p.rendezvous)
+			}
+			return
+		}
+	}
+	mb.recvs = append(mb.recvs, r)
+}
+
+// unmatchedSends reports leftover packets (diagnostics).
+func (mb *mailbox) unmatchedSends() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.sends)
+}
+
+// --- blocking point-to-point --------------------------------------------
+
+// Send performs a blocking standard-mode send (buffered semantics: the
+// message is captured at call time and the call returns once the buffer
+// is reusable, which is immediately).
+func (c *Comm) Send(buf memspace.Addr, count int, dt Datatype, dest, tag int) error {
+	if count < 0 {
+		return ErrCount
+	}
+	if err := c.checkPeer(dest, false); err != nil {
+		return err
+	}
+	c.hooks.PreSend(buf, count, dt, dest, tag)
+	data, err := c.readBuf(buf, count, dt)
+	if err != nil {
+		return err
+	}
+	c.world.boxes[dest].deliver(&packet{src: c.rank, tag: tag, dt: dt, data: data})
+	c.stats.Sends++
+	c.stats.BytesSent += int64(len(data))
+	c.countBufferKind(buf)
+	c.hooks.PostSend(buf, count, dt, dest, tag)
+	return nil
+}
+
+// Recv performs a blocking receive. src may be AnySource and tag AnyTag.
+func (c *Comm) Recv(buf memspace.Addr, count int, dt Datatype, src, tag int) (Status, error) {
+	if count < 0 {
+		return Status{}, ErrCount
+	}
+	if err := c.checkPeer(src, true); err != nil {
+		return Status{}, err
+	}
+	c.hooks.PreRecv(buf, count, dt, src, tag)
+	r := &recvPost{src: src, tag: tag, done: make(chan struct{})}
+	c.world.boxes[c.rank].post(r)
+	<-r.done
+	st, err := c.completeRecv(buf, count, dt, r.pkt)
+	if err != nil {
+		return st, err
+	}
+	c.stats.Recvs++
+	c.countBufferKind(buf)
+	c.hooks.PostRecv(buf, count, dt, st)
+	return st, nil
+}
+
+// completeRecv copies a matched packet into the posted buffer.
+func (c *Comm) completeRecv(buf memspace.Addr, count int, dt Datatype, p *packet) (Status, error) {
+	posted := int64(count) * dt.Size
+	if int64(len(p.data)) > posted {
+		return Status{}, fmt.Errorf("%w: got %d bytes, posted %d", ErrTruncate, len(p.data), posted)
+	}
+	if err := c.writeBuf(buf, p.data); err != nil {
+		return Status{}, err
+	}
+	c.stats.BytesRecv += int64(len(p.data))
+	n := 0
+	if dt.Size > 0 {
+		n = int(int64(len(p.data)) / dt.Size)
+	}
+	return Status{Source: p.src, Tag: p.tag, Count: n}, nil
+}
+
+// Sendrecv performs the combined blocking send/receive (deadlock-free
+// halo exchange primitive): the receive is posted first, the send
+// executes, then the receive completes.
+func (c *Comm) Sendrecv(
+	sendBuf memspace.Addr, sendCount int, sendType Datatype, dest, sendTag int,
+	recvBuf memspace.Addr, recvCount int, recvType Datatype, src, recvTag int,
+) (Status, error) {
+	if sendCount < 0 || recvCount < 0 {
+		return Status{}, ErrCount
+	}
+	if err := c.checkPeer(dest, false); err != nil {
+		return Status{}, err
+	}
+	if err := c.checkPeer(src, true); err != nil {
+		return Status{}, err
+	}
+	// Interception: a Sendrecv is a send and a receive.
+	c.hooks.PreSend(sendBuf, sendCount, sendType, dest, sendTag)
+	c.hooks.PreRecv(recvBuf, recvCount, recvType, src, recvTag)
+
+	r := &recvPost{src: src, tag: recvTag, done: make(chan struct{})}
+	c.world.boxes[c.rank].post(r)
+
+	data, err := c.readBuf(sendBuf, sendCount, sendType)
+	if err != nil {
+		return Status{}, err
+	}
+	c.world.boxes[dest].deliver(&packet{src: c.rank, tag: sendTag, dt: sendType, data: data})
+	c.stats.Sends++
+	c.stats.BytesSent += int64(len(data))
+	c.countBufferKind(sendBuf)
+	c.hooks.PostSend(sendBuf, sendCount, sendType, dest, sendTag)
+
+	<-r.done
+	st, err := c.completeRecv(recvBuf, recvCount, recvType, r.pkt)
+	if err != nil {
+		return st, err
+	}
+	c.stats.Recvs++
+	c.countBufferKind(recvBuf)
+	c.hooks.PostRecv(recvBuf, recvCount, recvType, st)
+	return st, nil
+}
+
+// UnmatchedSends reports packets delivered to this rank that no receive
+// ever matched (job-teardown diagnostics).
+func (c *Comm) UnmatchedSends() int {
+	return c.world.boxes[c.rank].unmatchedSends()
+}

@@ -1,0 +1,157 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+
+	"cusango/internal/memspace"
+)
+
+// Extended point-to-point operations: synchronous-mode send (MPI_Ssend),
+// Waitany, and Probe/Iprobe.
+
+// probeWaiter is a parked MPI_Probe.
+type probeWaiter struct {
+	src, tag int
+	found    chan Status
+}
+
+// notifyProbes completes parked probes that match p. Must run with the
+// mailbox locked.
+func (mb *mailbox) notifyProbes(p *packet) {
+	kept := mb.probes[:0]
+	for _, w := range mb.probes {
+		if envelopeMatch(w.src, w.tag, p) {
+			w.found <- statusOf(p)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	mb.probes = kept
+}
+
+func statusOf(p *packet) Status {
+	n := 0
+	if p.dt.Size > 0 {
+		n = int(int64(len(p.data)) / p.dt.Size)
+	}
+	return Status{Source: p.src, Tag: p.tag, Count: n}
+}
+
+// deliverSync posts a packet that carries a rendezvous channel: it is
+// closed when a receive matches the packet (synchronous-mode send
+// semantics).
+func (mb *mailbox) deliverSync(p *packet) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.notifyProbes(p)
+	for i, r := range mb.recvs {
+		if envelopeMatch(r.src, r.tag, p) {
+			mb.recvs = append(mb.recvs[:i], mb.recvs[i+1:]...)
+			r.pkt = p
+			close(r.done)
+			close(p.rendezvous)
+			return
+		}
+	}
+	mb.sends = append(mb.sends, p)
+}
+
+// Ssend performs a synchronous-mode send (MPI_Ssend): it returns only
+// after the matching receive has been posted, so completion implies the
+// receiver reached the communication.
+func (c *Comm) Ssend(buf memspace.Addr, count int, dt Datatype, dest, tag int) error {
+	if count < 0 {
+		return ErrCount
+	}
+	if err := c.checkPeer(dest, false); err != nil {
+		return err
+	}
+	// Interception: access semantics identical to a standard send.
+	c.hooks.PreSend(buf, count, dt, dest, tag)
+	data, err := c.readBuf(buf, count, dt)
+	if err != nil {
+		return err
+	}
+	p := &packet{src: c.rank, tag: tag, dt: dt, data: data, rendezvous: make(chan struct{})}
+	c.world.boxes[dest].deliverSync(p)
+	<-p.rendezvous
+	c.stats.Sends++
+	c.stats.BytesSent += int64(len(data))
+	c.countBufferKind(buf)
+	c.hooks.PostSend(buf, count, dt, dest, tag)
+	return nil
+}
+
+// Waitany blocks until one of the requests completes, completes it, and
+// returns its index (MPI_Waitany).
+func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
+	if len(reqs) == 0 {
+		return -1, Status{}, fmt.Errorf("%w: Waitany with no requests", ErrRequest)
+	}
+	for i, r := range reqs {
+		if r == nil || r.comm != c {
+			return -1, Status{}, fmt.Errorf("%w: request %d foreign or nil", ErrRequest, i)
+		}
+		if r.done {
+			return -1, Status{}, fmt.Errorf("%w: request %d already completed", ErrRequest, i)
+		}
+	}
+	// Send requests complete immediately (buffered transport).
+	for i, r := range reqs {
+		if r.kind == ReqSend {
+			st, err := c.Wait(r)
+			return i, st, err
+		}
+	}
+	// All receives: select over their matching channels.
+	cases := make([]reflect.SelectCase, len(reqs))
+	for i, r := range reqs {
+		cases[i] = reflect.SelectCase{
+			Dir:  reflect.SelectRecv,
+			Chan: reflect.ValueOf(r.post.done),
+		}
+	}
+	chosen, _, _ := reflect.Select(cases)
+	st, err := c.Wait(reqs[chosen])
+	return chosen, st, err
+}
+
+// Iprobe checks non-blockingly for a matching incoming message without
+// receiving it (MPI_Iprobe).
+func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
+	if err := c.checkPeer(src, true); err != nil {
+		return false, Status{}, err
+	}
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, p := range mb.sends {
+		if envelopeMatch(src, tag, p) {
+			return true, statusOf(p), nil
+		}
+	}
+	return false, Status{}, nil
+}
+
+// Probe blocks until a matching message is available, without receiving
+// it (MPI_Probe). A subsequent Recv with the returned envelope consumes
+// the message.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	if err := c.checkPeer(src, true); err != nil {
+		return Status{}, err
+	}
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	for _, p := range mb.sends {
+		if envelopeMatch(src, tag, p) {
+			st := statusOf(p)
+			mb.mu.Unlock()
+			return st, nil
+		}
+	}
+	w := &probeWaiter{src: src, tag: tag, found: make(chan Status, 1)}
+	mb.probes = append(mb.probes, w)
+	mb.mu.Unlock()
+	return <-w.found, nil
+}

@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cusango/internal/memspace"
+)
+
+func TestSsendRendezvous(t *testing.T) {
+	var recvPosted atomic.Bool
+	errs := RunRanks(2, func(c *Comm, mem *memspace.Memory) error {
+		if c.Rank() == 0 {
+			buf := allocF64(mem, memspace.KindHostPageable, 42)
+			if err := c.Ssend(buf, 1, Float64, 1, 0); err != nil {
+				return err
+			}
+			// Synchronous mode: the receive must have been posted by the
+			// time Ssend returned.
+			if !recvPosted.Load() {
+				t.Error("Ssend returned before the matching receive was posted")
+			}
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond) // let the sender block
+		buf := mem.Alloc(8, memspace.KindHostPageable)
+		recvPosted.Store(true)
+		_, err := c.Recv(buf, 1, Float64, 0, 0)
+		if err == nil && mem.Float64(buf) != 42 {
+			t.Errorf("payload = %v", mem.Float64(buf))
+		}
+		return err
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSsendMatchesAlreadyPostedRecv(t *testing.T) {
+	errs := RunRanks(2, func(c *Comm, mem *memspace.Memory) error {
+		if c.Rank() == 0 {
+			// Give rank 1 time to post the Irecv first.
+			time.Sleep(10 * time.Millisecond)
+			buf := allocF64(mem, memspace.KindHostPageable, 7)
+			return c.Ssend(buf, 1, Float64, 1, 0)
+		}
+		buf := mem.Alloc(8, memspace.KindHostPageable)
+		req, err := c.Irecv(buf, 1, Float64, 0, 0)
+		if err != nil {
+			return err
+		}
+		_, err = c.Wait(req)
+		return err
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitany(t *testing.T) {
+	errs := RunRanks(2, func(c *Comm, mem *memspace.Memory) error {
+		if c.Rank() == 0 {
+			// Only the tag-2 message is sent; Waitany must pick it.
+			buf := allocF64(mem, memspace.KindHostPageable, 5)
+			return c.Send(buf, 1, Float64, 1, 2)
+		}
+		a := mem.Alloc(8, memspace.KindHostPageable)
+		b := mem.Alloc(8, memspace.KindHostPageable)
+		r1, err := c.Irecv(a, 1, Float64, 0, 1)
+		if err != nil {
+			return err
+		}
+		r2, err := c.Irecv(b, 1, Float64, 0, 2)
+		if err != nil {
+			return err
+		}
+		idx, st, err := c.Waitany([]*Request{r1, r2})
+		if err != nil {
+			return err
+		}
+		if idx != 1 || st.Tag != 2 || mem.Float64(b) != 5 {
+			t.Errorf("waitany: idx=%d st=%+v val=%v", idx, st, mem.Float64(b))
+		}
+		// Unblock the leftover request for teardown: sender side is done,
+		// so cancel by completing it from a self-send... simplest: another
+		// message from rank 1 cannot arrive; instead verify it is still
+		// pending and leave it (leak checks are MUST's job).
+		if r1.Done() {
+			t.Error("unchosen request must stay pending")
+		}
+		_ = c.PendingRequests()
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitanyErrors(t *testing.T) {
+	errs := RunRanks(1, func(c *Comm, mem *memspace.Memory) error {
+		if _, _, err := c.Waitany(nil); !errors.Is(err, ErrRequest) {
+			t.Error("empty Waitany must fail")
+		}
+		if _, _, err := c.Waitany([]*Request{nil}); !errors.Is(err, ErrRequest) {
+			t.Error("nil request must fail")
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitanyPrefersSends(t *testing.T) {
+	errs := RunRanks(2, func(c *Comm, mem *memspace.Memory) error {
+		if c.Rank() == 0 {
+			buf := allocF64(mem, memspace.KindHostPageable, 1)
+			recv := mem.Alloc(8, memspace.KindHostPageable)
+			rs, err := c.Isend(buf, 1, Float64, 1, 0)
+			if err != nil {
+				return err
+			}
+			rr, err := c.Irecv(recv, 1, Float64, 1, 5)
+			if err != nil {
+				return err
+			}
+			idx, _, err := c.Waitany([]*Request{rr, rs})
+			if err != nil {
+				return err
+			}
+			if idx != 1 {
+				t.Errorf("buffered send should complete first, got idx %d", idx)
+			}
+			if _, err := c.Wait(rr); err != nil {
+				return err
+			}
+			return nil
+		}
+		buf := mem.Alloc(8, memspace.KindHostPageable)
+		if _, err := c.Recv(buf, 1, Float64, 0, 0); err != nil {
+			return err
+		}
+		return c.Send(buf, 1, Float64, 0, 5)
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeAndIprobe(t *testing.T) {
+	errs := RunRanks(2, func(c *Comm, mem *memspace.Memory) error {
+		if c.Rank() == 0 {
+			// Nothing arrived yet: Iprobe says no.
+			found, _, err := c.Iprobe(1, 3)
+			if err != nil {
+				return err
+			}
+			if found {
+				t.Error("Iprobe found a message before any send")
+			}
+			// Blocking probe: returns once the message is available.
+			st, err := c.Probe(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if st.Source != 1 || st.Tag != 3 || st.Count != 2 {
+				t.Errorf("probe status = %+v", st)
+			}
+			// The message is still there: Iprobe agrees, and Recv gets it.
+			found, st2, err := c.Iprobe(1, 3)
+			if err != nil || !found || st2.Count != 2 {
+				t.Errorf("iprobe after probe: %v %+v %v", found, st2, err)
+			}
+			buf := mem.Alloc(16, memspace.KindHostPageable)
+			_, err = c.Recv(buf, 2, Float64, st.Source, st.Tag)
+			return err
+		}
+		time.Sleep(10 * time.Millisecond) // let rank 0 park in Probe
+		buf := allocF64(mem, memspace.KindHostPageable, 1, 2)
+		return c.Send(buf, 2, Float64, 0, 3)
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeBadRank(t *testing.T) {
+	errs := RunRanks(1, func(c *Comm, mem *memspace.Memory) error {
+		if _, err := c.Probe(7, 0); !errors.Is(err, ErrRank) {
+			t.Error("probe of bad rank must fail")
+		}
+		if _, _, err := c.Iprobe(7, 0); !errors.Is(err, ErrRank) {
+			t.Error("iprobe of bad rank must fail")
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+// Package must reproduces the MUST runtime's role in the paper (§II-B):
+// an MPI interception layer that (i) exposes MPI memory-access and
+// synchronization semantics to the race detector and (ii) performs
+// TypeART-backed datatype and buffer checks.
+//
+// Race modeling follows the published MUST/TSan integration:
+//
+//   - Blocking calls annotate their buffer accesses on the host fiber
+//     (a blocking send reads the buffer, a blocking receive writes it) —
+//     sufficient because the call completes before returning.
+//   - Each non-blocking call gets a TSan fiber modeling its concurrent
+//     region (paper Fig. 1): at initiation the runtime switches to the
+//     fiber (carrying host program order in), annotates the buffer access
+//     there, releases the request's sync key, and switches back without
+//     synchronization; the completion call (MPI_Wait/successful Test)
+//     acquires the key on the host. Any host access to the buffer between
+//     initiation and completion is therefore concurrent with the fiber's
+//     access — a race if conflicting.
+//   - Fibers are pooled and recycled after completion, bounding the
+//     vector-clock width by the number of in-flight requests.
+package must
+
+import (
+	"fmt"
+	"strings"
+
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+	"cusango/internal/tsan"
+	"cusango/internal/typeart"
+)
+
+const keyClassRequest uint8 = 4
+
+// IssueKind classifies non-race findings.
+type IssueKind uint8
+
+// Issue kinds.
+const (
+	// IssueTypeMismatch: buffer element type incompatible with the MPI
+	// datatype.
+	IssueTypeMismatch IssueKind = iota
+	// IssueBufferTooSmall: count exceeds the allocation extent.
+	IssueBufferTooSmall
+	// IssueUnknownBuffer: the buffer is not a tracked allocation.
+	IssueUnknownBuffer
+	// IssueRequestLeak: requests never completed before MPI_Finalize.
+	IssueRequestLeak
+)
+
+func (k IssueKind) String() string {
+	return [...]string{"type-mismatch", "buffer-too-small", "unknown-buffer", "request-leak"}[k]
+}
+
+// Issue is one MUST finding.
+type Issue struct {
+	Kind   IssueKind
+	Call   string
+	Detail string
+}
+
+func (i *Issue) String() string {
+	return fmt.Sprintf("MUST %s in %s: %s", i.Kind, i.Call, i.Detail)
+}
+
+// Options tunes the runtime.
+type Options struct {
+	// DisableTypeChecks turns off the TypeART-backed datatype analysis
+	// (MUST can be configured to only check data races, as in the
+	// paper's evaluation).
+	DisableTypeChecks bool
+	// OnIssue, if set, is invoked per finding.
+	OnIssue func(*Issue)
+	// MaxIssues caps stored issues (default 128).
+	MaxIssues int
+}
+
+// Stats counts runtime events.
+type Stats struct {
+	BlockingCalls    int64
+	NonBlockingCalls int64
+	Completions      int64
+	Collectives      int64
+	FibersCreated    int64
+	FibersReused     int64
+	TypeChecks       int64
+	IssuesFound      int64
+}
+
+// Runtime is the per-rank MUST instance; install it on a Comm via
+// SetHooks.
+type Runtime struct {
+	san  *tsan.Sanitizer
+	ta   *typeart.Runtime
+	opts Options
+
+	pool      []*tsan.Fiber
+	reqFibers map[*mpi.Request]*tsan.Fiber
+	reqKeys   map[*mpi.Request]tsan.SyncKey
+	keySeq    uint64
+
+	issues []*Issue
+	st     Stats
+
+	sendInfo  *tsan.AccessInfo
+	recvInfo  *tsan.AccessInfo
+	isendInfo *tsan.AccessInfo
+	irecvInfo *tsan.AccessInfo
+	collRead  map[string]*tsan.AccessInfo
+	collWrite map[string]*tsan.AccessInfo
+}
+
+var _ mpi.Hooks = (*Runtime)(nil)
+
+// New creates a MUST runtime. ta may be nil when type checks are
+// disabled.
+func New(san *tsan.Sanitizer, ta *typeart.Runtime, opts Options) *Runtime {
+	if opts.MaxIssues <= 0 {
+		opts.MaxIssues = 128
+	}
+	return &Runtime{
+		san:       san,
+		ta:        ta,
+		opts:      opts,
+		reqFibers: make(map[*mpi.Request]*tsan.Fiber),
+		reqKeys:   make(map[*mpi.Request]tsan.SyncKey),
+		sendInfo:  &tsan.AccessInfo{Site: "MPI_Send", Object: "send buffer"},
+		recvInfo:  &tsan.AccessInfo{Site: "MPI_Recv", Object: "recv buffer"},
+		isendInfo: &tsan.AccessInfo{Site: "MPI_Isend", Object: "send buffer"},
+		irecvInfo: &tsan.AccessInfo{Site: "MPI_Irecv", Object: "recv buffer"},
+		collRead:  make(map[string]*tsan.AccessInfo),
+		collWrite: make(map[string]*tsan.AccessInfo),
+	}
+}
+
+// Issues returns the stored findings.
+func (r *Runtime) Issues() []*Issue {
+	out := make([]*Issue, len(r.issues))
+	copy(out, r.issues)
+	return out
+}
+
+// IssueCount returns the number of findings (including past the cap).
+func (r *Runtime) IssueCount() int64 { return r.st.IssuesFound }
+
+// Stats returns a snapshot of the event counters.
+func (r *Runtime) Stats() Stats { return r.st }
+
+func (r *Runtime) report(kind IssueKind, call, format string, args ...any) {
+	is := &Issue{Kind: kind, Call: call, Detail: fmt.Sprintf(format, args...)}
+	r.st.IssuesFound++
+	if len(r.issues) < r.opts.MaxIssues {
+		r.issues = append(r.issues, is)
+	}
+	if r.opts.OnIssue != nil {
+		r.opts.OnIssue(is)
+	}
+}
+
+// checkBuffer performs the TypeART datatype/extent analysis of paper
+// Fig. 2 for one buffer argument.
+func (r *Runtime) checkBuffer(call string, buf memspace.Addr, count int, dt mpi.Datatype) {
+	if r.opts.DisableTypeChecks || r.ta == nil || count == 0 {
+		return
+	}
+	r.st.TypeChecks++
+	rec, off, ok := r.ta.Lookup(buf)
+	if !ok {
+		r.report(IssueUnknownBuffer, call,
+			"buffer 0x%x is not a tracked allocation", uint64(buf))
+		return
+	}
+	need := int64(count) * dt.Size
+	if off+need > rec.Bytes() {
+		r.report(IssueBufferTooSmall, call,
+			"count %d x %s needs %d bytes, allocation has %d past the pointer",
+			count, dt.Name, need, rec.Bytes()-off)
+	}
+	// Untyped allocations (tracked as byte arrays, e.g. raw cudaMalloc)
+	// are layout-compatible with any datatype; concrete element types
+	// must match the MPI datatype.
+	if rec.Type != typeart.TypeUint8 && rec.Type != dt.TypeartID {
+		info := r.ta.Reg.Info(rec.Type)
+		name := fmt.Sprintf("type %d", rec.Type)
+		if info != nil {
+			name = info.Name
+		}
+		r.report(IssueTypeMismatch, call,
+			"buffer of %s used as %s", name, dt.Name)
+	}
+}
+
+// --- fiber pool -----------------------------------------------------------
+
+func (r *Runtime) acquireFiber() *tsan.Fiber {
+	if n := len(r.pool); n > 0 {
+		f := r.pool[n-1]
+		r.pool = r.pool[:n-1]
+		r.st.FibersReused++
+		return f
+	}
+	r.st.FibersCreated++
+	return r.san.CreateFiber(fmt.Sprintf("MPI request fiber %d", r.st.FibersCreated))
+}
+
+func (r *Runtime) releaseFiber(f *tsan.Fiber) { r.pool = append(r.pool, f) }
+
+func (r *Runtime) nextKey() tsan.SyncKey {
+	r.keySeq++
+	return tsan.MakeKey(keyClassRequest, r.keySeq)
+}
+
+// --- blocking p2p ----------------------------------------------------------
+
+// PreSend annotates the blocking send's buffer read on the host fiber.
+func (r *Runtime) PreSend(buf memspace.Addr, count int, dt mpi.Datatype, dest, tag int) {
+	r.st.BlockingCalls++
+	r.checkBuffer("MPI_Send", buf, count, dt)
+	r.san.ReadRange(buf, int64(count)*dt.Size, r.sendInfo)
+}
+
+// PostSend implements mpi.Hooks.
+func (r *Runtime) PostSend(memspace.Addr, int, mpi.Datatype, int, int) {}
+
+// PreRecv checks the posted buffer.
+func (r *Runtime) PreRecv(buf memspace.Addr, count int, dt mpi.Datatype, src, tag int) {
+	r.st.BlockingCalls++
+	r.checkBuffer("MPI_Recv", buf, count, dt)
+}
+
+// PostRecv annotates the received bytes as written by the host fiber.
+func (r *Runtime) PostRecv(buf memspace.Addr, count int, dt mpi.Datatype, st mpi.Status) {
+	r.san.WriteRange(buf, int64(st.Count)*dt.Size, r.recvInfo)
+}
+
+// --- non-blocking p2p (paper Fig. 1) ----------------------------------------
+
+// nonBlockingStart runs the initiation protocol: enter the request's
+// fiber with host program order, annotate the buffer access, release the
+// request key, and leave without synchronization.
+func (r *Runtime) nonBlockingStart(req *mpi.Request, buf memspace.Addr, bytes int64,
+	write bool, info *tsan.AccessInfo) {
+	r.st.NonBlockingCalls++
+	f := r.acquireFiber()
+	key := r.nextKey()
+	r.reqFibers[req] = f
+	r.reqKeys[req] = key
+	r.san.SwitchFiberSync(f)
+	if write {
+		r.san.WriteRange(buf, bytes, info)
+	} else {
+		r.san.ReadRange(buf, bytes, info)
+	}
+	r.san.HappensBefore(key)
+	r.san.SwitchFiber(r.san.HostFiber())
+}
+
+// PreIsend models the concurrent buffer read of a non-blocking send.
+func (r *Runtime) PreIsend(buf memspace.Addr, count int, dt mpi.Datatype, dest, tag int, req *mpi.Request) {
+	r.checkBuffer("MPI_Isend", buf, count, dt)
+	r.nonBlockingStart(req, buf, int64(count)*dt.Size, false, r.isendInfo)
+}
+
+// PreIrecv models the concurrent buffer write of a non-blocking receive.
+func (r *Runtime) PreIrecv(buf memspace.Addr, count int, dt mpi.Datatype, src, tag int, req *mpi.Request) {
+	r.checkBuffer("MPI_Irecv", buf, count, dt)
+	r.nonBlockingStart(req, buf, int64(count)*dt.Size, true, r.irecvInfo)
+}
+
+// PreWait implements mpi.Hooks.
+func (r *Runtime) PreWait(*mpi.Request) {}
+
+// PostWait synchronizes the request's fiber with the host: the
+// concurrent region of paper Fig. 1 ends here.
+func (r *Runtime) PostWait(req *mpi.Request, st mpi.Status) {
+	key, ok := r.reqKeys[req]
+	if !ok {
+		return // request initiated before MUST was installed
+	}
+	r.st.Completions++
+	r.san.HappensAfter(key)
+	delete(r.reqKeys, req)
+	if f := r.reqFibers[req]; f != nil {
+		delete(r.reqFibers, req)
+		r.releaseFiber(f)
+	}
+}
+
+// --- collectives -------------------------------------------------------------
+
+func (r *Runtime) collInfo(m map[string]*tsan.AccessInfo, name, obj string) *tsan.AccessInfo {
+	if ai, ok := m[name]; ok {
+		return ai
+	}
+	ai := &tsan.AccessInfo{Site: name, Object: obj}
+	m[name] = ai
+	return ai
+}
+
+// PreCollective annotates the collective's local buffer read on the host
+// fiber (blocking semantics).
+func (r *Runtime) PreCollective(name string, read memspace.Addr, readBytes int64,
+	write memspace.Addr, writeBytes int64) {
+	r.st.Collectives++
+	if read != 0 && readBytes > 0 {
+		r.san.ReadRange(read, readBytes, r.collInfo(r.collRead, name, "send buffer"))
+	}
+}
+
+// PostCollective annotates the local result write.
+func (r *Runtime) PostCollective(name string, read memspace.Addr, readBytes int64,
+	write memspace.Addr, writeBytes int64) {
+	if write != 0 && writeBytes > 0 {
+		r.san.WriteRange(write, writeBytes, r.collInfo(r.collWrite, name, "recv buffer"))
+	}
+}
+
+// PreFinalize runs completion checks: leaked (never-completed) requests.
+func (r *Runtime) PreFinalize() {
+	if len(r.reqKeys) == 0 {
+		return
+	}
+	var pend []string
+	for req := range r.reqKeys {
+		pend = append(pend, req.String())
+	}
+	r.report(IssueRequestLeak, "MPI_Finalize",
+		"%d request(s) never completed: %s", len(pend), strings.Join(pend, ", "))
+}

@@ -1,0 +1,431 @@
+package must
+
+import (
+	"strings"
+	"testing"
+
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+	"cusango/internal/tsan"
+	"cusango/internal/typeart"
+)
+
+// rig wires a 2-rank world where rank 0 is instrumented with MUST and
+// rank 1 is a plain peer driven by a goroutine.
+type rig struct {
+	san  *tsan.Sanitizer
+	ta   *typeart.Runtime
+	rt   *Runtime
+	comm *mpi.Comm
+	mem  *memspace.Memory
+	peer chan func(c *mpi.Comm, mem *memspace.Memory)
+	done chan struct{}
+}
+
+func newRig(t *testing.T, opts Options) *rig {
+	t.Helper()
+	w := mpi.NewWorld(2)
+	san := tsan.New(tsan.Config{})
+	ta := typeart.NewRuntime(nil)
+	rt := New(san, ta, opts)
+	mem := memspace.New()
+	comm, err := w.AttachRank(0, mem, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{
+		san: san, ta: ta, rt: rt, comm: comm, mem: mem,
+		peer: make(chan func(c *mpi.Comm, mem *memspace.Memory)),
+		done: make(chan struct{}),
+	}
+	peerMem := memspace.New()
+	peerComm, err := w.AttachRank(1, peerMem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer close(r.done)
+		for f := range r.peer {
+			f(peerComm, peerMem)
+		}
+	}()
+	t.Cleanup(func() {
+		close(r.peer)
+		<-r.done
+	})
+	return r
+}
+
+// allocTyped allocates and TypeART-tracks a float64 array on rank 0.
+func (r *rig) allocF64(t *testing.T, count int64) memspace.Addr {
+	t.Helper()
+	a := r.mem.Alloc(count*8, memspace.KindHostPageable)
+	if err := r.ta.Track(a, typeart.TypeFloat64, count, memspace.KindHostPageable); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func (r *rig) hostWrite(a memspace.Addr, n int64) {
+	r.san.WriteRange(a, n, &tsan.AccessInfo{Site: "host", Object: "compute"})
+}
+
+func (r *rig) hostRead(a memspace.Addr, n int64) {
+	r.san.ReadRange(a, n, &tsan.AccessInfo{Site: "host", Object: "compute"})
+}
+
+// peerSends makes rank 1 send count float64s to rank 0.
+func (r *rig) peerSends(count int) {
+	r.peer <- func(c *mpi.Comm, mem *memspace.Memory) {
+		buf := mem.Alloc(int64(count)*8, memspace.KindHostPageable)
+		if err := c.Send(buf, count, mpi.Float64, 0, 0); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// peerRecvs makes rank 1 receive count float64s from rank 0.
+func (r *rig) peerRecvs(count int) {
+	r.peer <- func(c *mpi.Comm, mem *memspace.Memory) {
+		buf := mem.Alloc(int64(count)*8, memspace.KindHostPageable)
+		if _, err := c.Recv(buf, count, mpi.Float64, 0, 0); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestFig1IrecvRace reproduces paper Fig. 1: the host writes the receive
+// buffer between MPI_Irecv and MPI_Wait — a race with the concurrent
+// receive.
+func TestFig1IrecvRace(t *testing.T) {
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 16)
+	r.peerSends(16)
+	req, err := r.comm.Irecv(buf, 16, mpi.Float64, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.hostWrite(buf, 16*8) // compute(buf) inside the concurrent region
+	if _, err := r.comm.Wait(req); err != nil {
+		t.Fatal(err)
+	}
+	if r.san.RaceCount() == 0 {
+		t.Fatal("expected race: host write inside Irecv's concurrent region")
+	}
+	reps := r.san.Reports()
+	if !strings.Contains(reps[0].String(), "MPI_Irecv") {
+		t.Fatalf("report does not name MPI_Irecv:\n%s", reps[0])
+	}
+}
+
+func TestIrecvThenWaitThenAccessIsClean(t *testing.T) {
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 16)
+	r.peerSends(16)
+	req, err := r.comm.Irecv(buf, 16, mpi.Float64, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.comm.Wait(req); err != nil {
+		t.Fatal(err)
+	}
+	r.hostWrite(buf, 16*8)
+	if got := r.san.RaceCount(); got != 0 {
+		t.Fatalf("false positive after Wait: %d races\n%v", got, r.san.Reports())
+	}
+}
+
+func TestHostReadOfIrecvBufferAlsoRaces(t *testing.T) {
+	// Irecv WRITES the buffer; a host read before Wait conflicts.
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 8)
+	r.peerSends(8)
+	req, err := r.comm.Irecv(buf, 8, mpi.Float64, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.hostRead(buf, 8*8)
+	if _, err := r.comm.Wait(req); err != nil {
+		t.Fatal(err)
+	}
+	if r.san.RaceCount() == 0 {
+		t.Fatal("expected race: read of in-flight receive buffer")
+	}
+}
+
+func TestIsendBufferWriteRaces(t *testing.T) {
+	// Host modifies the send buffer while Isend is in flight.
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 8)
+	r.peerRecvs(8)
+	req, err := r.comm.Isend(buf, 8, mpi.Float64, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.hostWrite(buf, 8*8)
+	if _, err := r.comm.Wait(req); err != nil {
+		t.Fatal(err)
+	}
+	if r.san.RaceCount() == 0 {
+		t.Fatal("expected race: write to in-flight send buffer")
+	}
+}
+
+func TestIsendBufferReadIsAllowed(t *testing.T) {
+	// Reading a buffer an Isend also reads is no race.
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 8)
+	r.peerRecvs(8)
+	req, err := r.comm.Isend(buf, 8, mpi.Float64, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.hostRead(buf, 8*8)
+	if _, err := r.comm.Wait(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.san.RaceCount(); got != 0 {
+		t.Fatalf("read-read flagged: %d races", got)
+	}
+}
+
+func TestHostWriteBeforeIsendIsOrdered(t *testing.T) {
+	// Filling the buffer BEFORE Isend must not race (program order is
+	// carried onto the request fiber).
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 8)
+	r.hostWrite(buf, 8*8)
+	r.peerRecvs(8)
+	req, err := r.comm.Isend(buf, 8, mpi.Float64, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.comm.Wait(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.san.RaceCount(); got != 0 {
+		t.Fatalf("false positive on write-then-Isend: %d\n%v", got, r.san.Reports())
+	}
+}
+
+func TestBlockingSendAnnotatesRead(t *testing.T) {
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 4)
+	r.peerRecvs(4)
+	if err := r.comm.Send(buf, 4, mpi.Float64, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := r.san.Stats()
+	if st.ReadRangeCalls != 1 || st.ReadBytes != 32 {
+		t.Fatalf("send annotation: %+v", st)
+	}
+	// Blocking call: buffer reusable right after — no race.
+	r.hostWrite(buf, 32)
+	if r.san.RaceCount() != 0 {
+		t.Fatal("blocking send must not leave a concurrent region")
+	}
+}
+
+func TestBlockingRecvAnnotatesWrite(t *testing.T) {
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 4)
+	r.peerSends(4)
+	if _, err := r.comm.Recv(buf, 4, mpi.Float64, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := r.san.Stats()
+	if st.WriteRangeCalls != 1 || st.WriteBytes != 32 {
+		t.Fatalf("recv annotation: %+v", st)
+	}
+}
+
+func TestFiberPooling(t *testing.T) {
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 2)
+	for i := 0; i < 5; i++ {
+		r.peerSends(2)
+		req, err := r.comm.Irecv(buf, 2, mpi.Float64, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.comm.Wait(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.rt.Stats()
+	if st.FibersCreated != 1 || st.FibersReused != 4 {
+		t.Fatalf("pooling: created=%d reused=%d", st.FibersCreated, st.FibersReused)
+	}
+}
+
+func TestTwoConcurrentRequestsUseTwoFibers(t *testing.T) {
+	r := newRig(t, Options{})
+	a := r.allocF64(t, 2)
+	b := r.allocF64(t, 2)
+	r.peerSends(2)
+	r.peerSends(2)
+	ra, err := r.comm.Irecv(a, 2, mpi.Float64, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := r.comm.Irecv(b, 2, mpi.Float64, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.comm.WaitAll(ra, rb); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.rt.Stats().FibersCreated; got != 2 {
+		t.Fatalf("fibers created = %d, want 2", got)
+	}
+	if r.san.RaceCount() != 0 {
+		t.Fatal("disjoint concurrent requests must not race")
+	}
+}
+
+func TestTypeMismatchDetected(t *testing.T) {
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 4)
+	r.peerRecvs(8) // peer posts 8 ints worth of bytes = 32
+	if err := r.comm.Send(buf, 8, mpi.Int32, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, is := range r.rt.Issues() {
+		if is.Kind == IssueTypeMismatch {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("type mismatch not reported: %v", r.rt.Issues())
+	}
+}
+
+func TestBufferTooSmallDetected(t *testing.T) {
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 4)
+	r.peerRecvs(8)
+	if err := r.comm.Send(buf, 8, mpi.Float64, 1, 0); err == nil {
+		t.Fatal("mpi layer should reject out-of-bounds read")
+	}
+	found := false
+	for _, is := range r.rt.Issues() {
+		if is.Kind == IssueBufferTooSmall {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("buffer-too-small not reported: %v", r.rt.Issues())
+	}
+	// Unblock the peer.
+	smaller := r.allocF64(t, 8)
+	if err := r.comm.Send(smaller, 8, mpi.Float64, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownBufferDetected(t *testing.T) {
+	r := newRig(t, Options{})
+	buf := r.mem.Alloc(32, memspace.KindHostPageable) // not TypeART-tracked
+	r.peerRecvs(4)
+	if err := r.comm.Send(buf, 4, mpi.Float64, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, is := range r.rt.Issues() {
+		if is.Kind == IssueUnknownBuffer {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unknown buffer not reported: %v", r.rt.Issues())
+	}
+}
+
+func TestUntypedByteAllocationCompatible(t *testing.T) {
+	// A raw (u8-tracked) allocation used as MPI_DOUBLE: extent-checked
+	// but no type mismatch (cudaMalloc is untyped).
+	r := newRig(t, Options{})
+	buf := r.mem.Alloc(64, memspace.KindDevice)
+	if err := r.ta.Track(buf, typeart.TypeUint8, 64, memspace.KindDevice); err != nil {
+		t.Fatal(err)
+	}
+	r.peerRecvs(8)
+	if err := r.comm.Send(buf, 8, mpi.Float64, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.rt.IssueCount(); got != 0 {
+		t.Fatalf("issues on untyped buffer: %v", r.rt.Issues())
+	}
+}
+
+func TestDisableTypeChecks(t *testing.T) {
+	r := newRig(t, Options{DisableTypeChecks: true})
+	buf := r.mem.Alloc(32, memspace.KindHostPageable)
+	r.peerRecvs(4)
+	if err := r.comm.Send(buf, 4, mpi.Float64, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.rt.IssueCount() != 0 {
+		t.Fatal("type checks ran despite being disabled")
+	}
+}
+
+func TestRequestLeakAtFinalize(t *testing.T) {
+	r := newRig(t, Options{})
+	buf := r.allocF64(t, 2)
+	if _, err := r.comm.Irecv(buf, 2, mpi.Float64, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.comm.Finalize()
+	found := false
+	for _, is := range r.rt.Issues() {
+		if is.Kind == IssueRequestLeak {
+			found = true
+			if !strings.Contains(is.Detail, "irecv") {
+				t.Errorf("leak detail lacks request info: %s", is.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("request leak not reported: %v", r.rt.Issues())
+	}
+	// Unblock the matching engine for teardown.
+	r.peerSends(2)
+}
+
+func TestCollectiveAnnotations(t *testing.T) {
+	// A 1-rank world exercises the collective hook path determinstically.
+	w := mpi.NewWorld(1)
+	san := tsan.New(tsan.Config{})
+	ta := typeart.NewRuntime(nil)
+	rt := New(san, ta, Options{})
+	mem := memspace.New()
+	comm, err := w.AttachRank(0, mem, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := mem.Alloc(16, memspace.KindHostPageable)
+	recv := mem.Alloc(16, memspace.KindHostPageable)
+	if err := ta.Track(send, typeart.TypeFloat64, 2, memspace.KindHostPageable); err != nil {
+		t.Fatal(err)
+	}
+	if err := comm.Allreduce(send, recv, 2, mpi.Float64, mpi.OpSum); err != nil {
+		t.Fatal(err)
+	}
+	st := san.Stats()
+	if st.ReadRangeCalls != 1 || st.WriteRangeCalls != 1 {
+		t.Fatalf("collective annotations: %+v", st)
+	}
+	if rt.Stats().Collectives != 1 {
+		t.Fatalf("collective count = %d", rt.Stats().Collectives)
+	}
+}
+
+func TestIssueStringFormat(t *testing.T) {
+	is := &Issue{Kind: IssueTypeMismatch, Call: "MPI_Send", Detail: "x"}
+	s := is.String()
+	if !strings.Contains(s, "type-mismatch") || !strings.Contains(s, "MPI_Send") {
+		t.Fatalf("issue string = %q", s)
+	}
+}

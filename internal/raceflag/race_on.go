@@ -1,0 +1,12 @@
+//go:build race
+
+// Package raceflag reports whether the Go race detector is compiled in.
+// Tests that deliberately execute racy *simulated* programs on the
+// genuinely asynchronous device executor skip themselves under -race:
+// the simulated race becomes a real (byte-level, benign-by-construction)
+// Go race there, which is exactly the behaviour under test but trips the
+// detector.
+package raceflag
+
+// Enabled is true in -race builds.
+const Enabled = true

@@ -1,0 +1,321 @@
+package testsuite
+
+import (
+	"cusango/internal/core"
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+)
+
+// cuda-to-mpi cases: a device operation produces data that a dependent
+// MPI call communicates; the question is whether the required explicit
+// synchronization is present (paper §III-D case i, Fig. 4 upper half).
+
+// sendAfter builds a 2-rank program: rank 0 runs prepare against a
+// device buffer and then sends it; rank 1 receives into its own device
+// buffer.
+func sendAfter(prepare func(s *core.Session, buf memspace.Addr) error) func(*core.Session) error {
+	return func(s *core.Session) error {
+		buf, err := s.CudaMallocF64(bufN)
+		if err != nil {
+			return err
+		}
+		if s.Rank() == 0 {
+			if err := prepare(s, buf); err != nil {
+				return err
+			}
+			return s.Comm.Send(buf, bufN, mpi.Float64, 1, 0)
+		}
+		_, err = s.Comm.Recv(buf, bufN, mpi.Float64, 0, 0)
+		return err
+	}
+}
+
+func cudaToMPICases() []Case {
+	return []Case{
+		{
+			Name: "cuda-to-mpi/send_default_devicesync",
+			Doc:  "kernel on default stream + cudaDeviceSynchronize before MPI_Send (paper Fig. 4): correct",
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				if err := launch(s, "k_write", nil, buf); err != nil {
+					return err
+				}
+				s.Dev.DeviceSynchronize()
+				return nil
+			}),
+		},
+		{
+			Name:       "cuda-to-mpi/send_default_nosync",
+			Doc:        "kernel on default stream, NO synchronization before MPI_Send: data race",
+			ExpectRace: true,
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				return launch(s, "k_write", nil, buf)
+			}),
+		},
+		{
+			Name: "cuda-to-mpi/send_stream_streamsync",
+			Doc:  "kernel on user stream + cudaStreamSynchronize: correct",
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				st := s.Dev.StreamCreate(true)
+				if err := launch(s, "k_write", st, buf); err != nil {
+					return err
+				}
+				return s.Dev.StreamSynchronize(st)
+			}),
+		},
+		{
+			Name:       "cuda-to-mpi/send_stream_nosync",
+			Doc:        "kernel on user stream, no sync: data race",
+			ExpectRace: true,
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				st := s.Dev.StreamCreate(true)
+				return launch(s, "k_write", st, buf)
+			}),
+		},
+		{
+			Name:       "cuda-to-mpi/send_wrong_stream_sync",
+			Doc:        "kernel on stream A, synchronize stream B (both non-blocking): race persists",
+			ExpectRace: true,
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				a := s.Dev.StreamCreate(true)
+				b := s.Dev.StreamCreate(true)
+				if err := launch(s, "k_write", a, buf); err != nil {
+					return err
+				}
+				return s.Dev.StreamSynchronize(b)
+			}),
+		},
+		{
+			Name: "cuda-to-mpi/send_stream_devicesync",
+			Doc:  "kernel on user stream + cudaDeviceSynchronize (syncs all streams): correct",
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				st := s.Dev.StreamCreate(true)
+				if err := launch(s, "k_write", st, buf); err != nil {
+					return err
+				}
+				s.Dev.DeviceSynchronize()
+				return nil
+			}),
+		},
+		{
+			Name: "cuda-to-mpi/send_event_eventsync",
+			Doc:  "kernel, cudaEventRecord, cudaEventSynchronize: correct",
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				st := s.Dev.StreamCreate(true)
+				ev := s.Dev.EventCreate()
+				if err := launch(s, "k_write", st, buf); err != nil {
+					return err
+				}
+				if err := s.Dev.EventRecord(ev, st); err != nil {
+					return err
+				}
+				return s.Dev.EventSynchronize(ev)
+			}),
+		},
+		{
+			Name:       "cuda-to-mpi/send_event_record_only",
+			Doc:        "cudaEventRecord without a matching synchronize: race persists",
+			ExpectRace: true,
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				st := s.Dev.StreamCreate(true)
+				ev := s.Dev.EventCreate()
+				if err := launch(s, "k_write", st, buf); err != nil {
+					return err
+				}
+				return s.Dev.EventRecord(ev, st)
+			}),
+		},
+		{
+			Name:       "cuda-to-mpi/send_event_recorded_too_early",
+			Doc:        "event recorded BEFORE the kernel, then synchronized: does not cover the kernel",
+			ExpectRace: true,
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				st := s.Dev.StreamCreate(true)
+				ev := s.Dev.EventCreate()
+				if err := s.Dev.EventRecord(ev, st); err != nil {
+					return err
+				}
+				if err := launch(s, "k_write", st, buf); err != nil {
+					return err
+				}
+				return s.Dev.EventSynchronize(ev)
+			}),
+		},
+		{
+			Name: "cuda-to-mpi/send_streamquery_busywait",
+			Doc:  "cudaStreamQuery used as busy-wait counts as synchronization (paper §III-B1)",
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				st := s.Dev.StreamCreate(true)
+				if err := launch(s, "k_write", st, buf); err != nil {
+					return err
+				}
+				for {
+					done, err := s.Dev.StreamQuery(st)
+					if err != nil {
+						return err
+					}
+					if done {
+						return nil
+					}
+				}
+			}),
+		},
+		{
+			Name: "cuda-to-mpi/send_memcpy_implicit_sync",
+			Doc:  "synchronous D2H cudaMemcpy after the kernel implicitly synchronizes the host: correct",
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				stage := s.HostAllocF64(bufN)
+				if err := launch(s, "k_write", nil, buf); err != nil {
+					return err
+				}
+				return s.Dev.Memcpy(stage, buf, bufN*8)
+			}),
+		},
+		{
+			Name:       "cuda-to-mpi/send_memcpyasync_no_sync",
+			Doc:        "cudaMemcpyAsync is asynchronous w.r.t. the host: race persists",
+			ExpectRace: true,
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				stage := s.HostAllocF64(bufN)
+				if err := launch(s, "k_write", nil, buf); err != nil {
+					return err
+				}
+				return s.Dev.MemcpyAsync(stage, buf, bufN*8, nil)
+			}),
+		},
+		{
+			Name: "cuda-to-mpi/send_free_implicit_sync",
+			Doc:  "cudaFree synchronizes the host with all streams: correct",
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				other, err := s.CudaMallocF64(4)
+				if err != nil {
+					return err
+				}
+				if err := launch(s, "k_write", nil, buf); err != nil {
+					return err
+				}
+				return s.Dev.Free(other)
+			}),
+		},
+		{
+			Name:       "cuda-to-mpi/send_freeasync_no_sync",
+			Doc:        "cudaFreeAsync does NOT synchronize the host: race persists",
+			ExpectRace: true,
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				other, err := s.CudaMallocF64(4)
+				if err != nil {
+					return err
+				}
+				if err := launch(s, "k_write", nil, buf); err != nil {
+					return err
+				}
+				return s.Dev.FreeAsync(other, nil)
+			}),
+		},
+		{
+			Name: "cuda-to-mpi/send_kernel_read_only",
+			Doc:  "kernel only READS the send buffer; MPI_Send also reads: no conflict even unsynchronized",
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				out, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				return launch(s, "k_read", nil, out, buf)
+			}),
+		},
+		{
+			Name:       "cuda-to-mpi/recv_kernel_read_unsynced",
+			Doc:        "kernel reads the buffer while a blocking MPI_Recv writes it: write-read race",
+			ExpectRace: true,
+			Ranks:      2,
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					out, err := s.CudaMallocF64(bufN)
+					if err != nil {
+						return err
+					}
+					if err := launch(s, "k_read", s.Dev.StreamCreate(true), out, buf); err != nil {
+						return err
+					}
+					_, err = s.Comm.Recv(buf, bufN, mpi.Float64, 1, 0)
+					return err
+				}
+				return s.Comm.Send(buf, bufN, mpi.Float64, 0, 0)
+			},
+		},
+		{
+			Name: "cuda-to-mpi/send_legacy_default_covers_blocking_stream",
+			Doc:  "kernel on a BLOCKING user stream, host syncs the DEFAULT stream: legacy barrier covers it (paper Fig. 3)",
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				st := s.Dev.StreamCreate(false) // blocking
+				if err := launch(s, "k_write", st, buf); err != nil {
+					return err
+				}
+				return s.Dev.StreamSynchronize(s.Dev.DefaultStream())
+			}),
+		},
+		{
+			Name:       "cuda-to-mpi/send_legacy_nonblocking_not_covered",
+			Doc:        "kernel on a NON-BLOCKING stream is exempt from legacy barriers: default-stream sync does not cover it",
+			ExpectRace: true,
+			App: sendAfter(func(s *core.Session, buf memspace.Addr) error {
+				st := s.Dev.StreamCreate(true) // non-blocking
+				if err := launch(s, "k_write", st, buf); err != nil {
+					return err
+				}
+				return s.Dev.StreamSynchronize(s.Dev.DefaultStream())
+			}),
+		},
+		{
+			Name: "cuda-to-mpi/isend_devicesync_wait",
+			Doc:  "kernel + deviceSync, then MPI_Isend/MPI_Wait: correct",
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					if err := launch(s, "k_write", nil, buf); err != nil {
+						return err
+					}
+					s.Dev.DeviceSynchronize()
+					req, err := s.Comm.Isend(buf, bufN, mpi.Float64, 1, 0)
+					if err != nil {
+						return err
+					}
+					_, err = s.Comm.Wait(req)
+					return err
+				}
+				_, err = s.Comm.Recv(buf, bufN, mpi.Float64, 0, 0)
+				return err
+			},
+		},
+		{
+			Name:       "cuda-to-mpi/isend_nosync",
+			Doc:        "kernel write concurrent with MPI_Isend's buffer read: race",
+			ExpectRace: true,
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					if err := launch(s, "k_write", nil, buf); err != nil {
+						return err
+					}
+					req, err := s.Comm.Isend(buf, bufN, mpi.Float64, 1, 0)
+					if err != nil {
+						return err
+					}
+					_, err = s.Comm.Wait(req)
+					return err
+				}
+				_, err = s.Comm.Recv(buf, bufN, mpi.Float64, 0, 0)
+				return err
+			},
+		},
+	}
+}

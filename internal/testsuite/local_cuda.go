@@ -1,0 +1,290 @@
+package testsuite
+
+import (
+	"cusango/internal/core"
+)
+
+// Local CUDA cases: host/device and stream/stream interactions without
+// MPI — CuSan also finds plain CUDA races such as unsynchronized managed
+// memory access (paper §VI-E).
+
+func localCUDACases() []Case {
+	return []Case{
+		{
+			Name:       "local/managed_host_read_nosync",
+			Doc:        "host reads managed memory while a kernel writes it, no sync: race (paper §III-C)",
+			Ranks:      1,
+			ExpectRace: true,
+			App: func(s *core.Session) error {
+				buf, err := s.ManagedAllocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if err := launch(s, "k_write", nil, buf); err != nil {
+					return err
+				}
+				_ = s.LoadF64(buf)
+				return nil
+			},
+		},
+		{
+			Name:  "local/managed_host_read_devicesync",
+			Doc:   "host reads managed memory after cudaDeviceSynchronize: correct",
+			Ranks: 1,
+			App: func(s *core.Session) error {
+				buf, err := s.ManagedAllocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if err := launch(s, "k_write", nil, buf); err != nil {
+					return err
+				}
+				s.Dev.DeviceSynchronize()
+				_ = s.LoadF64(buf)
+				return nil
+			},
+		},
+		{
+			Name:  "local/managed_host_write_before_kernel",
+			Doc:   "host writes managed memory BEFORE the launch; launch order makes it visible: correct",
+			Ranks: 1,
+			App: func(s *core.Session) error {
+				buf, err := s.ManagedAllocF64(bufN)
+				if err != nil {
+					return err
+				}
+				out, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				s.StoreF64(buf, 4.2)
+				return launch(s, "k_read", nil, out, buf)
+			},
+		},
+		{
+			Name:       "local/pinned_host_write_during_async_h2d",
+			Doc:        "host writes the pinned source of an in-flight cudaMemcpyAsync: race",
+			Ranks:      1,
+			ExpectRace: true,
+			App: func(s *core.Session) error {
+				src, err := s.PinnedAllocF64(bufN)
+				if err != nil {
+					return err
+				}
+				dst, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if err := s.Dev.MemcpyAsync(dst, src, bufN*8, nil); err != nil {
+					return err
+				}
+				s.StoreF64(src, 1.0)
+				return nil
+			},
+		},
+		{
+			Name:  "local/pinned_host_write_after_streamsync",
+			Doc:   "async H2D copy completed with streamSynchronize before the host write: correct",
+			Ranks: 1,
+			App: func(s *core.Session) error {
+				src, err := s.PinnedAllocF64(bufN)
+				if err != nil {
+					return err
+				}
+				dst, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				st := s.Dev.StreamCreate(true)
+				if err := s.Dev.MemcpyAsync(dst, src, bufN*8, st); err != nil {
+					return err
+				}
+				if err := s.Dev.StreamSynchronize(st); err != nil {
+					return err
+				}
+				s.StoreF64(src, 1.0)
+				return nil
+			},
+		},
+		{
+			Name:       "local/memset_managed_host_read_nosync",
+			Doc:        "cudaMemset on managed memory is asynchronous w.r.t. host: immediate host read races",
+			Ranks:      1,
+			ExpectRace: true,
+			App: func(s *core.Session) error {
+				buf, err := s.ManagedAllocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if err := s.Dev.Memset(buf, 0x11, bufN*8); err != nil {
+					return err
+				}
+				_ = s.LoadF64(buf)
+				return nil
+			},
+		},
+		{
+			Name:  "local/memset_pinned_host_read",
+			Doc:   "cudaMemset on PINNED host memory synchronizes with the host (paper §III-C): correct",
+			Ranks: 1,
+			App: func(s *core.Session) error {
+				buf, err := s.PinnedAllocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if err := s.Dev.Memset(buf, 0x11, bufN*8); err != nil {
+					return err
+				}
+				_ = s.LoadF64(buf)
+				return nil
+			},
+		},
+		{
+			Name:  "local/two_streams_event_chain",
+			Doc:   "producer stream -> event -> cudaStreamWaitEvent -> consumer stream: correct",
+			Ranks: 1,
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				out, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				s1 := s.Dev.StreamCreate(true)
+				s2 := s.Dev.StreamCreate(true)
+				ev := s.Dev.EventCreate()
+				if err := launch(s, "k_write", s1, buf); err != nil {
+					return err
+				}
+				if err := s.Dev.EventRecord(ev, s1); err != nil {
+					return err
+				}
+				if err := s.Dev.StreamWaitEvent(s2, ev); err != nil {
+					return err
+				}
+				if err := launch(s, "k_read", s2, out, buf); err != nil {
+					return err
+				}
+				s.Dev.DeviceSynchronize()
+				return nil
+			},
+		},
+		{
+			Name:       "local/two_streams_no_ordering",
+			Doc:        "producer and consumer on unordered non-blocking streams: race",
+			Ranks:      1,
+			ExpectRace: true,
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				out, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				s1 := s.Dev.StreamCreate(true)
+				s2 := s.Dev.StreamCreate(true)
+				if err := launch(s, "k_write", s1, buf); err != nil {
+					return err
+				}
+				if err := launch(s, "k_read", s2, out, buf); err != nil {
+					return err
+				}
+				s.Dev.DeviceSynchronize()
+				return nil
+			},
+		},
+		{
+			Name:  "local/same_stream_fifo",
+			Doc:   "producer and consumer on the SAME stream: FIFO order, correct",
+			Ranks: 1,
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				out, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				st := s.Dev.StreamCreate(true)
+				if err := launch(s, "k_write", st, buf); err != nil {
+					return err
+				}
+				if err := launch(s, "k_read", st, out, buf); err != nil {
+					return err
+				}
+				s.Dev.DeviceSynchronize()
+				return nil
+			},
+		},
+		{
+			Name:  "local/legacy_default_interleave",
+			Doc:   "paper Fig. 3: K1 on blocking stream, K0 on default, K2 on blocking stream; sync on K2's stream covers all",
+			Ranks: 1,
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				s1 := s.Dev.StreamCreate(false)
+				s2 := s.Dev.StreamCreate(false)
+				if err := launch(s, "k_inc", s1, buf); err != nil { // K1
+					return err
+				}
+				if err := launch(s, "k_inc", nil, buf); err != nil { // K0
+					return err
+				}
+				if err := launch(s, "k_inc", s2, buf); err != nil { // K2
+					return err
+				}
+				if err := s.Dev.StreamSynchronize(s2); err != nil {
+					return err
+				}
+				_ = s.LoadF64(buf) // would race if any kernel were uncovered
+				return nil
+			},
+		},
+		{
+			Name:       "local/default_kernel_blocks_nonblocking_not",
+			Doc:        "a default-stream kernel does NOT order against a non-blocking stream's kernel: race",
+			Ranks:      1,
+			ExpectRace: true,
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				nb := s.Dev.StreamCreate(true)
+				if err := launch(s, "k_write", nb, buf); err != nil {
+					return err
+				}
+				return launch(s, "k_inc", nil, buf)
+			},
+		},
+		{
+			Name:  "local/default_kernel_blocks_blocking_stream",
+			Doc:   "a default-stream kernel waits for prior blocking-stream kernels (paper Fig. 3): correct",
+			Ranks: 1,
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				bs := s.Dev.StreamCreate(false)
+				if err := launch(s, "k_write", bs, buf); err != nil {
+					return err
+				}
+				if err := launch(s, "k_inc", nil, buf); err != nil {
+					return err
+				}
+				s.Dev.DeviceSynchronize()
+				_ = s.LoadF64(buf)
+				return nil
+			},
+		},
+	}
+}

@@ -1,0 +1,292 @@
+package testsuite
+
+import (
+	"cusango/internal/core"
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+)
+
+// mpi-to-cuda cases: a non-blocking MPI operation is followed by a
+// dependent GPU operation; MPI semantics require completing the request
+// before the device touches the buffer (paper §III-D case ii, Fig. 4
+// lower half).
+
+// recvThen builds a 2-rank program: rank 1 posts an Irecv into a device
+// buffer and runs use before/after waiting; rank 0 sends.
+func recvThen(use func(s *core.Session, buf memspace.Addr, wait func() error) error) func(*core.Session) error {
+	return func(s *core.Session) error {
+		buf, err := s.CudaMallocF64(bufN)
+		if err != nil {
+			return err
+		}
+		if s.Rank() == 0 {
+			return s.Comm.Send(buf, bufN, mpi.Float64, 1, 0)
+		}
+		req, err := s.Comm.Irecv(buf, bufN, mpi.Float64, 0, 0)
+		if err != nil {
+			return err
+		}
+		waited := false
+		wait := func() error {
+			waited = true
+			_, err := s.Comm.Wait(req)
+			return err
+		}
+		if err := use(s, buf, wait); err != nil {
+			return err
+		}
+		if !waited {
+			_, err := s.Comm.Wait(req)
+			return err
+		}
+		return nil
+	}
+}
+
+func mpiToCUDACases() []Case {
+	return []Case{
+		{
+			Name: "mpi-to-cuda/irecv_wait_kernel",
+			Doc:  "MPI_Irecv + MPI_Wait before the consuming kernel (paper Fig. 4 lines 7-9): correct",
+			App: recvThen(func(s *core.Session, buf memspace.Addr, wait func() error) error {
+				if err := wait(); err != nil {
+					return err
+				}
+				out, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				return launch(s, "k_read", nil, out, buf)
+			}),
+		},
+		{
+			Name:       "mpi-to-cuda/irecv_nowait_kernel_read",
+			Doc:        "kernel reads the receive buffer before MPI_Wait: race with the in-flight write",
+			ExpectRace: true,
+			App: recvThen(func(s *core.Session, buf memspace.Addr, wait func() error) error {
+				out, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				return launch(s, "k_read", nil, out, buf)
+			}),
+		},
+		{
+			Name:       "mpi-to-cuda/irecv_nowait_kernel_write",
+			Doc:        "kernel writes the receive buffer before MPI_Wait: write-write race",
+			ExpectRace: true,
+			App: recvThen(func(s *core.Session, buf memspace.Addr, wait func() error) error {
+				return launch(s, "k_write", nil, buf)
+			}),
+		},
+		{
+			Name:       "mpi-to-cuda/irecv_nowait_memcpy",
+			Doc:        "D2D memcpy out of the receive buffer before MPI_Wait: race (memcpy reads the buffer)",
+			ExpectRace: true,
+			App: recvThen(func(s *core.Session, buf memspace.Addr, wait func() error) error {
+				dst, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				return s.Dev.Memcpy(dst, buf, bufN*8)
+			}),
+		},
+		{
+			Name: "mpi-to-cuda/irecv_test_loop_kernel",
+			Doc:  "MPI_Test polled to completion counts as the completion call: correct",
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					return s.Comm.Send(buf, bufN, mpi.Float64, 1, 0)
+				}
+				req, err := s.Comm.Irecv(buf, bufN, mpi.Float64, 0, 0)
+				if err != nil {
+					return err
+				}
+				for {
+					done, _, err := s.Comm.Test(req)
+					if err != nil {
+						return err
+					}
+					if done {
+						break
+					}
+				}
+				out, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				return launch(s, "k_read", nil, out, buf)
+			},
+		},
+		{
+			Name: "mpi-to-cuda/recv_blocking_kernel",
+			Doc:  "blocking MPI_Recv then kernel: program order suffices, correct",
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					return s.Comm.Send(buf, bufN, mpi.Float64, 1, 0)
+				}
+				if _, err := s.Comm.Recv(buf, bufN, mpi.Float64, 0, 0); err != nil {
+					return err
+				}
+				return launch(s, "k_inc", nil, buf)
+			},
+		},
+		{
+			Name: "mpi-to-cuda/isend_nowait_kernel_read",
+			Doc:  "kernel READS the buffer an in-flight MPI_Isend also reads: no conflict",
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					out, err := s.CudaMallocF64(bufN)
+					if err != nil {
+						return err
+					}
+					req, err := s.Comm.Isend(buf, bufN, mpi.Float64, 1, 0)
+					if err != nil {
+						return err
+					}
+					if err := launch(s, "k_read", nil, out, buf); err != nil {
+						return err
+					}
+					_, err = s.Comm.Wait(req)
+					return err
+				}
+				_, err = s.Comm.Recv(buf, bufN, mpi.Float64, 0, 0)
+				return err
+			},
+		},
+		{
+			Name:       "mpi-to-cuda/isend_nowait_kernel_write",
+			Doc:        "kernel WRITES the buffer an in-flight MPI_Isend reads: race",
+			ExpectRace: true,
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					req, err := s.Comm.Isend(buf, bufN, mpi.Float64, 1, 0)
+					if err != nil {
+						return err
+					}
+					if err := launch(s, "k_write", nil, buf); err != nil {
+						return err
+					}
+					_, err = s.Comm.Wait(req)
+					return err
+				}
+				_, err = s.Comm.Recv(buf, bufN, mpi.Float64, 0, 0)
+				return err
+			},
+		},
+		{
+			Name: "mpi-to-cuda/waitall_two_requests_kernel",
+			Doc:  "two Irecvs completed with Waitall before kernels touch both buffers: correct",
+			App: func(s *core.Session) error {
+				a, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				b, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					if err := s.Comm.Send(a, bufN, mpi.Float64, 1, 0); err != nil {
+						return err
+					}
+					return s.Comm.Send(b, bufN, mpi.Float64, 1, 1)
+				}
+				r1, err := s.Comm.Irecv(a, bufN, mpi.Float64, 0, 0)
+				if err != nil {
+					return err
+				}
+				r2, err := s.Comm.Irecv(b, bufN, mpi.Float64, 0, 1)
+				if err != nil {
+					return err
+				}
+				if err := s.Comm.WaitAll(r1, r2); err != nil {
+					return err
+				}
+				if err := launch(s, "k_inc", nil, a); err != nil {
+					return err
+				}
+				return launch(s, "k_inc", nil, b)
+			},
+		},
+		{
+			Name:       "mpi-to-cuda/wait_wrong_request",
+			Doc:        "two Irecvs, only one waited; kernel touches the unwaited buffer: race",
+			ExpectRace: true,
+			App: func(s *core.Session) error {
+				a, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				b, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					if err := s.Comm.Send(a, bufN, mpi.Float64, 1, 0); err != nil {
+						return err
+					}
+					return s.Comm.Send(b, bufN, mpi.Float64, 1, 1)
+				}
+				r1, err := s.Comm.Irecv(a, bufN, mpi.Float64, 0, 0)
+				if err != nil {
+					return err
+				}
+				r2, err := s.Comm.Irecv(b, bufN, mpi.Float64, 0, 1)
+				if err != nil {
+					return err
+				}
+				if _, err := s.Comm.Wait(r1); err != nil {
+					return err
+				}
+				if err := launch(s, "k_inc", nil, b); err != nil { // b not waited!
+					return err
+				}
+				_, err = s.Comm.Wait(r2)
+				return err
+			},
+		},
+		{
+			Name: "mpi-to-cuda/sendrecv_blocking_kernels",
+			Doc:  "blocking Sendrecv between synchronized kernels (the Jacobi pattern): correct",
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				recv, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				peer := 1 - s.Rank()
+				if err := launch(s, "k_write", nil, buf); err != nil {
+					return err
+				}
+				s.Dev.DeviceSynchronize()
+				if _, err := s.Comm.Sendrecv(
+					buf, bufN, mpi.Float64, peer, 0,
+					recv, bufN, mpi.Float64, peer, 0,
+				); err != nil {
+					return err
+				}
+				return launch(s, "k_inc", nil, recv)
+			},
+		},
+	}
+}

@@ -1,0 +1,161 @@
+package testsuite
+
+import (
+	"cusango/internal/core"
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+	"cusango/internal/must"
+)
+
+// MUST-check cases: datatype/extent/request findings from the TypeART
+// integration (paper §II-C) and collective patterns.
+
+func mustCheckCases() []Case {
+	return []Case{
+		{
+			Name:        "must/send_type_mismatch",
+			Doc:         "float64 buffer communicated as MPI_INT: TypeART datatype mismatch",
+			ExpectIssue: issueOf(must.IssueTypeMismatch),
+			App: func(s *core.Session) error {
+				buf := s.HostAllocF64(bufN)
+				if s.Rank() == 0 {
+					return s.Comm.Send(buf, bufN, mpi.Int32, 1, 0)
+				}
+				_, err := s.Comm.Recv(buf, bufN, mpi.Int32, 0, 0)
+				return err
+			},
+		},
+		{
+			Name:        "must/send_count_exceeds_allocation",
+			Doc:         "count larger than the allocation: buffer-too-small finding",
+			ExpectIssue: issueOf(must.IssueBufferTooSmall),
+			App: func(s *core.Session) error {
+				small := s.HostAllocF64(4)
+				big := s.HostAllocF64(bufN)
+				if s.Rank() == 0 {
+					// The library itself also rejects the out-of-bounds read;
+					// the MUST finding fires first at interception.
+					_ = s.Comm.Send(small, bufN, mpi.Float64, 1, 0)
+					return s.Comm.Send(big, bufN, mpi.Float64, 1, 0)
+				}
+				_, err := s.Comm.Recv(big, bufN, mpi.Float64, 0, 0)
+				return err
+			},
+		},
+		{
+			Name:        "must/recv_offset_extent",
+			Doc:         "receive posted at an interior pointer with too large a count: extent finding",
+			ExpectIssue: issueOf(must.IssueBufferTooSmall),
+			App: func(s *core.Session) error {
+				buf := s.HostAllocF64(bufN)
+				if s.Rank() == 0 {
+					return s.Comm.Send(buf, 4, mpi.Float64, 1, 0)
+				}
+				// Posting bufN elements starting at element bufN/2 overruns.
+				half := buf + memspace.Addr(8*(bufN/2))
+				_, err := s.Comm.Recv(half, bufN, mpi.Float64, 0, 0)
+				_ = err // the transfer itself fits (4 elements); the finding is what matters
+				return nil
+			},
+		},
+		{
+			Name:        "must/request_leak",
+			Doc:         "Irecv never completed before MPI_Finalize: request-leak finding",
+			ExpectIssue: issueOf(must.IssueRequestLeak),
+			App: func(s *core.Session) error {
+				buf := s.HostAllocF64(bufN)
+				if s.Rank() == 0 {
+					if _, err := s.Comm.Irecv(buf, bufN, mpi.Float64, 1, 0); err != nil {
+						return err
+					}
+					return nil // missing MPI_Wait; Finalize reports the leak
+				}
+				return s.Comm.Send(buf, bufN, mpi.Float64, 0, 0)
+			},
+		},
+		{
+			Name: "must/allreduce_device_synced",
+			Doc:  "Allreduce of a device buffer after deviceSynchronize: correct",
+			App: func(s *core.Session) error {
+				send, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				recv, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if err := launch(s, "k_write", nil, send); err != nil {
+					return err
+				}
+				s.Dev.DeviceSynchronize()
+				return s.Comm.Allreduce(send, recv, bufN, mpi.Float64, mpi.OpSum)
+			},
+		},
+		{
+			Name:       "must/allreduce_device_unsynced",
+			Doc:        "Allreduce reads a device buffer a kernel is still writing: race",
+			ExpectRace: true,
+			App: func(s *core.Session) error {
+				send, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				recv, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if err := launch(s, "k_write", nil, send); err != nil {
+					return err
+				}
+				return s.Comm.Allreduce(send, recv, bufN, mpi.Float64, mpi.OpSum)
+			},
+		},
+		{
+			Name: "must/bcast_device_synced",
+			Doc:  "Bcast of a device buffer, root synchronized: correct",
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				if s.Rank() == 0 {
+					if err := launch(s, "k_write", nil, buf); err != nil {
+						return err
+					}
+					s.Dev.DeviceSynchronize()
+				}
+				if err := s.Comm.Bcast(buf, bufN, mpi.Float64, 0); err != nil {
+					return err
+				}
+				// Non-roots may use the data on the device right away:
+				// the collective completed locally.
+				if s.Rank() != 0 {
+					return launch(s, "k_inc", nil, buf)
+				}
+				return nil
+			},
+		},
+		{
+			Name:       "must/bcast_recv_buffer_kernel_race",
+			Doc:        "kernel writes the Bcast destination concurrently on a non-root: race",
+			ExpectRace: true,
+			App: func(s *core.Session) error {
+				buf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				st := s.Dev.StreamCreate(true)
+				if s.Rank() == 0 {
+					s.Dev.DeviceSynchronize()
+					return s.Comm.Bcast(buf, bufN, mpi.Float64, 0)
+				}
+				if err := launch(s, "k_write", st, buf); err != nil {
+					return err
+				}
+				// BUG: no sync; Bcast writes the same device buffer.
+				return s.Comm.Bcast(buf, bufN, mpi.Float64, 0)
+			},
+		},
+	}
+}

@@ -1,0 +1,105 @@
+package testsuite
+
+import (
+	"strings"
+	"testing"
+
+	"cusango/internal/cuda"
+	"cusango/internal/raceflag"
+)
+
+// TestAllCasesClassifiedCorrectly is the reproduction of paper §VI-C:
+// "for now, all tests are correctly classified by CuSan".
+func TestAllCasesClassifiedCorrectly(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			v := RunCase(c)
+			if !v.Pass() {
+				t.Fatalf("%s\n  doc: %s\n  expected race=%v issue=%v, got races=%d issues=%v err=%v",
+					v, c.Doc, c.ExpectRace, c.ExpectIssue, v.Races, v.Issues, v.Err)
+			}
+		})
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	cases := Cases()
+	if len(cases) < 40 {
+		t.Fatalf("suite has %d cases, want >= 40 (paper ships 49)", len(cases))
+	}
+	seen := map[string]bool{}
+	categories := map[string]int{}
+	var racy, clean int
+	for _, c := range cases {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Doc == "" {
+			t.Errorf("case %q lacks documentation", c.Name)
+		}
+		idx := strings.IndexByte(c.Name, '/')
+		if idx <= 0 {
+			t.Errorf("case %q not categorized", c.Name)
+			continue
+		}
+		categories[c.Name[:idx]]++
+		if c.ExpectRace {
+			racy++
+		} else if c.ExpectIssue == nil {
+			clean++
+		}
+	}
+	for _, want := range []string{"cuda-to-mpi", "mpi-to-cuda", "mpi-modes", "local", "must"} {
+		if categories[want] == 0 {
+			t.Errorf("category %q empty", want)
+		}
+	}
+	if racy < 15 || clean < 15 {
+		t.Errorf("suite unbalanced: %d racy, %d clean", racy, clean)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := RunCase(Cases()[0])
+	s := v.String()
+	if !strings.Contains(s, "CuSanTest ::") || !strings.Contains(s, "PASS") {
+		t.Fatalf("verdict string = %q", s)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll duplicates the per-case subtests")
+	}
+	verdicts := RunAll()
+	if len(verdicts) != len(Cases()) {
+		t.Fatalf("got %d verdicts", len(verdicts))
+	}
+	for _, v := range verdicts {
+		if !v.Pass() {
+			t.Errorf("%s", v)
+		}
+	}
+}
+
+// TestAllCasesClassifiedCorrectlyAsync repeats the whole suite on the
+// genuinely asynchronous device executor: interception happens at
+// enqueue time in both modes, so every verdict must be identical.
+func TestAllCasesClassifiedCorrectlyAsync(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("racy cases execute genuinely concurrently on the async executor")
+	}
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			v := RunCaseWith(c, cuda.Config{AsyncStreams: true})
+			if !v.Pass() {
+				t.Fatalf("async-mode divergence: %s\n  doc: %s", v, c.Doc)
+			}
+		})
+	}
+}

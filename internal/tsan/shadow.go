@@ -1,0 +1,111 @@
+package tsan
+
+import "cusango/internal/vclock"
+
+// Shadow memory layout.
+//
+// Application memory is divided into 8-byte granules. Each granule owns K
+// shadow cells; a cell packs one recorded access into a single uint64:
+//
+//	bits 63..52  fiber id   (12 bits, up to 4095 fibers)
+//	bits 51..12  epoch      (40 bits)
+//	bit  11      write flag
+//	bits  7..0   byte mask  (which bytes of the granule were touched)
+//
+// A zero word means "empty cell" — fiber 0 (the host) starts at epoch 1,
+// so no real access encodes to zero.
+//
+// Granules are grouped into pages of 4096 granules (32 KiB of application
+// memory) allocated on demand, with the most recently touched page cached
+// for the sequential access patterns range annotations produce.
+
+const (
+	granuleShift = 3
+	granuleBytes = 1 << granuleShift
+
+	pageGranuleShift = 12
+	pageGranules     = 1 << pageGranuleShift
+	pageGranuleMask  = pageGranules - 1
+
+	maxCells   = 8
+	maxFiberID = (1 << 12) - 1
+	maxEpoch   = (1 << 40) - 1
+
+	fullMask uint8 = 0xFF
+)
+
+func encodeCell(fiber int, ep vclock.Epoch, write bool, mask uint8) uint64 {
+	w := uint64(0)
+	if write {
+		w = 1
+	}
+	return uint64(fiber)<<52 | (uint64(ep)&maxEpoch)<<12 | w<<11 | uint64(mask)
+}
+
+func decodeCell(c uint64) (fiber int, ep vclock.Epoch, write bool, mask uint8) {
+	return int(c >> 52), vclock.Epoch(c >> 12 & maxEpoch), c>>11&1 == 1, uint8(c)
+}
+
+// partialMask computes the byte mask of the intersection of granule
+// [gBase, gBase+8) with the accessed range [start, end).
+func partialMask(gBase, start, end uint64) uint8 {
+	lo := uint64(0)
+	if start > gBase {
+		lo = start - gBase
+	}
+	hi := uint64(granuleBytes)
+	if end < gBase+granuleBytes {
+		hi = end - gBase
+	}
+	var m uint8
+	for i := lo; i < hi; i++ {
+		m |= 1 << i
+	}
+	return m
+}
+
+type shadowPage struct {
+	cells []uint64
+	infos []*AccessInfo
+}
+
+type shadowMap struct {
+	k     int
+	pages map[uint64]*shadowPage
+	// one-entry cache: range annotations walk granules sequentially.
+	lastIdx  uint64
+	lastPage *shadowPage
+}
+
+func (m *shadowMap) init(k int) {
+	m.k = k
+	m.pages = make(map[uint64]*shadowPage)
+	m.lastIdx = ^uint64(0)
+}
+
+// granule returns the K cells and parallel info slots for granule g.
+func (m *shadowMap) granule(g uint64) ([]uint64, []*AccessInfo) {
+	idx := g >> pageGranuleShift
+	p := m.lastPage
+	if idx != m.lastIdx {
+		var ok bool
+		p, ok = m.pages[idx]
+		if !ok {
+			p = &shadowPage{
+				cells: make([]uint64, pageGranules*m.k),
+				infos: make([]*AccessInfo, pageGranules*m.k),
+			}
+			m.pages[idx] = p
+		}
+		m.lastIdx = idx
+		m.lastPage = p
+	}
+	off := int(g&pageGranuleMask) * m.k
+	return p.cells[off : off+m.k : off+m.k], p.infos[off : off+m.k : off+m.k]
+}
+
+// bytes estimates the shadow footprint: 16 bytes per cell slot
+// (packed word + info pointer).
+func (m *shadowMap) bytes() int64 {
+	return int64(len(m.pages)) * pageGranules * int64(m.k) * 16
+}

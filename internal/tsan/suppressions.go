@@ -1,0 +1,62 @@
+package tsan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseSuppressions reads a ThreadSanitizer-style suppression list
+// (paper artifact description: "we use suppression lists for TSan that
+// avoid these [false positives]"). The format is TSan's:
+//
+//	# comment
+//	race:substring-matched-against-access-context
+//	called_from_lib:ignored-here
+//
+// Only "race:" entries are meaningful for this reproduction; entries of
+// other recognized TSan kinds (signal, deadlock, mutex, thread,
+// called_from_lib) are accepted and ignored, anything else is an error.
+func ParseSuppressions(r io.Reader) (*Suppressions, error) {
+	known := map[string]bool{
+		"race": true, "signal": false, "deadlock": false,
+		"mutex": false, "thread": false, "called_from_lib": false,
+	}
+	var patterns []string
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		kind, pattern, ok := strings.Cut(text, ":")
+		if !ok {
+			return nil, fmt.Errorf("tsan: suppressions line %d: missing ':' in %q", line, text)
+		}
+		use, recognized := known[kind]
+		if !recognized {
+			return nil, fmt.Errorf("tsan: suppressions line %d: unknown kind %q", line, kind)
+		}
+		if pattern == "" {
+			return nil, fmt.Errorf("tsan: suppressions line %d: empty pattern", line)
+		}
+		if use {
+			patterns = append(patterns, pattern)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewSuppressions(patterns...), nil
+}
+
+// Len returns the number of active race patterns.
+func (sup *Suppressions) Len() int {
+	if sup == nil {
+		return 0
+	}
+	return len(sup.patterns)
+}

@@ -1,0 +1,83 @@
+package tsan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSuppressions(t *testing.T) {
+	src := `
+# false positives of the interconnect library
+race:ucx_progress
+race:MPI_Internal
+
+# non-race kinds are accepted and ignored
+called_from_lib:libucp.so
+signal:handler
+`
+	sup, err := ParseSuppressions(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup.Len() != 2 {
+		t.Fatalf("patterns = %d, want 2", sup.Len())
+	}
+	r := &Report{
+		Current:  Access{Info: &AccessInfo{Site: "ucx_progress", Object: "buffer"}, Fiber: &Fiber{}},
+		Previous: Access{Info: &AccessInfo{Site: "host", Object: "x"}, Fiber: &Fiber{}},
+	}
+	if !sup.Match(r) {
+		t.Fatal("suppression did not match")
+	}
+	r2 := &Report{
+		Current:  Access{Info: &AccessInfo{Site: "app", Object: "x"}, Fiber: &Fiber{}},
+		Previous: Access{Info: &AccessInfo{Site: "app", Object: "y"}, Fiber: &Fiber{}},
+	}
+	if sup.Match(r2) {
+		t.Fatal("unrelated report suppressed")
+	}
+}
+
+func TestParseSuppressionsErrors(t *testing.T) {
+	cases := []string{
+		"race",          // missing colon
+		"bogus:pattern", // unknown kind
+		"race:",         // empty pattern
+	}
+	for _, src := range cases {
+		if _, err := ParseSuppressions(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseSuppressions(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseSuppressionsIntegration(t *testing.T) {
+	sup, err := ParseSuppressions(strings.NewReader("race:noisy_lib"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Suppressions: sup})
+	fib := s.CreateFiber("stream")
+	host := s.CurrentFiber()
+	noisy := &AccessInfo{Site: "noisy_lib", Object: "scratch"}
+	s.SwitchFiber(fib)
+	s.WriteRange(base, 8, noisy)
+	s.SwitchFiber(host)
+	s.WriteRange(base, 8, hostW)
+	if s.RaceCount() != 0 {
+		t.Fatal("parsed suppression not applied")
+	}
+	if s.Stats().RacesSuppressed != 1 {
+		t.Fatal("suppression not counted")
+	}
+}
+
+func TestNilSuppressions(t *testing.T) {
+	var sup *Suppressions
+	if sup.Len() != 0 || sup.Match(&Report{
+		Current:  Access{Info: &AccessInfo{Site: "a"}, Fiber: &Fiber{}},
+		Previous: Access{Info: &AccessInfo{Site: "b"}, Fiber: &Fiber{}},
+	}) {
+		t.Fatal("nil suppressions must be inert")
+	}
+}

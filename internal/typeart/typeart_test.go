@@ -1,0 +1,183 @@
+package typeart
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cusango/internal/memspace"
+)
+
+func TestBuiltinRegistry(t *testing.T) {
+	r := NewRegistry()
+	for name, want := range map[string]int64{
+		"uint8": 1, "int32": 4, "int64": 8, "float32": 4, "float64": 8,
+	} {
+		id := r.IDByName(name)
+		if id == TypeInvalid {
+			t.Fatalf("builtin %q not registered", name)
+		}
+		if got := r.Info(id).Size; got != want {
+			t.Errorf("%q size = %d, want %d", name, got, want)
+		}
+	}
+	if r.IDByName("ghost") != TypeInvalid {
+		t.Error("unknown name must resolve to invalid")
+	}
+	if r.Info(TypeID(999)) != nil {
+		t.Error("unknown id must resolve to nil")
+	}
+}
+
+func TestRegisterStruct(t *testing.T) {
+	r := NewRegistry()
+	id := r.RegisterStruct("particle", 24, []Field{
+		{Name: "x", Offset: 0, Type: TypeFloat64},
+		{Name: "y", Offset: 8, Type: TypeFloat64},
+		{Name: "id", Offset: 16, Type: TypeInt64},
+	})
+	if id < firstUserType {
+		t.Fatalf("user type id %d in builtin range", id)
+	}
+	if again := r.RegisterStruct("particle", 24, nil); again != id {
+		t.Fatal("re-registering must return same id")
+	}
+	in := r.Info(id)
+	if in.Size != 24 || len(in.Fields) != 3 {
+		t.Fatalf("info = %+v", in)
+	}
+}
+
+func TestTrackAndLookup(t *testing.T) {
+	rt := NewRuntime(nil)
+	base := memspace.Addr(3 << 40)
+	if err := rt.Track(base, TypeFloat64, 100, memspace.KindDevice); err != nil {
+		t.Fatal(err)
+	}
+	rec, off, ok := rt.Lookup(base + 160) // element 20
+	if !ok || rec.Base != base || off != 160 {
+		t.Fatalf("lookup: rec=%v off=%d ok=%v", rec, off, ok)
+	}
+	if rec.Bytes() != 800 {
+		t.Fatalf("bytes = %d", rec.Bytes())
+	}
+	if _, _, ok := rt.Lookup(base + 800); ok {
+		t.Fatal("lookup past end must miss")
+	}
+	if _, _, ok := rt.Lookup(base - 1); ok {
+		t.Fatal("lookup before base must miss")
+	}
+}
+
+func TestTrackErrors(t *testing.T) {
+	rt := NewRuntime(nil)
+	base := memspace.Addr(3 << 40)
+	if err := rt.Track(base, TypeID(4242), 1, memspace.KindDevice); err == nil {
+		t.Error("unknown type id must fail")
+	}
+	if err := rt.Track(base, TypeFloat64, -1, memspace.KindDevice); err == nil {
+		t.Error("negative count must fail")
+	}
+	if err := rt.Track(base, TypeFloat64, 1, memspace.KindDevice); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Track(base, TypeInt32, 1, memspace.KindDevice); err == nil {
+		t.Error("duplicate track must fail")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	rt := NewRuntime(nil)
+	base := memspace.Addr(3 << 40)
+	if err := rt.Release(base); err == nil {
+		t.Error("release of untracked must fail")
+	}
+	if err := rt.Track(base, TypeInt32, 10, memspace.KindDevice); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the lookup cache, then release: the cache must not resurrect.
+	if _, _, ok := rt.Lookup(base); !ok {
+		t.Fatal("lookup failed")
+	}
+	if err := rt.Release(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := rt.Lookup(base); ok {
+		t.Fatal("released allocation still found")
+	}
+	if rt.NumTracked() != 0 {
+		t.Fatal("record leaked")
+	}
+}
+
+func TestRemainingBytesAndCount(t *testing.T) {
+	rt := NewRuntime(nil)
+	base := memspace.Addr(3 << 40)
+	if err := rt.Track(base, TypeFloat64, 50, memspace.KindDevice); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := rt.RemainingBytes(base); !ok || n != 400 {
+		t.Fatalf("remaining from base = %d", n)
+	}
+	if n, ok := rt.RemainingBytes(base + 80); !ok || n != 320 {
+		t.Fatalf("remaining from elem 10 = %d", n)
+	}
+	cnt, id, ok := rt.RemainingCount(base + 80)
+	if !ok || cnt != 40 || id != TypeFloat64 {
+		t.Fatalf("remaining count = %d type %d", cnt, id)
+	}
+	if _, ok := rt.RemainingBytes(memspace.Addr(1)); ok {
+		t.Fatal("untracked pointer must miss")
+	}
+}
+
+func TestStats(t *testing.T) {
+	rt := NewRuntime(nil)
+	base := memspace.Addr(3 << 40)
+	_ = rt.Track(base, TypeFloat64, 1, memspace.KindDevice)
+	rt.Lookup(base)
+	rt.Lookup(memspace.Addr(1))
+	_ = rt.Release(base)
+	st := rt.Stats()
+	if st.Tracked != 1 || st.Released != 1 || st.Lookups != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: with many interleaved tracks/releases, Lookup finds exactly
+// the live allocations and resolves interior pointers to the right base.
+func TestPropertyTable(t *testing.T) {
+	f := func(n uint8, freeMask uint32) bool {
+		count := int(n%20) + 2
+		rt := NewRuntime(nil)
+		bases := make([]memspace.Addr, count)
+		for i := range bases {
+			bases[i] = memspace.Addr(3<<40) + memspace.Addr(i*1024)
+			if err := rt.Track(bases[i], TypeFloat64, 16, memspace.KindDevice); err != nil {
+				return false
+			}
+		}
+		live := make([]bool, count)
+		for i := range live {
+			live[i] = true
+			if freeMask&(1<<uint(i)) != 0 {
+				if err := rt.Release(bases[i]); err != nil {
+					return false
+				}
+				live[i] = false
+			}
+		}
+		for i, b := range bases {
+			rec, off, ok := rt.Lookup(b + 64)
+			if live[i] != ok {
+				return false
+			}
+			if ok && (rec.Base != b || off != 64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var c Clock
+	if c.Get(0) != 0 || c.Get(100) != 0 {
+		t.Fatal("zero clock must read 0 everywhere")
+	}
+	if c.Len() != 0 {
+		t.Fatal("zero clock has no components")
+	}
+}
+
+func TestTickAndGet(t *testing.T) {
+	c := New()
+	if e := c.Tick(3); e != 1 {
+		t.Fatalf("first tick = %d", e)
+	}
+	if e := c.Tick(3); e != 2 {
+		t.Fatalf("second tick = %d", e)
+	}
+	if c.Get(3) != 2 || c.Get(0) != 0 || c.Get(2) != 0 {
+		t.Fatal("components wrong after tick")
+	}
+}
+
+func TestSetGrow(t *testing.T) {
+	c := New()
+	c.Set(10, 5)
+	if c.Get(10) != 5 {
+		t.Fatal("set/get mismatch")
+	}
+	if c.Len() != 11 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := New()
+	b := New()
+	a.Set(0, 3)
+	a.Set(1, 1)
+	b.Set(1, 5)
+	b.Set(2, 2)
+	a.Join(b)
+	want := []Epoch{3, 5, 2}
+	for i, w := range want {
+		if a.Get(i) != w {
+			t.Errorf("a[%d] = %d, want %d", i, a.Get(i), w)
+		}
+	}
+	// b unchanged
+	if b.Get(0) != 0 || b.Get(1) != 5 || b.Get(2) != 2 {
+		t.Error("join mutated its argument")
+	}
+}
+
+func TestJoinNil(t *testing.T) {
+	a := New()
+	a.Set(0, 1)
+	a.Join(nil)
+	if a.Get(0) != 1 {
+		t.Fatal("join nil changed clock")
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	a := New()
+	b := New()
+	a.Set(0, 1)
+	b.Set(0, 2)
+	if !a.HappensBefore(b) {
+		t.Error("a <= b expected")
+	}
+	if b.HappensBefore(a) {
+		t.Error("b <= a unexpected")
+	}
+	b.Set(1, 1)
+	a.Set(2, 4)
+	if a.HappensBefore(b) || b.HappensBefore(a) {
+		t.Error("expected concurrent")
+	}
+	if !a.Concurrent(b) {
+		t.Error("Concurrent should report true")
+	}
+}
+
+func TestAssignClone(t *testing.T) {
+	a := New()
+	a.Set(0, 7)
+	a.Set(5, 9)
+	b := a.Clone()
+	if !a.HappensBefore(b) || !b.HappensBefore(a) {
+		t.Fatal("clone differs")
+	}
+	b.Tick(0)
+	if a.Get(0) != 7 {
+		t.Fatal("clone aliases original")
+	}
+	c := New()
+	c.Set(9, 1)
+	c.Assign(a)
+	if c.Get(9) != 0 || c.Get(5) != 9 {
+		t.Fatal("assign incorrect")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := New()
+	c.Set(1, 2)
+	c.Set(3, 4)
+	if got := c.String(); got != "{1:2 3:4}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New().String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func fromSlice(es []Epoch) *Clock {
+	c := New()
+	for i, e := range es {
+		c.Set(i, e)
+	}
+	return c
+}
+
+// Property: join is the least upper bound — after a.Join(b), both original
+// clocks happen-before the result.
+func TestPropertyJoinIsUpperBound(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		if len(xs) > 16 {
+			xs = xs[:16]
+		}
+		if len(ys) > 16 {
+			ys = ys[:16]
+		}
+		toEpochs := func(v []uint8) []Epoch {
+			out := make([]Epoch, len(v))
+			for i, x := range v {
+				out[i] = Epoch(x)
+			}
+			return out
+		}
+		a := fromSlice(toEpochs(xs))
+		b := fromSlice(toEpochs(ys))
+		aOrig := a.Clone()
+		a.Join(b)
+		return aOrig.HappensBefore(a) && b.HappensBefore(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HappensBefore is a partial order — reflexive and transitive on
+// the join lattice.
+func TestPropertyOrderTransitive(t *testing.T) {
+	f := func(xs, ys, zs []uint8) bool {
+		lim := func(v []uint8) []Epoch {
+			if len(v) > 8 {
+				v = v[:8]
+			}
+			out := make([]Epoch, len(v))
+			for i, x := range v {
+				out[i] = Epoch(x % 4)
+			}
+			return out
+		}
+		a := fromSlice(lim(xs))
+		b := fromSlice(lim(ys))
+		c := fromSlice(lim(zs))
+		if !a.HappensBefore(a) {
+			return false
+		}
+		if a.HappensBefore(b) && b.HappensBefore(c) && !a.HappensBefore(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	x := New()
+	y := New()
+	for i := 0; i < 32; i++ {
+		x.Set(i, Epoch(i))
+		y.Set(i, Epoch(64-i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Join(y)
+	}
+}
