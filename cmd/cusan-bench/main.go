@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	cusan-bench [-experiment all|fig10|fig11|table1|fig12|ablation]
-//	            [-runs N] [-warmup N] [-ranks N]
+//	cusan-bench [-experiment all|fig10|fig11|table1|fig12|ablation|cells|engine]
+//	            [-engine batched|slow] [-runs N] [-warmup N] [-ranks N]
 //	            [-jacobi-nx N] [-jacobi-ny N] [-jacobi-iters N]
 //	            [-tealeaf-nx N] [-tealeaf-ny N] [-tealeaf-iters N]
 package main
@@ -16,12 +16,15 @@ import (
 	"os"
 
 	"cusango/internal/bench"
+	"cusango/internal/tsan"
 )
 
 func main() {
 	cfg := bench.DefaultConfig()
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig10, fig11, table1, fig12, ablation, cells")
+		"which experiment to run: all, fig10, fig11, table1, fig12, ablation, cells, engine")
+	engineName := flag.String("engine", "",
+		"shadow-range engine for all measurements: batched (default) or slow (reference walk)")
 	flag.IntVar(&cfg.Runs, "runs", cfg.Runs, "measured runs per data point")
 	flag.IntVar(&cfg.Warmup, "warmup", cfg.Warmup, "warmup runs per data point")
 	flag.IntVar(&cfg.Ranks, "ranks", cfg.Ranks, "MPI world size")
@@ -32,6 +35,13 @@ func main() {
 	flag.IntVar(&cfg.TeaLeafCfg.NY, "tealeaf-ny", cfg.TeaLeafCfg.NY, "TeaLeaf global NY")
 	flag.IntVar(&cfg.TeaLeafCfg.Iters, "tealeaf-iters", cfg.TeaLeafCfg.Iters, "TeaLeaf CG iterations")
 	flag.Parse()
+
+	eng, err := tsan.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cusan-bench: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.TSanCfg.Engine = eng
 
 	type exp struct {
 		name string
@@ -44,6 +54,7 @@ func main() {
 		{"fig12", bench.Fig12},
 		{"ablation", bench.Ablation},
 		{"cells", bench.CellsAblation},
+		{"engine", bench.EngineAblation},
 	}
 	ran := false
 	for _, e := range all {

@@ -27,7 +27,9 @@ func CellsAblation(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	for _, cells := range []int{1, 2, 4} {
-		m, err := measureWithTSan(Jacobi, cfg, tsan.Config{CellsPerGranule: cells})
+		tcfg := cfg.TSanCfg
+		tcfg.CellsPerGranule = cells
+		m, err := measureWithTSan(Jacobi, cfg, tcfg)
 		if err != nil {
 			return nil, err
 		}

@@ -53,6 +53,10 @@ type Config struct {
 	TeaLeafCfg tealeaf.Config
 	// Fig12Sizes is the Jacobi domain sweep (global NX x NY pairs).
 	Fig12Sizes [][2]int
+	// TSanCfg is the sanitizer configuration every measurement runs
+	// under (cusan-bench -engine slow selects the reference walk here);
+	// experiment-specific ablations override individual fields.
+	TSanCfg tsan.Config
 }
 
 // DefaultConfig returns the benchmark defaults (scaled-down analogs of
@@ -80,7 +84,7 @@ type Measurement struct {
 
 // runOnce executes the app once under the flavor and measures it.
 func runOnce(app App, flavor core.Flavor, cfg Config, opts cusan.Options) (*Measurement, error) {
-	return runOnceTSan(app, flavor, cfg, opts, tsan.Config{})
+	return runOnceTSan(app, flavor, cfg, opts, cfg.TSanCfg)
 }
 
 // runOnceTSan is runOnce with an explicit sanitizer configuration

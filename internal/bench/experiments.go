@@ -146,6 +146,16 @@ func Table1(cfg Config) (*Table, error) {
 	row("Memory Write Range", float64(jc.WriteRanges), float64(tc.WriteRanges), ival)
 	row("Memory Read Size [avg KB]", jc.AvgReadKB(), tc.AvgReadKB(), f2)
 	row("Memory Write Size [avg KB]", jc.AvgWriteKB(), tc.AvgWriteKB(), f2)
+	// Shadow-engine counters have no paper analog (the batched range
+	// engine is this reproduction's addition); the paper column stays "-".
+	rowNP := func(metric string, j, tl float64) {
+		t.Rows = append(t.Rows, []string{metric, ival(j), "-", ival(tl), "-"})
+	}
+	rowNP("Shadow pages touched", float64(jc.EnginePages), float64(tc.EnginePages))
+	rowNP("Shadow granules processed", float64(jc.EngineGranules), float64(tc.EngineGranules))
+	rowNP("Fast-path granules", float64(jc.EngineFastGranules), float64(tc.EngineFastGranules))
+	rowNP("Range-cache hits", float64(jc.RangeCacheHits), float64(tc.RangeCacheHits))
+	rowNP("Range-cache misses", float64(jc.RangeCacheMisses), float64(tc.RangeCacheMisses))
 	return t, nil
 }
 

@@ -77,6 +77,17 @@ type Counters struct {
 	WriteRanges   int64
 	ReadBytes     int64
 	WriteBytes    int64
+
+	// Shadow range-engine counters, snapshotted from the sanitizer at
+	// Counters() time (Table I extension: what the annotation traffic
+	// above costs inside the detector). Unlike the call counters these
+	// cover all annotation sources sharing the sanitizer, and stay zero
+	// under the slow reference engine.
+	EnginePages        int64
+	EngineGranules     int64
+	EngineFastGranules int64
+	RangeCacheHits     int64
+	RangeCacheMisses   int64
 }
 
 // AvgReadKB returns the average bytes per CuSan read-range call in KiB.
@@ -156,8 +167,18 @@ func New(san *tsan.Sanitizer, ta *typeart.Runtime, opts Options) *Runtime {
 	return r
 }
 
-// Counters returns a snapshot of the CUDA event counters.
-func (r *Runtime) Counters() Counters { return r.ctr }
+// Counters returns a snapshot of the CUDA event counters, with the
+// sanitizer's range-engine counters folded in.
+func (r *Runtime) Counters() Counters {
+	c := r.ctr
+	st := r.san.Stats()
+	c.EnginePages = st.EnginePages
+	c.EngineGranules = st.EngineGranules
+	c.EngineFastGranules = st.EngineFastGranules
+	c.RangeCacheHits = st.RangeCacheHits
+	c.RangeCacheMisses = st.RangeCacheMisses
+	return c
+}
 
 // Sanitizer exposes the underlying detector (for reports and TSan stats).
 func (r *Runtime) Sanitizer() *tsan.Sanitizer { return r.san }
@@ -488,7 +509,7 @@ func (r *Runtime) PreFree(a memspace.Addr, kind memspace.Kind, syncsHost bool) {
 // FormatCounters renders the Table I-style per-process report the paper
 // shows for CuSan's event counters.
 func (r *Runtime) FormatCounters() string {
-	c := r.ctr
+	c := r.Counters()
 	var b strings.Builder
 	b.WriteString("CUDA runtime events:\n")
 	fmt.Fprintf(&b, "  Stream                      %8d\n", c.Streams)
@@ -504,5 +525,11 @@ func (r *Runtime) FormatCounters() string {
 	fmt.Fprintf(&b, "  Memory Write Range          %8d\n", c.WriteRanges)
 	fmt.Fprintf(&b, "  Memory Read Size [avg KB]   %11.2f\n", c.AvgReadKB())
 	fmt.Fprintf(&b, "  Memory Write Size [avg KB]  %11.2f\n", c.AvgWriteKB())
+	b.WriteString("Shadow engine:\n")
+	fmt.Fprintf(&b, "  Pages touched               %8d\n", c.EnginePages)
+	fmt.Fprintf(&b, "  Granules processed          %8d\n", c.EngineGranules)
+	fmt.Fprintf(&b, "  Fast-path granules          %8d\n", c.EngineFastGranules)
+	fmt.Fprintf(&b, "  Range-cache hits            %8d\n", c.RangeCacheHits)
+	fmt.Fprintf(&b, "  Range-cache misses          %8d\n", c.RangeCacheMisses)
 	return b.String()
 }

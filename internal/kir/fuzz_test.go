@@ -1,0 +1,46 @@
+package kir
+
+import (
+	"testing"
+)
+
+// FuzzKirParse feeds arbitrary text to the IR assembler. Two properties:
+//
+//  1. Parse never panics — malformed input must come back as an error
+//     (index guards on short instruction lines, Verify on semantic
+//     breakage);
+//  2. accepted modules reach a printing fixed point: Parse(m.String())
+//     succeeds and prints identically (the round-trip contract the
+//     package documents).
+func FuzzKirParse(f *testing.F) {
+	f.Add("kernel k(f64* buf, i64 n) {\nb0:\n  ret\n}\n")
+	f.Add("kernel k() {\n  locals %0:i64\nb0:\n  %0 = consti 4\n  condbr %0, b1, b2\nb1:\n  br b3\nb2:\n  br b3\nb3:\n  ret\n}\n")
+	f.Add("device d(f64 x) -> f64 {\nb0:\n  ret %0\n}\n")
+	f.Add("kernel k(f64* p) {\n  locals %1:i64 %2:f64\nb0:\n  %1 = global.id.x\n  %2 = constf 1.5\n  %3 = gep %0, %1\n  store %3, %2\n  ret\n}\n")
+	f.Add("kernel k() {\nb0:\n  store\n}\n")
+	f.Add("kernel k() {\nb0:\n  br\n}\n")
+	f.Add("kernel k() {\nb0:\n  %0 = constf\n}\n")
+	f.Add("kernel k() {\nb0:\n  %0 = consti\n}\n")
+	f.Add("kernel k() {\nb0:\n  atomic.faddstore %0\n}\n")
+	f.Add("kernel k() {\nb0:\n  call @f(%0,)\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := m.String()
+		m2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of printed module failed: %v\n--- printed ---\n%s", err, printed)
+		}
+		if again := m2.String(); again != printed {
+			t.Fatalf("printing is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+				printed, again)
+		}
+		// Accepted modules always verify (Parse runs Verify); the
+		// round-tripped module must too.
+		if err := Verify(m2); err != nil {
+			t.Fatalf("round-tripped module does not verify: %v", err)
+		}
+	})
+}

@@ -260,6 +260,9 @@ func (p *parser) statement(blk *Block, line string) error {
 		blk.Term = t
 		return nil
 	case "br":
+		if len(fields) != 2 {
+			return fail("br needs a target")
+		}
 		target, err := parseBlockRef(fields[1])
 		if err != nil {
 			return fail("%v", err)
@@ -285,6 +288,9 @@ func (p *parser) statement(blk *Block, line string) error {
 		blk.Term = Terminator{Kind: TermCondBr, Cond: c, Target: then, Else: els}
 		return nil
 	case "store":
+		if len(fields) != 3 {
+			return fail("store needs address and value")
+		}
 		a, err := parseLocal(fields[1])
 		if err != nil {
 			return fail("%v", err)
@@ -296,6 +302,9 @@ func (p *parser) statement(blk *Block, line string) error {
 		blk.Instrs = append(blk.Instrs, Instr{Op: OpStore, A: a, B: b})
 		return nil
 	case "atomic.faddstore":
+		if len(fields) != 3 {
+			return fail("atomic.faddstore needs address and value")
+		}
 		a, err := parseLocal(fields[1])
 		if err != nil {
 			return fail("%v", err)
@@ -346,12 +355,18 @@ func (p *parser) statement(blk *Block, line string) error {
 	var in Instr
 	switch {
 	case op == "constf":
+		if len(args) != 1 {
+			return fail("constf needs one immediate")
+		}
 		x, err := strconv.ParseFloat(args[0], 64)
 		if err != nil {
 			return fail("bad float %q", args[0])
 		}
 		in = Instr{Op: OpConstF, Dst: dst, FImm: x}
 	case op == "consti":
+		if len(args) != 1 {
+			return fail("consti needs one immediate")
+		}
 		x, err := strconv.ParseInt(args[0], 10, 64)
 		if err != nil {
 			return fail("bad int %q", args[0])

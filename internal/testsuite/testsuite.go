@@ -20,6 +20,7 @@ import (
 	"cusango/internal/kir"
 	"cusango/internal/memspace"
 	"cusango/internal/must"
+	"cusango/internal/tsan"
 )
 
 // Case is one classified mini-program.
@@ -140,16 +141,29 @@ func RunCase(c Case) *Verdict {
 // asynchronous executor and must produce identical verdicts (the
 // tooling's view is enqueue-time interception in both modes).
 func RunCaseWith(c Case, cudaCfg cuda.Config) *Verdict {
+	return runCase(c, cudaCfg, tsan.Config{})
+}
+
+// RunCaseTSan executes one case with an explicit sanitizer
+// configuration — the engine-differential pass runs the identical
+// suite under the batched and the slow reference shadow engines and
+// must produce identical verdicts.
+func RunCaseTSan(c Case, tcfg tsan.Config) *Verdict {
+	return runCase(c, cuda.Config{}, tcfg)
+}
+
+func runCase(c Case, cudaCfg cuda.Config, tcfg tsan.Config) *Verdict {
 	ranks := c.Ranks
 	if ranks == 0 {
 		ranks = 2
 	}
 	v := &Verdict{Case: c}
 	res, err := core.Run(core.Config{
-		Flavor: core.MUSTCuSan,
-		Ranks:  ranks,
-		Module: Module(),
-		Cuda:   cudaCfg,
+		Flavor:  core.MUSTCuSan,
+		Ranks:   ranks,
+		Module:  Module(),
+		Cuda:    cudaCfg,
+		TSanCfg: tcfg,
 	}, c.App)
 	if err != nil {
 		v.Err = err

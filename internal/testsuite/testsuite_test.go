@@ -1,11 +1,14 @@
 package testsuite
 
 import (
+	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
 	"cusango/internal/cuda"
 	"cusango/internal/raceflag"
+	"cusango/internal/tsan"
 )
 
 // TestAllCasesClassifiedCorrectly is the reproduction of paper §VI-C:
@@ -99,6 +102,62 @@ func TestAllCasesClassifiedCorrectlyAsync(t *testing.T) {
 			v := RunCaseWith(c, cuda.Config{AsyncStreams: true})
 			if !v.Pass() {
 				t.Fatalf("async-mode divergence: %s\n  doc: %s", v, c.Doc)
+			}
+		})
+	}
+}
+
+// classification is the comparable projection of a verdict: what the
+// tool tells the user, independent of report counts or timing.
+func classification(v *Verdict) string {
+	kinds := make([]string, 0, len(v.Issues))
+	for _, is := range v.Issues {
+		kinds = append(kinds, is.Kind.String())
+	}
+	sort.Strings(kinds)
+	return fmt.Sprintf("err=%v racy=%v issues=%v", v.Err != nil, v.Races > 0, kinds)
+}
+
+// TestSuiteClassificationParityAcrossEngines runs every case under the
+// batched engine and the slow reference walk: the engines must be
+// observationally equivalent on real tool runs, not just on the unit
+// differential suite — same classification AND same exact race count.
+func TestSuiteClassificationParityAcrossEngines(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			b := RunCaseTSan(c, tsan.Config{})
+			sl := RunCaseTSan(c, tsan.Config{Engine: tsan.EngineSlow})
+			if got, want := classification(b), classification(sl); got != want {
+				t.Fatalf("engines diverge:\n  batched: %s\n  slow:    %s", got, want)
+			}
+			if b.Races != sl.Races {
+				t.Fatalf("race counts diverge: batched=%d slow=%d", b.Races, sl.Races)
+			}
+			if !b.Pass() {
+				t.Fatalf("misclassified under both engines: %s", b)
+			}
+		})
+	}
+}
+
+// TestSuiteClassificationParityAsyncStreams compares eager vs async
+// execution case by case. Exact race counts may differ with timing;
+// the classification may not.
+func TestSuiteClassificationParityAsyncStreams(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("racy cases execute genuinely concurrently on the async executor")
+	}
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			eager := RunCaseWith(c, cuda.Config{AsyncStreams: false})
+			async := RunCaseWith(c, cuda.Config{AsyncStreams: true})
+			if got, want := classification(async), classification(eager); got != want {
+				t.Fatalf("async executor diverges from eager:\n  eager: %s\n  async: %s\n  doc: %s",
+					want, got, c.Doc)
 			}
 		})
 	}

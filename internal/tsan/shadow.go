@@ -83,23 +83,29 @@ func (m *shadowMap) init(k int) {
 	m.lastIdx = ^uint64(0)
 }
 
+// page resolves (allocating on demand) the shadow page with the given
+// page index. The batched range engine calls this once per page span;
+// the granule-at-a-time reference walk goes through granule below.
+func (m *shadowMap) page(idx uint64) *shadowPage {
+	if idx == m.lastIdx {
+		return m.lastPage
+	}
+	p, ok := m.pages[idx]
+	if !ok {
+		p = &shadowPage{
+			cells: make([]uint64, pageGranules*m.k),
+			infos: make([]*AccessInfo, pageGranules*m.k),
+		}
+		m.pages[idx] = p
+	}
+	m.lastIdx = idx
+	m.lastPage = p
+	return p
+}
+
 // granule returns the K cells and parallel info slots for granule g.
 func (m *shadowMap) granule(g uint64) ([]uint64, []*AccessInfo) {
-	idx := g >> pageGranuleShift
-	p := m.lastPage
-	if idx != m.lastIdx {
-		var ok bool
-		p, ok = m.pages[idx]
-		if !ok {
-			p = &shadowPage{
-				cells: make([]uint64, pageGranules*m.k),
-				infos: make([]*AccessInfo, pageGranules*m.k),
-			}
-			m.pages[idx] = p
-		}
-		m.lastIdx = idx
-		m.lastPage = p
-	}
+	p := m.page(g >> pageGranuleShift)
 	off := int(g&pageGranuleMask) * m.k
 	return p.cells[off : off+m.k : off+m.k], p.infos[off : off+m.k : off+m.k]
 }

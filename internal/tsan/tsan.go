@@ -96,6 +96,13 @@ type Stats struct {
 	RacesReported   int64
 	RacesDeduped    int64
 	RacesSuppressed int64
+
+	// Batched range-engine counters (all zero under EngineSlow).
+	EnginePages        int64 // shadow pages resolved by the page walker
+	EngineGranules     int64 // granules processed by the page walker
+	EngineFastGranules int64 // granules taken through the full-mask fast path
+	RangeCacheHits     int64 // range annotations satisfied by the same-epoch cache
+	RangeCacheMisses   int64 // range annotations that had to walk
 }
 
 // AvgReadKB returns the average tracked bytes per read-range call, in KiB.
@@ -168,6 +175,41 @@ func (sup *Suppressions) Match(r *Report) bool {
 	return false
 }
 
+// Engine selects the shadow-range annotation engine.
+type Engine uint8
+
+const (
+	// EngineBatched is the default: the page-walking engine resolves each
+	// shadow page once, processes all granules it covers in a tight loop,
+	// takes a full-mask fast path for interior granules, and consults the
+	// per-fiber same-epoch range cache before walking at all.
+	EngineBatched Engine = iota
+	// EngineSlow is the granule-at-a-time reference walk (the original
+	// implementation). It is kept as the differential-testing oracle and
+	// for the §V-B engine ablation; both engines must produce identical
+	// race reports and identical shadow post-state.
+	EngineSlow
+)
+
+func (e Engine) String() string {
+	if e == EngineSlow {
+		return "slow"
+	}
+	return "batched"
+}
+
+// ParseEngine resolves an engine name (case-insensitive).
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "batched", "fast":
+		return EngineBatched, nil
+	case "slow", "reference", "oracle":
+		return EngineSlow, nil
+	default:
+		return EngineBatched, fmt.Errorf("tsan: unknown engine %q", s)
+	}
+}
+
 // Config tunes the detector.
 type Config struct {
 	// CellsPerGranule is the number of shadow cells kept per 8-byte
@@ -180,6 +222,13 @@ type Config struct {
 	OnReport func(*Report)
 	// Suppressions filters reports.
 	Suppressions *Suppressions
+	// Engine selects the range engine; the zero value is the batched
+	// page-walking engine.
+	Engine Engine
+	// DisableRangeCache turns off the per-fiber same-epoch range cache
+	// of the batched engine (isolates the page-walk speedup in the
+	// engine ablation; no effect under EngineSlow).
+	DisableRangeCache bool
 }
 
 const (
@@ -199,6 +248,28 @@ type Sanitizer struct {
 	stats    Stats
 	// ignoreDepth > 0 disables access recording (IgnoreBegin/End).
 	ignoreDepth int
+
+	// accessSeq counts recorded range walks; a same-epoch cache entry is
+	// only valid while no walk (by any fiber) has happened since it was
+	// recorded, which makes a cache hit a provable no-op.
+	accessSeq uint64
+	// rangeCache holds one same-epoch range entry per fiber, indexed by
+	// fiber id (the batched engine's re-annotation fast path).
+	rangeCache []rangeCacheEntry
+}
+
+// rangeCacheEntry remembers one range annotation a fiber performed at
+// its current epoch. Re-annotating the identical range with the same
+// access kind and site before any other shadow walk happens is a
+// provable no-op (same cells, same masks, only already-deduplicated
+// reports) and is skipped entirely.
+type rangeCacheEntry struct {
+	start, end uint64
+	ep         vclock.Epoch
+	info       *AccessInfo
+	write      bool
+	valid      bool
+	seq        uint64
 }
 
 type dedupKey struct {
@@ -235,6 +306,7 @@ func (s *Sanitizer) CreateFiber(name string) *Fiber {
 	f := &Fiber{id: len(s.fibers), name: name, clock: vclock.New()}
 	f.clock.Tick(f.id)
 	s.fibers = append(s.fibers, f)
+	s.rangeCache = append(s.rangeCache, rangeCacheEntry{})
 	s.stats.FibersCreated++
 	if f.id > maxFiberID {
 		panic(fmt.Sprintf("tsan: fiber id %d exceeds shadow encoding capacity", f.id))
@@ -339,11 +411,24 @@ func (s *Sanitizer) Write(a memspace.Addr, size int, info *AccessInfo) {
 	s.accessRange(a, int64(size), true, info)
 }
 
-// accessRange records an access to [a, a+n) granule by granule.
+// accessRange records an access to [a, a+n), dispatching to the
+// configured range engine.
 func (s *Sanitizer) accessRange(a memspace.Addr, n int64, write bool, info *AccessInfo) {
 	if n <= 0 || s.ignoreDepth > 0 {
 		return
 	}
+	if s.cfg.Engine == EngineSlow {
+		s.accessRangeSlow(a, n, write, info)
+		return
+	}
+	s.accessRangeBatched(a, n, write, info)
+}
+
+// accessRangeSlow is the granule-at-a-time reference walk: it resolves
+// the shadow page through the one-entry page cache for every granule
+// and recomputes the partial-mask condition each step. Kept as the
+// differential-testing oracle for the batched engine.
+func (s *Sanitizer) accessRangeSlow(a memspace.Addr, n int64, write bool, info *AccessInfo) {
 	f := s.cur
 	ep := s.epoch()
 	start := uint64(a)
@@ -358,13 +443,22 @@ func (s *Sanitizer) accessRange(a memspace.Addr, n int64, write bool, info *Acce
 		}
 		s.accessGranule(g, mask, write, f, ep, info, memspace.Addr(gBase))
 	}
+	s.accessSeq++
 }
 
 // accessGranule checks one granule against its shadow cells and records
-// the access.
+// the access (slow-engine entry point).
 func (s *Sanitizer) accessGranule(g uint64, mask uint8, write bool, f *Fiber,
 	ep vclock.Epoch, info *AccessInfo, gAddr memspace.Addr) {
 	cells, infos := s.shadow.granule(g)
+	s.checkGranule(cells, infos, g, mask, write, f, ep, info, gAddr)
+}
+
+// checkGranule races the access against the granule's K shadow cells and
+// records it. Both engines funnel through this, so slot selection,
+// reporting, and eviction are identical by construction.
+func (s *Sanitizer) checkGranule(cells []uint64, infos []*AccessInfo, g uint64,
+	mask uint8, write bool, f *Fiber, ep vclock.Epoch, info *AccessInfo, gAddr memspace.Addr) {
 	k := s.cfg.CellsPerGranule
 	sameSlot := -1
 	emptySlot := -1
