@@ -5,15 +5,18 @@
 // Usage:
 //
 //	cusan-bench [-experiment all|fig10|fig11|table1|fig12|ablation|cells|engine]
-//	            [-engine batched|slow] [-runs N] [-warmup N] [-ranks N]
+//	            [-app jacobi,tealeaf,halo2d] [-engine batched|slow]
+//	            [-runs N] [-warmup N] [-ranks N]
 //	            [-jacobi-nx N] [-jacobi-ny N] [-jacobi-iters N]
 //	            [-tealeaf-nx N] [-tealeaf-ny N] [-tealeaf-iters N]
+//	            [-halo2d-nx N] [-halo2d-ny N] [-halo2d-iters N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cusango/internal/bench"
 	"cusango/internal/tsan"
@@ -23,6 +26,8 @@ func main() {
 	cfg := bench.DefaultConfig()
 	experiment := flag.String("experiment", "all",
 		"which experiment to run: all, fig10, fig11, table1, fig12, ablation, cells, engine")
+	appList := flag.String("app", "",
+		"comma-separated apps for the overhead experiments: jacobi, tealeaf, halo2d (default: the paper's pair)")
 	engineName := flag.String("engine", "",
 		"shadow-range engine for all measurements: batched (default) or slow (reference walk)")
 	flag.IntVar(&cfg.Runs, "runs", cfg.Runs, "measured runs per data point")
@@ -34,6 +39,9 @@ func main() {
 	flag.IntVar(&cfg.TeaLeafCfg.NX, "tealeaf-nx", cfg.TeaLeafCfg.NX, "TeaLeaf global NX")
 	flag.IntVar(&cfg.TeaLeafCfg.NY, "tealeaf-ny", cfg.TeaLeafCfg.NY, "TeaLeaf global NY")
 	flag.IntVar(&cfg.TeaLeafCfg.Iters, "tealeaf-iters", cfg.TeaLeafCfg.Iters, "TeaLeaf CG iterations")
+	flag.IntVar(&cfg.Halo2DCfg.NX, "halo2d-nx", cfg.Halo2DCfg.NX, "Halo2D global NX")
+	flag.IntVar(&cfg.Halo2DCfg.NY, "halo2d-ny", cfg.Halo2DCfg.NY, "Halo2D global NY")
+	flag.IntVar(&cfg.Halo2DCfg.Iters, "halo2d-iters", cfg.Halo2DCfg.Iters, "Halo2D iterations")
 	flag.Parse()
 
 	eng, err := tsan.ParseEngine(*engineName)
@@ -42,6 +50,18 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.TSanCfg.Engine = eng
+
+	if *appList != "" {
+		cfg.Apps = nil
+		for _, name := range strings.Split(*appList, ",") {
+			app, err := bench.ParseApp(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cusan-bench: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.Apps = append(cfg.Apps, app)
+		}
+	}
 
 	type exp struct {
 		name string

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	cusan-run [-app jacobi|tealeaf] [-flavor vanilla|tsan|must|cusan|must+cusan]
-//	          [-ranks N] [-nx N] [-ny N] [-iters N]
+//	cusan-run [-app jacobi|tealeaf|halo2d]
+//	          [-flavor vanilla|tsan|must|cusan|must+cusan]
+//	          [-engine fast|slow] [-ranks N] [-nx N] [-ny N] [-iters N]
 //	          [-inject-race] [-skip-wait]
 package main
 
@@ -16,21 +17,24 @@ import (
 	"os"
 	"strings"
 
-	"cusango/internal/apps/jacobi"
-	"cusango/internal/apps/tealeaf"
+	"cusango/internal/apps"
 	"cusango/internal/core"
 	"cusango/internal/cusan"
+	"cusango/internal/tsan"
 )
 
 func main() {
-	app := flag.String("app", "jacobi", "mini-app: jacobi or tealeaf")
+	appName := flag.String("app", "jacobi",
+		"mini-app: "+strings.Join(apps.Names(), ", "))
 	flavorName := flag.String("flavor", "must+cusan", "instrumentation flavor")
+	engineName := flag.String("engine", "fast",
+		"shadow engine: fast (batched) or slow (reference oracle)")
 	ranks := flag.Int("ranks", 2, "MPI world size")
 	nx := flag.Int("nx", 0, "global NX (0 = app default)")
 	ny := flag.Int("ny", 0, "global NY (0 = app default)")
 	iters := flag.Int("iters", 0, "iterations (0 = app default)")
 	injectRace := flag.Bool("inject-race", false,
-		"omit the CUDA-to-MPI synchronization (the paper's Fig. 4 bug)")
+		"inject the app's primary race (the paper's Fig. 4 bug)")
 	skipWait := flag.Bool("skip-wait", false,
 		"tealeaf only: use the halo before MPI_Waitall (MPI-to-CUDA bug)")
 	flag.Parse()
@@ -40,50 +44,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	var res *core.Result
-	switch *app {
-	case "jacobi":
-		cfg := jacobi.DefaultConfig()
-		override(&cfg.NX, *nx)
-		override(&cfg.NY, *ny)
-		override(&cfg.Iters, *iters)
-		cfg.SkipSync = *injectRace
-		res, err = core.Run(core.Config{Flavor: flavor, Ranks: *ranks, Module: jacobi.Module()},
-			func(s *core.Session) error {
-				r, err := jacobi.Run(s, cfg)
-				if err != nil {
-					return err
-				}
-				if s.Rank() == 0 {
-					fmt.Printf("jacobi: %d iters, residual %.3e -> %.3e\n",
-						r.Iters, r.FirstNorm, r.LastNorm)
-				}
-				return nil
-			})
-	case "tealeaf":
-		cfg := tealeaf.DefaultConfig()
-		override(&cfg.NX, *nx)
-		override(&cfg.NY, *ny)
-		override(&cfg.Iters, *iters)
-		cfg.SkipSync = *injectRace
-		cfg.SkipWait = *skipWait
-		res, err = core.Run(core.Config{Flavor: flavor, Ranks: *ranks, Module: tealeaf.Module()},
-			func(s *core.Session) error {
-				r, err := tealeaf.Run(s, cfg)
-				if err != nil {
-					return err
-				}
-				if s.Rank() == 0 {
-					fmt.Printf("tealeaf: %d CG iters, ||r||^2 %.3e -> %.3e\n",
-						r.Iters, r.FirstRR, r.LastRR)
-				}
-				return nil
-			})
-	default:
-		fmt.Fprintf(os.Stderr, "cusan-run: unknown app %q\n", *app)
+	engine, err := tsan.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	app, err := apps.Get(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cusan-run:", err)
+		os.Exit(2)
+	}
+
+	opt := apps.Options{
+		NX: *nx, NY: *ny, Iters: *iters,
+		InjectRace: *injectRace, SkipWait: *skipWait,
+	}
+	cfg := core.Config{
+		Flavor: flavor,
+		Ranks:  *ranks,
+		Module: app.Module(),
+	}
+	cfg.TSanCfg.Engine = engine
+	res, err := core.Run(cfg, func(s *core.Session) error {
+		line, err := app.Run(s, opt)
+		if err != nil {
+			return err
+		}
+		if s.Rank() == 0 {
+			fmt.Println(line)
+		}
+		return nil
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cusan-run:", err)
 		os.Exit(1)
@@ -113,12 +104,6 @@ func main() {
 		fmt.Println("no races or findings reported")
 	}
 	os.Exit(exit)
-}
-
-func override(dst *int, v int) {
-	if v > 0 {
-		*dst = v
-	}
 }
 
 // formatCounters renders the per-process counter block.

@@ -1,0 +1,270 @@
+// cusan-trace records, replays, summarizes, and exports the per-rank
+// CUDA+MPI event streams of the mini-apps.
+//
+// Usage:
+//
+//	cusan-trace record [-app jacobi|tealeaf|halo2d] [-flavor F] [-ranks N]
+//	                   [-nx N] [-ny N] [-iters N] [-inject-race] [-skip-wait]
+//	                   [-o prefix]
+//	    Run the app with trace recording; writes prefix.rankN.cutrace
+//	    per rank. Recording is flavor-independent — even a vanilla run
+//	    captures the full event stream.
+//
+//	cusan-trace replay [-engine fast|slow] file.cutrace...
+//	    Re-analyze recorded streams offline through the full
+//	    cusan/must/tsan pipeline; prints race reports and MUST findings
+//	    and exits non-zero if any are found.
+//
+//	cusan-trace stats file.cutrace...
+//	    Print per-op counts, data volumes, and per-stream histograms.
+//
+//	cusan-trace export [-format chrome] [-o out.json] file.cutrace...
+//	    Convert traces to a timeline. The chrome format is Chrome
+//	    trace_event JSON: load it in Perfetto (ui.perfetto.dev) or
+//	    chrome://tracing; one process per rank, one track per CUDA
+//	    stream plus host and MPI-request lanes, with synchronization
+//	    drawn as flow arrows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cusango/internal/apps"
+	"cusango/internal/core"
+	"cusango/internal/trace"
+	"cusango/internal/tsan"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "cusan-trace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cusan-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cusan-trace <record|replay|stats|export> [flags]")
+	fmt.Fprintln(os.Stderr, "  record  run a mini-app with per-rank trace recording")
+	fmt.Fprintln(os.Stderr, "  replay  re-analyze recorded traces offline")
+	fmt.Fprintln(os.Stderr, "  stats   summarize recorded traces")
+	fmt.Fprintln(os.Stderr, "  export  convert traces to a Chrome trace_event timeline")
+}
+
+func cmdRecord(argv []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	appName := fs.String("app", "jacobi", "mini-app to record")
+	flavorName := fs.String("flavor", "must+cusan", "instrumentation flavor to run under")
+	ranks := fs.Int("ranks", 2, "MPI world size")
+	nx := fs.Int("nx", 0, "global NX (0 = app default)")
+	ny := fs.Int("ny", 0, "global NY (0 = app default)")
+	iters := fs.Int("iters", 0, "iterations (0 = app default)")
+	injectRace := fs.Bool("inject-race", false, "inject the app's primary race")
+	skipWait := fs.Bool("skip-wait", false, "tealeaf only: use the halo before MPI_Waitall")
+	out := fs.String("o", "", "output prefix (default: the app name)")
+	fs.Parse(argv)
+
+	flavor, err := core.ParseFlavor(*flavorName)
+	if err != nil {
+		return err
+	}
+	app, err := apps.Get(*appName)
+	if err != nil {
+		return err
+	}
+	prefix := *out
+	if prefix == "" {
+		prefix = app.Name
+	}
+
+	files := make([]*os.File, *ranks)
+	defer func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	var ferr error
+	cfg := core.Config{
+		Flavor: flavor,
+		Ranks:  *ranks,
+		Module: app.Module(),
+		Trace: func(rank int) *trace.Writer {
+			name := fmt.Sprintf("%s.rank%d.cutrace", prefix, rank)
+			f, err := os.Create(name)
+			if err != nil {
+				ferr = err
+				return nil
+			}
+			files[rank] = f
+			return trace.NewWriter(f, trace.Header{
+				Rank: rank, WorldSize: *ranks, Label: app.Name,
+			})
+		},
+	}
+	opt := apps.Options{
+		NX: *nx, NY: *ny, Iters: *iters,
+		InjectRace: *injectRace, SkipWait: *skipWait,
+	}
+	res, err := core.Run(cfg, func(s *core.Session) error {
+		line, err := app.Run(s, opt)
+		if err != nil {
+			return err
+		}
+		if s.Rank() == 0 {
+			fmt.Println(line)
+		}
+		return nil
+	})
+	if ferr != nil {
+		return ferr
+	}
+	if err != nil {
+		return err
+	}
+	if err := res.FirstError(); err != nil {
+		return err
+	}
+	for rank, f := range files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		files[rank] = nil
+		fmt.Printf("wrote %s.rank%d.cutrace\n", prefix, rank)
+	}
+	if n := res.TotalRaces() + res.TotalIssues(); n > 0 {
+		fmt.Printf("(live run reported %d finding(s); replay will reproduce them)\n", n)
+	}
+	return nil
+}
+
+func loadTraces(paths []string) ([]*trace.Trace, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no trace files given")
+	}
+	traces := make([]*trace.Trace, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		traces[i] = tr
+	}
+	return traces, nil
+}
+
+func cmdReplay(argv []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	engineName := fs.String("engine", "fast",
+		"shadow engine: fast (batched) or slow (reference oracle)")
+	fs.Parse(argv)
+
+	engine, err := tsan.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	traces, err := loadTraces(fs.Args())
+	if err != nil {
+		return err
+	}
+	findings := 0
+	for _, tr := range traces {
+		rr, err := trace.Replay(tr, trace.ReplayConfig{
+			TSanCfg: tsan.Config{Engine: engine},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rank %d/%d (%s): %d events replayed, %d race(s), %d finding(s)\n",
+			rr.Rank, rr.WorldSize, rr.Label, rr.Events, rr.Races, len(rr.Issues))
+		for _, rep := range rr.Reports {
+			fmt.Printf("[rank %d] %s\n", rr.Rank, rep)
+			findings++
+		}
+		for _, is := range rr.Issues {
+			fmt.Printf("[rank %d] %s\n", rr.Rank, is)
+			findings++
+		}
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("no races or findings reported")
+	return nil
+}
+
+func cmdStats(argv []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs.Parse(argv)
+	traces, err := loadTraces(fs.Args())
+	if err != nil {
+		return err
+	}
+	for i, tr := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(trace.ComputeStats(tr).Format())
+	}
+	return nil
+}
+
+func cmdExport(argv []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	format := fs.String("format", "chrome", "output format (chrome)")
+	out := fs.String("o", "trace.json", "output file")
+	fs.Parse(argv)
+
+	if *format != "chrome" {
+		return fmt.Errorf("unknown export format %q (have: chrome)", *format)
+	}
+	traces, err := loadTraces(fs.Args())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := trace.ExportChrome(traces, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rank(s)); open in ui.perfetto.dev or chrome://tracing\n",
+		*out, len(traces))
+	return nil
+}

@@ -1,0 +1,119 @@
+// Package apps is the mini-app registry: one place that knows how to
+// build each application's device module and run it on a session, so
+// the CLIs (cusan-run, cusan-bench, cusan-trace) share a single
+// -app switch instead of duplicating per-app wiring.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"cusango/internal/apps/halo2d"
+	"cusango/internal/apps/jacobi"
+	"cusango/internal/apps/tealeaf"
+	"cusango/internal/core"
+	"cusango/internal/kir"
+)
+
+// Options is the cross-app configuration surface. Zero values mean
+// "the app's default".
+type Options struct {
+	NX, NY int
+	Iters  int
+	// InjectRace enables the app's primary injected bug (the missing
+	// CUDA-to-MPI synchronization, or halo2d's missing pack sync).
+	InjectRace bool
+	// SkipWait enables tealeaf's MPI-to-CUDA bug (use-before-Waitall);
+	// ignored by the other apps.
+	SkipWait bool
+}
+
+func override(dst *int, v int) {
+	if v > 0 {
+		*dst = v
+	}
+}
+
+// App describes one registered mini-app.
+type App struct {
+	Name string
+	// Module builds the app's device code.
+	Module func() *kir.Module
+	// Run executes the app on one rank and returns a one-line summary
+	// (printed by rank 0).
+	Run func(s *core.Session, opt Options) (string, error)
+}
+
+var registry = map[string]App{
+	"jacobi": {
+		Name:   "jacobi",
+		Module: jacobi.Module,
+		Run: func(s *core.Session, opt Options) (string, error) {
+			cfg := jacobi.DefaultConfig()
+			override(&cfg.NX, opt.NX)
+			override(&cfg.NY, opt.NY)
+			override(&cfg.Iters, opt.Iters)
+			cfg.SkipSync = opt.InjectRace
+			r, err := jacobi.Run(s, cfg)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("jacobi: %d iters, residual %.3e -> %.3e",
+				r.Iters, r.FirstNorm, r.LastNorm), nil
+		},
+	},
+	"tealeaf": {
+		Name:   "tealeaf",
+		Module: tealeaf.Module,
+		Run: func(s *core.Session, opt Options) (string, error) {
+			cfg := tealeaf.DefaultConfig()
+			override(&cfg.NX, opt.NX)
+			override(&cfg.NY, opt.NY)
+			override(&cfg.Iters, opt.Iters)
+			cfg.SkipSync = opt.InjectRace
+			cfg.SkipWait = opt.SkipWait
+			r, err := tealeaf.Run(s, cfg)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("tealeaf: %d CG iters, ||r||^2 %.3e -> %.3e",
+				r.Iters, r.FirstRR, r.LastRR), nil
+		},
+	},
+	"halo2d": {
+		Name:   "halo2d",
+		Module: halo2d.AppModule,
+		Run: func(s *core.Session, opt Options) (string, error) {
+			cfg := halo2d.DefaultConfig()
+			override(&cfg.NX, opt.NX)
+			override(&cfg.NY, opt.NY)
+			override(&cfg.Iters, opt.Iters)
+			cfg.SkipPackSync = opt.InjectRace
+			r, err := halo2d.Run(s, cfg)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("halo2d: %d iters, %d exchanges, checksum %.6e",
+				r.Iters, r.Exchanges, r.Checksum), nil
+		},
+	},
+}
+
+// Get resolves an app by name.
+func Get(name string) (App, error) {
+	a, ok := registry[name]
+	if !ok {
+		return App{}, fmt.Errorf("apps: unknown app %q (have %v)", name, Names())
+	}
+	return a, nil
+}
+
+// Names lists registered apps, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,210 @@
+package halo2d
+
+import (
+	"cusango/internal/core"
+	"cusango/internal/kinterp"
+	"cusango/internal/kir"
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+)
+
+// This file turns the halo-exchange library into a runnable mini-app: a
+// 2D diffusion relaxation on a PX x PY cartesian decomposition, so the
+// column pack/unpack path (and its injected race) is exercised by
+// cusan-run and cusan-bench alongside the row-split mini-apps.
+
+// Config parameterizes an app run.
+type Config struct {
+	// NX and NY are the global interior size (split across the process
+	// grid chosen by ProcessGrid).
+	NX, NY int
+	// Iters is the fixed iteration count.
+	Iters int
+	// SkipPackSync injects the missing pack-kernel-to-Isend
+	// synchronization (paper §III-D case i).
+	SkipPackSync bool
+	// BlockX is the step-kernel block width (default 64).
+	BlockX int
+}
+
+// DefaultConfig returns a size small enough for the interpreted kernels
+// while still running hundreds of pack/unpack launches.
+func DefaultConfig() Config {
+	return Config{NX: 48, NY: 48, Iters: 60}
+}
+
+// Result reports a rank's outcome.
+type Result struct {
+	Rank      int
+	Iters     int
+	Exchanges int64
+	// Checksum is the global field sum after the last iteration
+	// (identical on every rank after the final Allreduce).
+	Checksum float64
+}
+
+// ProcessGrid picks the decomposition for a world size: the largest
+// PY <= sqrt(size) dividing size, so PX >= PY and even a two-rank world
+// has east/west neighbors — i.e. the strided-column path always runs.
+func ProcessGrid(size int) (px, py int) {
+	py = 1
+	for d := 2; d*d <= size; d++ {
+		if size%d == 0 {
+			py = d
+		}
+	}
+	return size / py, py
+}
+
+// AppModule returns the library kernels plus the app's init and step
+// kernels.
+func AppModule() *kir.Module {
+	m := Module()
+
+	// halo2d_init: interior 0, the global domain walls 1.0. The four
+	// wall flags mark which field edges are global boundaries.
+	m.Add(kir.KernelFunc("halo2d_init", []kir.Param{
+		{Name: "field", Type: kir.TPtrF64},
+		{Name: "stride", Type: kir.TInt},
+		{Name: "rows", Type: kir.TInt},
+		{Name: "westWall", Type: kir.TInt},
+		{Name: "eastWall", Type: kir.TInt},
+		{Name: "northWall", Type: kir.TInt},
+		{Name: "southWall", Type: kir.TInt},
+	}, func(e *kir.Emitter) {
+		ix := e.GlobalIDX()
+		iy := e.GlobalIDY()
+		stride := e.Arg("stride")
+		rows := e.Arg("rows")
+		zero := e.ConstI(0)
+		e.If(e.AndI(e.Lt(ix, stride), e.Lt(iy, rows)), func() {
+			v := e.Var(kir.TFloat)
+			e.Assign(v, e.ConstF(0))
+			w := e.AndI(e.Ne(e.Arg("westWall"), zero), e.Eq(ix, zero))
+			ea := e.AndI(e.Ne(e.Arg("eastWall"), zero), e.Eq(ix, e.Sub(stride, e.ConstI(1))))
+			n := e.AndI(e.Ne(e.Arg("northWall"), zero), e.Eq(iy, zero))
+			s := e.AndI(e.Ne(e.Arg("southWall"), zero), e.Eq(iy, e.Sub(rows, e.ConstI(1))))
+			e.If(e.OrI(e.OrI(w, ea), e.OrI(n, s)), func() {
+				e.Assign(v, e.ConstF(1))
+			})
+			e.StoreIdx(e.Arg("field"), e.Add(e.Mul(iy, stride), ix), v)
+		})
+	}))
+
+	// halo2d_step: 5-point average of in into out over the interior.
+	m.Add(kir.KernelFunc("halo2d_step", []kir.Param{
+		{Name: "out", Type: kir.TPtrF64},
+		{Name: "in", Type: kir.TPtrF64},
+		{Name: "stride", Type: kir.TInt},
+		{Name: "rows", Type: kir.TInt},
+	}, func(e *kir.Emitter) {
+		ix := e.GlobalIDX()
+		iy := e.GlobalIDY()
+		one := e.ConstI(1)
+		stride := e.Arg("stride")
+		inX := e.AndI(e.Ge(ix, one), e.Le(ix, e.Sub(stride, e.ConstI(2))))
+		inY := e.AndI(e.Ge(iy, one), e.Le(iy, e.Sub(e.Arg("rows"), e.ConstI(2))))
+		e.If(e.AndI(inX, inY), func() {
+			idx := e.Add(e.Mul(iy, stride), ix)
+			in := e.Arg("in")
+			c := e.LoadIdx(in, idx)
+			l := e.LoadIdx(in, e.Sub(idx, one))
+			r := e.LoadIdx(in, e.Add(idx, one))
+			u := e.LoadIdx(in, e.Sub(idx, stride))
+			d := e.LoadIdx(in, e.Add(idx, stride))
+			v := e.Mul(e.ConstF(0.2), e.Add(c, e.Add(e.Add(l, r), e.Add(u, d))))
+			e.StoreIdx(e.Arg("out"), idx, v)
+		})
+	}))
+	return m
+}
+
+// Run executes the mini-app on one rank's session. Per iteration: halo
+// exchange of the current field (pack -> sync -> Isend/Irecv -> Waitall
+// -> unpack), one stencil step into the other field, device sync, swap.
+func Run(s *core.Session, cfg Config) (*Result, error) {
+	if cfg.BlockX <= 0 {
+		cfg.BlockX = 64
+	}
+	px, py := ProcessGrid(s.Size())
+	d := Decomp{PX: px, PY: py, NX: cfg.NX, NY: cfg.NY}
+	ex, err := NewExchanger(s, d)
+	if err != nil {
+		return nil, err
+	}
+	ex.SkipPackSync = cfg.SkipPackSync
+
+	dev := s.Dev
+	n := ex.FieldElems()
+	a, err := s.CudaMallocF64(n)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.CudaMallocF64(n)
+	if err != nil {
+		return nil, err
+	}
+
+	cx, cy := d.Coords(s.Rank())
+	grid := kinterp.Dim2(int(ex.stride+int64(cfg.BlockX)-1)/cfg.BlockX, int(ex.rows))
+	block := kinterp.Dim2(cfg.BlockX, 1)
+	initArgs := func(buf memspace.Addr) []kinterp.Arg {
+		return []kinterp.Arg{
+			kinterp.Ptr(buf), kinterp.Int(ex.stride), kinterp.Int(ex.rows),
+			kinterp.Int(b2i(cx == 0)), kinterp.Int(b2i(cx == d.PX-1)),
+			kinterp.Int(b2i(cy == 0)), kinterp.Int(b2i(cy == d.PY-1)),
+		}
+	}
+	if err := dev.LaunchKernel("halo2d_init", grid, block, initArgs(a), nil); err != nil {
+		return nil, err
+	}
+	if err := dev.LaunchKernel("halo2d_init", grid, block, initArgs(b), nil); err != nil {
+		return nil, err
+	}
+	dev.DeviceSynchronize()
+
+	res := &Result{Rank: s.Rank(), Iters: cfg.Iters}
+	for it := 0; it < cfg.Iters; it++ {
+		if err := ex.Exchange(a); err != nil {
+			return nil, err
+		}
+		if err := dev.LaunchKernel("halo2d_step", grid, block, []kinterp.Arg{
+			kinterp.Ptr(b), kinterp.Ptr(a), kinterp.Int(ex.stride), kinterp.Int(ex.rows),
+		}, nil); err != nil {
+			return nil, err
+		}
+		// All device work (unpack + step) must retire before the next
+		// exchange's MPI writes the halo rows.
+		dev.DeviceSynchronize()
+		a, b = b, a
+	}
+	res.Exchanges = ex.Exchanges
+
+	// Global checksum of the interior: D2H copy (host-synchronizing),
+	// host sum, Allreduce.
+	host := s.HostAllocF64(n)
+	if err := dev.Memcpy(host, a, n*8); err != nil {
+		return nil, err
+	}
+	var local float64
+	for iy := int64(1); iy < ex.rows-1; iy++ {
+		for ix := int64(1); ix < ex.stride-1; ix++ {
+			local += s.LoadF64(host + memspace.Addr((iy*ex.stride+ix)*8))
+		}
+	}
+	hLocal := s.HostAllocF64(1)
+	hGlobal := s.HostAllocF64(1)
+	s.StoreF64(hLocal, local)
+	if err := s.Comm.Allreduce(hLocal, hGlobal, 1, mpi.Float64, mpi.OpSum); err != nil {
+		return nil, err
+	}
+	res.Checksum = s.LoadF64(hGlobal)
+	return res, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,103 @@
+package halo2d
+
+import "testing"
+
+import "cusango/internal/core"
+
+func TestProcessGrid(t *testing.T) {
+	cases := []struct{ size, px, py int }{
+		{1, 1, 1}, {2, 2, 1}, {3, 3, 1}, {4, 2, 2}, {6, 3, 2}, {8, 4, 2}, {9, 3, 3}, {12, 4, 3},
+	}
+	for _, c := range cases {
+		px, py := ProcessGrid(c.size)
+		if px != c.px || py != c.py {
+			t.Errorf("ProcessGrid(%d) = %dx%d, want %dx%d", c.size, px, py, c.px, c.py)
+		}
+		if px*py != c.size || px < py {
+			t.Errorf("ProcessGrid(%d) = %dx%d: invalid grid", c.size, px, py)
+		}
+	}
+}
+
+func runApp(t *testing.T, ranks int, cfg Config) *core.Result {
+	t.Helper()
+	res, err := core.Run(core.Config{
+		Flavor: core.MUSTCuSan, Ranks: ranks, Module: AppModule(),
+	}, func(s *core.Session) error {
+		_, err := Run(s, cfg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAppCleanUnderFullTool(t *testing.T) {
+	cfg := Config{NX: 24, NY: 24, Iters: 10}
+	res := runApp(t, 2, cfg)
+	if n := res.TotalRaces(); n != 0 {
+		t.Errorf("clean app: %d races", n)
+		for i := range res.Ranks {
+			for _, r := range res.Ranks[i].Reports {
+				t.Logf("rank %d: %s", i, r)
+			}
+		}
+	}
+	if n := res.TotalIssues(); n != 0 {
+		t.Errorf("clean app: %d MUST findings", n)
+	}
+}
+
+func TestAppFourRanks(t *testing.T) {
+	cfg := Config{NX: 24, NY: 24, Iters: 6}
+	res := runApp(t, 4, cfg)
+	if n := res.TotalRaces(); n != 0 {
+		t.Errorf("clean app on 2x2 grid: %d races", n)
+	}
+}
+
+func TestAppSkipPackSyncRaces(t *testing.T) {
+	cfg := Config{NX: 24, NY: 24, Iters: 10, SkipPackSync: true}
+	res := runApp(t, 2, cfg)
+	if res.TotalRaces() == 0 {
+		t.Error("SkipPackSync: expected races, got none")
+	}
+}
+
+func TestAppChecksumDeterministic(t *testing.T) {
+	cfg := Config{NX: 24, NY: 24, Iters: 10}
+	var want float64
+	for trial := 0; trial < 2; trial++ {
+		var got float64
+		res, err := core.Run(core.Config{
+			Flavor: core.MUSTCuSan, Ranks: 2, Module: AppModule(),
+		}, func(s *core.Session) error {
+			r, err := Run(s, cfg)
+			if err != nil {
+				return err
+			}
+			if s.Rank() == 0 {
+				got = r.Checksum
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.FirstError(); err != nil {
+			t.Fatal(err)
+		}
+		if got == 0 {
+			t.Fatal("zero checksum: walls did not diffuse inward")
+		}
+		if trial == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("checksum not deterministic: %v then %v", want, got)
+		}
+	}
+}

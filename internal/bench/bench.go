@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"cusango/internal/apps/halo2d"
 	"cusango/internal/apps/jacobi"
 	"cusango/internal/apps/tealeaf"
 	"cusango/internal/core"
@@ -26,17 +27,38 @@ import (
 // App selects a mini-app.
 type App uint8
 
-// Mini-apps under evaluation.
+// Mini-apps under evaluation. Jacobi and TeaLeaf are the paper's two
+// (§V); Halo2D is this reproduction's strided-column exchange app, so
+// its rows have no paper reference column.
 const (
 	Jacobi App = iota
 	TeaLeaf
+	Halo2D
 )
 
 func (a App) String() string {
-	if a == Jacobi {
+	switch a {
+	case Jacobi:
 		return "Jacobi"
+	case TeaLeaf:
+		return "TeaLeaf"
+	default:
+		return "Halo2D"
 	}
-	return "TeaLeaf"
+}
+
+// ParseApp resolves a mini-app name (case-insensitive).
+func ParseApp(s string) (App, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "jacobi":
+		return Jacobi, nil
+	case "tealeaf":
+		return TeaLeaf, nil
+	case "halo2d":
+		return Halo2D, nil
+	default:
+		return Jacobi, fmt.Errorf("bench: unknown app %q", s)
+	}
 }
 
 // Config tunes the harness.
@@ -48,9 +70,13 @@ type Config struct {
 	Runs int
 	// Warmup runs are executed and discarded.
 	Warmup int
-	// JacobiCfg and TeaLeafCfg parameterize the apps.
+	// Apps selects which mini-apps the overhead experiments iterate
+	// (default: Jacobi and TeaLeaf, the paper's pair).
+	Apps []App
+	// JacobiCfg, TeaLeafCfg and Halo2DCfg parameterize the apps.
 	JacobiCfg  jacobi.Config
 	TeaLeafCfg tealeaf.Config
+	Halo2DCfg  halo2d.Config
 	// Fig12Sizes is the Jacobi domain sweep (global NX x NY pairs).
 	Fig12Sizes [][2]int
 	// TSanCfg is the sanitizer configuration every measurement runs
@@ -66,8 +92,10 @@ func DefaultConfig() Config {
 		Ranks:      2,
 		Runs:       2,
 		Warmup:     1,
+		Apps:       []App{Jacobi, TeaLeaf},
 		JacobiCfg:  jacobi.DefaultConfig(),
 		TeaLeafCfg: tealeaf.DefaultConfig(),
+		Halo2DCfg:  halo2d.DefaultConfig(),
 		Fig12Sizes: [][2]int{{64, 32}, {128, 64}, {256, 128}, {512, 256}, {1024, 512}},
 	}
 }
@@ -101,6 +129,13 @@ func runOnceTSan(app App, flavor core.Flavor, cfg Config, opts cusan.Options, tc
 			Flavor: flavor, Ranks: cfg.Ranks, Module: jacobi.Module(), CusanOpts: opts, TSanCfg: tcfg,
 		}, func(s *core.Session) error {
 			_, err := jacobi.Run(s, cfg.JacobiCfg)
+			return err
+		})
+	case Halo2D:
+		res, err = core.Run(core.Config{
+			Flavor: flavor, Ranks: cfg.Ranks, Module: halo2d.AppModule(), CusanOpts: opts, TSanCfg: tcfg,
+		}, func(s *core.Session) error {
+			_, err := halo2d.Run(s, cfg.Halo2DCfg)
 			return err
 		})
 	default:

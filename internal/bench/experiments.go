@@ -38,6 +38,23 @@ var (
 // overheadFlavors is the evaluation matrix of Fig. 10/11.
 var overheadFlavors = []core.Flavor{core.TSan, core.MUST, core.CuSan, core.MUSTCuSan}
 
+// overheadApps returns the apps an overhead experiment iterates.
+func overheadApps(cfg Config) []App {
+	if len(cfg.Apps) > 0 {
+		return cfg.Apps
+	}
+	return []App{Jacobi, TeaLeaf}
+}
+
+// paperRef formats a paper reference value, "-" when the paper has none
+// (apps beyond the paper's pair).
+func paperRef(m map[App]map[core.Flavor]float64, app App, fl core.Flavor) string {
+	if v, ok := m[app][fl]; ok {
+		return f2(v)
+	}
+	return "-"
+}
+
 // Fig10 measures relative runtime overhead per flavor for both apps.
 func Fig10(cfg Config) (*Table, error) {
 	t := &Table{
@@ -48,7 +65,7 @@ func Fig10(cfg Config) (*Table, error) {
 			"absolute factors differ (interpreted device on CPU); the ordering and app contrast are the reproduced shape",
 		},
 	}
-	for _, app := range []App{Jacobi, TeaLeaf} {
+	for _, app := range overheadApps(cfg) {
 		base, err := Measure(app, core.Vanilla, cfg, cusan.Options{})
 		if err != nil {
 			return nil, err
@@ -61,7 +78,7 @@ func Fig10(cfg Config) (*Table, error) {
 			}
 			rel := m.Wall.Seconds() / base.Wall.Seconds()
 			t.Rows = append(t.Rows, []string{
-				app.String(), fl.String(), secs(m.Wall), f2(rel), f2(paperFig10[app][fl]),
+				app.String(), fl.String(), secs(m.Wall), f2(rel), paperRef(paperFig10, app, fl),
 			})
 		}
 	}
@@ -79,7 +96,7 @@ func Fig11(cfg Config) (*Table, error) {
 	}
 	memCfg := cfg
 	memCfg.Runs, memCfg.Warmup = 1, 0 // memory is deterministic
-	for _, app := range []App{Jacobi, TeaLeaf} {
+	for _, app := range overheadApps(cfg) {
 		base, err := Measure(app, core.Vanilla, memCfg, cusan.Options{})
 		if err != nil {
 			return nil, err
@@ -92,7 +109,7 @@ func Fig11(cfg Config) (*Table, error) {
 			}
 			rel := float64(m.RSS) / float64(base.RSS)
 			t.Rows = append(t.Rows, []string{
-				app.String(), fl.String(), mb(m.RSS), f2(rel), f2(paperFig11[app][fl]),
+				app.String(), fl.String(), mb(m.RSS), f2(rel), paperRef(paperFig11, app, fl),
 			})
 		}
 	}

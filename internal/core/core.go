@@ -29,6 +29,7 @@ import (
 	"cusango/internal/memspace"
 	"cusango/internal/mpi"
 	"cusango/internal/must"
+	"cusango/internal/trace"
 	"cusango/internal/tsan"
 	"cusango/internal/typeart"
 )
@@ -114,6 +115,13 @@ type Config struct {
 	// configures MUST "to only check for data races of (non-blocking)
 	// MPI communication"; set DisableTypeChecks for that configuration.
 	MustOpts must.Options
+	// Trace, when non-nil, is asked for a per-rank trace writer before
+	// the session is built; a non-nil writer taps every interception
+	// point (CUDA, MPI, host accesses, typed allocations) so the rank's
+	// event stream can be replayed offline. Recording is independent of
+	// the flavor: the taps wrap whatever tool hooks the flavor installs,
+	// including none.
+	Trace func(rank int) *trace.Writer
 }
 
 // Session is one rank's execution context.
@@ -132,6 +140,7 @@ type Session struct {
 	flavor    Flavor
 	loadInfo  *tsan.AccessInfo
 	storeInfo *tsan.AccessInfo
+	rec       *trace.Recorder // nil unless Config.Trace supplied a writer
 }
 
 // Rank returns the session's MPI rank.
@@ -155,11 +164,19 @@ func newSession(cfg Config, rank int, world *mpi.World) (*Session, error) {
 		s.loadInfo = &tsan.AccessInfo{Site: "host code", Object: "load"}
 		s.storeInfo = &tsan.AccessInfo{Site: "host code", Object: "store"}
 	}
+	if cfg.Trace != nil {
+		if w := cfg.Trace(rank); w != nil {
+			s.rec = trace.NewRecorder(w)
+		}
+	}
 	var cudaHooks cuda.Hooks
 	if cfg.Flavor.HasCuSan() {
 		s.TypeArt = typeart.NewRuntime(nil)
 		s.Cusan = cusan.New(s.San, s.TypeArt, cfg.CusanOpts)
 		cudaHooks = s.Cusan
+	}
+	if s.rec != nil {
+		cudaHooks = s.rec.CudaHooks(cudaHooks)
 	}
 	mod := cfg.Module
 	if mod == nil {
@@ -174,6 +191,9 @@ func newSession(cfg Config, rank int, world *mpi.World) (*Session, error) {
 	if cfg.Flavor.HasMUST() {
 		s.Must = must.New(s.San, s.TypeArt, cfg.MustOpts)
 		mpiHooks = s.Must
+	}
+	if s.rec != nil {
+		mpiHooks = s.rec.MPIHooks(mpiHooks)
 	}
 	comm, err := world.AttachRank(rank, s.Mem, mpiHooks)
 	if err != nil {
@@ -193,6 +213,9 @@ func newSession(cfg Config, rank int, world *mpi.World) (*Session, error) {
 
 // LoadF64 reads a float64 from host-accessible memory.
 func (s *Session) LoadF64(a memspace.Addr) float64 {
+	if s.rec != nil {
+		s.rec.HostRead(a, 8)
+	}
 	if s.San != nil {
 		s.San.Read(a, 8, s.loadInfo)
 	}
@@ -201,6 +224,9 @@ func (s *Session) LoadF64(a memspace.Addr) float64 {
 
 // StoreF64 writes a float64.
 func (s *Session) StoreF64(a memspace.Addr, v float64) {
+	if s.rec != nil {
+		s.rec.HostWrite(a, 8)
+	}
 	if s.San != nil {
 		s.San.Write(a, 8, s.storeInfo)
 	}
@@ -209,6 +235,9 @@ func (s *Session) StoreF64(a memspace.Addr, v float64) {
 
 // LoadI64 reads an int64.
 func (s *Session) LoadI64(a memspace.Addr) int64 {
+	if s.rec != nil {
+		s.rec.HostRead(a, 8)
+	}
 	if s.San != nil {
 		s.San.Read(a, 8, s.loadInfo)
 	}
@@ -217,6 +246,9 @@ func (s *Session) LoadI64(a memspace.Addr) int64 {
 
 // StoreI64 writes an int64.
 func (s *Session) StoreI64(a memspace.Addr, v int64) {
+	if s.rec != nil {
+		s.rec.HostWrite(a, 8)
+	}
 	if s.San != nil {
 		s.San.Write(a, 8, s.storeInfo)
 	}
@@ -225,6 +257,9 @@ func (s *Session) StoreI64(a memspace.Addr, v int64) {
 
 // LoadI32 reads an int32.
 func (s *Session) LoadI32(a memspace.Addr) int32 {
+	if s.rec != nil {
+		s.rec.HostRead(a, 4)
+	}
 	if s.San != nil {
 		s.San.Read(a, 4, s.loadInfo)
 	}
@@ -233,6 +268,9 @@ func (s *Session) LoadI32(a memspace.Addr) int32 {
 
 // StoreI32 writes an int32.
 func (s *Session) StoreI32(a memspace.Addr, v int32) {
+	if s.rec != nil {
+		s.rec.HostWrite(a, 4)
+	}
 	if s.San != nil {
 		s.San.Write(a, 4, s.storeInfo)
 	}
@@ -241,6 +279,9 @@ func (s *Session) StoreI32(a memspace.Addr, v int32) {
 
 // ReadRangeHost annotates a bulk host read (memcpy-style host code).
 func (s *Session) ReadRangeHost(a memspace.Addr, n int64) {
+	if s.rec != nil {
+		s.rec.HostReadRange(a, n)
+	}
 	if s.San != nil {
 		s.San.ReadRange(a, n, s.loadInfo)
 	}
@@ -248,6 +289,9 @@ func (s *Session) ReadRangeHost(a memspace.Addr, n int64) {
 
 // WriteRangeHost annotates a bulk host write.
 func (s *Session) WriteRangeHost(a memspace.Addr, n int64) {
+	if s.rec != nil {
+		s.rec.HostWriteRange(a, n)
+	}
 	if s.San != nil {
 		s.San.WriteRange(a, n, s.storeInfo)
 	}
@@ -256,6 +300,9 @@ func (s *Session) WriteRangeHost(a memspace.Addr, n int64) {
 // --- typed allocation helpers (TypeART host instrumentation) --------------
 
 func (s *Session) track(a memspace.Addr, id typeart.TypeID, count int64, kind memspace.Kind) {
+	if s.rec != nil {
+		s.rec.TypedAlloc(a, id, count, kind)
+	}
 	if s.TypeArt == nil {
 		return
 	}
@@ -419,6 +466,11 @@ func Run(cfg Config, app func(s *Session) error) (*Result, error) {
 			}()
 			s.Dev.Close() // drains async-mode executors; eager no-op
 			s.Comm.Finalize()
+			if s.rec != nil {
+				if err := s.rec.Flush(); err != nil && rr.Err == nil {
+					rr.Err = fmt.Errorf("rank %d trace: %w", i, err)
+				}
+			}
 			rr.MPIStats = s.Comm.Stats()
 			rr.AppBytes = s.Mem.LiveBytes()
 			rr.PeakBytes = s.Mem.PeakBytes()

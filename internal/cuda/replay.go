@@ -1,0 +1,16 @@
+package cuda
+
+// Detached handles for offline trace replay (internal/trace): they carry
+// the identity the tool runtimes read (ids and creation flags) but belong
+// to no device, so they must never be passed back into Device methods.
+
+// NewStreamHandle returns a detached stream handle with the given id and
+// non-blocking flag. Id 0 is the legacy default stream.
+func NewStreamHandle(id int, nonBlocking bool) *Stream {
+	return &Stream{id: id, nonBlocking: nonBlocking}
+}
+
+// NewEventHandle returns a detached event handle with the given id.
+func NewEventHandle(id int) *Event {
+	return &Event{id: id}
+}

@@ -1,0 +1,11 @@
+package mpi
+
+import "cusango/internal/memspace"
+
+// NewRequestHandle returns a detached request handle for offline trace
+// replay (internal/trace): it carries the posted arguments the MUST
+// runtime reads (kind, buffer, count, datatype, peer, tag) but belongs
+// to no communicator, so it must never be passed back into Comm methods.
+func NewRequestHandle(kind ReqKind, buf memspace.Addr, count int, dt Datatype, peer, tag int) *Request {
+	return &Request{kind: kind, buf: buf, count: count, dt: dt, peer: peer, tag: tag}
+}

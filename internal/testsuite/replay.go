@@ -1,0 +1,77 @@
+package testsuite
+
+import (
+	"bytes"
+	"fmt"
+
+	"cusango/internal/core"
+	"cusango/internal/cuda"
+	"cusango/internal/trace"
+	"cusango/internal/tsan"
+)
+
+// Record/replay support: every suite case can be run with per-rank
+// trace recording and then re-analyzed offline from the recorded event
+// streams alone. The replay-parity test asserts the two paths agree on
+// every verdict — the determinism guarantee of the trace subsystem.
+
+// RecordCase executes one case under the full tool with per-rank trace
+// recording and returns the live verdict plus the encoded traces
+// (indexed by rank).
+func RecordCase(c Case, tcfg tsan.Config) (*Verdict, [][]byte, error) {
+	ranks := c.Ranks
+	if ranks == 0 {
+		ranks = 2
+	}
+	bufs := make([]*bytes.Buffer, ranks)
+	v := &Verdict{Case: c}
+	res, err := core.Run(core.Config{
+		Flavor:  core.MUSTCuSan,
+		Ranks:   ranks,
+		Module:  Module(),
+		Cuda:    cuda.Config{},
+		TSanCfg: tcfg,
+		Trace: func(rank int) *trace.Writer {
+			bufs[rank] = &bytes.Buffer{}
+			return trace.NewWriter(bufs[rank], trace.Header{
+				Rank: rank, WorldSize: ranks, Label: c.Name,
+			})
+		},
+	}, c.App)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := res.FirstError(); err != nil {
+		v.Err = err
+		return v, nil, err
+	}
+	v.Races = res.TotalRaces()
+	for i := range res.Ranks {
+		v.Issues = append(v.Issues, res.Ranks[i].Issues...)
+	}
+	blobs := make([][]byte, ranks)
+	for i, b := range bufs {
+		blobs[i] = b.Bytes()
+	}
+	return v, blobs, nil
+}
+
+// ReplayTraces re-analyzes recorded per-rank traces offline and
+// aggregates the outcome into a Verdict for the given case, comparable
+// to the live one.
+func ReplayTraces(c Case, blobs [][]byte, tcfg tsan.Config) (*Verdict, error) {
+	v := &Verdict{Case: c}
+	for rank, blob := range blobs {
+		tr, err := trace.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", rank, err)
+		}
+		rr, err := trace.Replay(tr, trace.ReplayConfig{TSanCfg: tcfg})
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", rank, err)
+		}
+		v.Races += rr.Races
+		v.Issues = append(v.Issues, rr.Issues...)
+	}
+	return v, nil
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export (the JSON format chrome://tracing and
+// Perfetto load): one process per rank, one thread track per CUDA
+// stream plus a host track and a lane per concurrently in-flight
+// non-blocking MPI request. Synchronization is drawn as flow arrows:
+// cudaEventRecord -> the waits that consume it, and request initiation
+// -> its completing MPI_Wait.
+//
+// Durations are nominal — the trace records interception times, not
+// device occupancy — so a slice spans from its enqueue to the next
+// event on the same track (minimum 1 us), which reads naturally on a
+// timeline without claiming hardware precision.
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int64          `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Track ids inside one rank's process.
+const (
+	tidHost     int64 = 0
+	tidStream0  int64 = 1       // stream track = tidStream0 + stream id
+	tidReqLane0 int64 = 1 << 16 // request lanes sit far above stream ids
+)
+
+const minSliceUS = 1.0
+
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ExportChrome renders one or more per-rank traces as a single Chrome
+// trace_event JSON document.
+func ExportChrome(traces []*Trace, w io.Writer) error {
+	out := &chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, tr := range traces {
+		exportRank(tr, out)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// slice is an open interval on one track, closed by track progression.
+type openSlice struct {
+	idx int // index into out.TraceEvents
+	ts  float64
+}
+
+func exportRank(tr *Trace, out *chromeFile) {
+	pid := tr.Header.Rank
+	meta := func(name string, tid int64, value string) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Phase: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": value},
+		})
+	}
+	pname := fmt.Sprintf("rank %d", pid)
+	if tr.Header.Label != "" {
+		pname += " — " + tr.Header.Label
+	}
+	meta("process_name", tidHost, pname)
+	meta("thread_name", tidHost, "host / MPI")
+
+	namedStreams := map[int64]bool{}
+	streamTrack := func(id int64) int64 {
+		if !namedStreams[id] {
+			namedStreams[id] = true
+			name := fmt.Sprintf("CUDA stream %d", id)
+			if id == 0 {
+				name = "CUDA default stream"
+			}
+			meta("thread_name", tidStream0+id, name)
+		}
+		return tidStream0 + id
+	}
+
+	// Request lanes: reused slots so concurrent requests stack visually.
+	var lanes []bool // busy flags
+	reqSliceIdx := map[uint64]int{}
+	acquireLane := func() int64 {
+		for i, busy := range lanes {
+			if !busy {
+				lanes[i] = true
+				return tidReqLane0 + int64(i)
+			}
+		}
+		lanes = append(lanes, true)
+		i := len(lanes) - 1
+		meta("thread_name", tidReqLane0+int64(i), fmt.Sprintf("MPI requests (lane %d)", i))
+		return tidReqLane0 + int64(i)
+	}
+
+	// open holds the last slice per track, closed by the next event on
+	// that track (nominal duration model).
+	open := map[int64]*openSlice{}
+	emit := func(name, cat string, tid int64, ts float64, args map[string]any) int {
+		if o := open[tid]; o != nil {
+			d := ts - o.ts
+			if d < minSliceUS {
+				d = minSliceUS
+			}
+			out.TraceEvents[o.idx].Dur = d
+			delete(open, tid)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Cat: cat, Phase: "X", TS: ts, Dur: minSliceUS, PID: pid, TID: tid, Args: args,
+		})
+		idx := len(out.TraceEvents) - 1
+		open[tid] = &openSlice{idx: idx, ts: ts}
+		return idx
+	}
+	flow := func(phase, id string, tid int64, ts float64) {
+		ev := chromeEvent{
+			Name: "sync", Cat: "sync", Phase: phase, TS: ts, PID: pid, TID: tid, ID: id,
+		}
+		if phase == "f" {
+			ev.BP = "e"
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+
+	// eventFlows tracks the flow id of the latest record per CUDA event.
+	eventFlows := map[int64]string{}
+	flowSeq := 0
+	newFlowID := func(kind string, key int64) string {
+		flowSeq++
+		return fmt.Sprintf("r%d-%s%d-%d", pid, kind, key, flowSeq)
+	}
+
+	// Pending blocking-call slices on the host track (Pre -> Post pairs).
+	var pendingHost []int
+
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		ts := us(ev.Time)
+		switch ev.Op {
+		case OpKernelLaunch:
+			emit(ev.Name, "kernel", streamTrack(ev.Stream), ts, map[string]any{
+				"grid":  fmt.Sprintf("%dx%d", ev.GridX, ev.GridY),
+				"block": fmt.Sprintf("%dx%d", ev.BlockX, ev.BlockY),
+			})
+		case OpMemcpy:
+			emit("memcpy", "mem", streamTrack(ev.Stream), ts, map[string]any{"bytes": ev.Size})
+		case OpMemset:
+			emit("memset", "mem", streamTrack(ev.Stream), ts, map[string]any{"bytes": ev.Size})
+		case OpAllocDone, OpFree, OpStreamCreated, OpStreamDestroyed,
+			OpEventCreated, OpEventDestroyed:
+			emit(ev.Op.String(), "cuda", tidHost, ts, nil)
+		case OpEventRecord:
+			emit(ev.Op.String(), "cuda", streamTrack(ev.Stream), ts, nil)
+			id := newFlowID("evt", ev.CudaEvt)
+			eventFlows[ev.CudaEvt] = id
+			flow("s", id, streamTrack(ev.Stream), ts)
+		case OpEventSync, OpEventQuery:
+			emit(ev.Op.String(), "sync", tidHost, ts, nil)
+			if id, ok := eventFlows[ev.CudaEvt]; ok {
+				flow("f", id, tidHost, ts)
+			}
+		case OpStreamWaitEvent:
+			tid := streamTrack(ev.Stream)
+			emit(ev.Op.String(), "sync", tid, ts, nil)
+			if id, ok := eventFlows[ev.CudaEvt]; ok {
+				flow("f", id, tid, ts)
+			}
+		case OpStreamSync, OpStreamQuery, OpDeviceSync:
+			emit(ev.Op.String(), "sync", tidHost, ts, nil)
+		case OpSend, OpRecvPost, OpCollPre, OpWait:
+			idx := emit(ev.Op.String(), "mpi", tidHost, ts, nil)
+			pendingHost = append(pendingHost, idx)
+		case OpSendDone, OpRecvDone, OpCollPost, OpWaitDone:
+			// Close the matching Pre slice at this completion time.
+			if n := len(pendingHost); n > 0 {
+				idx := pendingHost[n-1]
+				pendingHost = pendingHost[:n-1]
+				d := ts - out.TraceEvents[idx].TS
+				if d < minSliceUS {
+					d = minSliceUS
+				}
+				out.TraceEvents[idx].Dur = d
+				if o := open[tidHost]; o != nil && o.idx == idx {
+					delete(open, tidHost)
+				}
+			}
+			if ev.Op == OpWaitDone && ev.Req != 0 {
+				if idx, ok := reqSliceIdx[ev.Req]; ok {
+					d := ts - out.TraceEvents[idx].TS
+					if d < minSliceUS {
+						d = minSliceUS
+					}
+					out.TraceEvents[idx].Dur = d
+					lane := out.TraceEvents[idx].TID - tidReqLane0
+					if lane >= 0 && lane < int64(len(lanes)) {
+						lanes[lane] = false
+					}
+					flow("f", fmt.Sprintf("r%d-req%d", pid, ev.Req), tidHost, ts)
+					delete(reqSliceIdx, ev.Req)
+				}
+			}
+		case OpIsend, OpIrecv:
+			tid := acquireLane()
+			name := "MPI_Isend"
+			if ev.Op == OpIrecv {
+				name = "MPI_Irecv"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Cat: "mpi", Phase: "X", TS: ts, Dur: minSliceUS,
+				PID: pid, TID: tid,
+				Args: map[string]any{"peer": ev.Peer, "tag": ev.Tag, "count": ev.Count, "dt": ev.DT.Name},
+			})
+			reqSliceIdx[ev.Req] = len(out.TraceEvents) - 1
+			flow("s", fmt.Sprintf("r%d-req%d", pid, ev.Req), tid, ts)
+		case OpFinalize:
+			emit("MPI_Finalize", "mpi", tidHost, ts, nil)
+		default:
+			// Host scalar/range accesses and typed allocations are far too
+			// dense to plot individually; stats covers them.
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package trace is the event-trace subsystem: a compact, versioned
+// binary format (.cutrace) for the per-rank CUDA+MPI interception event
+// stream the correctness tooling consumes (paper §III–IV), plus a
+// Writer tap for recording live runs, a deterministic offline Replayer
+// that re-drives the cusan/must/tsan pipeline from a recorded trace,
+// per-trace statistics, and a Chrome trace_event timeline exporter.
+//
+// The key property the format preserves is the paper's observation that
+// the race analysis is a pure function of the API event stream and its
+// synchronization semantics: every callback CuSan and MUST receive
+// (cuda.Hooks, mpi.Hooks), every instrumented host memory access, and
+// every typed-allocation callback is recorded in per-rank program
+// order. Replaying that stream through fresh tool runtimes therefore
+// yields race classifications identical to the live run, without
+// re-executing the application.
+//
+// Encoding: a fixed 8-byte magic, a varint-encoded header, then a flat
+// sequence of varint-encoded records. Strings (kernel names, collective
+// names, datatype names, kernel parameter names) are interned in a
+// string table built inline: the writer emits an opString record the
+// first time a string is used, assigning ids sequentially, and all
+// later references are by id. Unsigned fields use uvarint, fields that
+// can be negative (ranks, tags — MPI_ANY_SOURCE is -1) use zigzag
+// varint, and every event carries a non-negative delta-encoded
+// timestamp, so encoding is a canonical function of the event sequence:
+// encode(decode(encode(events))) is byte-identical to encode(events).
+package trace
+
+// Magic identifies a .cutrace file (8 bytes, version-independent).
+var Magic = [8]byte{'c', 'u', 't', 'r', 'a', 'c', 'e', 0}
+
+// Version is the current format version. Readers reject newer versions.
+const Version = 1
+
+// Op identifies a record type. The numeric values are the stable
+// on-disk event IDs — append new ops, never renumber.
+type Op uint8
+
+// Record opcodes.
+const (
+	// OpString defines the next sequential string-table entry. It is
+	// internal to the encoding and never surfaced as an Event.
+	OpString Op = 1
+
+	// CUDA interception events (cuda.Hooks).
+	OpAllocDone       Op = 2  // Addr, Size, Kind
+	OpFree            Op = 3  // Addr, Kind, Flags(syncsHost)
+	OpStreamCreated   Op = 4  // Stream, Flags(nonBlocking)
+	OpStreamDestroyed Op = 5  // Stream, Flags
+	OpEventCreated    Op = 6  // CudaEvt
+	OpEventDestroyed  Op = 7  // CudaEvt
+	OpEventRecord     Op = 8  // CudaEvt, Stream, Flags
+	OpEventSync       Op = 9  // CudaEvt
+	OpEventQuery      Op = 10 // CudaEvt (successful queries only)
+	OpStreamWaitEvent Op = 11 // Stream, Flags, CudaEvt
+	OpStreamSync      Op = 12 // Stream, Flags
+	OpStreamQuery     Op = 13 // Stream, Flags (successful queries only)
+	OpDeviceSync      Op = 14 //
+	OpKernelLaunch    Op = 15 // Name, Stream, Flags, Grid/Block, Args
+	OpMemcpy          Op = 16 // Addr(dst), Addr2(src), Size, Kind, Kind2, Flags, Stream
+	OpMemset          Op = 17 // Addr, Size, Kind, Flags, Stream
+
+	// MPI interception events (mpi.Hooks).
+	OpSend     Op = 18 // Addr, Count, DT, Peer, Tag (pre)
+	OpSendDone Op = 19 // Addr, Count, DT, Peer, Tag (post)
+	OpRecvPost Op = 20 // Addr, Count, DT, Peer, Tag (pre)
+	OpRecvDone Op = 21 // Addr, Count, DT, Src, SrcTag, RecvCount (post)
+	OpIsend    Op = 22 // Addr, Count, DT, Peer, Tag, Req
+	OpIrecv    Op = 23 // Addr, Count, DT, Peer, Tag, Req
+	OpWait     Op = 24 // Req (pre)
+	OpWaitDone Op = 25 // Req, Src, SrcTag, RecvCount (post)
+	OpCollPre  Op = 26 // Name, Addr(read), Size(readBytes), WAddr, WSize
+	OpCollPost Op = 27 // Name, Addr, Size, WAddr, WSize
+	OpFinalize Op = 28 //
+
+	// Host-side instrumentation events (compiler-inserted TSan and
+	// TypeART callbacks in host code).
+	OpHostRead       Op = 29 // Addr, Size (scalar)
+	OpHostWrite      Op = 30 // Addr, Size (scalar)
+	OpHostReadRange  Op = 31 // Addr, Size
+	OpHostWriteRange Op = 32 // Addr, Size
+	OpTypedAlloc     Op = 33 // Addr, TypeID, Count, Kind
+
+	opMax = OpTypedAlloc
+)
+
+var opNames = map[Op]string{
+	OpAllocDone:       "cudaMalloc",
+	OpFree:            "cudaFree",
+	OpStreamCreated:   "cudaStreamCreate",
+	OpStreamDestroyed: "cudaStreamDestroy",
+	OpEventCreated:    "cudaEventCreate",
+	OpEventDestroyed:  "cudaEventDestroy",
+	OpEventRecord:     "cudaEventRecord",
+	OpEventSync:       "cudaEventSynchronize",
+	OpEventQuery:      "cudaEventQuery",
+	OpStreamWaitEvent: "cudaStreamWaitEvent",
+	OpStreamSync:      "cudaStreamSynchronize",
+	OpStreamQuery:     "cudaStreamQuery",
+	OpDeviceSync:      "cudaDeviceSynchronize",
+	OpKernelLaunch:    "cudaLaunchKernel",
+	OpMemcpy:          "cudaMemcpy",
+	OpMemset:          "cudaMemset",
+	OpSend:            "MPI_Send",
+	OpSendDone:        "MPI_Send.done",
+	OpRecvPost:        "MPI_Recv",
+	OpRecvDone:        "MPI_Recv.done",
+	OpIsend:           "MPI_Isend",
+	OpIrecv:           "MPI_Irecv",
+	OpWait:            "MPI_Wait",
+	OpWaitDone:        "MPI_Wait.done",
+	OpCollPre:         "MPI_Collective",
+	OpCollPost:        "MPI_Collective.done",
+	OpFinalize:        "MPI_Finalize",
+	OpHostRead:        "host.read",
+	OpHostWrite:       "host.write",
+	OpHostReadRange:   "host.read_range",
+	OpHostWriteRange:  "host.write_range",
+	OpTypedAlloc:      "typeart.alloc",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return "op?"
+}
+
+// IsCuda reports whether the op is a CUDA interception event.
+func (o Op) IsCuda() bool { return o >= OpAllocDone && o <= OpMemset }
+
+// IsMPI reports whether the op is an MPI interception event.
+func (o Op) IsMPI() bool { return o >= OpSend && o <= OpFinalize }
+
+// IsHost reports whether the op is a host instrumentation event.
+func (o Op) IsHost() bool { return o >= OpHostRead && o <= OpTypedAlloc }
+
+// Event flag bits.
+const (
+	// FlagAsync marks asynchronous memory operations (cudaMemcpyAsync,
+	// cudaMemsetAsync).
+	FlagAsync uint8 = 1 << iota
+	// FlagSyncsHost carries the semantics-table verdict: the call blocks
+	// the host (paper §III-B2/§III-C).
+	FlagSyncsHost
+	// FlagNonBlocking marks a stream created with cudaStreamNonBlocking
+	// (exempt from legacy default-stream barriers).
+	FlagNonBlocking
+)
+
+// Header describes one per-rank trace.
+type Header struct {
+	// Rank and WorldSize identify the recorded process.
+	Rank, WorldSize int
+	// Label is a free-form provenance string ("jacobi flavor=must+cusan").
+	Label string
+}
+
+// DT is the recorded MPI datatype (mpi.Datatype without the package
+// dependency, so decoding needs no MPI state).
+type DT struct {
+	Name      string
+	Size      int64
+	TypeartID int64
+}
+
+// KernelArg is one recorded kernel-launch argument with its access
+// attribute from the device-code analysis (paper Fig. 9).
+type KernelArg struct {
+	Kind   uint8  // kinterp.ArgKind
+	Ptr    uint64 // ArgPtr value
+	Int    int64  // ArgInt value
+	Bits   uint64 // ArgFloat value (IEEE-754 bits)
+	Param  string // formal parameter name
+	Access uint8  // kaccess.Access bitset
+}
+
+// Event is one decoded trace record. Field usage per Op is documented
+// on the opcode constants; unused fields are zero.
+type Event struct {
+	Op   Op
+	Time int64 // nanoseconds since trace start (monotone)
+
+	Addr  uint64 // dst / buffer / allocation base
+	Addr2 uint64 // memcpy source
+	Size  int64  // byte count / scalar access size / collective read bytes
+	Kind  uint8  // memspace.Kind of Addr
+	Kind2 uint8  // memspace.Kind of Addr2
+	Flags uint8
+
+	Stream  int64  // CUDA stream id
+	CudaEvt int64  // CUDA event id
+	Req     uint64 // MPI request id (0 = unknown/pre-recording)
+
+	Count int64 // element count
+	Peer  int64 // dest/src rank (may be mpi.AnySource)
+	Tag   int64 // may be mpi.AnyTag
+
+	Name string // kernel or collective name
+	DT   DT
+
+	Src, SrcTag, RecvCount int64 // completion status (OpRecvDone, OpWaitDone)
+
+	WAddr uint64 // collective write buffer
+	WSize int64  // collective write bytes
+
+	GridX, GridY, BlockX, BlockY int64
+	Args                         []KernelArg
+
+	TypeID int64 // TypeART type id (OpTypedAlloc)
+}
+
+// Trace is one fully decoded per-rank trace.
+type Trace struct {
+	Header Header
+	Events []Event
+}

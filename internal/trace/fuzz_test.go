@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// FuzzTraceDecode drives arbitrary bytes through the decoder. The
+// decoder must never panic or over-allocate; and for every input it
+// accepts, the canonical-encoding property must hold: encoding the
+// decoded trace yields a blob that decodes to the same trace and
+// re-encodes byte-identically (delta times are monotone and clamped
+// after one decode, varints minimal, string table in first-use order —
+// so the first re-encode is already the fixed point).
+func FuzzTraceDecode(f *testing.F) {
+	// Seeds: the full-coverage sample, an empty trace, and a few
+	// deliberately-broken prefixes.
+	if data, err := Encode(sampleTrace()); err == nil {
+		f.Add(data)
+	}
+	if data, err := Encode(&Trace{Header: Header{Rank: 0, WorldSize: 1}}); err == nil {
+		f.Add(data)
+	}
+	f.Add(Magic[:])
+	f.Add([]byte("cutrace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return // rejected input: fine, as long as we did not panic
+		}
+		e1, err := Encode(tr)
+		if err != nil {
+			t.Fatalf("decoded trace failed to encode: %v", err)
+		}
+		tr2, err := Decode(e1)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		e2, err := Encode(tr2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("canonical encoding not a fixed point: %d vs %d bytes", len(e1), len(e2))
+		}
+		if tr2.Header != tr.Header || len(tr2.Events) != len(tr.Events) {
+			t.Fatalf("canonical encoding changed the trace: %d vs %d events",
+				len(tr.Events), len(tr2.Events))
+		}
+	})
+}
+
+// TestWriteSeedCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzTraceDecode. Run with TRACE_WRITE_CORPUS=1 after
+// changing the format (and bump Version).
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("TRACE_WRITE_CORPUS") == "" {
+		t.Skip("set TRACE_WRITE_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzTraceDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	full, err := Encode(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := Encode(&Trace{Header: Header{Rank: 3, WorldSize: 4, Label: "empty"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[string][]byte{
+		"seed-full-coverage": full,
+		"seed-empty-trace":   empty,
+		"seed-truncated":     full[:len(full)/2],
+		"seed-magic-only":    Magic[:],
+		"seed-bad-version":   append(append([]byte{}, Magic[:]...), 0xff, 0x01),
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Decoding limits: hostile inputs must not force large allocations
+// before validation.
+const (
+	maxStringLen  = 1 << 20
+	maxKernelArgs = 1 << 16
+)
+
+// ErrFormat reports a malformed or truncated trace.
+var ErrFormat = errors.New("trace: malformed input")
+
+type dec struct {
+	b    []byte
+	strs []string
+	last int64
+}
+
+func (d *dec) u() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, ErrFormat
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *dec) i() (int64, error) {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		return 0, ErrFormat
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *dec) k() (uint8, error) {
+	v, err := d.u()
+	if err != nil || v > 0xff {
+		return 0, ErrFormat
+	}
+	return uint8(v), nil
+}
+
+// raw reads a length-prefixed byte string (header label, OpString body).
+func (d *dec) raw() (string, error) {
+	n, err := d.u()
+	if err != nil || n > maxStringLen || n > uint64(len(d.b)) {
+		return "", ErrFormat
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s, nil
+}
+
+// str reads a string-table reference.
+func (d *dec) str() (string, error) {
+	id, err := d.u()
+	if err != nil || id >= uint64(len(d.strs)) {
+		return "", ErrFormat
+	}
+	return d.strs[id], nil
+}
+
+func (d *dec) dt() (DT, error) {
+	var dt DT
+	var err error
+	if dt.Name, err = d.str(); err != nil {
+		return dt, err
+	}
+	if dt.Size, err = d.i(); err != nil {
+		return dt, err
+	}
+	if dt.TypeartID, err = d.i(); err != nil {
+		return dt, err
+	}
+	return dt, nil
+}
+
+func (d *dec) header() (Header, error) {
+	var h Header
+	if len(d.b) < len(Magic) || !bytes.Equal(d.b[:len(Magic)], Magic[:]) {
+		return h, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	d.b = d.b[len(Magic):]
+	ver, err := d.u()
+	if err != nil {
+		return h, err
+	}
+	if ver != Version {
+		return h, fmt.Errorf("trace: unsupported version %d (have %d)", ver, Version)
+	}
+	rank, err := d.i()
+	if err != nil {
+		return h, err
+	}
+	size, err := d.i()
+	if err != nil {
+		return h, err
+	}
+	h.Rank, h.WorldSize = int(rank), int(size)
+	if h.Label, err = d.raw(); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// event decodes one record body (opcode already consumed).
+func (d *dec) event(op Op) (Event, error) {
+	ev := Event{Op: op}
+	delta, err := d.u()
+	if err != nil || delta > 1<<62 {
+		return ev, ErrFormat
+	}
+	d.last += int64(delta)
+	ev.Time = d.last
+
+	fail := func(err error) (Event, error) { return ev, err }
+	switch op {
+	case OpAllocDone:
+		if ev.Addr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Size, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Kind, err = d.k(); err != nil {
+			return fail(err)
+		}
+	case OpFree:
+		if ev.Addr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Kind, err = d.k(); err != nil {
+			return fail(err)
+		}
+		if ev.Flags, err = d.k(); err != nil {
+			return fail(err)
+		}
+	case OpStreamCreated, OpStreamDestroyed, OpStreamSync, OpStreamQuery:
+		if ev.Stream, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Flags, err = d.k(); err != nil {
+			return fail(err)
+		}
+	case OpEventCreated, OpEventDestroyed, OpEventSync, OpEventQuery:
+		if ev.CudaEvt, err = d.i(); err != nil {
+			return fail(err)
+		}
+	case OpEventRecord:
+		if ev.CudaEvt, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Stream, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Flags, err = d.k(); err != nil {
+			return fail(err)
+		}
+	case OpStreamWaitEvent:
+		if ev.Stream, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Flags, err = d.k(); err != nil {
+			return fail(err)
+		}
+		if ev.CudaEvt, err = d.i(); err != nil {
+			return fail(err)
+		}
+	case OpDeviceSync, OpFinalize:
+	case OpKernelLaunch:
+		if ev.Name, err = d.str(); err != nil {
+			return fail(err)
+		}
+		if ev.Stream, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Flags, err = d.k(); err != nil {
+			return fail(err)
+		}
+		if ev.GridX, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.GridY, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.BlockX, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.BlockY, err = d.i(); err != nil {
+			return fail(err)
+		}
+		nargs, err := d.u()
+		if err != nil || nargs > maxKernelArgs || nargs > uint64(len(d.b)) {
+			return fail(ErrFormat)
+		}
+		if nargs > 0 {
+			ev.Args = make([]KernelArg, nargs)
+		}
+		for i := range ev.Args {
+			a := &ev.Args[i]
+			if a.Kind, err = d.k(); err != nil {
+				return fail(err)
+			}
+			if a.Ptr, err = d.u(); err != nil {
+				return fail(err)
+			}
+			if a.Int, err = d.i(); err != nil {
+				return fail(err)
+			}
+			if a.Bits, err = d.u(); err != nil {
+				return fail(err)
+			}
+			if a.Param, err = d.str(); err != nil {
+				return fail(err)
+			}
+			if a.Access, err = d.k(); err != nil {
+				return fail(err)
+			}
+		}
+	case OpMemcpy:
+		if ev.Addr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Addr2, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Size, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Kind, err = d.k(); err != nil {
+			return fail(err)
+		}
+		if ev.Kind2, err = d.k(); err != nil {
+			return fail(err)
+		}
+		if ev.Flags, err = d.k(); err != nil {
+			return fail(err)
+		}
+		if ev.Stream, err = d.i(); err != nil {
+			return fail(err)
+		}
+	case OpMemset:
+		if ev.Addr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Size, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Kind, err = d.k(); err != nil {
+			return fail(err)
+		}
+		if ev.Flags, err = d.k(); err != nil {
+			return fail(err)
+		}
+		if ev.Stream, err = d.i(); err != nil {
+			return fail(err)
+		}
+	case OpSend, OpSendDone, OpRecvPost:
+		if ev.Addr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Count, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.DT, err = d.dt(); err != nil {
+			return fail(err)
+		}
+		if ev.Peer, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Tag, err = d.i(); err != nil {
+			return fail(err)
+		}
+	case OpRecvDone:
+		if ev.Addr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Count, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.DT, err = d.dt(); err != nil {
+			return fail(err)
+		}
+		if ev.Src, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.SrcTag, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.RecvCount, err = d.i(); err != nil {
+			return fail(err)
+		}
+	case OpIsend, OpIrecv:
+		if ev.Addr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Count, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.DT, err = d.dt(); err != nil {
+			return fail(err)
+		}
+		if ev.Peer, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Tag, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Req, err = d.u(); err != nil {
+			return fail(err)
+		}
+	case OpWait:
+		if ev.Req, err = d.u(); err != nil {
+			return fail(err)
+		}
+	case OpWaitDone:
+		if ev.Req, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Src, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.SrcTag, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.RecvCount, err = d.i(); err != nil {
+			return fail(err)
+		}
+	case OpCollPre, OpCollPost:
+		if ev.Name, err = d.str(); err != nil {
+			return fail(err)
+		}
+		if ev.Addr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Size, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.WAddr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.WSize, err = d.i(); err != nil {
+			return fail(err)
+		}
+	case OpHostRead, OpHostWrite, OpHostReadRange, OpHostWriteRange:
+		if ev.Addr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.Size, err = d.i(); err != nil {
+			return fail(err)
+		}
+	case OpTypedAlloc:
+		if ev.Addr, err = d.u(); err != nil {
+			return fail(err)
+		}
+		if ev.TypeID, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Count, err = d.i(); err != nil {
+			return fail(err)
+		}
+		if ev.Kind, err = d.k(); err != nil {
+			return fail(err)
+		}
+	default:
+		return fail(fmt.Errorf("%w: unknown op %d", ErrFormat, op))
+	}
+	return ev, nil
+}
+
+// Decode parses a complete .cutrace blob.
+func Decode(data []byte) (*Trace, error) {
+	d := &dec{b: data}
+	h, err := d.header()
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Header: h}
+	for len(d.b) > 0 {
+		opv, err := d.u()
+		if err != nil || opv == 0 || opv > uint64(opMax) {
+			return nil, fmt.Errorf("%w: bad opcode", ErrFormat)
+		}
+		if Op(opv) == OpString {
+			s, err := d.raw()
+			if err != nil {
+				return nil, err
+			}
+			d.strs = append(d.strs, s)
+			continue
+		}
+		ev, err := d.event(Op(opv))
+		if err != nil {
+			return nil, err
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	return tr, nil
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes one decoded trace: per-op record counts, data-volume
+// totals, kernel-launch counts by name, per-stream operation histograms,
+// and the non-blocking request high-water mark.
+type Stats struct {
+	Rank      int
+	WorldSize int
+	Label     string
+	Events    int
+	// DurationNS is the recorded time span (last event - first event).
+	DurationNS int64
+
+	OpCounts map[Op]int64
+
+	// Data volumes in bytes.
+	MemcpyBytes int64
+	MemsetBytes int64
+	SentBytes   int64 // blocking + non-blocking sends
+	RecvBytes   int64 // completed receives (status counts)
+
+	// KernelLaunches counts launches per kernel name.
+	KernelLaunches map[string]int64
+	// StreamOps counts device-side operations (launch/memcpy/memset)
+	// enqueued per stream id.
+	StreamOps map[int64]int64
+	// Collectives counts calls per collective name.
+	Collectives map[string]int64
+
+	// MaxInFlightReqs is the high-water mark of simultaneously
+	// outstanding non-blocking requests.
+	MaxInFlightReqs int
+}
+
+// ComputeStats scans a trace.
+func ComputeStats(tr *Trace) *Stats {
+	st := &Stats{
+		Rank:           tr.Header.Rank,
+		WorldSize:      tr.Header.WorldSize,
+		Label:          tr.Header.Label,
+		Events:         len(tr.Events),
+		OpCounts:       make(map[Op]int64),
+		KernelLaunches: make(map[string]int64),
+		StreamOps:      make(map[int64]int64),
+		Collectives:    make(map[string]int64),
+	}
+	if n := len(tr.Events); n > 0 {
+		st.DurationNS = tr.Events[n-1].Time - tr.Events[0].Time
+	}
+	inflight := 0
+	// The completing MPI_Wait record carries no datatype; remember each
+	// Irecv's element size so its completion can be credited in bytes.
+	recvElem := make(map[uint64]int64)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		st.OpCounts[ev.Op]++
+		switch ev.Op {
+		case OpKernelLaunch:
+			st.KernelLaunches[ev.Name]++
+			st.StreamOps[ev.Stream]++
+		case OpMemcpy:
+			st.MemcpyBytes += ev.Size
+			st.StreamOps[ev.Stream]++
+		case OpMemset:
+			st.MemsetBytes += ev.Size
+			st.StreamOps[ev.Stream]++
+		case OpSend, OpIsend:
+			st.SentBytes += ev.Count * ev.DT.Size
+		case OpIrecv:
+			recvElem[ev.Req] = ev.DT.Size
+		case OpRecvDone:
+			st.RecvBytes += ev.RecvCount * ev.DT.Size
+		case OpWaitDone:
+			if sz, ok := recvElem[ev.Req]; ok {
+				st.RecvBytes += ev.RecvCount * sz
+				delete(recvElem, ev.Req)
+			}
+		case OpCollPre:
+			st.Collectives[ev.Name]++
+		}
+		switch ev.Op {
+		case OpIsend, OpIrecv:
+			inflight++
+			if inflight > st.MaxInFlightReqs {
+				st.MaxInFlightReqs = inflight
+			}
+		case OpWaitDone:
+			if inflight > 0 {
+				inflight--
+			}
+		}
+	}
+	return st
+}
+
+// Format renders the summary as aligned text.
+func (st *Stats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rank %d/%d", st.Rank, st.WorldSize)
+	if st.Label != "" {
+		fmt.Fprintf(&b, " (%s)", st.Label)
+	}
+	fmt.Fprintf(&b, ": %d events over %.3f ms\n", st.Events, float64(st.DurationNS)/1e6)
+
+	b.WriteString("per-op record counts:\n")
+	ops := make([]Op, 0, len(st.OpCounts))
+	for op := range st.OpCounts {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		fmt.Fprintf(&b, "  %-24s %10d\n", op, st.OpCounts[op])
+	}
+
+	fmt.Fprintf(&b, "bytes: memcpy=%d memset=%d sent=%d recv=%d\n",
+		st.MemcpyBytes, st.MemsetBytes, st.SentBytes, st.RecvBytes)
+
+	if len(st.KernelLaunches) > 0 {
+		b.WriteString("kernel launches:\n")
+		names := make([]string, 0, len(st.KernelLaunches))
+		for n := range st.KernelLaunches {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-24s %10d\n", n, st.KernelLaunches[n])
+		}
+	}
+	if len(st.StreamOps) > 0 {
+		b.WriteString("device ops per stream:\n")
+		ids := make([]int64, 0, len(st.StreamOps))
+		for id := range st.StreamOps {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			name := fmt.Sprintf("stream %d", id)
+			if id == 0 {
+				name = "default stream"
+			}
+			fmt.Fprintf(&b, "  %-24s %10d\n", name, st.StreamOps[id])
+		}
+	}
+	if len(st.Collectives) > 0 {
+		b.WriteString("collectives:\n")
+		names := make([]string, 0, len(st.Collectives))
+		for n := range st.Collectives {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-24s %10d\n", n, st.Collectives[n])
+		}
+	}
+	fmt.Fprintf(&b, "max in-flight requests: %d\n", st.MaxInFlightReqs)
+	return b.String()
+}

@@ -1,0 +1,343 @@
+package trace
+
+import (
+	"math"
+	"time"
+
+	"cusango/internal/cuda"
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+	"cusango/internal/typeart"
+)
+
+// Recorder captures one rank's event stream through a Writer. The hook
+// taps record each event *before* forwarding it to the wrapped tool
+// runtime, so the recorded order is exactly the annotation order the
+// live pipeline saw — the invariant deterministic replay rests on.
+//
+// All CUDA and MPI hooks fire on the rank's host goroutine at
+// interception time (in both eager and async device modes), so a
+// Recorder needs no locking; like a Session, it belongs to one rank.
+type Recorder struct {
+	w     *Writer
+	start time.Time
+
+	// reqIDs assigns stable per-rank ids to in-flight requests; id 0 is
+	// reserved for "unknown" (initiated before recording started).
+	reqIDs map[*mpi.Request]uint64
+	reqSeq uint64
+}
+
+// NewRecorder wraps a Writer.
+func NewRecorder(w *Writer) *Recorder {
+	return &Recorder{
+		w:      w,
+		start:  time.Now(),
+		reqIDs: make(map[*mpi.Request]uint64),
+	}
+}
+
+// Flush drains the underlying writer and returns its sticky error.
+func (r *Recorder) Flush() error { return r.w.Flush() }
+
+func (r *Recorder) emit(ev *Event) {
+	ev.Time = time.Since(r.start).Nanoseconds()
+	r.w.Emit(ev)
+}
+
+func streamFields(s *cuda.Stream) (int64, uint8) {
+	var flags uint8
+	if s.NonBlocking() {
+		flags |= FlagNonBlocking
+	}
+	return int64(s.ID()), flags
+}
+
+func dtOf(dt mpi.Datatype) DT {
+	return DT{Name: dt.Name, Size: dt.Size, TypeartID: int64(dt.TypeartID)}
+}
+
+// --- host-side instrumentation (called from core.Session) ----------------
+
+// HostRead records a scalar host load of n bytes.
+func (r *Recorder) HostRead(a memspace.Addr, n int64) {
+	r.emit(&Event{Op: OpHostRead, Addr: uint64(a), Size: n})
+}
+
+// HostWrite records a scalar host store of n bytes.
+func (r *Recorder) HostWrite(a memspace.Addr, n int64) {
+	r.emit(&Event{Op: OpHostWrite, Addr: uint64(a), Size: n})
+}
+
+// HostReadRange records a bulk host read.
+func (r *Recorder) HostReadRange(a memspace.Addr, n int64) {
+	r.emit(&Event{Op: OpHostReadRange, Addr: uint64(a), Size: n})
+}
+
+// HostWriteRange records a bulk host write.
+func (r *Recorder) HostWriteRange(a memspace.Addr, n int64) {
+	r.emit(&Event{Op: OpHostWriteRange, Addr: uint64(a), Size: n})
+}
+
+// TypedAlloc records a TypeART allocation callback.
+func (r *Recorder) TypedAlloc(a memspace.Addr, id typeart.TypeID, count int64, kind memspace.Kind) {
+	r.emit(&Event{Op: OpTypedAlloc, Addr: uint64(a), TypeID: int64(id), Count: count, Kind: uint8(kind)})
+}
+
+// --- CUDA tap -------------------------------------------------------------
+
+// CudaHooks returns a cuda.Hooks that records every callback and then
+// forwards it to inner (nil inner records only).
+func (r *Recorder) CudaHooks(inner cuda.Hooks) cuda.Hooks {
+	if inner == nil {
+		inner = cuda.BaseHooks{}
+	}
+	return &cudaTap{rec: r, inner: inner}
+}
+
+type cudaTap struct {
+	rec   *Recorder
+	inner cuda.Hooks
+}
+
+var _ cuda.Hooks = (*cudaTap)(nil)
+
+func (t *cudaTap) AllocDone(addr memspace.Addr, bytes int64, kind memspace.Kind) {
+	t.rec.emit(&Event{Op: OpAllocDone, Addr: uint64(addr), Size: bytes, Kind: uint8(kind)})
+	t.inner.AllocDone(addr, bytes, kind)
+}
+
+func (t *cudaTap) PreFree(addr memspace.Addr, kind memspace.Kind, syncsHost bool) {
+	var flags uint8
+	if syncsHost {
+		flags |= FlagSyncsHost
+	}
+	t.rec.emit(&Event{Op: OpFree, Addr: uint64(addr), Kind: uint8(kind), Flags: flags})
+	t.inner.PreFree(addr, kind, syncsHost)
+}
+
+func (t *cudaTap) StreamCreated(s *cuda.Stream) {
+	id, flags := streamFields(s)
+	t.rec.emit(&Event{Op: OpStreamCreated, Stream: id, Flags: flags})
+	t.inner.StreamCreated(s)
+}
+
+func (t *cudaTap) StreamDestroyed(s *cuda.Stream) {
+	id, flags := streamFields(s)
+	t.rec.emit(&Event{Op: OpStreamDestroyed, Stream: id, Flags: flags})
+	t.inner.StreamDestroyed(s)
+}
+
+func (t *cudaTap) EventCreated(e *cuda.Event) {
+	t.rec.emit(&Event{Op: OpEventCreated, CudaEvt: int64(e.ID())})
+	t.inner.EventCreated(e)
+}
+
+func (t *cudaTap) EventDestroyed(e *cuda.Event) {
+	t.rec.emit(&Event{Op: OpEventDestroyed, CudaEvt: int64(e.ID())})
+	t.inner.EventDestroyed(e)
+}
+
+func (t *cudaTap) PreEventRecord(e *cuda.Event, s *cuda.Stream) {
+	id, flags := streamFields(s)
+	t.rec.emit(&Event{Op: OpEventRecord, CudaEvt: int64(e.ID()), Stream: id, Flags: flags})
+	t.inner.PreEventRecord(e, s)
+}
+
+func (t *cudaTap) PreEventSynchronize(e *cuda.Event) {
+	t.rec.emit(&Event{Op: OpEventSync, CudaEvt: int64(e.ID())})
+	t.inner.PreEventSynchronize(e)
+}
+
+func (t *cudaTap) PreEventQuery(e *cuda.Event) {
+	t.rec.emit(&Event{Op: OpEventQuery, CudaEvt: int64(e.ID())})
+	t.inner.PreEventQuery(e)
+}
+
+func (t *cudaTap) PreStreamWaitEvent(s *cuda.Stream, e *cuda.Event) {
+	id, flags := streamFields(s)
+	t.rec.emit(&Event{Op: OpStreamWaitEvent, Stream: id, Flags: flags, CudaEvt: int64(e.ID())})
+	t.inner.PreStreamWaitEvent(s, e)
+}
+
+func (t *cudaTap) PreStreamSynchronize(s *cuda.Stream) {
+	id, flags := streamFields(s)
+	t.rec.emit(&Event{Op: OpStreamSync, Stream: id, Flags: flags})
+	t.inner.PreStreamSynchronize(s)
+}
+
+func (t *cudaTap) PreStreamQuery(s *cuda.Stream) {
+	id, flags := streamFields(s)
+	t.rec.emit(&Event{Op: OpStreamQuery, Stream: id, Flags: flags})
+	t.inner.PreStreamQuery(s)
+}
+
+func (t *cudaTap) PreDeviceSynchronize() {
+	t.rec.emit(&Event{Op: OpDeviceSync})
+	t.inner.PreDeviceSynchronize()
+}
+
+func (t *cudaTap) PreKernelLaunch(l *cuda.KernelLaunch) {
+	id, flags := streamFields(l.Stream)
+	args := make([]KernelArg, len(l.Args))
+	for i := range l.Args {
+		a := &l.Args[i]
+		ka := KernelArg{Kind: uint8(a.Kind), Ptr: uint64(a.Ptr), Int: a.I, Bits: math.Float64bits(a.F)}
+		if i < len(l.Params) {
+			ka.Param = l.Params[i].Name
+		}
+		if i < len(l.Access) {
+			ka.Access = uint8(l.Access[i])
+		}
+		args[i] = ka
+	}
+	t.rec.emit(&Event{
+		Op: OpKernelLaunch, Name: l.Name, Stream: id, Flags: flags,
+		GridX: int64(l.Grid.X), GridY: int64(l.Grid.Y),
+		BlockX: int64(l.Block.X), BlockY: int64(l.Block.Y),
+		Args: args,
+	})
+	t.inner.PreKernelLaunch(l)
+}
+
+func memOpFlags(op *cuda.MemOp) uint8 {
+	var flags uint8
+	if op.Async {
+		flags |= FlagAsync
+	}
+	if op.SyncsHost {
+		flags |= FlagSyncsHost
+	}
+	return flags
+}
+
+func (t *cudaTap) PreMemcpy(op *cuda.MemOp) {
+	id, sflags := streamFields(op.Stream)
+	t.rec.emit(&Event{
+		Op: OpMemcpy, Addr: uint64(op.Dst), Addr2: uint64(op.Src), Size: op.Bytes,
+		Kind: uint8(op.DstKind), Kind2: uint8(op.SrcKind),
+		Flags: memOpFlags(op) | sflags, Stream: id,
+	})
+	t.inner.PreMemcpy(op)
+}
+
+func (t *cudaTap) PreMemset(op *cuda.MemOp) {
+	id, sflags := streamFields(op.Stream)
+	t.rec.emit(&Event{
+		Op: OpMemset, Addr: uint64(op.Dst), Size: op.Bytes, Kind: uint8(op.DstKind),
+		Flags: memOpFlags(op) | sflags, Stream: id,
+	})
+	t.inner.PreMemset(op)
+}
+
+// --- MPI tap --------------------------------------------------------------
+
+// MPIHooks returns an mpi.Hooks that records every callback and then
+// forwards it to inner (nil inner records only).
+func (r *Recorder) MPIHooks(inner mpi.Hooks) mpi.Hooks {
+	if inner == nil {
+		inner = mpi.BaseHooks{}
+	}
+	return &mpiTap{rec: r, inner: inner}
+}
+
+type mpiTap struct {
+	rec   *Recorder
+	inner mpi.Hooks
+}
+
+var _ mpi.Hooks = (*mpiTap)(nil)
+
+func (t *mpiTap) p2p(op Op, buf memspace.Addr, count int, dt mpi.Datatype, peer, tag int) *Event {
+	return &Event{
+		Op: op, Addr: uint64(buf), Count: int64(count), DT: dtOf(dt),
+		Peer: int64(peer), Tag: int64(tag),
+	}
+}
+
+func (t *mpiTap) PreSend(buf memspace.Addr, count int, dt mpi.Datatype, dest, tag int) {
+	t.rec.emit(t.p2p(OpSend, buf, count, dt, dest, tag))
+	t.inner.PreSend(buf, count, dt, dest, tag)
+}
+
+func (t *mpiTap) PostSend(buf memspace.Addr, count int, dt mpi.Datatype, dest, tag int) {
+	t.rec.emit(t.p2p(OpSendDone, buf, count, dt, dest, tag))
+	t.inner.PostSend(buf, count, dt, dest, tag)
+}
+
+func (t *mpiTap) PreRecv(buf memspace.Addr, count int, dt mpi.Datatype, src, tag int) {
+	t.rec.emit(t.p2p(OpRecvPost, buf, count, dt, src, tag))
+	t.inner.PreRecv(buf, count, dt, src, tag)
+}
+
+func (t *mpiTap) PostRecv(buf memspace.Addr, count int, dt mpi.Datatype, st mpi.Status) {
+	t.rec.emit(&Event{
+		Op: OpRecvDone, Addr: uint64(buf), Count: int64(count), DT: dtOf(dt),
+		Src: int64(st.Source), SrcTag: int64(st.Tag), RecvCount: int64(st.Count),
+	})
+	t.inner.PostRecv(buf, count, dt, st)
+}
+
+func (t *mpiTap) nextReqID(req *mpi.Request) uint64 {
+	t.rec.reqSeq++
+	t.rec.reqIDs[req] = t.rec.reqSeq
+	return t.rec.reqSeq
+}
+
+func (t *mpiTap) reqID(req *mpi.Request) uint64 {
+	return t.rec.reqIDs[req] // 0 = initiated before recording started
+}
+
+func (t *mpiTap) PreIsend(buf memspace.Addr, count int, dt mpi.Datatype, dest, tag int, req *mpi.Request) {
+	ev := t.p2p(OpIsend, buf, count, dt, dest, tag)
+	ev.Req = t.nextReqID(req)
+	t.rec.emit(ev)
+	t.inner.PreIsend(buf, count, dt, dest, tag, req)
+}
+
+func (t *mpiTap) PreIrecv(buf memspace.Addr, count int, dt mpi.Datatype, src, tag int, req *mpi.Request) {
+	ev := t.p2p(OpIrecv, buf, count, dt, src, tag)
+	ev.Req = t.nextReqID(req)
+	t.rec.emit(ev)
+	t.inner.PreIrecv(buf, count, dt, src, tag, req)
+}
+
+func (t *mpiTap) PreWait(req *mpi.Request) {
+	t.rec.emit(&Event{Op: OpWait, Req: t.reqID(req)})
+	t.inner.PreWait(req)
+}
+
+func (t *mpiTap) PostWait(req *mpi.Request, st mpi.Status) {
+	id := t.reqID(req)
+	t.rec.emit(&Event{
+		Op: OpWaitDone, Req: id,
+		Src: int64(st.Source), SrcTag: int64(st.Tag), RecvCount: int64(st.Count),
+	})
+	delete(t.rec.reqIDs, req)
+	t.inner.PostWait(req, st)
+}
+
+func (t *mpiTap) coll(op Op, name string, read memspace.Addr, readBytes int64,
+	write memspace.Addr, writeBytes int64) *Event {
+	return &Event{
+		Op: op, Name: name, Addr: uint64(read), Size: readBytes,
+		WAddr: uint64(write), WSize: writeBytes,
+	}
+}
+
+func (t *mpiTap) PreCollective(name string, read memspace.Addr, readBytes int64,
+	write memspace.Addr, writeBytes int64) {
+	t.rec.emit(t.coll(OpCollPre, name, read, readBytes, write, writeBytes))
+	t.inner.PreCollective(name, read, readBytes, write, writeBytes)
+}
+
+func (t *mpiTap) PostCollective(name string, read memspace.Addr, readBytes int64,
+	write memspace.Addr, writeBytes int64) {
+	t.rec.emit(t.coll(OpCollPost, name, read, readBytes, write, writeBytes))
+	t.inner.PostCollective(name, read, readBytes, write, writeBytes)
+}
+
+func (t *mpiTap) PreFinalize() {
+	t.rec.emit(&Event{Op: OpFinalize})
+	t.inner.PreFinalize()
+}

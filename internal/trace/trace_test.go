@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleTrace exercises every opcode, string interning (repeated and
+// fresh names), kernel arguments of all kinds, and flag combinations.
+func sampleTrace() *Trace {
+	dt := DT{Name: "MPI_DOUBLE", Size: 8, TypeartID: 23}
+	evs := []Event{
+		{Op: OpAllocDone, Time: 10, Addr: 0x30000000000, Size: 512, Kind: 3},
+		{Op: OpTypedAlloc, Time: 12, Addr: 0x30000000000, TypeID: 23, Count: 64, Kind: 3},
+		{Op: OpStreamCreated, Time: 20, Stream: 1, Flags: FlagNonBlocking},
+		{Op: OpEventCreated, Time: 30, CudaEvt: 1},
+		{Op: OpKernelLaunch, Time: 40, Name: "k_write", Stream: 1, Flags: FlagNonBlocking,
+			GridX: 4, GridY: 2, BlockX: 128, BlockY: 1,
+			Args: []KernelArg{
+				{Kind: 2, Ptr: 0x30000000000, Param: "buf", Access: 1},
+				{Kind: 1, Int: 64, Param: "n"},
+				{Kind: 0, Bits: 0x3FF0000000000000, Param: "alpha"},
+			}},
+		{Op: OpEventRecord, Time: 50, CudaEvt: 1, Stream: 1, Flags: FlagNonBlocking},
+		{Op: OpStreamWaitEvent, Time: 60, Stream: 0, CudaEvt: 1},
+		{Op: OpEventSync, Time: 70, CudaEvt: 1},
+		{Op: OpEventQuery, Time: 71, CudaEvt: 1},
+		{Op: OpMemcpy, Time: 80, Addr: 0x20000000000, Addr2: 0x30000000000, Size: 512,
+			Kind: 1, Kind2: 3, Flags: FlagSyncsHost, Stream: 0},
+		{Op: OpMemset, Time: 90, Addr: 0x30000000000, Size: 512, Kind: 3,
+			Flags: FlagAsync, Stream: 1},
+		{Op: OpStreamSync, Time: 100, Stream: 1, Flags: FlagNonBlocking},
+		{Op: OpStreamQuery, Time: 101, Stream: 1, Flags: FlagNonBlocking},
+		{Op: OpDeviceSync, Time: 110},
+		{Op: OpHostWrite, Time: 120, Addr: 0x20000000000, Size: 8},
+		{Op: OpHostRead, Time: 121, Addr: 0x20000000000, Size: 8},
+		{Op: OpHostWriteRange, Time: 122, Addr: 0x20000000000, Size: 512},
+		{Op: OpHostReadRange, Time: 123, Addr: 0x20000000000, Size: 512},
+		{Op: OpSend, Time: 130, Addr: 0x30000000000, Count: 64, DT: dt, Peer: 1, Tag: 7},
+		{Op: OpSendDone, Time: 140, Addr: 0x30000000000, Count: 64, DT: dt, Peer: 1, Tag: 7},
+		{Op: OpRecvPost, Time: 150, Addr: 0x30000000200, Count: 64, DT: dt, Peer: -1, Tag: -1},
+		{Op: OpRecvDone, Time: 160, Addr: 0x30000000200, Count: 64, DT: dt,
+			Src: 1, SrcTag: 7, RecvCount: 64},
+		{Op: OpIsend, Time: 170, Addr: 0x30000000000, Count: 32, DT: dt, Peer: 1, Tag: 8, Req: 1},
+		{Op: OpIrecv, Time: 180, Addr: 0x30000000200, Count: 32, DT: dt, Peer: 1, Tag: 9, Req: 2},
+		{Op: OpWait, Time: 190, Req: 1},
+		{Op: OpWaitDone, Time: 200, Req: 1, Src: -1, SrcTag: -1, RecvCount: -1},
+		{Op: OpWait, Time: 210, Req: 2},
+		{Op: OpWaitDone, Time: 220, Req: 2, Src: 1, SrcTag: 9, RecvCount: 32},
+		{Op: OpCollPre, Time: 230, Name: "MPI_Allreduce", Addr: 0x20000000000, Size: 8,
+			WAddr: 0x20000000040, WSize: 8},
+		{Op: OpCollPost, Time: 240, Name: "MPI_Allreduce", Addr: 0x20000000000, Size: 8,
+			WAddr: 0x20000000040, WSize: 8},
+		{Op: OpKernelLaunch, Time: 250, Name: "k_write", Stream: 0,
+			GridX: 1, GridY: 1, BlockX: 1, BlockY: 1},
+		{Op: OpEventDestroyed, Time: 260, CudaEvt: 1},
+		{Op: OpStreamDestroyed, Time: 270, Stream: 1, Flags: FlagNonBlocking},
+		{Op: OpFree, Time: 280, Addr: 0x30000000000, Kind: 3, Flags: FlagSyncsHost},
+		{Op: OpFinalize, Time: 290},
+	}
+	return &Trace{
+		Header: Header{Rank: 1, WorldSize: 2, Label: "sample"},
+		Events: evs,
+	}
+}
+
+func TestOpCoverage(t *testing.T) {
+	seen := map[Op]bool{}
+	for _, ev := range sampleTrace().Events {
+		seen[ev.Op] = true
+	}
+	for op := OpAllocDone; op <= opMax; op++ {
+		if !seen[op] {
+			t.Errorf("sampleTrace misses op %s", op)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	data, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != tr.Header {
+		t.Errorf("header: got %+v, want %+v", got.Header, tr.Header)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("events: got %d, want %d", len(got.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if !reflect.DeepEqual(got.Events[i], tr.Events[i]) {
+			t.Errorf("event %d:\n got  %+v\n want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestReEncodeByteIdentical(t *testing.T) {
+	tr := sampleTrace()
+	e1, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Decode(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Encode(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e1, e2) {
+		t.Errorf("re-encode differs: %d vs %d bytes", len(e1), len(e2))
+	}
+}
+
+func TestWriterMatchesEncode(t *testing.T) {
+	tr := sampleTrace()
+	want, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, tr.Header)
+	for i := range tr.Events {
+		w.Emit(&tr.Events[i])
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("streaming writer output differs from Encode: %d vs %d bytes",
+			buf.Len(), len(want))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a trace"),
+		Magic[:],                     // header truncated after magic
+		append(Magic[:], 99),         // unsupported version
+		append(Magic[:], 1, 2, 4, 0), // valid header, then nothing: OK actually
+	}
+	for i, data := range cases[:4] {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("case %d: Decode accepted garbage", i)
+		}
+	}
+	// Valid header + truncated record must error, not panic.
+	good, err := Encode(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(good) - 1; cut > len(Magic); cut -= 7 {
+		if _, err := Decode(good[:cut]); err == nil {
+			// Truncation at a record boundary is legitimately decodable.
+			continue
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := ComputeStats(sampleTrace())
+	if st.Events != len(sampleTrace().Events) {
+		t.Errorf("events: %d", st.Events)
+	}
+	if st.KernelLaunches["k_write"] != 2 {
+		t.Errorf("kernel launches: %v", st.KernelLaunches)
+	}
+	if st.SentBytes != 64*8+32*8 {
+		t.Errorf("sent bytes: %d", st.SentBytes)
+	}
+	if st.RecvBytes != 64*8+32*8 {
+		t.Errorf("recv bytes: %d", st.RecvBytes)
+	}
+	if st.MaxInFlightReqs != 2 {
+		t.Errorf("max in-flight: %d", st.MaxInFlightReqs)
+	}
+	if st.Collectives["MPI_Allreduce"] != 1 {
+		t.Errorf("collectives: %v", st.Collectives)
+	}
+	out := st.Format()
+	for _, want := range []string{"rank 1/2 (sample)", "k_write", "MPI_Allreduce"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportChrome(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportChrome([]*Trace{sampleTrace()}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event without pid: %v", ev)
+		}
+	}
+	// Slices, metadata, and both ends of at least one flow arc.
+	for _, ph := range []string{"X", "M", "s", "f"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in export (have %v)", ph, phases)
+		}
+	}
+}
+
+func TestReplaySampleTrace(t *testing.T) {
+	// The sample stream is semantically plausible; replay must process
+	// every event without error.
+	rr, err := Replay(sampleTrace(), ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Events != len(sampleTrace().Events) {
+		t.Errorf("replayed %d events, want %d", rr.Events, len(sampleTrace().Events))
+	}
+	if rr.Rank != 1 || rr.WorldSize != 2 || rr.Label != "sample" {
+		t.Errorf("header: %+v", rr)
+	}
+}

@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// enc is the shared record encoder: it owns the output buffer, the
+// string table, and the time-delta state, so the streaming Writer and
+// the one-shot Encode produce byte-identical output for the same event
+// sequence.
+type enc struct {
+	buf  []byte
+	strs map[string]uint64
+	last int64
+}
+
+func newEnc() *enc { return &enc{strs: make(map[string]uint64)} }
+
+func (e *enc) u(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) i(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) k(v uint8)  { e.u(uint64(v)) }
+
+// intern returns the string's table id, emitting its OpString definition
+// record first if this is the string's first use. Definitions always
+// appear between event records, never inside one.
+func (e *enc) intern(s string) uint64 {
+	if id, ok := e.strs[s]; ok {
+		return id
+	}
+	id := uint64(len(e.strs))
+	e.u(uint64(OpString))
+	e.u(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+	e.strs[s] = id
+	return id
+}
+
+func (e *enc) header(h Header) {
+	e.buf = append(e.buf, Magic[:]...)
+	e.u(Version)
+	e.i(int64(h.Rank))
+	e.i(int64(h.WorldSize))
+	e.u(uint64(len(h.Label)))
+	e.buf = append(e.buf, h.Label...)
+}
+
+func (e *enc) dtDef(dt DT) uint64 { return e.intern(dt.Name) }
+
+func (e *enc) dt(dt DT, nameID uint64) {
+	e.u(nameID)
+	e.i(dt.Size)
+	e.i(dt.TypeartID)
+}
+
+// event appends one encoded record. String definitions for the record
+// are emitted first, then the record itself references them by id, so a
+// decoder can frame records by opcode alone.
+func (e *enc) event(ev *Event) error {
+	var nameID, dtID uint64
+	var argIDs []uint64
+	switch ev.Op {
+	case OpKernelLaunch:
+		nameID = e.intern(ev.Name)
+		argIDs = make([]uint64, len(ev.Args))
+		for i := range ev.Args {
+			argIDs[i] = e.intern(ev.Args[i].Param)
+		}
+	case OpCollPre, OpCollPost:
+		nameID = e.intern(ev.Name)
+	case OpSend, OpSendDone, OpRecvPost, OpRecvDone, OpIsend, OpIrecv:
+		dtID = e.dtDef(ev.DT)
+	}
+
+	e.u(uint64(ev.Op))
+	delta := ev.Time - e.last
+	if delta < 0 {
+		delta = 0
+	}
+	e.last += delta
+	e.u(uint64(delta))
+
+	switch ev.Op {
+	case OpAllocDone:
+		e.u(ev.Addr)
+		e.i(ev.Size)
+		e.k(ev.Kind)
+	case OpFree:
+		e.u(ev.Addr)
+		e.k(ev.Kind)
+		e.k(ev.Flags)
+	case OpStreamCreated, OpStreamDestroyed, OpStreamSync, OpStreamQuery:
+		e.i(ev.Stream)
+		e.k(ev.Flags)
+	case OpEventCreated, OpEventDestroyed, OpEventSync, OpEventQuery:
+		e.i(ev.CudaEvt)
+	case OpEventRecord:
+		e.i(ev.CudaEvt)
+		e.i(ev.Stream)
+		e.k(ev.Flags)
+	case OpStreamWaitEvent:
+		e.i(ev.Stream)
+		e.k(ev.Flags)
+		e.i(ev.CudaEvt)
+	case OpDeviceSync, OpFinalize:
+	case OpKernelLaunch:
+		e.u(nameID)
+		e.i(ev.Stream)
+		e.k(ev.Flags)
+		e.i(ev.GridX)
+		e.i(ev.GridY)
+		e.i(ev.BlockX)
+		e.i(ev.BlockY)
+		e.u(uint64(len(ev.Args)))
+		for i := range ev.Args {
+			a := &ev.Args[i]
+			e.k(a.Kind)
+			e.u(a.Ptr)
+			e.i(a.Int)
+			e.u(a.Bits)
+			e.u(argIDs[i])
+			e.k(a.Access)
+		}
+	case OpMemcpy:
+		e.u(ev.Addr)
+		e.u(ev.Addr2)
+		e.i(ev.Size)
+		e.k(ev.Kind)
+		e.k(ev.Kind2)
+		e.k(ev.Flags)
+		e.i(ev.Stream)
+	case OpMemset:
+		e.u(ev.Addr)
+		e.i(ev.Size)
+		e.k(ev.Kind)
+		e.k(ev.Flags)
+		e.i(ev.Stream)
+	case OpSend, OpSendDone, OpRecvPost:
+		e.u(ev.Addr)
+		e.i(ev.Count)
+		e.dt(ev.DT, dtID)
+		e.i(ev.Peer)
+		e.i(ev.Tag)
+	case OpRecvDone:
+		e.u(ev.Addr)
+		e.i(ev.Count)
+		e.dt(ev.DT, dtID)
+		e.i(ev.Src)
+		e.i(ev.SrcTag)
+		e.i(ev.RecvCount)
+	case OpIsend, OpIrecv:
+		e.u(ev.Addr)
+		e.i(ev.Count)
+		e.dt(ev.DT, dtID)
+		e.i(ev.Peer)
+		e.i(ev.Tag)
+		e.u(ev.Req)
+	case OpWait:
+		e.u(ev.Req)
+	case OpWaitDone:
+		e.u(ev.Req)
+		e.i(ev.Src)
+		e.i(ev.SrcTag)
+		e.i(ev.RecvCount)
+	case OpCollPre, OpCollPost:
+		e.u(nameID)
+		e.u(ev.Addr)
+		e.i(ev.Size)
+		e.u(ev.WAddr)
+		e.i(ev.WSize)
+	case OpHostRead, OpHostWrite, OpHostReadRange, OpHostWriteRange:
+		e.u(ev.Addr)
+		e.i(ev.Size)
+	case OpTypedAlloc:
+		e.u(ev.Addr)
+		e.i(ev.TypeID)
+		e.i(ev.Count)
+		e.k(ev.Kind)
+	default:
+		return fmt.Errorf("trace: cannot encode op %d", ev.Op)
+	}
+	return nil
+}
+
+// Encode serializes a whole trace. The output is canonical: encoding the
+// result of Decode yields byte-identical output.
+func Encode(tr *Trace) ([]byte, error) {
+	e := newEnc()
+	e.header(tr.Header)
+	for i := range tr.Events {
+		if err := e.event(&tr.Events[i]); err != nil {
+			return nil, err
+		}
+	}
+	return e.buf, nil
+}
+
+// flushThreshold is the buffered-bytes level at which the streaming
+// Writer drains to the underlying io.Writer.
+const flushThreshold = 1 << 16
+
+// Writer streams a per-rank trace to an io.Writer. It is not safe for
+// concurrent use; the event stream of one rank is emitted from that
+// rank's goroutine only. Errors are sticky and surfaced by Flush.
+type Writer struct {
+	out io.Writer
+	e   *enc
+	err error
+}
+
+// NewWriter creates a writer and encodes the header.
+func NewWriter(out io.Writer, h Header) *Writer {
+	w := &Writer{out: out, e: newEnc()}
+	w.e.header(h)
+	return w
+}
+
+// Emit appends one event record.
+func (w *Writer) Emit(ev *Event) {
+	if w.err != nil {
+		return
+	}
+	if err := w.e.event(ev); err != nil {
+		w.err = err
+		return
+	}
+	if len(w.e.buf) >= flushThreshold {
+		w.drain()
+	}
+}
+
+func (w *Writer) drain() {
+	if len(w.e.buf) == 0 {
+		return
+	}
+	if _, err := w.out.Write(w.e.buf); err != nil && w.err == nil {
+		w.err = err
+	}
+	w.e.buf = w.e.buf[:0]
+}
+
+// Flush drains buffered records and returns the sticky error, if any.
+func (w *Writer) Flush() error {
+	if w.err == nil {
+		w.drain()
+	}
+	return w.err
+}
