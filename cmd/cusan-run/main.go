@@ -8,7 +8,20 @@
 //	cusan-run [-app jacobi|tealeaf|halo2d]
 //	          [-flavor vanilla|tsan|must|cusan|must+cusan]
 //	          [-engine fast|slow] [-ranks N] [-nx N] [-ny N] [-iters N]
-//	          [-inject-race] [-skip-wait]
+//	          [-inject-race] [-skip-wait] [-faults spec]
+//
+// -faults injects deterministic runtime faults (see internal/faults):
+// "seed=7,rate=0.05" perturbs every site at 5%, "cuda-malloc@2:r1"
+// fails exactly the third cudaMalloc on rank 1. Every injected fault
+// is reported with a replay spec that re-injects it exactly.
+//
+// Exit codes:
+//
+//	0  clean run, no findings
+//	1  race reports or MUST findings
+//	2  usage error (bad flags, unknown app, malformed -faults spec)
+//	3  application fault (a rank failed — e.g. an injected fault)
+//	4  tool degraded (a checker crash was contained; verdict partial)
 package main
 
 import (
@@ -20,7 +33,19 @@ import (
 	"cusango/internal/apps"
 	"cusango/internal/core"
 	"cusango/internal/cusan"
+	"cusango/internal/faults"
 	"cusango/internal/tsan"
+)
+
+// Exit codes. Precedence when several apply: usage > app fault >
+// degraded > race > clean — a partial verdict must not masquerade as
+// a definitive one.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+	exitAppFault = 3
+	exitDegraded = 4
 )
 
 func main() {
@@ -37,22 +62,29 @@ func main() {
 		"inject the app's primary race (the paper's Fig. 4 bug)")
 	skipWait := flag.Bool("skip-wait", false,
 		"tealeaf only: use the halo before MPI_Waitall (MPI-to-CUDA bug)")
+	faultSpec := flag.String("faults", "",
+		"deterministic fault schedule, e.g. \"seed=7,rate=0.05\" or \"cuda-malloc@2:r1\"")
 	flag.Parse()
 
 	flavor, err := core.ParseFlavor(*flavorName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	engine, err := tsan.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	app, err := apps.Get(*appName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cusan-run:", err)
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	plan, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cusan-run:", err)
+		os.Exit(exitUsage)
 	}
 
 	opt := apps.Options{
@@ -63,6 +95,7 @@ func main() {
 		Flavor: flavor,
 		Ranks:  *ranks,
 		Module: app.Module(),
+		Faults: plan,
 	}
 	cfg.TSanCfg.Engine = engine
 	res, err := core.Run(cfg, func(s *core.Session) error {
@@ -77,23 +110,32 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cusan-run:", err)
-		os.Exit(1)
-	}
-	if err := res.FirstError(); err != nil {
-		fmt.Fprintln(os.Stderr, "cusan-run:", err)
-		os.Exit(1)
+		os.Exit(exitUsage)
 	}
 
-	exit := 0
+	exit := exitClean
+	appFault, degraded := false, false
 	for i := range res.Ranks {
 		rr := &res.Ranks[i]
 		for _, rep := range rr.Reports {
 			fmt.Printf("[rank %d] %s\n", rr.Rank, rep)
-			exit = 1
+			exit = exitFindings
 		}
 		for _, is := range rr.Issues {
 			fmt.Printf("[rank %d] %s\n", rr.Rank, is)
-			exit = 1
+			exit = exitFindings
+		}
+		for _, f := range rr.Injected {
+			fmt.Printf("[rank %d] injected %s occurrence %d (replay: -faults %q)\n",
+				rr.Rank, f.Site, f.Occurrence, f.Spec())
+		}
+		if d := rr.Degraded; d != nil {
+			degraded = true
+			fmt.Fprintf(os.Stderr, "cusan-run: checker degraded: %s\n", d)
+		}
+		if rr.Err != nil {
+			appFault = true
+			fmt.Fprintf(os.Stderr, "cusan-run: rank %d: %v\n", rr.Rank, rr.Err)
 		}
 	}
 	if flavor.HasCuSan() {
@@ -102,6 +144,14 @@ func main() {
 	}
 	if res.TotalRaces() == 0 && res.TotalIssues() == 0 {
 		fmt.Println("no races or findings reported")
+	}
+	// Precedence: an app fault trumps a degraded verdict trumps findings
+	// — a run that died or lost its checker cannot vouch for "clean".
+	switch {
+	case appFault:
+		exit = exitAppFault
+	case degraded:
+		exit = exitDegraded
 	}
 	os.Exit(exit)
 }

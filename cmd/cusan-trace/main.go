@@ -10,13 +10,17 @@
 //	    per rank. Recording is flavor-independent — even a vanilla run
 //	    captures the full event stream.
 //
-//	cusan-trace replay [-engine fast|slow] file.cutrace...
+//	cusan-trace replay [-engine fast|slow] [-salvage] file.cutrace...
 //	    Re-analyze recorded streams offline through the full
 //	    cusan/must/tsan pipeline; prints race reports and MUST findings
 //	    and exits non-zero if any are found.
 //
-//	cusan-trace stats file.cutrace...
+//	cusan-trace stats [-salvage] file.cutrace...
 //	    Print per-op counts, data volumes, and per-stream histograms.
+//
+// -salvage tolerates torn trace files (a rank that died mid-write):
+// the longest cleanly-decodable prefix is used and the loss reported
+// on stderr. Without it, a torn file is a hard error.
 //
 //	cusan-trace export [-format chrome] [-o out.json] file.cutrace...
 //	    Convert traces to a timeline. The chrome format is Chrome
@@ -165,7 +169,12 @@ func cmdRecord(argv []string) error {
 	return nil
 }
 
-func loadTraces(paths []string) ([]*trace.Trace, error) {
+// loadTraces reads and decodes trace files. With salvage enabled, a
+// torn file (e.g. from a rank that died mid-write) yields its longest
+// valid prefix with a note on stderr instead of a hard error; header
+// damage is always fatal — there is no rank identity to attribute a
+// salvaged prefix to.
+func loadTraces(paths []string, salvage bool) ([]*trace.Trace, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("no trace files given")
 	}
@@ -175,9 +184,22 @@ func loadTraces(paths []string) ([]*trace.Trace, error) {
 		if err != nil {
 			return nil, err
 		}
+		if salvage {
+			tr, info, err := trace.DecodeSalvage(data)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p, err)
+			}
+			if info.Truncated {
+				fmt.Fprintf(os.Stderr,
+					"cusan-trace: %s: salvaged %d event(s) (%d of %d bytes valid; %s)\n",
+					p, info.Events, info.ValidBytes, info.TotalBytes, info.Reason)
+			}
+			traces[i] = tr
+			continue
+		}
 		tr, err := trace.Decode(data)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p, err)
+			return nil, fmt.Errorf("%s: %w (retry with -salvage to recover the valid prefix)", p, err)
 		}
 		traces[i] = tr
 	}
@@ -188,13 +210,14 @@ func cmdReplay(argv []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	engineName := fs.String("engine", "fast",
 		"shadow engine: fast (batched) or slow (reference oracle)")
+	salvage := fs.Bool("salvage", false, "recover the valid prefix of torn trace files")
 	fs.Parse(argv)
 
 	engine, err := tsan.ParseEngine(*engineName)
 	if err != nil {
 		return err
 	}
-	traces, err := loadTraces(fs.Args())
+	traces, err := loadTraces(fs.Args(), *salvage)
 	if err != nil {
 		return err
 	}
@@ -226,8 +249,9 @@ func cmdReplay(argv []string) error {
 
 func cmdStats(argv []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	salvage := fs.Bool("salvage", false, "recover the valid prefix of torn trace files")
 	fs.Parse(argv)
-	traces, err := loadTraces(fs.Args())
+	traces, err := loadTraces(fs.Args(), *salvage)
 	if err != nil {
 		return err
 	}
@@ -244,12 +268,13 @@ func cmdExport(argv []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	format := fs.String("format", "chrome", "output format (chrome)")
 	out := fs.String("o", "trace.json", "output file")
+	salvage := fs.Bool("salvage", false, "recover the valid prefix of torn trace files")
 	fs.Parse(argv)
 
 	if *format != "chrome" {
 		return fmt.Errorf("unknown export format %q (have: chrome)", *format)
 	}
-	traces, err := loadTraces(fs.Args())
+	traces, err := loadTraces(fs.Args(), *salvage)
 	if err != nil {
 		return err
 	}

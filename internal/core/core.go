@@ -25,6 +25,7 @@ import (
 
 	"cusango/internal/cuda"
 	"cusango/internal/cusan"
+	"cusango/internal/faults"
 	"cusango/internal/kir"
 	"cusango/internal/memspace"
 	"cusango/internal/mpi"
@@ -115,6 +116,11 @@ type Config struct {
 	// configures MUST "to only check for data races of (non-blocking)
 	// MPI communication"; set DisableTypeChecks for that configuration.
 	MustOpts must.Options
+	// Faults, when non-nil, is the deterministic fault-injection plan.
+	// Each rank derives its injector from (Faults.Seed, rank), so any
+	// injected fault is exactly replayable from its (seed, site,
+	// occurrence) triple. A nil plan injects nothing.
+	Faults *faults.Plan
 	// Trace, when non-nil, is asked for a per-rank trace writer before
 	// the session is built; a non-nil writer taps every interception
 	// point (CUDA, MPI, host accesses, typed allocations) so the rank's
@@ -140,7 +146,9 @@ type Session struct {
 	flavor    Flavor
 	loadInfo  *tsan.AccessInfo
 	storeInfo *tsan.AccessInfo
-	rec       *trace.Recorder // nil unless Config.Trace supplied a writer
+	rec       *trace.Recorder  // nil unless Config.Trace supplied a writer
+	inj       *faults.Injector // nil unless Config.Faults set
+	degrade   *degradeState    // always non-nil; trips on checker panics
 }
 
 // Rank returns the session's MPI rank.
@@ -149,15 +157,24 @@ func (s *Session) Rank() int { return s.rank }
 // Size returns the world size.
 func (s *Session) Size() int { return s.size }
 
-// Flavor returns the instrumentation flavor.
-func (s *Session) Flavor() Flavor { return s.flavor }
+// Flavor returns the effective instrumentation flavor. A rank whose
+// checker crashed and was contained (see Degradation) reports Vanilla:
+// its tool hooks are no-ops from the trip point on.
+func (s *Session) Flavor() Flavor {
+	if s.degrade.tripped() {
+		return Vanilla
+	}
+	return s.flavor
+}
 
 func newSession(cfg Config, rank int, world *mpi.World) (*Session, error) {
 	s := &Session{
-		rank:   rank,
-		size:   world.Size(),
-		Mem:    memspace.New(),
-		flavor: cfg.Flavor,
+		rank:    rank,
+		size:    world.Size(),
+		Mem:     memspace.New(),
+		flavor:  cfg.Flavor,
+		inj:     cfg.Faults.Injector(rank),
+		degrade: &degradeState{rank: rank},
 	}
 	if cfg.Flavor.HasTSan() {
 		s.San = tsan.New(cfg.TSanCfg)
@@ -173,7 +190,9 @@ func newSession(cfg Config, rank int, world *mpi.World) (*Session, error) {
 	if cfg.Flavor.HasCuSan() {
 		s.TypeArt = typeart.NewRuntime(nil)
 		s.Cusan = cusan.New(s.San, s.TypeArt, cfg.CusanOpts)
-		cudaHooks = s.Cusan
+		// Panic containment wraps the tool hooks only; the recorder tap
+		// below stays outside so tracing survives a checker crash.
+		cudaHooks = guardedCudaHooks{inner: s.Cusan, ds: s.degrade}
 	}
 	if s.rec != nil {
 		cudaHooks = s.rec.CudaHooks(cudaHooks)
@@ -182,7 +201,9 @@ func newSession(cfg Config, rank int, world *mpi.World) (*Session, error) {
 	if mod == nil {
 		mod = kir.NewModule()
 	}
-	dev, err := cuda.NewDevice(s.Mem, mod, cfg.Cuda, cudaHooks)
+	cudaCfg := cfg.Cuda
+	cudaCfg.Inject = s.inj
+	dev, err := cuda.NewDevice(s.Mem, mod, cudaCfg, cudaHooks)
 	if err != nil {
 		return nil, fmt.Errorf("core: rank %d device: %w", rank, err)
 	}
@@ -190,7 +211,7 @@ func newSession(cfg Config, rank int, world *mpi.World) (*Session, error) {
 	var mpiHooks mpi.Hooks
 	if cfg.Flavor.HasMUST() {
 		s.Must = must.New(s.San, s.TypeArt, cfg.MustOpts)
-		mpiHooks = s.Must
+		mpiHooks = guardedMPIHooks{inner: s.Must, ds: s.degrade}
 	}
 	if s.rec != nil {
 		mpiHooks = s.rec.MPIHooks(mpiHooks)
@@ -199,6 +220,7 @@ func newSession(cfg Config, rank int, world *mpi.World) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	comm.SetInjector(s.inj)
 	s.Comm = comm
 	return s, nil
 }
@@ -216,9 +238,7 @@ func (s *Session) LoadF64(a memspace.Addr) float64 {
 	if s.rec != nil {
 		s.rec.HostRead(a, 8)
 	}
-	if s.San != nil {
-		s.San.Read(a, 8, s.loadInfo)
-	}
+	s.sanRead(a, 8)
 	return s.Mem.Float64(a)
 }
 
@@ -227,9 +247,7 @@ func (s *Session) StoreF64(a memspace.Addr, v float64) {
 	if s.rec != nil {
 		s.rec.HostWrite(a, 8)
 	}
-	if s.San != nil {
-		s.San.Write(a, 8, s.storeInfo)
-	}
+	s.sanWrite(a, 8)
 	s.Mem.SetFloat64(a, v)
 }
 
@@ -238,9 +256,7 @@ func (s *Session) LoadI64(a memspace.Addr) int64 {
 	if s.rec != nil {
 		s.rec.HostRead(a, 8)
 	}
-	if s.San != nil {
-		s.San.Read(a, 8, s.loadInfo)
-	}
+	s.sanRead(a, 8)
 	return s.Mem.Int64(a)
 }
 
@@ -249,9 +265,7 @@ func (s *Session) StoreI64(a memspace.Addr, v int64) {
 	if s.rec != nil {
 		s.rec.HostWrite(a, 8)
 	}
-	if s.San != nil {
-		s.San.Write(a, 8, s.storeInfo)
-	}
+	s.sanWrite(a, 8)
 	s.Mem.SetInt64(a, v)
 }
 
@@ -260,9 +274,7 @@ func (s *Session) LoadI32(a memspace.Addr) int32 {
 	if s.rec != nil {
 		s.rec.HostRead(a, 4)
 	}
-	if s.San != nil {
-		s.San.Read(a, 4, s.loadInfo)
-	}
+	s.sanRead(a, 4)
 	return s.Mem.Int32(a)
 }
 
@@ -271,9 +283,7 @@ func (s *Session) StoreI32(a memspace.Addr, v int32) {
 	if s.rec != nil {
 		s.rec.HostWrite(a, 4)
 	}
-	if s.San != nil {
-		s.San.Write(a, 4, s.storeInfo)
-	}
+	s.sanWrite(a, 4)
 	s.Mem.SetInt32(a, v)
 }
 
@@ -282,9 +292,7 @@ func (s *Session) ReadRangeHost(a memspace.Addr, n int64) {
 	if s.rec != nil {
 		s.rec.HostReadRange(a, n)
 	}
-	if s.San != nil {
-		s.San.ReadRange(a, n, s.loadInfo)
-	}
+	s.sanReadRange(a, n)
 }
 
 // WriteRangeHost annotates a bulk host write.
@@ -292,9 +300,7 @@ func (s *Session) WriteRangeHost(a memspace.Addr, n int64) {
 	if s.rec != nil {
 		s.rec.HostWriteRange(a, n)
 	}
-	if s.San != nil {
-		s.San.WriteRange(a, n, s.storeInfo)
-	}
+	s.sanWriteRange(a, n)
 }
 
 // --- typed allocation helpers (TypeART host instrumentation) --------------
@@ -380,6 +386,15 @@ type RankResult struct {
 	Reports []*tsan.Report
 	Issues  []*must.Issue
 
+	// Degraded is non-nil when the rank's checker crashed and the crash
+	// was contained: the rank finished the run as Vanilla from the trip
+	// point on, and this diagnostic says where and why.
+	Degraded *Degradation
+	// Injected lists the faults the injection plan fired on this rank,
+	// in firing order. Each carries the (seed, site, occurrence) triple
+	// that replays it.
+	Injected []*faults.Fault
+
 	TSanStats   tsan.Stats
 	CudaCtrs    cusan.Counters
 	MPIStats    mpi.Stats
@@ -464,6 +479,17 @@ func Run(cfg Config, app func(s *Session) error) (*Result, error) {
 				}()
 				rr.Err = app(s)
 			}()
+			if rr.Err == nil {
+				if f := s.Mem.AccessFault(); f != nil {
+					rr.Err = fmt.Errorf("rank %d: %w", i, f)
+				}
+			}
+			if rr.Err != nil {
+				// A dead rank can never meet its peers again; abort the
+				// job so ranks blocked in MPI unblock with ErrAborted
+				// instead of deadlocking (MPI_Abort-on-error semantics).
+				world.Abort(i, rr.Err)
+			}
 			s.Dev.Close() // drains async-mode executors; eager no-op
 			s.Comm.Finalize()
 			if s.rec != nil {
@@ -474,6 +500,8 @@ func Run(cfg Config, app func(s *Session) error) (*Result, error) {
 			rr.MPIStats = s.Comm.Stats()
 			rr.AppBytes = s.Mem.LiveBytes()
 			rr.PeakBytes = s.Mem.PeakBytes()
+			rr.Degraded = s.degrade.degradation()
+			rr.Injected = s.inj.Fired()
 			if s.San != nil {
 				rr.Races = s.San.RaceCount()
 				rr.Reports = s.San.Reports()

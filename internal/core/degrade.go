@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"cusango/internal/cuda"
+	"cusango/internal/memspace"
+	"cusango/internal/mpi"
+)
+
+// Graceful degradation (robustness plane).
+//
+// The tool runtimes — CuSan, MUST, TypeART and the TSan core they feed —
+// are the components most likely to hit an internal invariant violation
+// on a perturbed run: the application is the paper's subject, the checker
+// is infrastructure. A checker crash must never take the application run
+// down with it. Every tool hook invocation is therefore routed through a
+// per-rank panic-recovery boundary: the first panic trips the rank into
+// degraded mode, the session behaves like a Vanilla (uninstrumented)
+// build from that point on, and the crash is preserved as a structured
+// Degradation diagnostic on the RankResult instead of a process abort.
+//
+// The trace recorder is deliberately OUTSIDE the boundary: recording
+// keeps working after degradation, so the event stream that led up to
+// the checker crash can be replayed offline against a fixed checker.
+
+// Degradation describes a contained checker crash. After it is recorded
+// the rank's remaining tool hooks become no-ops and Session.Flavor
+// reports Vanilla.
+type Degradation struct {
+	Rank  int
+	Layer string // "cuda-hooks", "mpi-hooks" or "tsan"
+	Hook  string // hook or accessor name that panicked
+	Panic string // the recovered panic value
+	Stack string // goroutine stack at recovery time
+}
+
+func (d *Degradation) String() string {
+	return fmt.Sprintf("rank %d degraded to vanilla: %s/%s panicked: %s",
+		d.Rank, d.Layer, d.Hook, d.Panic)
+}
+
+// degradeState is the per-rank trip latch. It is shared by every guarded
+// hook of one session; hooks may fire from the async executor goroutine,
+// so the latch is mutex-protected.
+type degradeState struct {
+	rank int
+
+	mu sync.Mutex
+	d  *Degradation
+}
+
+func (ds *degradeState) tripped() bool {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.d != nil
+}
+
+func (ds *degradeState) degradation() *Degradation {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.d
+}
+
+func (ds *degradeState) trip(layer, hook string, p any) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.d == nil {
+		ds.d = &Degradation{
+			Rank:  ds.rank,
+			Layer: layer,
+			Hook:  hook,
+			Panic: fmt.Sprint(p),
+			Stack: string(debug.Stack()),
+		}
+	}
+}
+
+// guard runs fn inside the recovery boundary. Once tripped, subsequent
+// guarded calls are skipped entirely — the degraded session must not
+// keep poking a checker whose invariants are already broken.
+func (ds *degradeState) guard(layer, hook string, fn func()) {
+	if ds.tripped() {
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			ds.trip(layer, hook, p)
+		}
+	}()
+	fn()
+}
+
+// --- guarded CUDA hook chain ----------------------------------------------
+
+type guardedCudaHooks struct {
+	inner cuda.Hooks
+	ds    *degradeState
+}
+
+func (g guardedCudaHooks) AllocDone(a memspace.Addr, bytes int64, k memspace.Kind) {
+	g.ds.guard("cuda-hooks", "AllocDone", func() { g.inner.AllocDone(a, bytes, k) })
+}
+
+func (g guardedCudaHooks) PreFree(a memspace.Addr, k memspace.Kind, syncsHost bool) {
+	g.ds.guard("cuda-hooks", "PreFree", func() { g.inner.PreFree(a, k, syncsHost) })
+}
+
+func (g guardedCudaHooks) StreamCreated(s *cuda.Stream) {
+	g.ds.guard("cuda-hooks", "StreamCreated", func() { g.inner.StreamCreated(s) })
+}
+
+func (g guardedCudaHooks) StreamDestroyed(s *cuda.Stream) {
+	g.ds.guard("cuda-hooks", "StreamDestroyed", func() { g.inner.StreamDestroyed(s) })
+}
+
+func (g guardedCudaHooks) EventCreated(e *cuda.Event) {
+	g.ds.guard("cuda-hooks", "EventCreated", func() { g.inner.EventCreated(e) })
+}
+
+func (g guardedCudaHooks) EventDestroyed(e *cuda.Event) {
+	g.ds.guard("cuda-hooks", "EventDestroyed", func() { g.inner.EventDestroyed(e) })
+}
+
+func (g guardedCudaHooks) PreEventRecord(e *cuda.Event, s *cuda.Stream) {
+	g.ds.guard("cuda-hooks", "PreEventRecord", func() { g.inner.PreEventRecord(e, s) })
+}
+
+func (g guardedCudaHooks) PreEventSynchronize(e *cuda.Event) {
+	g.ds.guard("cuda-hooks", "PreEventSynchronize", func() { g.inner.PreEventSynchronize(e) })
+}
+
+func (g guardedCudaHooks) PreEventQuery(e *cuda.Event) {
+	g.ds.guard("cuda-hooks", "PreEventQuery", func() { g.inner.PreEventQuery(e) })
+}
+
+func (g guardedCudaHooks) PreStreamWaitEvent(s *cuda.Stream, e *cuda.Event) {
+	g.ds.guard("cuda-hooks", "PreStreamWaitEvent", func() { g.inner.PreStreamWaitEvent(s, e) })
+}
+
+func (g guardedCudaHooks) PreStreamSynchronize(s *cuda.Stream) {
+	g.ds.guard("cuda-hooks", "PreStreamSynchronize", func() { g.inner.PreStreamSynchronize(s) })
+}
+
+func (g guardedCudaHooks) PreStreamQuery(s *cuda.Stream) {
+	g.ds.guard("cuda-hooks", "PreStreamQuery", func() { g.inner.PreStreamQuery(s) })
+}
+
+func (g guardedCudaHooks) PreDeviceSynchronize() {
+	g.ds.guard("cuda-hooks", "PreDeviceSynchronize", func() { g.inner.PreDeviceSynchronize() })
+}
+
+func (g guardedCudaHooks) PreKernelLaunch(l *cuda.KernelLaunch) {
+	g.ds.guard("cuda-hooks", "PreKernelLaunch", func() { g.inner.PreKernelLaunch(l) })
+}
+
+func (g guardedCudaHooks) PreMemcpy(op *cuda.MemOp) {
+	g.ds.guard("cuda-hooks", "PreMemcpy", func() { g.inner.PreMemcpy(op) })
+}
+
+func (g guardedCudaHooks) PreMemset(op *cuda.MemOp) {
+	g.ds.guard("cuda-hooks", "PreMemset", func() { g.inner.PreMemset(op) })
+}
+
+// --- guarded MPI hook chain -----------------------------------------------
+
+type guardedMPIHooks struct {
+	inner mpi.Hooks
+	ds    *degradeState
+}
+
+func (g guardedMPIHooks) PreSend(buf memspace.Addr, count int, dt mpi.Datatype, dest, tag int) {
+	g.ds.guard("mpi-hooks", "PreSend", func() { g.inner.PreSend(buf, count, dt, dest, tag) })
+}
+
+func (g guardedMPIHooks) PostSend(buf memspace.Addr, count int, dt mpi.Datatype, dest, tag int) {
+	g.ds.guard("mpi-hooks", "PostSend", func() { g.inner.PostSend(buf, count, dt, dest, tag) })
+}
+
+func (g guardedMPIHooks) PreRecv(buf memspace.Addr, count int, dt mpi.Datatype, src, tag int) {
+	g.ds.guard("mpi-hooks", "PreRecv", func() { g.inner.PreRecv(buf, count, dt, src, tag) })
+}
+
+func (g guardedMPIHooks) PostRecv(buf memspace.Addr, count int, dt mpi.Datatype, st mpi.Status) {
+	g.ds.guard("mpi-hooks", "PostRecv", func() { g.inner.PostRecv(buf, count, dt, st) })
+}
+
+func (g guardedMPIHooks) PreIsend(buf memspace.Addr, count int, dt mpi.Datatype, dest, tag int, req *mpi.Request) {
+	g.ds.guard("mpi-hooks", "PreIsend", func() { g.inner.PreIsend(buf, count, dt, dest, tag, req) })
+}
+
+func (g guardedMPIHooks) PreIrecv(buf memspace.Addr, count int, dt mpi.Datatype, src, tag int, req *mpi.Request) {
+	g.ds.guard("mpi-hooks", "PreIrecv", func() { g.inner.PreIrecv(buf, count, dt, src, tag, req) })
+}
+
+func (g guardedMPIHooks) PreWait(req *mpi.Request) {
+	g.ds.guard("mpi-hooks", "PreWait", func() { g.inner.PreWait(req) })
+}
+
+func (g guardedMPIHooks) PostWait(req *mpi.Request, st mpi.Status) {
+	g.ds.guard("mpi-hooks", "PostWait", func() { g.inner.PostWait(req, st) })
+}
+
+func (g guardedMPIHooks) PreCollective(name string, read memspace.Addr, readBytes int64, write memspace.Addr, writeBytes int64) {
+	g.ds.guard("mpi-hooks", "PreCollective", func() {
+		g.inner.PreCollective(name, read, readBytes, write, writeBytes)
+	})
+}
+
+func (g guardedMPIHooks) PostCollective(name string, read memspace.Addr, readBytes int64, write memspace.Addr, writeBytes int64) {
+	g.ds.guard("mpi-hooks", "PostCollective", func() {
+		g.inner.PostCollective(name, read, readBytes, write, writeBytes)
+	})
+}
+
+func (g guardedMPIHooks) PreFinalize() {
+	g.ds.guard("mpi-hooks", "PreFinalize", func() { g.inner.PreFinalize() })
+}
+
+// --- guarded sanitizer accessors ------------------------------------------
+//
+// Host loads/stores feed TSan directly (not through a hook interface), so
+// the Session accessors use these helpers for the same containment.
+
+func (s *Session) sanRead(a memspace.Addr, size int) {
+	if s.San == nil {
+		return
+	}
+	s.degrade.guard("tsan", "Read", func() { s.San.Read(a, size, s.loadInfo) })
+}
+
+func (s *Session) sanWrite(a memspace.Addr, size int) {
+	if s.San == nil {
+		return
+	}
+	s.degrade.guard("tsan", "Write", func() { s.San.Write(a, size, s.storeInfo) })
+}
+
+func (s *Session) sanReadRange(a memspace.Addr, n int64) {
+	if s.San == nil {
+		return
+	}
+	s.degrade.guard("tsan", "ReadRange", func() { s.San.ReadRange(a, n, s.loadInfo) })
+}
+
+func (s *Session) sanWriteRange(a memspace.Addr, n int64) {
+	if s.San == nil {
+		return
+	}
+	s.degrade.guard("tsan", "WriteRange", func() { s.San.WriteRange(a, n, s.storeInfo) })
+}
+
+// Degraded returns the rank's degradation diagnostic, or nil while the
+// checker is healthy.
+func (s *Session) Degraded() *Degradation { return s.degrade.degradation() }

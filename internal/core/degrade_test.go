@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGuardTripLatch exercises the degradeState unit behaviour: the
+// first panic trips the latch with a full diagnostic, and every guarded
+// call after the trip is skipped instead of re-entering the broken
+// checker.
+func TestGuardTripLatch(t *testing.T) {
+	ds := &degradeState{rank: 3}
+	ran := 0
+	ds.guard("tsan", "Read", func() { ran++ })
+	if ran != 1 || ds.tripped() {
+		t.Fatalf("healthy guard: ran=%d tripped=%v", ran, ds.tripped())
+	}
+	ds.guard("cuda-hooks", "StreamCreated", func() { panic("invariant violated") })
+	d := ds.degradation()
+	if d == nil {
+		t.Fatal("panic did not trip the latch")
+	}
+	if d.Rank != 3 || d.Layer != "cuda-hooks" || d.Hook != "StreamCreated" {
+		t.Fatalf("diagnostic = %+v", d)
+	}
+	if !strings.Contains(d.Panic, "invariant violated") || d.Stack == "" {
+		t.Fatalf("diagnostic missing panic/stack: %+v", d)
+	}
+	ds.guard("tsan", "Read", func() { ran++ })
+	if ran != 1 {
+		t.Fatal("guard ran after trip")
+	}
+	// A second panic (impossible after the skip, but belt and braces)
+	// must not replace the first diagnostic.
+	ds.trip("mpi-hooks", "PreSend", "later")
+	if got := ds.degradation(); got.Hook != "StreamCreated" {
+		t.Fatalf("first diagnostic replaced: %+v", got)
+	}
+}
+
+// TestDegradeToVanilla drives a real checker crash end to end: creating
+// more streams than the TSan shadow encoding has fiber ids for panics
+// inside CuSan's StreamCreated hook. The run must complete, classify the
+// rank as degraded (flavor Vanilla from the trip point), and carry the
+// structured diagnostic — never crash the job.
+func TestDegradeToVanilla(t *testing.T) {
+	cfg := Config{Flavor: MUSTCuSan, Ranks: 1}
+	var s0 *Session
+	res, err := Run(cfg, func(s *Session) error {
+		s0 = s
+		for i := 0; i < 5000; i++ {
+			s.Dev.StreamCreate(false)
+		}
+		// Post-degradation work must still run uninstrumented.
+		a := s.HostAllocF64(4)
+		s.StoreF64(a, 1.5)
+		if s.LoadF64(a) != 1.5 {
+			t.Error("post-degradation load broken")
+		}
+		return s.Comm.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := res.Ranks[0]
+	if rr.Err != nil {
+		t.Fatalf("degraded rank returned app error: %v", rr.Err)
+	}
+	if rr.Degraded == nil {
+		t.Fatal("fiber overflow did not degrade the rank")
+	}
+	if rr.Degraded.Layer != "cuda-hooks" || rr.Degraded.Hook != "StreamCreated" {
+		t.Fatalf("degradation = %+v", rr.Degraded)
+	}
+	if !strings.Contains(rr.Degraded.Panic, "fiber id") {
+		t.Fatalf("unexpected panic text: %q", rr.Degraded.Panic)
+	}
+	if s0.Flavor() != Vanilla {
+		t.Fatalf("degraded session flavor = %v, want vanilla", s0.Flavor())
+	}
+	if s0.Degraded() == nil {
+		t.Fatal("Session.Degraded nil after trip")
+	}
+}
+
+// TestHealthyFlavorUnchanged: without a crash, Flavor reports the
+// configured flavor and Degraded stays nil.
+func TestHealthyFlavorUnchanged(t *testing.T) {
+	res, err := Run(Config{Flavor: MUSTCuSan, Ranks: 1}, func(s *Session) error {
+		a := s.HostAllocF64(1)
+		s.StoreF64(a, 2.0)
+		if s.Flavor() != MUSTCuSan {
+			t.Errorf("healthy flavor = %v", s.Flavor())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks[0].Degraded != nil {
+		t.Fatalf("healthy run degraded: %+v", res.Ranks[0].Degraded)
+	}
+}

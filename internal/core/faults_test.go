@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cusango/internal/cuda"
+	"cusango/internal/faults"
+	"cusango/internal/mpi"
+)
+
+// TestInjectedFaultThreading: a pick-based plan reaches the CUDA layer
+// through Config.Faults, the failing rank's error carries the replay
+// triple, the fault appears in RankResult.Injected, and the peer rank —
+// blocked in a collective — unblocks with ErrAborted instead of
+// deadlocking.
+func TestInjectedFaultThreading(t *testing.T) {
+	plan, err := faults.Parse("cuda-malloc@0:r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Flavor: MUSTCuSan, Ranks: 2, Faults: plan}, func(s *Session) error {
+		if _, err := s.CudaMallocF64(16); err != nil {
+			return err
+		}
+		return s.Comm.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := res.Ranks[1]
+	if !errors.Is(r1.Err, cuda.ErrMemoryAllocation) {
+		t.Fatalf("rank 1 err = %v, want ErrMemoryAllocation", r1.Err)
+	}
+	f, ok := faults.Extract(r1.Err)
+	if !ok || f.Site != faults.CudaMalloc || f.Occurrence != 0 || f.Rank != 1 {
+		t.Fatalf("rank 1 err carries %+v, want cuda-malloc@0:r1", f)
+	}
+	if len(r1.Injected) != 1 || r1.Injected[0].Spec() != "cuda-malloc@0:r1" {
+		t.Fatalf("Injected = %v", r1.Injected)
+	}
+	r0 := res.Ranks[0]
+	if !errors.Is(r0.Err, mpi.ErrAborted) {
+		t.Fatalf("rank 0 err = %v, want ErrAborted", r0.Err)
+	}
+	if len(r0.Injected) != 0 {
+		t.Fatalf("rank 0 Injected = %v, want none", r0.Injected)
+	}
+	// Replay: the same plan fires identically.
+	res2, err := Run(Config{Flavor: MUSTCuSan, Ranks: 2, Faults: plan}, func(s *Session) error {
+		if _, err := s.CudaMallocF64(16); err != nil {
+			return err
+		}
+		return s.Comm.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, ok := faults.Extract(res2.Ranks[1].Err)
+	if !ok || f2.Spec() != f.Spec() {
+		t.Fatalf("replay fault %v != original %v", f2, f)
+	}
+}

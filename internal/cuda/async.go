@@ -1,6 +1,9 @@
 package cuda
 
 import (
+	"time"
+
+	"cusango/internal/faults"
 	"cusango/internal/kinterp"
 	"cusango/internal/memspace"
 )
@@ -31,6 +34,10 @@ type asyncOp struct {
 	prereqs []<-chan struct{}
 	run     func()
 	done    chan struct{}
+	// jitter delays execution by a deterministic amount (fault
+	// injection). FIFO order and prerequisites are unaffected — only
+	// real-time completion shifts, which the documented semantics allow.
+	jitter time.Duration
 }
 
 type streamExec struct {
@@ -52,6 +59,9 @@ func newStreamExec() *streamExec {
 		for op := range se.ops {
 			for _, p := range op.prereqs {
 				<-p
+			}
+			if op.jitter > 0 {
+				time.Sleep(op.jitter)
 			}
 			if op.run != nil {
 				op.run()
@@ -100,6 +110,11 @@ func (d *Device) enqueue(s *Stream, run func(), extra ...<-chan struct{}) <-chan
 		prereqs: append(d.barrierPrereqs(s), extra...),
 		run:     run,
 		done:    make(chan struct{}),
+	}
+	// The jitter decision is made here on the host goroutine, where
+	// enqueue order (and thus occurrence numbering) is deterministic.
+	if f := d.cfg.Inject.Fire(faults.CudaAsyncJitter); f != nil {
+		op.jitter = time.Duration(f.Occurrence%7+1) * 100 * time.Microsecond
 	}
 	se.tail = op.done
 	se.ops <- op

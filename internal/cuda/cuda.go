@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cusango/internal/faults"
 	"cusango/internal/kaccess"
 	"cusango/internal/kinterp"
 	"cusango/internal/kir"
@@ -41,6 +42,12 @@ var (
 	// ErrInvalidPointer reports a pointer outside any live allocation or
 	// of the wrong memory kind for the operation.
 	ErrInvalidPointer = errors.New("cuda: invalid device pointer")
+	// ErrMemoryAllocation reports an exhausted device or host allocation
+	// (cudaErrorMemoryAllocation).
+	ErrMemoryAllocation = errors.New("cuda: out of memory")
+	// ErrLaunchFailure reports a kernel that failed to launch
+	// (cudaErrorLaunchFailure).
+	ErrLaunchFailure = errors.New("cuda: kernel launch failure")
 )
 
 // Stream is a CUDA stream handle. The zero-id stream of a device is the
@@ -205,6 +212,10 @@ type Config struct {
 	// AsyncStreams switches from eager to genuinely asynchronous stream
 	// execution (see async.go). Devices in this mode must be Closed.
 	AsyncStreams bool
+	// Inject, when non-nil, perturbs the simulated runtime with
+	// deterministic faults (allocation failures, launch failures, handle
+	// invalidation, async-completion jitter). See internal/faults.
+	Inject *faults.Injector
 }
 
 // Device is one simulated GPU attached to a rank's address space, with a
@@ -289,6 +300,11 @@ func (d *Device) checkStream(s *Stream) (*Stream, error) {
 	if s.destroyed {
 		return nil, fmt.Errorf("%w: stream %d destroyed", ErrInvalidHandle, s.id)
 	}
+	if !s.IsDefault() {
+		if f := d.cfg.Inject.Fire(faults.CudaStreamHandle); f != nil {
+			return nil, fmt.Errorf("%w: stream %d (%w)", ErrInvalidHandle, s.id, f)
+		}
+	}
 	return s, nil
 }
 
@@ -298,6 +314,9 @@ func (d *Device) checkEvent(e *Event) error {
 	}
 	if e.destroyed {
 		return fmt.Errorf("%w: event %d destroyed", ErrInvalidHandle, e.id)
+	}
+	if f := d.cfg.Inject.Fire(faults.CudaEventHandle); f != nil {
+		return fmt.Errorf("%w: event %d (%w)", ErrInvalidHandle, e.id, f)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package cuda
 import (
 	"fmt"
 
+	"cusango/internal/faults"
 	"cusango/internal/kinterp"
 	"cusango/internal/memspace"
 )
@@ -37,13 +38,18 @@ func (d *Device) LaunchKernel(name string, grid, block kinterp.Dim3, args []kint
 				ErrInvalidPointer, name, i, f.Params[i].Name, k)
 		}
 	}
+	// An injected launch failure fires before the instrumentation hook:
+	// the tool must never account for work that was never enqueued.
+	if flt := d.cfg.Inject.Fire(faults.CudaLaunch); flt != nil {
+		return fmt.Errorf("%w: kernel %q (%w)", ErrLaunchFailure, name, flt)
+	}
 	l := &KernelLaunch{
 		Name:   name,
 		Grid:   grid,
 		Block:  block,
 		Args:   args,
 		Params: f.Params,
-		Access: d.analysis.KernelArgs(name),
+		Access: d.analysis.KernelArgs(name, len(f.Params)),
 		Stream: ss,
 	}
 	d.hooks.PreKernelLaunch(l)

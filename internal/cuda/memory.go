@@ -3,6 +3,7 @@ package cuda
 import (
 	"fmt"
 
+	"cusango/internal/faults"
 	"cusango/internal/memspace"
 )
 
@@ -15,6 +16,9 @@ func (d *Device) Malloc(bytes int64) (memspace.Addr, error) {
 	if bytes < 0 {
 		return 0, fmt.Errorf("%w: negative size", ErrInvalidValue)
 	}
+	if f := d.cfg.Inject.Fire(faults.CudaMalloc); f != nil {
+		return 0, fmt.Errorf("%w: %d bytes (%w)", ErrMemoryAllocation, bytes, f)
+	}
 	a := d.mem.Alloc(bytes, memspace.KindDevice)
 	d.hooks.AllocDone(a, bytes, memspace.KindDevice)
 	return a, nil
@@ -24,6 +28,9 @@ func (d *Device) Malloc(bytes int64) (memspace.Addr, error) {
 func (d *Device) HostAlloc(bytes int64) (memspace.Addr, error) {
 	if bytes < 0 {
 		return 0, fmt.Errorf("%w: negative size", ErrInvalidValue)
+	}
+	if f := d.cfg.Inject.Fire(faults.CudaMalloc); f != nil {
+		return 0, fmt.Errorf("%w: %d bytes (%w)", ErrMemoryAllocation, bytes, f)
 	}
 	a := d.mem.Alloc(bytes, memspace.KindHostPinned)
 	d.hooks.AllocDone(a, bytes, memspace.KindHostPinned)
@@ -36,6 +43,9 @@ func (d *Device) HostAlloc(bytes int64) (memspace.Addr, error) {
 func (d *Device) MallocManaged(bytes int64) (memspace.Addr, error) {
 	if bytes < 0 {
 		return 0, fmt.Errorf("%w: negative size", ErrInvalidValue)
+	}
+	if f := d.cfg.Inject.Fire(faults.CudaMalloc); f != nil {
+		return 0, fmt.Errorf("%w: %d bytes (%w)", ErrMemoryAllocation, bytes, f)
 	}
 	a := d.mem.Alloc(bytes, memspace.KindManaged)
 	d.hooks.AllocDone(a, bytes, memspace.KindManaged)

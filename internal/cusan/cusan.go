@@ -88,6 +88,10 @@ type Counters struct {
 	EngineFastGranules int64
 	RangeCacheHits     int64
 	RangeCacheMisses   int64
+	// ShadowPagesShed counts pages dropped by the sanitizer's shadow
+	// budget; non-zero means the run traded completeness (possible
+	// missed races) for bounded memory.
+	ShadowPagesShed int64
 }
 
 // AvgReadKB returns the average bytes per CuSan read-range call in KiB.
@@ -177,6 +181,7 @@ func (r *Runtime) Counters() Counters {
 	c.EngineFastGranules = st.EngineFastGranules
 	c.RangeCacheHits = st.RangeCacheHits
 	c.RangeCacheMisses = st.RangeCacheMisses
+	c.ShadowPagesShed = st.ShadowPagesShed
 	return c
 }
 
@@ -531,5 +536,6 @@ func (r *Runtime) FormatCounters() string {
 	fmt.Fprintf(&b, "  Fast-path granules          %8d\n", c.EngineFastGranules)
 	fmt.Fprintf(&b, "  Range-cache hits            %8d\n", c.RangeCacheHits)
 	fmt.Fprintf(&b, "  Range-cache misses          %8d\n", c.RangeCacheMisses)
+	fmt.Fprintf(&b, "  Shadow pages shed           %8d\n", c.ShadowPagesShed)
 	return b.String()
 }

@@ -1,0 +1,403 @@
+// Package faults is the deterministic fault-injection plane.
+//
+// Real CUDA-aware MPI runs fail: allocations exhaust, kernels abort,
+// messages truncate, ranks die mid-collective. The paper's semantics
+// table (§III) covers only the happy path, but a correctness tool must
+// never make a failing run worse — it has to keep its verdicts stable
+// (no fabricated races) and report what it saw. This package perturbs
+// the simulated CUDA and MPI runtimes at their existing interception
+// points so that property can be exercised and regression-tested.
+//
+// Every decision is a pure function of a (seed, rank, site, occurrence)
+// tuple: the runtimes count how many times each injection site is
+// reached on each rank, and a splitmix64-style hash of the tuple is
+// compared against the site's configured rate. There is no global
+// state, no clock, and no real randomness, so a failure observed once
+// is replayed exactly by naming its triple — the error string of every
+// injected fault carries a ready-to-paste `cusan-run -faults` spec.
+//
+// A Plan describes what to inject (rates per site and/or explicit
+// picks); a per-rank Injector applies it. Sites whose faults surface as
+// API errors are "erroring"; jitter and delayed completion are benign
+// perturbations that stay within the documented CUDA/MPI semantics.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Site identifies one fault-injection point in the simulated runtimes.
+type Site uint8
+
+// Injection sites. The numeric values are internal; the stable names
+// used in -faults specs are the String forms below.
+const (
+	siteInvalid Site = iota
+
+	// CudaMalloc fails cudaMalloc/cudaMallocHost/cudaMallocManaged with
+	// cudaErrorMemoryAllocation.
+	CudaMalloc
+	// CudaLaunch fails cudaLaunchKernel with cudaErrorLaunchFailure.
+	CudaLaunch
+	// CudaStreamHandle invalidates a user stream handle at a call that
+	// takes one (sync, query, wait, async memop, launch, destroy).
+	CudaStreamHandle
+	// CudaEventHandle invalidates an event handle at a call that takes
+	// one (record, sync, query, stream-wait, destroy).
+	CudaEventHandle
+	// CudaAsyncJitter delays one asynchronously-enqueued stream
+	// operation by a deterministic amount. FIFO order within a stream
+	// and all cross-stream dependencies are preserved — this only
+	// shifts real-time completion, exactly what the documented
+	// semantics allow.
+	CudaAsyncJitter
+	// MPIDelayCompletion makes MPI_Test report an incomplete request
+	// even though it could complete — legal under MPI progress rules.
+	MPIDelayCompletion
+	// MPITruncateRecv completes a receive with MPI_ERR_TRUNCATE as if
+	// the incoming message were longer than the posted buffer.
+	MPITruncateRecv
+	// MPIRankAbort makes the rank abort the job at an MPI call, as if
+	// the process died mid-iteration; all other ranks' pending and
+	// future MPI calls fail with mpi.ErrAborted.
+	MPIRankAbort
+
+	numSites
+)
+
+var siteNames = [numSites]string{
+	CudaMalloc:         "cuda-malloc",
+	CudaLaunch:         "cuda-launch",
+	CudaStreamHandle:   "cuda-stream-handle",
+	CudaEventHandle:    "cuda-event-handle",
+	CudaAsyncJitter:    "cuda-async-jitter",
+	MPIDelayCompletion: "mpi-delay",
+	MPITruncateRecv:    "mpi-truncate",
+	MPIRankAbort:       "mpi-abort",
+}
+
+func (s Site) String() string {
+	if s > siteInvalid && s < numSites {
+		return siteNames[s]
+	}
+	return fmt.Sprintf("site?%d", uint8(s))
+}
+
+// Erroring reports whether faults at this site surface as API errors.
+// The benign perturbation sites (async jitter, delayed completion)
+// change timing but never produce an error or alter results.
+func (s Site) Erroring() bool {
+	return s != CudaAsyncJitter && s != MPIDelayCompletion
+}
+
+// ParseSite resolves a stable site name from a -faults spec.
+func ParseSite(name string) (Site, error) {
+	for s := siteInvalid + 1; s < numSites; s++ {
+		if siteNames[s] == name {
+			return s, nil
+		}
+	}
+	return siteInvalid, fmt.Errorf("faults: unknown site %q (have: %s)",
+		name, strings.Join(SiteNames(), ", "))
+}
+
+// Sites returns every injection site in stable order.
+func Sites() []Site {
+	out := make([]Site, 0, numSites-1)
+	for s := siteInvalid + 1; s < numSites; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// SiteNames returns the stable spec names of every site.
+func SiteNames() []string {
+	names := make([]string, 0, numSites-1)
+	for _, s := range Sites() {
+		names = append(names, s.String())
+	}
+	return names
+}
+
+// Fault identifies one injected fault. It implements error; injected
+// failures wrap it, so errors.As recovers the exact (seed, site,
+// occurrence) triple from any error an injection produced.
+type Fault struct {
+	Seed       uint64
+	Rank       int
+	Site       Site
+	Occurrence uint64
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("injected fault: %s occurrence %d on rank %d (replay: -faults %q)",
+		f.Site, f.Occurrence, f.Rank, f.Spec())
+}
+
+// Spec returns a -faults spec that deterministically re-injects exactly
+// this fault and nothing else.
+func (f *Fault) Spec() string {
+	return fmt.Sprintf("%s@%d:r%d", f.Site, f.Occurrence, f.Rank)
+}
+
+// Extract returns the Fault an error carries, if any.
+func Extract(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// Pick requests that a site's Nth occurrence (0-based) fault
+// unconditionally, independent of any rate.
+type Pick struct {
+	Site       Site
+	Occurrence uint64
+	Rank       int // -1 = every rank
+}
+
+// Plan is a complete, self-describing fault schedule. The zero value
+// (and a nil *Plan) injects nothing.
+type Plan struct {
+	// Seed parameterizes every rate-based decision.
+	Seed uint64
+	// Rates maps each site to its per-occurrence fault probability in
+	// [0, 1]. Sites absent from the map never fire by rate.
+	Rates map[Site]float64
+	// Picks are unconditional (site, occurrence, rank) selections,
+	// applied in addition to the rates.
+	Picks []Pick
+}
+
+// Seeded returns a plan firing every site at the given rate — the
+// schedule shape the chaos soak harness uses.
+func Seeded(seed uint64, rate float64) *Plan {
+	rates := make(map[Site]float64, numSites-1)
+	for _, s := range Sites() {
+		rates[s] = rate
+	}
+	return &Plan{Seed: seed, Rates: rates}
+}
+
+// Injector returns the rank's injector for this plan. A nil plan
+// returns a nil injector, which is valid and injects nothing.
+func (p *Plan) Injector(rank int) *Injector {
+	if p == nil {
+		return nil
+	}
+	return &Injector{plan: p, rank: rank}
+}
+
+// String renders the plan as a canonical -faults spec: Parse(p.String())
+// reproduces the plan.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	sites := make([]Site, 0, len(p.Rates))
+	for s := range p.Rates {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, s := range sites {
+		if r := p.Rates[s]; r > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%s", s,
+				strconv.FormatFloat(r, 'g', -1, 64)))
+		}
+	}
+	for _, pk := range p.Picks {
+		if pk.Rank < 0 {
+			parts = append(parts, fmt.Sprintf("%s@%d", pk.Site, pk.Occurrence))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s@%d:r%d", pk.Site, pk.Occurrence, pk.Rank))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse builds a plan from a -faults spec: comma-separated clauses of
+//
+//	seed=N            seed for rate-based decisions (decimal or 0x hex)
+//	rate=F            fault probability applied to every site
+//	<site>=F          fault probability for one site
+//	<site>@N          fail the site's Nth occurrence (0-based), any rank
+//	<site>@N:rK       fail the site's Nth occurrence on rank K only
+//
+// e.g. "seed=7,rate=0.05" or "cuda-malloc@2:r1". An empty spec yields
+// a nil plan (inject nothing).
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{Rates: map[Site]float64{}}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		switch {
+		case strings.Contains(clause, "="):
+			kv := strings.SplitN(clause, "=", 2)
+			key, val := kv[0], kv[1]
+			switch key {
+			case "seed":
+				n, err := strconv.ParseUint(val, 0, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: bad seed %q: %v", val, err)
+				}
+				p.Seed = n
+			case "rate":
+				r, err := parseRate(val)
+				if err != nil {
+					return nil, err
+				}
+				for _, s := range Sites() {
+					p.Rates[s] = r
+				}
+			default:
+				site, err := ParseSite(key)
+				if err != nil {
+					return nil, err
+				}
+				r, err := parseRate(val)
+				if err != nil {
+					return nil, err
+				}
+				p.Rates[site] = r
+			}
+		case strings.Contains(clause, "@"):
+			at := strings.SplitN(clause, "@", 2)
+			site, err := ParseSite(at[0])
+			if err != nil {
+				return nil, err
+			}
+			rest := at[1]
+			rank := -1
+			if i := strings.Index(rest, ":"); i >= 0 {
+				rs := rest[i+1:]
+				if !strings.HasPrefix(rs, "r") {
+					return nil, fmt.Errorf("faults: bad rank suffix %q (want :rK)", rs)
+				}
+				k, err := strconv.Atoi(rs[1:])
+				if err != nil || k < 0 {
+					return nil, fmt.Errorf("faults: bad rank %q", rs[1:])
+				}
+				rank = k
+				rest = rest[:i]
+			}
+			occ, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad occurrence %q: %v", rest, err)
+			}
+			p.Picks = append(p.Picks, Pick{Site: site, Occurrence: occ, Rank: rank})
+		default:
+			return nil, fmt.Errorf("faults: bad clause %q (want key=value or site@occurrence[:rK])", clause)
+		}
+	}
+	return p, nil
+}
+
+func parseRate(val string) (float64, error) {
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil || r < 0 || r > 1 {
+		return 0, fmt.Errorf("faults: bad rate %q (want a probability in [0,1])", val)
+	}
+	return r, nil
+}
+
+// Injector applies a plan on one rank. It is safe for concurrent use
+// (async stream executors fire jitter decisions from their own
+// goroutines); a nil *Injector is valid and injects nothing.
+type Injector struct {
+	plan *Plan
+	rank int
+
+	mu     sync.Mutex
+	counts [numSites]uint64
+	fired  []*Fault
+}
+
+// Fire advances the site's occurrence counter and returns a non-nil
+// Fault when the plan selects this occurrence. Every reach of an
+// injection site must call Fire exactly once so occurrence numbering
+// stays deterministic.
+func (in *Injector) Fire(site Site) *Fault {
+	if in == nil || site <= siteInvalid || site >= numSites {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.counts[site]
+	in.counts[site] = n + 1
+	if !in.decide(site, n) {
+		return nil
+	}
+	f := &Fault{Seed: in.plan.Seed, Rank: in.rank, Site: site, Occurrence: n}
+	in.fired = append(in.fired, f)
+	return f
+}
+
+func (in *Injector) decide(site Site, n uint64) bool {
+	for _, pk := range in.plan.Picks {
+		if pk.Site == site && pk.Occurrence == n && (pk.Rank < 0 || pk.Rank == in.rank) {
+			return true
+		}
+	}
+	rate := in.plan.Rates[site]
+	switch {
+	case rate <= 0:
+		return false
+	case rate >= 1:
+		return true
+	default:
+		return chance(in.plan.Seed, in.rank, site, n) < rate
+	}
+}
+
+// Count returns how many times the site has been reached so far.
+func (in *Injector) Count(site Site) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[site]
+}
+
+// Fired returns a snapshot of every fault injected so far, in firing
+// order.
+func (in *Injector) Fired() []*Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]*Fault, len(in.fired))
+	copy(out, in.fired)
+	return out
+}
+
+// chance maps (seed, rank, site, occurrence) to a uniform value in
+// [0, 1) via splitmix64 finalization over the mixed-in tuple.
+func chance(seed uint64, rank int, site Site, n uint64) float64 {
+	h := seed
+	h = mix(h ^ (uint64(rank) + 0x9e3779b97f4a7c15))
+	h = mix(h ^ uint64(site))
+	h = mix(h ^ n)
+	return float64(h>>11) / (1 << 53)
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,243 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestDeterminism: the same plan yields the same firing decisions on
+// every replay — the core replayability property.
+func TestDeterminism(t *testing.T) {
+	run := func() []Fault {
+		in := Seeded(42, 0.1).Injector(1)
+		var fired []Fault
+		for i := 0; i < 500; i++ {
+			for _, s := range Sites() {
+				if f := in.Fire(s); f != nil {
+					fired = append(fired, *f)
+				}
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("rate 0.1 over 500 occurrences fired nothing")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay diverged: %d vs %d faults", len(a), len(b))
+	}
+}
+
+// TestSeedAndRankVary: different seeds and different ranks make
+// different decisions (otherwise the plane is not exploring anything).
+func TestSeedAndRankVary(t *testing.T) {
+	pattern := func(seed uint64, rank int) string {
+		in := Seeded(seed, 0.2).Injector(rank)
+		s := ""
+		for i := 0; i < 200; i++ {
+			if in.Fire(CudaMalloc) != nil {
+				s += "x"
+			} else {
+				s += "."
+			}
+		}
+		return s
+	}
+	if pattern(1, 0) == pattern(2, 0) {
+		t.Error("seeds 1 and 2 produced identical schedules")
+	}
+	if pattern(1, 0) == pattern(1, 1) {
+		t.Error("ranks 0 and 1 produced identical schedules")
+	}
+}
+
+// TestRateZeroAndOne: degenerate rates behave exactly.
+func TestRateZeroAndOne(t *testing.T) {
+	never := Seeded(9, 0).Injector(0)
+	always := Seeded(9, 1).Injector(0)
+	for i := 0; i < 100; i++ {
+		if never.Fire(MPITruncateRecv) != nil {
+			t.Fatal("rate 0 fired")
+		}
+		if always.Fire(MPITruncateRecv) == nil {
+			t.Fatal("rate 1 did not fire")
+		}
+	}
+}
+
+// TestRateRough: over many occurrences the empirical rate lands near
+// the configured one.
+func TestRateRough(t *testing.T) {
+	in := Seeded(1234, 0.25).Injector(0)
+	n := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if in.Fire(CudaLaunch) != nil {
+			n++
+		}
+	}
+	got := float64(n) / trials
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("empirical rate %.3f far from 0.25", got)
+	}
+}
+
+// TestPick: an explicit pick fires exactly its occurrence on its rank.
+func TestPick(t *testing.T) {
+	plan := &Plan{Picks: []Pick{{Site: CudaMalloc, Occurrence: 3, Rank: 1}}}
+	r0 := plan.Injector(0)
+	r1 := plan.Injector(1)
+	for i := 0; i < 10; i++ {
+		if f := r0.Fire(CudaMalloc); f != nil {
+			t.Fatalf("rank 0 fired at occurrence %d", i)
+		}
+		f := r1.Fire(CudaMalloc)
+		if (f != nil) != (i == 3) {
+			t.Fatalf("rank 1 occurrence %d: fired=%v", i, f != nil)
+		}
+		if f != nil && (f.Site != CudaMalloc || f.Occurrence != 3 || f.Rank != 1) {
+			t.Fatalf("wrong fault identity: %+v", f)
+		}
+	}
+}
+
+// TestFaultSpecRoundTrip: the spec a Fault prints re-parses into a plan
+// that re-injects exactly that fault.
+func TestFaultSpecRoundTrip(t *testing.T) {
+	f := &Fault{Seed: 77, Rank: 1, Site: MPITruncateRecv, Occurrence: 5}
+	plan, err := Parse(f.Spec())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", f.Spec(), err)
+	}
+	in := plan.Injector(1)
+	for i := uint64(0); i < 10; i++ {
+		got := in.Fire(MPITruncateRecv)
+		if (got != nil) != (i == 5) {
+			t.Fatalf("occurrence %d: fired=%v", i, got != nil)
+		}
+	}
+	if plan.Injector(0).decide(MPITruncateRecv, 5) {
+		t.Error("rank-qualified pick fired on the wrong rank")
+	}
+}
+
+// TestParse covers the spec grammar.
+func TestParse(t *testing.T) {
+	p, err := Parse("seed=0x10,rate=0.5,cuda-malloc=1,mpi-abort@2,cuda-launch@0:r3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 16 {
+		t.Errorf("seed = %d, want 16", p.Seed)
+	}
+	if p.Rates[MPIDelayCompletion] != 0.5 || p.Rates[CudaMalloc] != 1 {
+		t.Errorf("rates wrong: %v", p.Rates)
+	}
+	want := []Pick{
+		{Site: MPIRankAbort, Occurrence: 2, Rank: -1},
+		{Site: CudaLaunch, Occurrence: 0, Rank: 3},
+	}
+	if !reflect.DeepEqual(p.Picks, want) {
+		t.Errorf("picks = %+v, want %+v", p.Picks, want)
+	}
+
+	if p, err := Parse(""); err != nil || p != nil {
+		t.Errorf("empty spec: plan=%v err=%v, want nil/nil", p, err)
+	}
+	for _, bad := range []string{
+		"seed=x", "rate=2", "rate=-1", "nope=0.5", "nope@3",
+		"cuda-malloc@x", "cuda-malloc@1:q2", "cuda-malloc@1:rx", "bare",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPlanStringRoundTrip: String() is a parseable canonical form.
+func TestPlanStringRoundTrip(t *testing.T) {
+	p := &Plan{
+		Seed:  9,
+		Rates: map[Site]float64{CudaMalloc: 0.25, MPIRankAbort: 0.01},
+		Picks: []Pick{{Site: CudaLaunch, Occurrence: 7, Rank: -1}},
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", p.String(), err)
+	}
+	if p2.Seed != p.Seed || !reflect.DeepEqual(p2.Picks, p.Picks) {
+		t.Fatalf("round trip changed plan: %q -> %q", p.String(), p2.String())
+	}
+	for s, r := range p.Rates {
+		if p2.Rates[s] != r {
+			t.Fatalf("rate for %s: %g vs %g", s, r, p2.Rates[s])
+		}
+	}
+}
+
+// TestExtract: a Fault survives wrapping and is recoverable from the
+// error chain.
+func TestExtract(t *testing.T) {
+	f := &Fault{Seed: 1, Rank: 0, Site: CudaMalloc, Occurrence: 0}
+	wrapped := fmt.Errorf("alloc failed: %w", fmt.Errorf("deep: %w", f))
+	got, ok := Extract(wrapped)
+	if !ok || got != f {
+		t.Fatalf("Extract failed: %v %v", got, ok)
+	}
+	if _, ok := Extract(errors.New("plain")); ok {
+		t.Error("Extract matched a plain error")
+	}
+}
+
+// TestNilSafety: nil plans and injectors are inert, not crashes.
+func TestNilSafety(t *testing.T) {
+	var p *Plan
+	in := p.Injector(0)
+	if in.Fire(CudaMalloc) != nil || in.Count(CudaMalloc) != 0 || in.Fired() != nil {
+		t.Fatal("nil injector not inert")
+	}
+	if p.String() != "" {
+		t.Fatal("nil plan String not empty")
+	}
+}
+
+// TestCountAndFired: bookkeeping accessors.
+func TestCountAndFired(t *testing.T) {
+	in := (&Plan{Picks: []Pick{{Site: CudaMalloc, Occurrence: 1, Rank: -1}}}).Injector(0)
+	in.Fire(CudaMalloc)
+	in.Fire(CudaMalloc)
+	in.Fire(CudaLaunch)
+	if in.Count(CudaMalloc) != 2 || in.Count(CudaLaunch) != 1 {
+		t.Fatalf("counts: malloc=%d launch=%d", in.Count(CudaMalloc), in.Count(CudaLaunch))
+	}
+	fired := in.Fired()
+	if len(fired) != 1 || fired[0].Occurrence != 1 {
+		t.Fatalf("fired = %+v", fired)
+	}
+}
+
+// TestErroring: the benign sites are exactly jitter and delay.
+func TestErroring(t *testing.T) {
+	for _, s := range Sites() {
+		benign := s == CudaAsyncJitter || s == MPIDelayCompletion
+		if s.Erroring() == benign {
+			t.Errorf("%s: Erroring=%v", s, s.Erroring())
+		}
+	}
+}
+
+// TestSiteNamesRoundTrip: every site name parses back to its site.
+func TestSiteNamesRoundTrip(t *testing.T) {
+	for _, s := range Sites() {
+		got, err := ParseSite(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSite(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSite("bogus"); err == nil {
+		t.Error("ParseSite accepted bogus")
+	}
+}

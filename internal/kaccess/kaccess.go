@@ -93,21 +93,33 @@ func (s *Summary) equal(o *Summary) bool {
 // Result maps function names to summaries.
 type Result struct {
 	summaries map[string]*Summary
+	fallbacks int64
 }
 
 // Summary returns the named function's summary, or nil.
 func (r *Result) Summary(name string) *Summary { return r.summaries[name] }
 
 // KernelArgs returns the access attributes of the named kernel's
-// arguments. It panics if the kernel is unknown — the toolchain only
-// launches kernels it compiled.
-func (r *Result) KernelArgs(name string) []Access {
-	s := r.summaries[name]
-	if s == nil {
-		panic(fmt.Sprintf("kaccess: no analysis for kernel %q", name))
+// arguments. A kernel without analysis (launched by name past the
+// compiler, e.g. hand-registered native code) gets the conservative
+// fallback the paper prescribes for unanalyzable kernels: assume every
+// argument may be read and written. nparams sizes the fallback;
+// FallbackCount reports how often it was taken.
+func (r *Result) KernelArgs(name string, nparams int) []Access {
+	if s := r.summaries[name]; s != nil {
+		return s.Params
 	}
-	return s.Params
+	r.fallbacks++
+	out := make([]Access, nparams)
+	for i := range out {
+		out[i] = ReadWrite
+	}
+	return out
 }
+
+// FallbackCount returns how many times KernelArgs fell back to the
+// conservative all-read-write summary for an unanalyzed kernel.
+func (r *Result) FallbackCount() int64 { return r.fallbacks }
 
 // String renders all summaries, one per line, in sorted order — the
 // serialized "kernel analysis data" artifact.

@@ -142,6 +142,9 @@ type Memory struct {
 
 	liveBytes int64
 	peakBytes int64
+
+	// fault is the first invalid scalar access (sticky; see AccessFault).
+	fault *AccessError
 }
 
 // AllocHook observes allocations (the TypeART instrumentation analog keys
@@ -265,15 +268,28 @@ func (m *Memory) Bytes(a Addr, n int64) ([]byte, error) {
 	return seg.data[off : off+n : off+n], nil
 }
 
-// MustBytes is Bytes but panics on invalid ranges. The simulated runtimes
-// use it where the calling layer has already validated the pointer.
-func (m *Memory) MustBytes(a Addr, n int64) []byte {
+// access is the scalar-accessor range check. On an invalid range it
+// records the first fault (sticky) and returns nil instead of panicking;
+// loads then read zero and stores become no-ops, and the fault surfaces
+// through AccessFault at the end of the run. This mirrors how a real
+// process would fault on the access: the run is doomed either way, but
+// the tool gets to report it as a structured application fault rather
+// than crashing the checker.
+func (m *Memory) access(a Addr, n int64, op string) []byte {
 	b, err := m.Bytes(a, n)
 	if err != nil {
-		panic(err)
+		if m.fault == nil {
+			ae := err.(*AccessError)
+			m.fault = &AccessError{Op: op, Addr: ae.Addr, Len: ae.Len}
+		}
+		return nil
 	}
 	return b
 }
+
+// AccessFault returns the first invalid scalar access recorded by the
+// load/store accessors, or nil if all accesses were in bounds.
+func (m *Memory) AccessFault() *AccessError { return m.fault }
 
 // LiveBytes returns the currently allocated payload bytes.
 func (m *Memory) LiveBytes() int64 { return m.liveBytes }
@@ -298,41 +314,71 @@ func (m *Memory) Segments() []*Segment {
 // code goes through core.Session accessors, which add TSan instrumentation
 // when the flavor asks for it — the analog of compiling with -fsanitize=thread.
 
-// Float64 loads a float64 at a.
+// Float64 loads a float64 at a. An invalid address records a sticky
+// fault (see AccessFault) and loads zero.
 func (m *Memory) Float64(a Addr) float64 {
-	return math.Float64frombits(binary.LittleEndian.Uint64(m.MustBytes(a, 8)))
+	b := m.access(a, 8, "load")
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
 
-// SetFloat64 stores v at a.
+// SetFloat64 stores v at a. An invalid address records a sticky fault
+// and drops the store.
 func (m *Memory) SetFloat64(a Addr, v float64) {
-	binary.LittleEndian.PutUint64(m.MustBytes(a, 8), math.Float64bits(v))
+	if b := m.access(a, 8, "store"); b != nil {
+		binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+	}
 }
 
 // Int64 loads an int64 at a.
 func (m *Memory) Int64(a Addr) int64 {
-	return int64(binary.LittleEndian.Uint64(m.MustBytes(a, 8)))
+	b := m.access(a, 8, "load")
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
 }
 
 // SetInt64 stores v at a.
 func (m *Memory) SetInt64(a Addr, v int64) {
-	binary.LittleEndian.PutUint64(m.MustBytes(a, 8), uint64(v))
+	if b := m.access(a, 8, "store"); b != nil {
+		binary.LittleEndian.PutUint64(b, uint64(v))
+	}
 }
 
 // Int32 loads an int32 at a.
 func (m *Memory) Int32(a Addr) int32 {
-	return int32(binary.LittleEndian.Uint32(m.MustBytes(a, 4)))
+	b := m.access(a, 4, "load")
+	if b == nil {
+		return 0
+	}
+	return int32(binary.LittleEndian.Uint32(b))
 }
 
 // SetInt32 stores v at a.
 func (m *Memory) SetInt32(a Addr, v int32) {
-	binary.LittleEndian.PutUint32(m.MustBytes(a, 4), uint32(v))
+	if b := m.access(a, 4, "store"); b != nil {
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	}
 }
 
 // Byte loads a single byte at a.
-func (m *Memory) Byte(a Addr) byte { return m.MustBytes(a, 1)[0] }
+func (m *Memory) Byte(a Addr) byte {
+	b := m.access(a, 1, "load")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
 
 // SetByte stores a single byte at a.
-func (m *Memory) SetByte(a Addr, v byte) { m.MustBytes(a, 1)[0] = v }
+func (m *Memory) SetByte(a Addr, v byte) {
+	if b := m.access(a, 1, "store"); b != nil {
+		b[0] = v
+	}
+}
 
 // Copy copies n bytes from src to dst. Ranges may be in different kinds
 // (this is what cudaMemcpy and the CUDA-aware MPI transport use). dst and

@@ -88,11 +88,39 @@ func TestLoadStoreRoundTrip(t *testing.T) {
 func TestZeroInitialized(t *testing.T) {
 	m := New()
 	a := m.Alloc(256, KindDevice)
-	b := m.MustBytes(a, 256)
+	b, err := m.Bytes(a, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range b {
 		if v != 0 {
 			t.Fatalf("byte %d not zero: %d", i, v)
 		}
+	}
+}
+
+func TestStickyAccessFault(t *testing.T) {
+	m := New()
+	a := m.Alloc(16, KindHostPageable)
+	if m.AccessFault() != nil {
+		t.Fatal("fresh memory reports a fault")
+	}
+	if got := m.Float64(a + 16); got != 0 {
+		t.Errorf("out-of-bounds load = %v, want 0", got)
+	}
+	f := m.AccessFault()
+	if f == nil || f.Op != "load" || f.Addr != a+16 {
+		t.Fatalf("AccessFault = %+v, want load at 0x%x", f, uint64(a+16))
+	}
+	// The first fault is sticky: a later store fault doesn't replace it.
+	m.SetByte(0, 1)
+	if g := m.AccessFault(); g != f {
+		t.Fatalf("fault replaced: %+v", g)
+	}
+	// Valid accesses still work after a fault.
+	m.SetInt64(a, 42)
+	if m.Int64(a) != 42 {
+		t.Fatal("valid access broken after fault")
 	}
 }
 

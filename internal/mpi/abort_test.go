@@ -1,0 +1,168 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cusango/internal/faults"
+	"cusango/internal/memspace"
+)
+
+// attach builds a world of n ranks with plain memories and returns the
+// comms (no hooks, no injectors).
+func attach(t *testing.T, w *World) []*Comm {
+	t.Helper()
+	comms := make([]*Comm, w.Size())
+	for i := range comms {
+		c, err := w.AttachRank(i, memspace.New(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comms[i] = c
+	}
+	return comms
+}
+
+// TestAbortUnblocksRecv: a rank blocked in Recv unblocks with ErrAborted
+// when another rank aborts the job.
+func TestAbortUnblocksRecv(t *testing.T) {
+	w := NewWorld(2)
+	comms := attach(t, w)
+	buf := comms[0].mem.Alloc(64, memspace.KindHostPageable)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := comms[0].Recv(buf, 8, Float64, 1, 0)
+		errCh <- err
+	}()
+	w.Abort(1, errors.New("rank died"))
+	err := <-errCh
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("Recv returned %v, want ErrAborted", err)
+	}
+	// Future calls fail fast too.
+	if err := comms[0].Barrier(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("post-abort Barrier returned %v, want ErrAborted", err)
+	}
+	if w.Aborted() == nil {
+		t.Fatal("Aborted() nil after abort")
+	}
+}
+
+// TestAbortUnblocksCollective: a rank waiting in a collective unblocks.
+func TestAbortUnblocksCollective(t *testing.T) {
+	w := NewWorld(2)
+	comms := attach(t, w)
+	errCh := make(chan error, 1)
+	go func() { errCh <- comms[0].Barrier() }()
+	w.Abort(1, nil)
+	if err := <-errCh; !errors.Is(err, ErrAborted) {
+		t.Fatalf("Barrier returned %v, want ErrAborted", err)
+	}
+}
+
+// TestInjectedRankAbort: the mpi-abort site kills the job from inside an
+// MPI call; the injected fault is recoverable from both ranks' errors.
+func TestInjectedRankAbort(t *testing.T) {
+	w := NewWorld(2)
+	comms := attach(t, w)
+	plan, err := faults.Parse("mpi-abort@0:r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms[1].SetInjector(plan.Injector(1))
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- comms[0].Barrier() }()
+	err1 := comms[1].Barrier()
+	f, ok := faults.Extract(err1)
+	if !ok || f.Site != faults.MPIRankAbort || f.Occurrence != 0 {
+		t.Fatalf("aborting rank error %v, want injected mpi-abort fault", err1)
+	}
+	err0 := <-errCh
+	if !errors.Is(err0, ErrAborted) {
+		t.Fatalf("peer error %v, want ErrAborted", err0)
+	}
+	if _, ok := faults.Extract(err0); !ok {
+		t.Fatalf("peer error %v should carry the causing fault", err0)
+	}
+}
+
+// TestInjectedTruncate: the mpi-truncate site surfaces as ErrTruncate
+// carrying the fault.
+func TestInjectedTruncate(t *testing.T) {
+	w := NewWorld(2)
+	comms := attach(t, w)
+	plan, err := faults.Parse("mpi-truncate@0:r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms[1].SetInjector(plan.Injector(1))
+
+	sbuf := comms[0].mem.Alloc(64, memspace.KindHostPageable)
+	rbuf := comms[1].mem.Alloc(64, memspace.KindHostPageable)
+	if err := comms[0].Send(sbuf, 8, Float64, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := comms[1].Recv(rbuf, 8, Float64, 0, 0)
+	if !errors.Is(rerr, ErrTruncate) {
+		t.Fatalf("Recv returned %v, want ErrTruncate", rerr)
+	}
+	if _, ok := faults.Extract(rerr); !ok {
+		t.Fatalf("truncate error %v should carry the fault", rerr)
+	}
+}
+
+// TestInjectedDelayCompletion: the mpi-delay site makes Test report
+// incomplete once, then the request completes normally with intact data.
+func TestInjectedDelayCompletion(t *testing.T) {
+	w := NewWorld(2)
+	comms := attach(t, w)
+	plan, err := faults.Parse("mpi-delay@0:r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms[1].SetInjector(plan.Injector(1))
+
+	sbuf := comms[0].mem.Alloc(64, memspace.KindHostPageable)
+	rbuf := comms[1].mem.Alloc(64, memspace.KindHostPageable)
+	if err := comms[0].mem.Set(sbuf, 0xAB, 64); err != nil {
+		t.Fatal(err)
+	}
+	req, err := comms[1].Irecv(rbuf, 8, Float64, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comms[0].Send(sbuf, 8, Float64, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	done, _, err := comms[1].Test(req)
+	if err != nil || done {
+		t.Fatalf("first Test = (%v, %v), want delayed incomplete", done, err)
+	}
+	done, st, err := comms[1].Test(req)
+	if err != nil || !done || st.Count != 8 {
+		t.Fatalf("second Test = (%v, %+v, %v), want complete", done, st, err)
+	}
+	b, err := comms[1].mem.Bytes(rbuf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b {
+		if v != 0xAB {
+			t.Fatalf("byte %d = %#x after delayed completion", i, v)
+		}
+	}
+}
+
+// TestAbortFirstWins: only the first abort's cause is kept.
+func TestAbortFirstWins(t *testing.T) {
+	w := NewWorld(2)
+	w.Abort(0, errors.New("first"))
+	w.Abort(1, errors.New("second"))
+	if err := w.Aborted(); err == nil || !errors.Is(err, ErrAborted) {
+		t.Fatalf("Aborted = %v", err)
+	} else if got := err.Error(); !strings.Contains(got, "first") || strings.Contains(got, "second") {
+		t.Fatalf("abort error %q, want first cause only", got)
+	}
+}

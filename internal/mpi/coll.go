@@ -36,9 +36,10 @@ func (w *World) getColl(seq int64, name string) *collOp {
 
 // contribute registers this rank's payload (or its local failure, so
 // peers do not deadlock waiting for a rank that errored out before
-// contributing); the last arriver finalizes.
+// contributing); the last arriver finalizes. A job abort releases
+// waiting ranks with the abort error — a dead rank never arrives.
 func (w *World) contribute(op *collOp, seq int64, rank int, name string, data []byte,
-	localErr error, finalize func(op *collOp)) {
+	localErr error, finalize func(op *collOp)) error {
 	w.collMu.Lock()
 	if localErr != nil && op.err == nil {
 		op.err = fmt.Errorf("mpi: rank %d failed in %s: %w", rank, name, localErr)
@@ -58,18 +59,28 @@ func (w *World) contribute(op *collOp, seq int64, rank int, name string, data []
 	w.collMu.Unlock()
 	if last {
 		close(op.done)
-	} else {
-		<-op.done
+		return nil
+	}
+	select {
+	case <-op.done:
+		return nil
+	case <-w.aborted:
+		return w.abortErr
 	}
 }
 
 // Barrier blocks until all ranks arrive (MPI_Barrier).
 func (c *Comm) Barrier() error {
+	if err := c.enter(); err != nil {
+		return err
+	}
 	c.hooks.PreCollective("MPI_Barrier", 0, 0, 0, 0)
 	seq := c.collSeq
 	c.collSeq++
 	op := c.world.getColl(seq, "MPI_Barrier")
-	c.world.contribute(op, seq, c.rank, "MPI_Barrier", nil, nil, func(*collOp) {})
+	if err := c.world.contribute(op, seq, c.rank, "MPI_Barrier", nil, nil, func(*collOp) {}); err != nil {
+		return err
+	}
 	c.stats.Collectives++
 	c.hooks.PostCollective("MPI_Barrier", 0, 0, 0, 0)
 	return op.err
@@ -82,6 +93,9 @@ func (c *Comm) Bcast(buf memspace.Addr, count int, dt Datatype, root int) error 
 		return ErrCount
 	}
 	if err := c.checkPeer(root, false); err != nil {
+		return err
+	}
+	if err := c.enter(); err != nil {
 		return err
 	}
 	bytes := int64(count) * dt.Size
@@ -102,9 +116,11 @@ func (c *Comm) Bcast(buf memspace.Addr, count int, dt Datatype, root int) error 
 	seq := c.collSeq
 	c.collSeq++
 	op := c.world.getColl(seq, "MPI_Bcast")
-	c.world.contribute(op, seq, c.rank, "MPI_Bcast", payload, localErr, func(op *collOp) {
+	if err := c.world.contribute(op, seq, c.rank, "MPI_Bcast", payload, localErr, func(op *collOp) {
 		op.result = op.contribs[root]
-	})
+	}); err != nil {
+		return err
+	}
 	if op.err != nil {
 		return op.err
 	}
@@ -142,6 +158,9 @@ func (c *Comm) reduceImpl(name string, sendBuf, recvBuf memspace.Addr, count int
 	if count < 0 {
 		return ErrCount
 	}
+	if err := c.enter(); err != nil {
+		return err
+	}
 	bytes := int64(count) * dt.Size
 	writes := root < 0 || root == c.rank
 	var writeA memspace.Addr
@@ -155,14 +174,16 @@ func (c *Comm) reduceImpl(name string, sendBuf, recvBuf memspace.Addr, count int
 	seq := c.collSeq
 	c.collSeq++
 	op := c.world.getColl(seq, name)
-	c.world.contribute(op, seq, c.rank, name, payload, localErr, func(op *collOp) {
+	if err := c.world.contribute(op, seq, c.rank, name, payload, localErr, func(op *collOp) {
 		acc := make([]byte, len(op.contribs[0]))
 		copy(acc, op.contribs[0])
 		for r := 1; r < len(op.contribs); r++ {
 			reduceInto(acc, op.contribs[r], dt, rop)
 		}
 		op.result = acc
-	})
+	}); err != nil {
+		return err
+	}
 	if op.err != nil {
 		return op.err
 	}
@@ -183,6 +204,9 @@ func (c *Comm) Allgather(sendBuf, recvBuf memspace.Addr, count int, dt Datatype)
 	if count < 0 {
 		return ErrCount
 	}
+	if err := c.enter(); err != nil {
+		return err
+	}
 	bytes := int64(count) * dt.Size
 	total := bytes * int64(c.world.size)
 	c.hooks.PreCollective("MPI_Allgather", sendBuf, bytes, recvBuf, total)
@@ -191,13 +215,15 @@ func (c *Comm) Allgather(sendBuf, recvBuf memspace.Addr, count int, dt Datatype)
 	seq := c.collSeq
 	c.collSeq++
 	op := c.world.getColl(seq, "MPI_Allgather")
-	c.world.contribute(op, seq, c.rank, "MPI_Allgather", payload, localErr, func(op *collOp) {
+	if err := c.world.contribute(op, seq, c.rank, "MPI_Allgather", payload, localErr, func(op *collOp) {
 		var out []byte
 		for _, part := range op.contribs {
 			out = append(out, part...)
 		}
 		op.result = out
-	})
+	}); err != nil {
+		return err
+	}
 	if op.err != nil {
 		return op.err
 	}
@@ -285,6 +311,9 @@ func (c *Comm) Gather(sendBuf, recvBuf memspace.Addr, count int, dt Datatype, ro
 	if err := c.checkPeer(root, false); err != nil {
 		return err
 	}
+	if err := c.enter(); err != nil {
+		return err
+	}
 	bytes := int64(count) * dt.Size
 	var writeA memspace.Addr
 	var writeN int64
@@ -297,13 +326,15 @@ func (c *Comm) Gather(sendBuf, recvBuf memspace.Addr, count int, dt Datatype, ro
 	seq := c.collSeq
 	c.collSeq++
 	op := c.world.getColl(seq, "MPI_Gather")
-	c.world.contribute(op, seq, c.rank, "MPI_Gather", payload, localErr, func(op *collOp) {
+	if err := c.world.contribute(op, seq, c.rank, "MPI_Gather", payload, localErr, func(op *collOp) {
 		var out []byte
 		for _, part := range op.contribs {
 			out = append(out, part...)
 		}
 		op.result = out
-	})
+	}); err != nil {
+		return err
+	}
 	if op.err != nil {
 		return op.err
 	}
@@ -327,6 +358,9 @@ func (c *Comm) Scatter(sendBuf, recvBuf memspace.Addr, count int, dt Datatype, r
 	if err := c.checkPeer(root, false); err != nil {
 		return err
 	}
+	if err := c.enter(); err != nil {
+		return err
+	}
 	bytes := int64(count) * dt.Size
 	var readA memspace.Addr
 	var readN int64
@@ -343,9 +377,11 @@ func (c *Comm) Scatter(sendBuf, recvBuf memspace.Addr, count int, dt Datatype, r
 	seq := c.collSeq
 	c.collSeq++
 	op := c.world.getColl(seq, "MPI_Scatter")
-	c.world.contribute(op, seq, c.rank, "MPI_Scatter", payload, localErr, func(op *collOp) {
+	if err := c.world.contribute(op, seq, c.rank, "MPI_Scatter", payload, localErr, func(op *collOp) {
 		op.result = op.contribs[root]
-	})
+	}); err != nil {
+		return err
+	}
 	if op.err != nil {
 		return op.err
 	}

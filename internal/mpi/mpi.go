@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cusango/internal/faults"
 	"cusango/internal/memspace"
 	"cusango/internal/typeart"
 )
@@ -46,6 +47,10 @@ var (
 	ErrCollectiveMismatch = errors.New("mpi: collective call mismatch across ranks")
 	// ErrBuffer reports a buffer range outside any live allocation.
 	ErrBuffer = errors.New("mpi: invalid buffer")
+	// ErrAborted reports that the job was aborted (a rank died or called
+	// the MPI_Abort analog); pending and future calls on every rank fail
+	// with it instead of deadlocking.
+	ErrAborted = errors.New("mpi: job aborted")
 )
 
 // Datatype describes an MPI basic datatype.
@@ -176,6 +181,12 @@ type World struct {
 
 	collMu sync.Mutex
 	colls  map[int64]*collOp
+
+	// abort plane: aborted closes once when any rank aborts the job;
+	// abortErr is written before the close and immutable afterwards.
+	abortMu  sync.Mutex
+	aborted  chan struct{}
+	abortErr error
 }
 
 // NewWorld creates a world for size ranks.
@@ -183,7 +194,7 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{size: size, colls: make(map[int64]*collOp)}
+	w := &World{size: size, colls: make(map[int64]*collOp), aborted: make(chan struct{})}
 	for i := 0; i < size; i++ {
 		w.boxes = append(w.boxes, newMailbox())
 	}
@@ -192,6 +203,36 @@ func NewWorld(size int) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// Abort marks the job aborted on behalf of rank (the MPI_Abort analog,
+// also used when a rank's application code dies). Every rank blocked in
+// a matching or collective call unblocks with ErrAborted, and all
+// future calls fail fast. The first abort wins; later ones are no-ops.
+func (w *World) Abort(rank int, cause error) {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	select {
+	case <-w.aborted:
+		return
+	default:
+	}
+	if cause != nil {
+		w.abortErr = fmt.Errorf("%w by rank %d: %w", ErrAborted, rank, cause)
+	} else {
+		w.abortErr = fmt.Errorf("%w by rank %d", ErrAborted, rank)
+	}
+	close(w.aborted)
+}
+
+// Aborted returns the job's abort error, or nil while it is healthy.
+func (w *World) Aborted() error {
+	select {
+	case <-w.aborted:
+		return w.abortErr
+	default:
+		return nil
+	}
+}
 
 // AttachRank binds rank's address space and interception hooks, returning
 // its communicator (MPI_COMM_WORLD view). hooks may be nil.
@@ -211,6 +252,7 @@ type Comm struct {
 	rank  int
 	mem   *memspace.Memory
 	hooks Hooks
+	inj   *faults.Injector
 
 	collSeq   int64
 	stats     Stats
@@ -234,6 +276,40 @@ func (c *Comm) SetHooks(h Hooks) {
 		h = BaseHooks{}
 	}
 	c.hooks = h
+}
+
+// SetInjector installs a deterministic fault injector for this rank's
+// MPI calls (nil uninstalls). See internal/faults.
+func (c *Comm) SetInjector(in *faults.Injector) { c.inj = in }
+
+// enter runs the per-call checks shared by every MPI operation: an
+// already-aborted job fails fast, and the rank-abort fault site can
+// fire, killing the job as if this rank died at this call.
+func (c *Comm) enter() error {
+	if err := c.world.Aborted(); err != nil {
+		return err
+	}
+	if f := c.inj.Fire(faults.MPIRankAbort); f != nil {
+		c.world.Abort(c.rank, f)
+		return fmt.Errorf("rank %d aborted: %w", c.rank, f)
+	}
+	return nil
+}
+
+// waitAbortable blocks on ch, unblocking with the abort error if the
+// job dies first. An already-ready ch wins over a concurrent abort.
+func (c *Comm) waitAbortable(ch <-chan struct{}) error {
+	select {
+	case <-ch:
+		return nil
+	default:
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-c.world.aborted:
+		return c.world.abortErr
+	}
 }
 
 // PendingRequests returns the number of incomplete requests (requests

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cusango/internal/faults"
 	"cusango/internal/memspace"
 )
 
@@ -95,6 +96,9 @@ func (c *Comm) Send(buf memspace.Addr, count int, dt Datatype, dest, tag int) er
 	if err := c.checkPeer(dest, false); err != nil {
 		return err
 	}
+	if err := c.enter(); err != nil {
+		return err
+	}
 	c.hooks.PreSend(buf, count, dt, dest, tag)
 	data, err := c.readBuf(buf, count, dt)
 	if err != nil {
@@ -116,10 +120,15 @@ func (c *Comm) Recv(buf memspace.Addr, count int, dt Datatype, src, tag int) (St
 	if err := c.checkPeer(src, true); err != nil {
 		return Status{}, err
 	}
+	if err := c.enter(); err != nil {
+		return Status{}, err
+	}
 	c.hooks.PreRecv(buf, count, dt, src, tag)
 	r := &recvPost{src: src, tag: tag, done: make(chan struct{})}
 	c.world.boxes[c.rank].post(r)
-	<-r.done
+	if err := c.waitAbortable(r.done); err != nil {
+		return Status{}, err
+	}
 	st, err := c.completeRecv(buf, count, dt, r.pkt)
 	if err != nil {
 		return st, err
@@ -133,6 +142,9 @@ func (c *Comm) Recv(buf memspace.Addr, count int, dt Datatype, src, tag int) (St
 // completeRecv copies a matched packet into the posted buffer.
 func (c *Comm) completeRecv(buf memspace.Addr, count int, dt Datatype, p *packet) (Status, error) {
 	posted := int64(count) * dt.Size
+	if f := c.inj.Fire(faults.MPITruncateRecv); f != nil {
+		return Status{}, fmt.Errorf("%w: posted %d bytes (%w)", ErrTruncate, posted, f)
+	}
 	if int64(len(p.data)) > posted {
 		return Status{}, fmt.Errorf("%w: got %d bytes, posted %d", ErrTruncate, len(p.data), posted)
 	}
@@ -163,6 +175,9 @@ func (c *Comm) Sendrecv(
 	if err := c.checkPeer(src, true); err != nil {
 		return Status{}, err
 	}
+	if err := c.enter(); err != nil {
+		return Status{}, err
+	}
 	// Interception: a Sendrecv is a send and a receive.
 	c.hooks.PreSend(sendBuf, sendCount, sendType, dest, sendTag)
 	c.hooks.PreRecv(recvBuf, recvCount, recvType, src, recvTag)
@@ -180,7 +195,9 @@ func (c *Comm) Sendrecv(
 	c.countBufferKind(sendBuf)
 	c.hooks.PostSend(sendBuf, sendCount, sendType, dest, sendTag)
 
-	<-r.done
+	if err := c.waitAbortable(r.done); err != nil {
+		return Status{}, err
+	}
 	st, err := c.completeRecv(recvBuf, recvCount, recvType, r.pkt)
 	if err != nil {
 		return st, err

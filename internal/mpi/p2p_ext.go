@@ -67,6 +67,9 @@ func (c *Comm) Ssend(buf memspace.Addr, count int, dt Datatype, dest, tag int) e
 	if err := c.checkPeer(dest, false); err != nil {
 		return err
 	}
+	if err := c.enter(); err != nil {
+		return err
+	}
 	// Interception: access semantics identical to a standard send.
 	c.hooks.PreSend(buf, count, dt, dest, tag)
 	data, err := c.readBuf(buf, count, dt)
@@ -75,7 +78,9 @@ func (c *Comm) Ssend(buf memspace.Addr, count int, dt Datatype, dest, tag int) e
 	}
 	p := &packet{src: c.rank, tag: tag, dt: dt, data: data, rendezvous: make(chan struct{})}
 	c.world.boxes[dest].deliverSync(p)
-	<-p.rendezvous
+	if err := c.waitAbortable(p.rendezvous); err != nil {
+		return err
+	}
 	c.stats.Sends++
 	c.stats.BytesSent += int64(len(data))
 	c.countBufferKind(buf)
@@ -97,6 +102,9 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 			return -1, Status{}, fmt.Errorf("%w: request %d already completed", ErrRequest, i)
 		}
 	}
+	if err := c.enter(); err != nil {
+		return -1, Status{}, err
+	}
 	// Send requests complete immediately (buffered transport).
 	for i, r := range reqs {
 		if r.kind == ReqSend {
@@ -112,7 +120,21 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 			Chan: reflect.ValueOf(r.post.done),
 		}
 	}
+	// An already-complete request wins over a concurrent job abort.
+	poll := append(append([]reflect.SelectCase{}, cases...),
+		reflect.SelectCase{Dir: reflect.SelectDefault})
+	if chosen, _, _ := reflect.Select(poll); chosen < len(reqs) {
+		st, err := c.Wait(reqs[chosen])
+		return chosen, st, err
+	}
+	cases = append(cases, reflect.SelectCase{
+		Dir:  reflect.SelectRecv,
+		Chan: reflect.ValueOf(c.world.aborted),
+	})
 	chosen, _, _ := reflect.Select(cases)
+	if chosen == len(reqs) {
+		return -1, Status{}, c.world.abortErr
+	}
 	st, err := c.Wait(reqs[chosen])
 	return chosen, st, err
 }
@@ -121,6 +143,9 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 // receiving it (MPI_Iprobe).
 func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
 	if err := c.checkPeer(src, true); err != nil {
+		return false, Status{}, err
+	}
+	if err := c.enter(); err != nil {
 		return false, Status{}, err
 	}
 	mb := c.world.boxes[c.rank]
@@ -141,6 +166,9 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	if err := c.checkPeer(src, true); err != nil {
 		return Status{}, err
 	}
+	if err := c.enter(); err != nil {
+		return Status{}, err
+	}
 	mb := c.world.boxes[c.rank]
 	mb.mu.Lock()
 	for _, p := range mb.sends {
@@ -153,5 +181,10 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	w := &probeWaiter{src: src, tag: tag, found: make(chan Status, 1)}
 	mb.probes = append(mb.probes, w)
 	mb.mu.Unlock()
-	return <-w.found, nil
+	select {
+	case st := <-w.found:
+		return st, nil
+	case <-c.world.aborted:
+		return Status{}, c.world.abortErr
+	}
 }

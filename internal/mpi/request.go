@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"cusango/internal/faults"
 	"cusango/internal/memspace"
 )
 
@@ -81,6 +82,9 @@ func (c *Comm) Isend(buf memspace.Addr, count int, dt Datatype, dest, tag int) (
 	if err := c.checkPeer(dest, false); err != nil {
 		return nil, err
 	}
+	if err := c.enter(); err != nil {
+		return nil, err
+	}
 	req := &Request{kind: ReqSend, buf: buf, count: count, dt: dt, peer: dest, tag: tag, comm: c}
 	c.hooks.PreIsend(buf, count, dt, dest, tag, req)
 	data, err := c.readBuf(buf, count, dt)
@@ -103,6 +107,9 @@ func (c *Comm) Irecv(buf memspace.Addr, count int, dt Datatype, src, tag int) (*
 	if err := c.checkPeer(src, true); err != nil {
 		return nil, err
 	}
+	if err := c.enter(); err != nil {
+		return nil, err
+	}
 	req := &Request{kind: ReqRecv, buf: buf, count: count, dt: dt, peer: src, tag: tag, comm: c}
 	c.hooks.PreIrecv(buf, count, dt, src, tag, req)
 	req.post = &recvPost{src: src, tag: tag, done: make(chan struct{})}
@@ -122,6 +129,9 @@ func (c *Comm) Wait(req *Request) (Status, error) {
 	if req.done {
 		return Status{}, fmt.Errorf("%w: already completed (%s)", ErrRequest, req)
 	}
+	if err := c.enter(); err != nil {
+		return Status{}, err
+	}
 	c.hooks.PreWait(req)
 	var st Status
 	switch req.kind {
@@ -129,7 +139,9 @@ func (c *Comm) Wait(req *Request) (Status, error) {
 		// Buffered send: complete as soon as posted.
 		st = Status{Source: c.rank, Tag: req.tag, Count: req.count}
 	case ReqRecv:
-		<-req.post.done
+		if err := c.waitAbortable(req.post.done); err != nil {
+			return Status{}, err
+		}
 		var err error
 		st, err = c.completeRecv(req.buf, req.count, req.dt, req.post.pkt)
 		if err != nil {
@@ -163,6 +175,17 @@ func (c *Comm) Test(req *Request) (bool, Status, error) {
 	}
 	if req.done {
 		return true, req.st, nil
+	}
+	// An aborted job fails the poll immediately: a Test loop must not
+	// spin forever waiting for a message a dead rank will never send.
+	if err := c.enter(); err != nil {
+		return false, Status{}, err
+	}
+	// Delayed completion: report "not yet" even though the request could
+	// complete — legal under MPI progress semantics, so the tool's
+	// verdict must be unaffected.
+	if f := c.inj.Fire(faults.MPIDelayCompletion); f != nil {
+		return false, Status{}, nil
 	}
 	if req.kind == ReqRecv {
 		select {

@@ -1,0 +1,178 @@
+package testsuite
+
+import (
+	"errors"
+	"fmt"
+
+	"cusango/internal/core"
+	"cusango/internal/faults"
+	"cusango/internal/mpi"
+	"cusango/internal/tsan"
+)
+
+// Chaos soak: the robustness closing-the-loop harness. Every classified
+// case is re-run under seeded fault schedules, and the tool's verdicts
+// must stay trustworthy in the presence of the injected faults:
+//
+//   - a correct case never produces a race report (no false positives —
+//     an injected fault may abort the run, but must not confuse the
+//     happens-before analysis into inventing races);
+//   - every rank error is attributable: it either carries the injected
+//     fault's (seed, site, occurrence) replay triple, or is ErrAborted
+//     collateral from another rank's injected death;
+//   - the checker itself never crashes — a contained checker panic
+//     surfaces as a structured Degradation, anything else is a harness
+//     violation;
+//   - any observed fault reproduces exactly from its replay triple.
+
+// ChaosVerdict is the outcome of one case under one fault schedule.
+type ChaosVerdict struct {
+	Case   Case
+	Seed   uint64
+	Engine tsan.Engine
+	Races  int64
+	// Injected lists every fault fired across all ranks.
+	Injected []*faults.Fault
+	// Degraded lists ranks whose checker crashed and was contained.
+	Degraded []*core.Degradation
+	// AppFault is the first attributable rank error (nil on a clean run).
+	AppFault error
+	// Violations are trust failures: unattributable errors, race reports
+	// on correct cases, or infrastructure errors. Empty means the tool
+	// stayed trustworthy under this schedule.
+	Violations []string
+}
+
+// OK reports whether the tool's behaviour stayed trustworthy.
+func (v *ChaosVerdict) OK() bool { return len(v.Violations) == 0 }
+
+func (v *ChaosVerdict) String() string {
+	status := "OK"
+	if !v.OK() {
+		status = "VIOLATION"
+	}
+	return fmt.Sprintf("%s: chaos seed=%d engine=%s :: %s (races=%d injected=%d degraded=%d violations=%v)",
+		status, v.Seed, v.Engine, v.Case.Name, v.Races, len(v.Injected), len(v.Degraded), v.Violations)
+}
+
+// attributable reports whether a rank error is explained by fault
+// injection: it carries an injected fault, or is abort collateral.
+func attributable(err error) bool {
+	if _, ok := faults.Extract(err); ok {
+		return true
+	}
+	return errors.Is(err, mpi.ErrAborted)
+}
+
+// RunChaosCase executes one case under the given fault plan and checks
+// the trust properties.
+func RunChaosCase(c Case, plan *faults.Plan, engine tsan.Engine) *ChaosVerdict {
+	ranks := c.Ranks
+	if ranks == 0 {
+		ranks = 2
+	}
+	v := &ChaosVerdict{Case: c, Engine: engine}
+	if plan != nil {
+		v.Seed = plan.Seed
+	}
+	res, err := core.Run(core.Config{
+		Flavor:  core.MUSTCuSan,
+		Ranks:   ranks,
+		Module:  Module(),
+		TSanCfg: tsan.Config{Engine: engine},
+		Faults:  plan,
+	}, c.App)
+	if err != nil {
+		v.Violations = append(v.Violations, fmt.Sprintf("infrastructure error: %v", err))
+		return v
+	}
+	v.Races = res.TotalRaces()
+	faulted := false
+	for i := range res.Ranks {
+		rr := &res.Ranks[i]
+		v.Injected = append(v.Injected, rr.Injected...)
+		if rr.Degraded != nil {
+			v.Degraded = append(v.Degraded, rr.Degraded)
+		}
+		if rr.Err == nil {
+			continue
+		}
+		faulted = true
+		if !attributable(rr.Err) {
+			v.Violations = append(v.Violations,
+				fmt.Sprintf("rank %d: unattributable error: %v", rr.Rank, rr.Err))
+			continue
+		}
+		if v.AppFault == nil {
+			v.AppFault = fmt.Errorf("rank %d: %w", rr.Rank, rr.Err)
+		}
+	}
+	if !c.ExpectRace && v.Races > 0 {
+		v.Violations = append(v.Violations,
+			fmt.Sprintf("false positive: %d race report(s) on a correct case", v.Races))
+	}
+	// Verdict stability: a schedule that fired nothing and degraded
+	// nothing is an ordinary run and must classify exactly like one.
+	if !faulted && len(v.Injected) == 0 && len(v.Degraded) == 0 {
+		if c.ExpectRace && v.Races == 0 {
+			v.Violations = append(v.Violations, "fault-free schedule missed the expected race")
+		}
+	}
+	return v
+}
+
+// ReproduceFault re-runs a case with a plan that pins exactly the given
+// fault's (seed, site, occurrence, rank) triple and reports whether the
+// same fault fires again — the replayability guarantee behind
+// `cusan-run -faults site@N:rR`.
+func ReproduceFault(c Case, f *faults.Fault, engine tsan.Engine) error {
+	plan := &faults.Plan{
+		Seed:  f.Seed,
+		Picks: []faults.Pick{{Site: f.Site, Occurrence: f.Occurrence, Rank: f.Rank}},
+	}
+	v := RunChaosCase(c, plan, engine)
+	for _, got := range v.Injected {
+		if got.Site == f.Site && got.Occurrence == f.Occurrence && got.Rank == f.Rank {
+			return nil
+		}
+	}
+	return fmt.Errorf("fault %s did not reproduce on %s (injected: %v)", f.Spec(), c.Name, v.Injected)
+}
+
+// SoakReport aggregates a chaos soak.
+type SoakReport struct {
+	Runs       int
+	Faulted    int // runs where at least one fault fired
+	Injected   int // total faults fired
+	Degraded   int // contained checker crashes
+	Violations []*ChaosVerdict
+}
+
+func (r *SoakReport) String() string {
+	return fmt.Sprintf("chaos soak: %d runs, %d faulted, %d faults injected, %d degraded, %d violations",
+		r.Runs, r.Faulted, r.Injected, r.Degraded, len(r.Violations))
+}
+
+// ChaosSoak runs every case under every (seed, engine) schedule at the
+// given per-site rate and aggregates trust violations.
+func ChaosSoak(seeds []uint64, rate float64, engines []tsan.Engine) *SoakReport {
+	rep := &SoakReport{}
+	for _, seed := range seeds {
+		plan := faults.Seeded(seed, rate)
+		for _, eng := range engines {
+			for _, c := range Cases() {
+				v := RunChaosCase(c, plan, eng)
+				rep.Runs++
+				rep.Injected += len(v.Injected)
+				rep.Degraded += len(v.Degraded)
+				if len(v.Injected) > 0 {
+					rep.Faulted++
+				}
+				if !v.OK() {
+					rep.Violations = append(rep.Violations, v)
+				}
+			}
+		}
+	}
+	return rep
+}

@@ -17,10 +17,12 @@ import (
 // after one decode, varints minimal, string table in first-use order —
 // so the first re-encode is already the fixed point).
 func FuzzTraceDecode(f *testing.F) {
-	// Seeds: the full-coverage sample, an empty trace, and a few
-	// deliberately-broken prefixes.
+	// Seeds: the full-coverage sample, an empty trace, a few
+	// deliberately-broken prefixes, and salvageable torn tails.
 	if data, err := Encode(sampleTrace()); err == nil {
 		f.Add(data)
+		f.Add(data[:len(data)-3])   // torn tail record
+		f.Add(data[:len(data)*2/3]) // torn mid-stream
 	}
 	if data, err := Encode(&Trace{Header: Header{Rank: 0, WorldSize: 1}}); err == nil {
 		f.Add(data)
@@ -28,6 +30,22 @@ func FuzzTraceDecode(f *testing.F) {
 	f.Add(Magic[:])
 	f.Add([]byte("cutrace"))
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Salvage must never panic; whenever it accepts the header, the
+		// prefix it blesses must decode cleanly with the strict decoder
+		// and yield exactly the events salvage reported.
+		if str, info, serr := DecodeSalvage(data); serr == nil {
+			ptr, perr := Decode(data[:info.ValidBytes])
+			if perr != nil {
+				t.Fatalf("salvaged prefix rejected by strict decode: %v", perr)
+			}
+			if len(ptr.Events) != info.Events || len(str.Events) != info.Events {
+				t.Fatalf("salvage event counts disagree: strict=%d info=%d salvaged=%d",
+					len(ptr.Events), info.Events, len(str.Events))
+			}
+			if !info.Truncated && info.ValidBytes != len(data) {
+				t.Fatalf("non-truncated salvage stopped early: %+v", info)
+			}
+		}
 		tr, err := Decode(data)
 		if err != nil {
 			return // rejected input: fine, as long as we did not panic
@@ -77,6 +95,8 @@ func TestWriteSeedCorpus(t *testing.T) {
 		"seed-full-coverage": full,
 		"seed-empty-trace":   empty,
 		"seed-truncated":     full[:len(full)/2],
+		"seed-torn-tail":     full[:len(full)-3],
+		"seed-torn-stream":   full[:len(full)*2/3],
 		"seed-magic-only":    Magic[:],
 		"seed-bad-version":   append(append([]byte{}, Magic[:]...), 0xff, 0x01),
 	}

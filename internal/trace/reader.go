@@ -379,30 +379,79 @@ func (d *dec) event(op Op) (Event, error) {
 
 // Decode parses a complete .cutrace blob.
 func Decode(data []byte) (*Trace, error) {
+	tr, _, err := decode(data, false)
+	return tr, err
+}
+
+// SalvageInfo describes how much of a damaged trace DecodeSalvage
+// recovered.
+type SalvageInfo struct {
+	// Truncated is true when decoding stopped before the end of the
+	// input (torn tail record, bad opcode, corrupt string table, ...).
+	Truncated bool
+	// ValidBytes is the length of the input prefix that decoded cleanly
+	// (always ends on a record boundary; includes the header).
+	ValidBytes int
+	// TotalBytes is the input length.
+	TotalBytes int
+	// Events is the number of events recovered.
+	Events int
+	// Reason says why decoding stopped ("" for a clean trace).
+	Reason string
+}
+
+// DecodeSalvage decodes the longest valid prefix of a possibly damaged
+// .cutrace blob — the crash-recovery path for traces whose writer died
+// mid-record (torn tail) or whose storage was corrupted. The header must
+// be intact: without it there is no rank identity and nothing worth
+// recovering, so header damage is a hard error. Everything decoded up to
+// the first damaged record is returned along with where and why decoding
+// stopped.
+func DecodeSalvage(data []byte) (*Trace, *SalvageInfo, error) {
+	return decode(data, true)
+}
+
+func decode(data []byte, salvage bool) (*Trace, *SalvageInfo, error) {
 	d := &dec{b: data}
 	h, err := d.header()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tr := &Trace{Header: h}
+	info := &SalvageInfo{TotalBytes: len(data)}
+	fail := func(err error) (*Trace, *SalvageInfo, error) {
+		if !salvage {
+			return nil, nil, err
+		}
+		info.Truncated = true
+		info.Events = len(tr.Events)
+		info.Reason = err.Error()
+		return tr, info, nil
+	}
 	for len(d.b) > 0 {
+		// mark is the last good record boundary: the salvaged prefix
+		// ends here if this record turns out to be damaged.
+		mark := len(data) - len(d.b)
+		info.ValidBytes = mark
 		opv, err := d.u()
 		if err != nil || opv == 0 || opv > uint64(opMax) {
-			return nil, fmt.Errorf("%w: bad opcode", ErrFormat)
+			return fail(fmt.Errorf("%w: bad opcode at offset %d", ErrFormat, mark))
 		}
 		if Op(opv) == OpString {
 			s, err := d.raw()
 			if err != nil {
-				return nil, err
+				return fail(fmt.Errorf("%w: string table at offset %d", ErrFormat, mark))
 			}
 			d.strs = append(d.strs, s)
 			continue
 		}
 		ev, err := d.event(Op(opv))
 		if err != nil {
-			return nil, err
+			return fail(fmt.Errorf("%w: %s record at offset %d", ErrFormat, Op(opv), mark))
 		}
 		tr.Events = append(tr.Events, ev)
 	}
-	return tr, nil
+	info.ValidBytes = len(data)
+	info.Events = len(tr.Events)
+	return tr, info, nil
 }

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// mustEncode encodes or fails the test.
+func mustEncode(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	data, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSalvageCleanTrace: an undamaged trace salvages completely.
+func TestSalvageCleanTrace(t *testing.T) {
+	data := mustEncode(t, sampleTrace())
+	tr, info, err := DecodeSalvage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Truncated || info.ValidBytes != len(data) || info.Reason != "" {
+		t.Fatalf("clean trace salvage info = %+v", info)
+	}
+	if info.Events != len(sampleTrace().Events) || len(tr.Events) != info.Events {
+		t.Fatalf("clean salvage recovered %d events, want %d", info.Events, len(sampleTrace().Events))
+	}
+}
+
+// TestSalvageTornRecord: cutting inside the tail record recovers every
+// earlier record and reports the stop point; the reported valid prefix
+// itself decodes cleanly with the strict decoder.
+func TestSalvageTornRecord(t *testing.T) {
+	full := mustEncode(t, sampleTrace())
+	torn := full[:len(full)-3]
+	tr, info, err := DecodeSalvage(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Truncated {
+		t.Fatal("torn tail not reported")
+	}
+	if info.ValidBytes >= len(torn) || info.ValidBytes == 0 {
+		t.Fatalf("ValidBytes = %d of %d", info.ValidBytes, len(torn))
+	}
+	want := len(sampleTrace().Events)
+	if len(tr.Events) >= want || len(tr.Events) == 0 {
+		t.Fatalf("salvaged %d events of %d", len(tr.Events), want)
+	}
+	if info.Reason == "" {
+		t.Fatal("no stop reason")
+	}
+	strict, err := Decode(torn[:info.ValidBytes])
+	if err != nil {
+		t.Fatalf("valid prefix rejected by strict decoder: %v", err)
+	}
+	if len(strict.Events) != info.Events {
+		t.Fatalf("strict prefix decode: %d events, salvage said %d", len(strict.Events), info.Events)
+	}
+}
+
+// TestSalvageTornStringTable: a cut inside an OpString definition stops
+// salvage at the record boundary before it with a string-table reason.
+func TestSalvageTornStringTable(t *testing.T) {
+	h := Header{Rank: 0, WorldSize: 1, Label: "st"}
+	headerLen := len(mustEncode(t, &Trace{Header: h}))
+	long := strings.Repeat("k", 200)
+	full := mustEncode(t, &Trace{Header: h, Events: []Event{
+		{Op: OpKernelLaunch, Time: 1, Name: long, GridX: 1, GridY: 1, BlockX: 1, BlockY: 1},
+	}})
+	// Cut inside the interned name body: past the OpString opcode and
+	// length varint but long before the 200 bytes of payload end.
+	torn := full[:headerLen+10]
+	tr, info, err := DecodeSalvage(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Truncated || info.ValidBytes != headerLen || len(tr.Events) != 0 {
+		t.Fatalf("torn string table: info=%+v events=%d", info, len(tr.Events))
+	}
+	if !strings.Contains(info.Reason, "string table") {
+		t.Fatalf("reason = %q", info.Reason)
+	}
+}
+
+// TestSalvageTornHeader: header damage is a hard error — there is no
+// rank identity to attribute a salvaged prefix to.
+func TestSalvageTornHeader(t *testing.T) {
+	full := mustEncode(t, sampleTrace())
+	for _, cut := range []int{0, 3, len(Magic)} {
+		tr, info, err := DecodeSalvage(full[:cut])
+		if err == nil || tr != nil || info != nil {
+			t.Fatalf("cut=%d: salvage of torn header = (%v, %+v, %v), want hard error", cut, tr, info, err)
+		}
+	}
+}
+
+// TestSalvageFixedPoint: re-encoding a salvaged prefix is canonical —
+// it decodes to the same events and re-encodes byte-identically.
+func TestSalvageFixedPoint(t *testing.T) {
+	full := mustEncode(t, sampleTrace())
+	torn := full[:len(full)*2/3]
+	tr, info, err := DecodeSalvage(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Truncated || len(tr.Events) == 0 {
+		t.Fatalf("unexpected salvage shape: %+v", info)
+	}
+	e1 := mustEncode(t, tr)
+	tr2, err := Decode(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := mustEncode(t, tr2)
+	if !bytes.Equal(e1, e2) {
+		t.Fatalf("salvaged re-encode not a fixed point: %d vs %d bytes", len(e1), len(e2))
+	}
+	if len(tr2.Events) != len(tr.Events) {
+		t.Fatalf("re-encode changed event count: %d vs %d", len(tr2.Events), len(tr.Events))
+	}
+}
+
+// TestWriterDropsUnencodable: an unencodable record is rolled back
+// atomically — counted, and invisible to the decoder — while records
+// before and after it survive.
+func TestWriterDropsUnencodable(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{Rank: 0, WorldSize: 1})
+	w.Emit(&Event{Op: OpDeviceSync, Time: 5})
+	w.Emit(&Event{Op: Op(200), Time: 6})  // beyond opMax
+	w.Emit(&Event{Op: OpString, Time: 7}) // reserved opcode
+	w.Emit(&Event{Op: OpFinalize, Time: 8})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", w.Dropped())
+	}
+	if w.BytesWritten() != int64(buf.Len()) {
+		t.Fatalf("BytesWritten = %d, buffer has %d", w.BytesWritten(), buf.Len())
+	}
+	tr, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("stream torn by dropped record: %v", err)
+	}
+	if len(tr.Events) != 2 || tr.Events[0].Op != OpDeviceSync || tr.Events[1].Op != OpFinalize {
+		t.Fatalf("surviving events = %v", tr.Events)
+	}
+	// Delta-time state must have been rolled back too: the surviving
+	// records keep their original timestamps.
+	if tr.Events[0].Time != 5 || tr.Events[1].Time != 8 {
+		t.Fatalf("timestamps disturbed: %d, %d", tr.Events[0].Time, tr.Events[1].Time)
+	}
+}

@@ -57,7 +57,16 @@ func (e *enc) dt(dt DT, nameID uint64) {
 // event appends one encoded record. String definitions for the record
 // are emitted first, then the record itself references them by id, so a
 // decoder can frame records by opcode alone.
+//
+// The opcode is validated before anything is appended or interned: an
+// unencodable event must leave the buffer, string table, and time-delta
+// state untouched, so a streaming Writer can drop the record without
+// tearing the stream (a partial record would render everything after it
+// undecodable).
 func (e *enc) event(ev *Event) error {
+	if ev.Op <= OpString || ev.Op > opMax {
+		return fmt.Errorf("trace: cannot encode op %d", ev.Op)
+	}
 	var nameID, dtID uint64
 	var argIDs []uint64
 	switch ev.Op {
@@ -202,11 +211,16 @@ const flushThreshold = 1 << 16
 
 // Writer streams a per-rank trace to an io.Writer. It is not safe for
 // concurrent use; the event stream of one rank is emitted from that
-// rank's goroutine only. Errors are sticky and surfaced by Flush.
+// rank's goroutine only. I/O errors are sticky and surfaced by Flush;
+// unencodable records are rolled back and counted (Dropped) instead of
+// poisoning the stream, so everything emitted before and after a bad
+// record stays decodable.
 type Writer struct {
-	out io.Writer
-	e   *enc
-	err error
+	out     io.Writer
+	e       *enc
+	err     error
+	dropped int64
+	written int64
 }
 
 // NewWriter creates a writer and encodes the header.
@@ -216,13 +230,18 @@ func NewWriter(out io.Writer, h Header) *Writer {
 	return w
 }
 
-// Emit appends one event record.
+// Emit appends one event record. A record that cannot be encoded is
+// dropped atomically: the buffer and delta state are restored to the
+// previous record boundary and the drop is counted.
 func (w *Writer) Emit(ev *Event) {
 	if w.err != nil {
 		return
 	}
+	n, last := len(w.e.buf), w.e.last
 	if err := w.e.event(ev); err != nil {
-		w.err = err
+		w.e.buf = w.e.buf[:n]
+		w.e.last = last
+		w.dropped++
 		return
 	}
 	if len(w.e.buf) >= flushThreshold {
@@ -230,12 +249,21 @@ func (w *Writer) Emit(ev *Event) {
 	}
 }
 
+// Dropped reports how many records Emit rejected and rolled back.
+func (w *Writer) Dropped() int64 { return w.dropped }
+
+// BytesWritten reports bytes successfully handed to the underlying
+// io.Writer (buffered bytes are excluded until drained).
+func (w *Writer) BytesWritten() int64 { return w.written }
+
 func (w *Writer) drain() {
 	if len(w.e.buf) == 0 {
 		return
 	}
-	if _, err := w.out.Write(w.e.buf); err != nil && w.err == nil {
+	if n, err := w.out.Write(w.e.buf); err != nil && w.err == nil {
 		w.err = err
+	} else {
+		w.written += int64(n)
 	}
 	w.e.buf = w.e.buf[:0]
 }

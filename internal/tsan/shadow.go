@@ -75,6 +75,16 @@ type shadowMap struct {
 	// one-entry cache: range annotations walk granules sequentially.
 	lastIdx  uint64
 	lastPage *shadowPage
+
+	// Budget (graceful degradation): when maxPages > 0 and a fresh page
+	// would exceed it, the oldest page by creation order is dropped.
+	// Losing shadow state can only hide races (false negatives), never
+	// invent them — an empty cell looks like "never accessed" — so a
+	// budgeted run stays sound for the cases it does report. Shed pages
+	// are counted and surfaced through Stats.
+	maxPages int
+	order    []uint64 // page indices in creation order (FIFO)
+	shed     int64
 }
 
 func (m *shadowMap) init(k int) {
@@ -97,6 +107,19 @@ func (m *shadowMap) page(idx uint64) *shadowPage {
 			infos: make([]*AccessInfo, pageGranules*m.k),
 		}
 		m.pages[idx] = p
+		if m.maxPages > 0 {
+			m.order = append(m.order, idx)
+			for len(m.pages) > m.maxPages {
+				victim := m.order[0]
+				m.order = m.order[1:]
+				delete(m.pages, victim)
+				if victim == m.lastIdx {
+					m.lastIdx = ^uint64(0)
+					m.lastPage = nil
+				}
+				m.shed++
+			}
+		}
 	}
 	m.lastIdx = idx
 	m.lastPage = p

@@ -103,6 +103,10 @@ type Stats struct {
 	EngineFastGranules int64 // granules taken through the full-mask fast path
 	RangeCacheHits     int64 // range annotations satisfied by the same-epoch cache
 	RangeCacheMisses   int64 // range annotations that had to walk
+
+	// ShadowPagesShed counts pages dropped by the Config.MaxShadowPages
+	// budget (0 when unbounded or never exceeded).
+	ShadowPagesShed int64
 }
 
 // AvgReadKB returns the average tracked bytes per read-range call, in KiB.
@@ -229,6 +233,12 @@ type Config struct {
 	// of the batched engine (isolates the page-walk speedup in the
 	// engine ablation; no effect under EngineSlow).
 	DisableRangeCache bool
+	// MaxShadowPages, when positive, caps live shadow pages (32 KiB of
+	// application memory each). Exceeding the cap sheds the oldest page:
+	// its recorded accesses read as "never accessed" afterwards, which
+	// can only miss races, never fabricate them. Shed pages are counted
+	// in Stats.ShadowPagesShed. Zero means unbounded.
+	MaxShadowPages int
 }
 
 const (
@@ -294,6 +304,7 @@ func New(cfg Config) *Sanitizer {
 		seen:     make(map[dedupKey]struct{}),
 	}
 	s.shadow.init(cfg.CellsPerGranule)
+	s.shadow.maxPages = cfg.MaxShadowPages
 	host := s.CreateFiber("host thread")
 	s.cur = host
 	s.stats.FiberSwitches = 0 // creating the host fiber is not a switch
@@ -545,7 +556,11 @@ func (s *Sanitizer) Reports() []*Report {
 func (s *Sanitizer) RaceCount() int64 { return s.stats.RacesReported }
 
 // Stats returns a snapshot of the event counters.
-func (s *Sanitizer) Stats() Stats { return s.stats }
+func (s *Sanitizer) Stats() Stats {
+	st := s.stats
+	st.ShadowPagesShed = s.shadow.shed
+	return st
+}
 
 // ShadowBytes estimates the live shadow-memory footprint, for the memory
 // overhead experiment (Fig. 11).
