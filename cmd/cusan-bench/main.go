@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cusan-bench [-experiment all|fig10|fig11|table1|fig12|ablation|cells|engine]
+//	cusan-bench [-experiment all|fig10|fig11|table1|fig12|ablation|cells|engine|campaign]
 //	            [-app jacobi,tealeaf,halo2d] [-engine batched|slow]
 //	            [-runs N] [-warmup N] [-ranks N]
 //	            [-jacobi-nx N] [-jacobi-ny N] [-jacobi-iters N]
@@ -25,7 +25,7 @@ import (
 func main() {
 	cfg := bench.DefaultConfig()
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig10, fig11, table1, fig12, ablation, cells, engine")
+		"which experiment to run: all, fig10, fig11, table1, fig12, ablation, cells, engine, campaign")
 	appList := flag.String("app", "",
 		"comma-separated apps for the overhead experiments: jacobi, tealeaf, halo2d (default: the paper's pair)")
 	engineName := flag.String("engine", "",
@@ -75,6 +75,7 @@ func main() {
 		{"ablation", bench.Ablation},
 		{"cells", bench.CellsAblation},
 		{"engine", bench.EngineAblation},
+		{"campaign", bench.CampaignScaling},
 	}
 	ran := false
 	for _, e := range all {

@@ -1,0 +1,195 @@
+// cusan-campaign shards the full check campaign — suite
+// classification, chaos soak, replay parity — across a worker pool
+// and emits a versioned JSONL findings report plus a human summary.
+//
+// Usage:
+//
+//	cusan-campaign [-j N] [-kinds suite,chaos,replay] [-filter substr]
+//	               [-engines fast,slow] [-seeds N] [-faults-rate R]
+//	               [-cache dir] [-salt s] [-out report.jsonl] [-timings] [-v]
+//
+// The canonical report (default) is byte-identical for any -j: results
+// aggregate in job enumeration order and wall-clock facts (durations,
+// cache status) are excluded. -timings switches to the volatile report
+// that includes them. -cache enables the content-addressed result
+// cache: a re-run of an unchanged campaign against a warm cache
+// executes zero jobs. The cache key incorporates a build salt (the VCS
+// revision by default), so a new build invalidates every entry.
+//
+// Exit codes (mirroring cusan-run):
+//
+//	0  clean campaign, no findings
+//	1  findings (misclassifications, chaos violations, parity splits)
+//	2  usage error
+//	3  infrastructure error (a job could not run)
+//	4  degraded (contained checker crash; verdicts partial)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"cusango/internal/campaign"
+	"cusango/internal/testsuite"
+	"cusango/internal/tsan"
+)
+
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+	exitError    = 3
+	exitDegraded = 4
+)
+
+func main() {
+	jobs := flag.Int("j", runtime.NumCPU(), "worker count")
+	kindsFlag := flag.String("kinds", "suite,chaos,replay",
+		"job kinds to enumerate: suite, chaos, replay")
+	filter := flag.String("filter", "", "substring filter on case names")
+	enginesFlag := flag.String("engines", "fast,slow", "shadow engines to sweep")
+	seeds := flag.Int("seeds", 25, "chaos seed count (seeds 1..N)")
+	rate := flag.Float64("faults-rate", 0.05, "chaos per-site fault rate")
+	cacheDir := flag.String("cache", "", "result cache directory (empty = no cache)")
+	salt := flag.String("salt", "", "cache build salt (empty = derive from build info)")
+	out := flag.String("out", "", "JSONL report path (empty = none, - = stdout)")
+	timings := flag.Bool("timings", false,
+		"emit volatile report fields (durations, cache status) — not byte-stable")
+	verbose := flag.Bool("v", false, "print every non-pass record")
+	flag.Parse()
+
+	var engines []tsan.Engine
+	for _, name := range strings.Split(*enginesFlag, ",") {
+		eng, err := tsan.ParseEngine(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
+			os.Exit(exitUsage)
+		}
+		engines = append(engines, eng)
+	}
+	if *seeds < 0 || *rate < 0 || *rate > 1 {
+		fmt.Fprintln(os.Stderr, "cusan-campaign: -seeds must be >= 0, -faults-rate in [0,1]")
+		os.Exit(exitUsage)
+	}
+
+	cases := testsuite.Cases()
+	if *filter != "" {
+		kept := cases[:0]
+		for _, c := range cases {
+			if strings.Contains(c.Name, *filter) {
+				kept = append(kept, c)
+			}
+		}
+		cases = kept
+		if len(cases) == 0 {
+			fmt.Fprintf(os.Stderr, "cusan-campaign: no case matches %q\n", *filter)
+			os.Exit(exitUsage)
+		}
+	}
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+
+	var jobList []campaign.Job
+	for _, kind := range strings.Split(*kindsFlag, ",") {
+		switch strings.TrimSpace(kind) {
+		case testsuite.KindSuite:
+			jobList = append(jobList, testsuite.SuiteJobs(cases, engines)...)
+		case testsuite.KindChaos:
+			jobList = append(jobList, testsuite.ChaosJobs(cases, seedList, *rate, engines)...)
+		case testsuite.KindReplay:
+			jobList = append(jobList, testsuite.ReplayJobs(cases, engines)...)
+		default:
+			fmt.Fprintf(os.Stderr, "cusan-campaign: unknown kind %q\n", kind)
+			os.Exit(exitUsage)
+		}
+	}
+
+	opt := campaign.Options{Workers: *jobs, OnProgress: progressLine()}
+	if *cacheDir != "" {
+		cache, err := campaign.OpenDir(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
+			os.Exit(exitError)
+		}
+		opt.Cache = cache
+		opt.Salt = *salt
+		if opt.Salt == "" {
+			opt.Salt = campaign.BuildSalt()
+		}
+	}
+
+	rep := campaign.Run(jobList, testsuite.ExecuteJob, opt)
+	fmt.Fprint(os.Stderr, "\r\033[K") // clear the progress line
+
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
+				os.Exit(exitError)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSONL(w, *timings); err != nil {
+			fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
+			os.Exit(exitError)
+		}
+	}
+
+	degraded := 0
+	infraErrs := 0
+	for _, r := range rep.Records {
+		degraded += r.Degraded
+		if r.Verdict == campaign.VerdictError {
+			infraErrs++
+		}
+		if *verbose && r.Verdict != campaign.VerdictPass {
+			fmt.Printf("%s %s [%s] seed=%d: %s\n", r.Verdict, r.Case, r.Engine, r.Seed, r.AppFault)
+			for _, f := range r.Findings {
+				fmt.Printf("  [%s] %s: %s\n", f.FP, f.Kind, f.Detail)
+			}
+		}
+	}
+	fmt.Print(rep.Summary())
+
+	_, fail, _ := rep.Counts()
+	// Precedence mirrors cusan-run: an infrastructure error trumps a
+	// degraded verdict trumps findings — a campaign that could not run
+	// its jobs cannot vouch for "clean".
+	switch {
+	case infraErrs > 0:
+		os.Exit(exitError)
+	case degraded > 0:
+		os.Exit(exitDegraded)
+	case fail > 0:
+		os.Exit(exitFindings)
+	}
+	os.Exit(exitClean)
+}
+
+// progressLine returns a throttled \r-progress callback for stderr.
+func progressLine() func(campaign.Progress) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(p campaign.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if now.Sub(last) < 100*time.Millisecond && p.Done != p.Total {
+			return
+		}
+		last = now
+		rate := float64(p.Done) / p.Elapsed.Seconds()
+		fmt.Fprintf(os.Stderr, "\r\033[K%d/%d jobs  executed=%d cache-hits=%d failed=%d  %.0f jobs/s",
+			p.Done, p.Total, p.Executed, p.CacheHits, p.Failed, rate)
+	}
+}

@@ -1,10 +1,12 @@
 // cusan-testsuite runs the classified correctness suite (the cusan-tests
 // analog, paper §VI-C) and prints one PASS/FAIL line per case, in the
-// style of the paper's llvm-lit output.
+// style of the paper's llvm-lit output. Cases dispatch through the
+// campaign engine, so -j parallelizes the sweep without changing the
+// output: lines print in suite order whatever the completion order.
 //
 // Usage:
 //
-//	cusan-testsuite [-filter substring] [-v]
+//	cusan-testsuite [-filter substring] [-j N] [-engine fast|slow] [-v]
 package main
 
 import (
@@ -13,15 +15,25 @@ import (
 	"os"
 	"strings"
 
+	"cusango/internal/campaign"
 	"cusango/internal/testsuite"
+	"cusango/internal/tsan"
 )
 
 func main() {
 	filter := flag.String("filter", "", "only run cases whose name contains this substring")
+	workers := flag.Int("j", 0, "worker count (0 = NumCPU)")
+	engineName := flag.String("engine", "fast",
+		"shadow engine: fast (batched) or slow (reference oracle)")
 	verbose := flag.Bool("v", false, "print each case's documentation line")
 	doc := flag.Bool("doc", false, "emit the feature-documentation matrix (markdown) instead of running")
 	flag.Parse()
 
+	engine, err := tsan.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cases := testsuite.Cases()
 	if *doc {
 		emitFeatureDoc(cases)
@@ -33,15 +45,23 @@ func main() {
 			selected = append(selected, c)
 		}
 	}
+	jobs := testsuite.SuiteJobs(selected, []tsan.Engine{engine})
+	rep := campaign.Run(jobs, testsuite.ExecuteJob, campaign.Options{Workers: *workers})
 	failures := 0
-	for i, c := range selected {
-		v := testsuite.RunCase(c)
-		fmt.Printf("%s (%d of %d)\n", v, i+1, len(selected))
-		if *verbose {
-			fmt.Printf("    %s\n", c.Doc)
-		}
-		if !v.Pass() {
+	for i, r := range rep.Records {
+		status := "PASS"
+		if r.Verdict != campaign.VerdictPass {
+			status = "FAIL"
 			failures++
+		}
+		detail := ""
+		if r.AppFault != "" {
+			detail = " err=" + r.AppFault
+		}
+		fmt.Printf("%s: CuSanTest :: %s (races=%d issues=%d%s) (%d of %d)\n",
+			status, r.Case, r.Races, r.Issues, detail, i+1, len(selected))
+		if *verbose {
+			fmt.Printf("    %s\n", selected[i].Doc)
 		}
 	}
 	fmt.Printf("\n%d/%d cases classified correctly\n", len(selected)-failures, len(selected))
@@ -57,6 +77,11 @@ func emitFeatureDoc(cases []testsuite.Case) {
 	fmt.Println("# Supported feature matrix")
 	fmt.Println()
 	fmt.Println("Generated from the classified test suite (`cusan-testsuite -doc`).")
+	fmt.Println()
+	fmt.Println("Every case below is also a campaign job: `cusan-campaign` sweeps the")
+	fmt.Println("full matrix — plain classification, chaos soak under seeded fault")
+	fmt.Println("schedules, and record/replay parity — across both shadow engines in")
+	fmt.Println("parallel, with byte-deterministic JSONL reports (DESIGN.md §10).")
 	byCat := map[string][]testsuite.Case{}
 	var order []string
 	for _, c := range cases {

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cusango/internal/campaign"
+	"cusango/internal/testsuite"
+	"cusango/internal/tsan"
+)
+
+// CampaignScaling measures worker-count scaling of the campaign
+// scheduler on the chaos workload: the full classified suite under
+// seeded fault schedules, both shadow engines, dispatched at 1, 2, 4,
+// and 8 workers. Speedup is reported against the serial run. On a
+// single-core host the speedup column degenerates to ~1.0x — the table
+// notes the observed parallelism so the numbers stay honest.
+func CampaignScaling(cfg Config) (*Table, error) {
+	seeds := make([]uint64, 10)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	jobs := testsuite.ChaosJobs(testsuite.Cases(), seeds, 0.05,
+		[]tsan.Engine{tsan.EngineBatched, tsan.EngineSlow})
+
+	t := &Table{
+		Title:   "Campaign worker-count scaling (chaos workload)",
+		Headers: []string{"workers", "jobs", "wall", "jobs/s", "speedup"},
+	}
+	var serial time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		rep := campaign.Run(jobs, testsuite.ExecuteJob, campaign.Options{Workers: workers})
+		if pass, fail, errs := rep.Counts(); fail+errs > 0 {
+			return nil, fmt.Errorf("bench: campaign workload not clean: pass=%d fail=%d error=%d",
+				pass, fail, errs)
+		}
+		if workers == 1 {
+			serial = rep.Wall
+		}
+		speedup := float64(serial) / float64(rep.Wall)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%d", len(jobs)),
+			rep.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(len(jobs))/rep.Wall.Seconds()),
+			fmt.Sprintf("%.2fx", speedup),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d chaos jobs: %d seeds x 2 engines x %d cases, rate 0.05",
+			len(jobs), len(seeds), len(testsuite.Cases())),
+		"speedup is vs the 1-worker run on this host; it tracks available cores")
+	return t, nil
+}

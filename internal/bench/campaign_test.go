@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"cusango/internal/campaign"
+	"cusango/internal/testsuite"
+	"cusango/internal/tsan"
+)
+
+// BenchmarkCampaign measures campaign dispatch of the chaos workload
+// at increasing worker counts; b.N scales the seed list so each
+// iteration is one full sweep.
+func BenchmarkCampaign(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			jobs := testsuite.ChaosJobs(testsuite.Cases(), []uint64{1, 2, 3}, 0.05,
+				[]tsan.Engine{tsan.EngineBatched})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := campaign.Run(jobs, testsuite.ExecuteJob,
+					campaign.Options{Workers: workers})
+				if len(rep.Records) != len(jobs) {
+					b.Fatalf("%d records for %d jobs", len(rep.Records), len(jobs))
+				}
+			}
+			b.ReportMetric(float64(len(jobs)), "jobs/op")
+		})
+	}
+}
+
+// TestCampaignScalingTable: the experiment runs clean and reports one
+// row per worker count.
+func TestCampaignScalingTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the chaos workload four times")
+	}
+	tab, err := CampaignScaling(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Headers) {
+			t.Fatalf("row %v does not match headers %v", row, tab.Headers)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+)
+
+// Cache is a content-addressed result store: cache key -> serialized
+// Record. Keys already encode the build salt (Job.CacheKey), so the
+// cache itself is a dumb byte store. Safe for concurrent use.
+//
+// A memory cache (NewMemCache) lives for one process; a directory
+// cache (OpenDir) persists results as <dir>/<key>.json so a re-run of
+// an unchanged campaign executes zero jobs.
+type Cache struct {
+	mu  sync.Mutex
+	mem map[string][]byte
+	dir string // "" = memory-only
+}
+
+// NewMemCache returns an in-process cache.
+func NewMemCache() *Cache {
+	return &Cache{mem: make(map[string][]byte)}
+}
+
+// OpenDir returns a cache backed by dir, creating it if needed.
+func OpenDir(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{mem: make(map[string][]byte), dir: dir}, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns a fresh copy of the cached record for key, or nil on a
+// miss (including unreadable or version-mismatched entries).
+func (c *Cache) Get(key string) *Record {
+	c.mu.Lock()
+	data, ok := c.mem[key]
+	c.mu.Unlock()
+	if !ok && c.dir != "" {
+		b, err := os.ReadFile(c.path(key))
+		if err != nil {
+			return nil
+		}
+		data, ok = b, true
+		c.mu.Lock()
+		c.mem[key] = b
+		c.mu.Unlock()
+	}
+	if !ok {
+		return nil
+	}
+	var r Record
+	if json.Unmarshal(data, &r) != nil || r.V != FormatVersion {
+		return nil
+	}
+	return &r
+}
+
+// Put stores the record under key. The stored copy is never marked
+// cached — that flag describes how *this* run obtained the result.
+func (c *Cache) Put(key string, r *Record) {
+	cp := *r
+	cp.Cached = false
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.mem[key] = data
+	c.mu.Unlock()
+	if c.dir != "" {
+		// Best-effort: a failed write degrades to a miss next run.
+		tmp := c.path(key) + ".tmp"
+		if os.WriteFile(tmp, data, 0o644) == nil {
+			_ = os.Rename(tmp, c.path(key))
+		}
+	}
+}
+
+// Len reports the number of entries seen by this process.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// BuildSalt derives a salt identifying the current build, so cached
+// results die with the binary that produced them. Prefers the VCS
+// revision stamped into the build, falls back to the module checksum,
+// then to "dev" (always-miss-safe: a dev salt still separates cache
+// namespaces between salted runs, it just cannot distinguish two dev
+// builds).
+func BuildSalt() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			return s.Value
+		}
+	}
+	if info.Main.Sum != "" {
+		return info.Main.Sum
+	}
+	return "dev"
+}

@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job identifies one check to run. The identity fields are the whole
+// story: two jobs with equal identities must produce equal results
+// (the executors are pure functions of the identity), which is what
+// makes result caching and byte-identical aggregation sound.
+type Job struct {
+	Kind   string // "suite" | "chaos" | "replay"
+	Case   string // suite case name
+	Engine string // shadow engine name ("batched" | "slow")
+	Seed   uint64 // chaos seed (0 for non-chaos kinds)
+	Faults string // canonical fault-plan spec ("" = none)
+	Config string // app/config qualifier ("" = suite default)
+}
+
+// Identity is the canonical string form of the job key.
+func (j Job) Identity() string {
+	return fmt.Sprintf("cusan-campaign/v1|%s|%s|%s|%d|%s|%s",
+		j.Kind, j.Case, j.Engine, j.Seed, j.Faults, j.Config)
+}
+
+// Key is the short content hash of the identity, recorded per job so
+// reports are self-describing.
+func (j Job) Key() string {
+	sum := sha256.Sum256([]byte(j.Identity()))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// CacheKey mixes a build salt into the identity hash: a new build
+// (new salt) invalidates every cached result.
+func (j Job) CacheKey(salt string) string {
+	sum := sha256.Sum256([]byte(salt + "\x00" + j.Identity()))
+	return fmt.Sprintf("%x", sum[:16])
+}
+
+// Progress is a point-in-time snapshot of a running campaign.
+type Progress struct {
+	Total     int
+	Done      int
+	Executed  int
+	CacheHits int
+	Failed    int
+	Elapsed   time.Duration
+}
+
+// Options configures a campaign run.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// Cache, when non-nil, is consulted before executing and updated
+	// after. Hits skip execution entirely.
+	Cache *Cache
+	// Salt is the build salt mixed into cache keys (see BuildSalt).
+	Salt string
+	// OnProgress, when non-nil, is called after every job completion
+	// from worker goroutines; it must be safe for concurrent use.
+	OnProgress func(Progress)
+}
+
+// Run shards jobs across the worker pool and aggregates the results
+// in enumeration order. exec must be a pure function of the job
+// identity and safe for concurrent use; a nil return is recorded as
+// an infrastructure error. The returned report's Records[i] is always
+// jobs[i]'s result, whatever the completion order was.
+func Run(jobs []Job, exec func(Job) *Record, opt Options) *Report {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	start := time.Now()
+	records := make([]*Record, len(jobs))
+	var done, executed, hits, failed atomic.Int64
+
+	report := func(r *Record) {
+		done.Add(1)
+		if r.Verdict != VerdictPass {
+			failed.Add(1)
+		}
+		if opt.OnProgress != nil {
+			opt.OnProgress(Progress{
+				Total:     len(jobs),
+				Done:      int(done.Load()),
+				Executed:  int(executed.Load()),
+				CacheHits: int(hits.Load()),
+				Failed:    int(failed.Load()),
+				Elapsed:   time.Since(start),
+			})
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				var r *Record
+				if opt.Cache != nil {
+					if cached := opt.Cache.Get(j.CacheKey(opt.Salt)); cached != nil {
+						cached.Cached = true
+						r = cached
+						hits.Add(1)
+					}
+				}
+				if r == nil {
+					t0 := time.Now()
+					r = exec(j)
+					if r == nil {
+						r = &Record{
+							Verdict:  VerdictError,
+							AppFault: "executor returned no result",
+						}
+					}
+					r.DurationUS = time.Since(t0).Microseconds()
+					executed.Add(1)
+				}
+				// Normalize identity fields from the job so the record
+				// is trustworthy whatever the executor filled in.
+				r.V = FormatVersion
+				r.Type = "job"
+				r.Kind, r.Case, r.Engine = j.Kind, j.Case, j.Engine
+				r.Seed, r.Faults, r.Config = j.Seed, j.Faults, j.Config
+				r.Key = j.Key()
+				if opt.Cache != nil && !r.Cached {
+					opt.Cache.Put(j.CacheKey(opt.Salt), r)
+				}
+				records[i] = r
+				report(r)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	return &Report{
+		Records:   records,
+		Workers:   workers,
+		Wall:      time.Since(start),
+		Executed:  int(executed.Load()),
+		CacheHits: int(hits.Load()),
+	}
+}

@@ -1,0 +1,252 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeJobs builds n synthetic jobs with distinct identities.
+func fakeJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Kind: "suite", Case: fmt.Sprintf("case-%03d", i),
+			Engine: "batched", Seed: uint64(i % 3),
+		}
+	}
+	return jobs
+}
+
+// fakeExec is deterministic in the job identity but jitters wall time
+// so completion order scrambles under parallelism.
+func fakeExec(j Job) *Record {
+	time.Sleep(time.Duration(len(j.Case)%5) * time.Millisecond)
+	r := &Record{Verdict: VerdictPass, Races: int(j.Seed)}
+	if strings.HasSuffix(j.Case, "7") {
+		r.Verdict = VerdictFail
+		r.Findings = []Finding{NewFinding("misclassification", j.Case, "wrong verdict")}
+	}
+	return r
+}
+
+// TestAggregationOrder: Records[i] is jobs[i]'s result at any worker
+// count, and canonical report bytes are identical for j=1 and j=8.
+func TestAggregationOrder(t *testing.T) {
+	jobs := fakeJobs(40)
+	var bufs [2]bytes.Buffer
+	for i, workers := range []int{1, 8} {
+		rep := Run(jobs, fakeExec, Options{Workers: workers})
+		if len(rep.Records) != len(jobs) {
+			t.Fatalf("workers=%d: %d records for %d jobs", workers, len(rep.Records), len(jobs))
+		}
+		for k, r := range rep.Records {
+			if r.Case != jobs[k].Case || r.Key != jobs[k].Key() {
+				t.Fatalf("workers=%d: record %d is %s, want %s", workers, k, r.Case, jobs[k].Case)
+			}
+		}
+		if err := rep.WriteJSONL(&bufs[i], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatal("canonical report bytes differ between 1 and 8 workers")
+	}
+}
+
+// TestCanonicalExcludesVolatile: duration and cache status appear only
+// in volatile output.
+func TestCanonicalExcludesVolatile(t *testing.T) {
+	jobs := fakeJobs(4)
+	cache := NewMemCache()
+	Run(jobs, fakeExec, Options{Workers: 2, Cache: cache})
+	rep := Run(jobs, fakeExec, Options{Workers: 2, Cache: cache}) // warm: all hits
+	if rep.CacheHits != len(jobs) {
+		t.Fatalf("warm run cache hits = %d, want %d", rep.CacheHits, len(jobs))
+	}
+	var canon, vol bytes.Buffer
+	if err := rep.WriteJSONL(&canon, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSONL(&vol, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(canon.String(), "duration_us") || strings.Contains(canon.String(), "cached") {
+		t.Fatal("canonical output leaks volatile fields")
+	}
+	if !strings.Contains(vol.String(), `"cached":true`) {
+		t.Fatal("volatile output missing cache status")
+	}
+	if !strings.Contains(vol.String(), `"cache_hits":4`) {
+		t.Fatal("volatile summary missing cache_hits")
+	}
+}
+
+// TestCacheHitsSkipExecution: a warm cache executes zero jobs and
+// produces the identical canonical report.
+func TestCacheHitsSkipExecution(t *testing.T) {
+	jobs := fakeJobs(12)
+	cache := NewMemCache()
+	var execs atomic.Int64
+	exec := func(j Job) *Record { execs.Add(1); return fakeExec(j) }
+
+	cold := Run(jobs, exec, Options{Workers: 4, Cache: cache, Salt: "s1"})
+	if got := execs.Load(); got != int64(len(jobs)) {
+		t.Fatalf("cold run executed %d, want %d", got, len(jobs))
+	}
+	warm := Run(jobs, exec, Options{Workers: 4, Cache: cache, Salt: "s1"})
+	if got := execs.Load(); got != int64(len(jobs)) {
+		t.Fatalf("warm run executed %d more jobs", got-int64(len(jobs)))
+	}
+	if warm.Executed != 0 || warm.CacheHits != len(jobs) {
+		t.Fatalf("warm run: executed=%d hits=%d", warm.Executed, warm.CacheHits)
+	}
+	var a, b bytes.Buffer
+	if err := cold.WriteJSONL(&a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.WriteJSONL(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("warm-cache canonical report differs from cold run")
+	}
+
+	// A new salt invalidates everything.
+	Run(jobs, exec, Options{Workers: 4, Cache: cache, Salt: "s2"})
+	if got := execs.Load(); got != int64(2*len(jobs)) {
+		t.Fatalf("salted run executed %d total, want %d", got, 2*len(jobs))
+	}
+}
+
+// TestDirCachePersists: a directory cache survives across Cache
+// instances (simulating separate processes).
+func TestDirCachePersists(t *testing.T) {
+	dir := t.TempDir()
+	jobs := fakeJobs(6)
+	c1, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(jobs, fakeExec, Options{Workers: 2, Cache: c1, Salt: "s"})
+	c2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs atomic.Int64
+	rep := Run(jobs, func(j Job) *Record { execs.Add(1); return fakeExec(j) },
+		Options{Workers: 2, Cache: c2, Salt: "s"})
+	if execs.Load() != 0 || rep.CacheHits != len(jobs) {
+		t.Fatalf("fresh dir cache: executed=%d hits=%d", execs.Load(), rep.CacheHits)
+	}
+}
+
+// TestFingerprints: stable across construction, independent of which
+// job carries the finding, distinct for distinct defects.
+func TestFingerprints(t *testing.T) {
+	a := NewFinding("chaos-violation", "case-x", "race under fault")
+	b := NewFinding("chaos-violation", "case-x", "race under fault")
+	c := NewFinding("chaos-violation", "case-x", "other defect")
+	if a.FP != b.FP {
+		t.Fatalf("identical findings fingerprint differently: %s vs %s", a.FP, b.FP)
+	}
+	if a.FP == c.FP {
+		t.Fatal("distinct findings collide")
+	}
+	if len(a.FP) != 16 {
+		t.Fatalf("fingerprint %q not 16 hex chars", a.FP)
+	}
+}
+
+// TestUniqueFindingsDedup: the same fingerprint from many jobs is one
+// entry with a job count.
+func TestUniqueFindingsDedup(t *testing.T) {
+	rep := &Report{Records: []*Record{
+		{Findings: []Finding{NewFinding("k", "c", "d")}},
+		{Findings: []Finding{NewFinding("k", "c", "d")}},
+		{Findings: []Finding{NewFinding("k", "c", "other")}},
+	}}
+	uf := rep.UniqueFindings()
+	if len(uf) != 2 {
+		t.Fatalf("%d unique findings, want 2", len(uf))
+	}
+	total := 0
+	for _, u := range uf {
+		total += u.Jobs
+	}
+	if total != 3 {
+		t.Fatalf("job counts sum to %d, want 3", total)
+	}
+}
+
+// TestJSONLStructure: every line parses; header, jobs, summary agree.
+func TestJSONLStructure(t *testing.T) {
+	jobs := fakeJobs(9)
+	rep := Run(jobs, fakeExec, Options{Workers: 3})
+	var buf bytes.Buffer
+	if err := rep.WriteJSONL(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var jobLines, findingLines int
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, ln)
+		}
+		if m["v"] != float64(FormatVersion) {
+			t.Fatalf("line %d version %v", i, m["v"])
+		}
+		switch m["type"] {
+		case "job":
+			jobLines++
+		case "finding":
+			findingLines++
+		}
+	}
+	if jobLines != len(jobs) {
+		t.Fatalf("%d job lines for %d jobs", jobLines, len(jobs))
+	}
+	var head, tail map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &head); err != nil || head["type"] != "header" {
+		t.Fatalf("first line %q is not the header", lines[0])
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tail); err != nil || tail["type"] != "summary" {
+		t.Fatalf("last line %q is not the summary", lines[len(lines)-1])
+	}
+}
+
+// TestProgress: monotone done counter reaching total.
+func TestProgress(t *testing.T) {
+	jobs := fakeJobs(15)
+	var max atomic.Int64
+	rep := Run(jobs, fakeExec, Options{Workers: 4, OnProgress: func(p Progress) {
+		if int64(p.Done) > max.Load() {
+			max.Store(int64(p.Done))
+		}
+		if p.Total != len(jobs) {
+			t.Errorf("progress total %d, want %d", p.Total, len(jobs))
+		}
+	}})
+	if max.Load() != int64(len(jobs)) {
+		t.Fatalf("max progress %d, want %d", max.Load(), len(jobs))
+	}
+	if rep.Executed != len(jobs) {
+		t.Fatalf("executed %d, want %d", rep.Executed, len(jobs))
+	}
+}
+
+// TestSaltChangesCacheKey pins the invalidation mechanism itself.
+func TestSaltChangesCacheKey(t *testing.T) {
+	j := Job{Kind: "chaos", Case: "c", Engine: "slow", Seed: 3, Faults: "seed=3,rate=0.05"}
+	if j.CacheKey("a") == j.CacheKey("b") {
+		t.Fatal("salt does not affect cache key")
+	}
+	if j.Key() == (Job{Kind: "chaos", Case: "c", Engine: "slow", Seed: 4, Faults: "seed=3,rate=0.05"}).Key() {
+		t.Fatal("seed does not affect job key")
+	}
+}

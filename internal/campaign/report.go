@@ -1,0 +1,225 @@
+// Package campaign is the job-dispatch layer over the checker: it
+// enumerates check jobs (suite case x seed x engine x fault plan x
+// config), shards them across a bounded worker pool, and aggregates
+// the results into a deterministic, versioned JSONL report.
+//
+// The load-bearing property is determinism: the canonical report is
+// byte-identical regardless of worker count, completion order, or
+// cache state. That is achieved by (a) aggregating results by job
+// enumeration index, never by completion order, (b) requiring each
+// job's result to be a pure function of its identity (the MPI abort
+// protocol's prefer-completion rule exists for this), and (c) keeping
+// wall-clock facts — duration, cache status — out of the canonical
+// byte stream (they are volatile fields, emitted only on request).
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FormatVersion identifies the JSONL record schema. Bump on any change
+// to field names, ordering, or semantics.
+const FormatVersion = 1
+
+// Verdict classifies a job outcome.
+const (
+	VerdictPass  = "pass"  // ran, behaved exactly as classified
+	VerdictFail  = "fail"  // ran, produced findings / misclassified
+	VerdictError = "error" // could not run (infrastructure failure)
+)
+
+// Finding is one deduplicable observation (a misclassification, a
+// chaos-attribution violation, a replay-parity divergence). FP is a
+// stable fingerprint: the same defect observed by different jobs —
+// other seeds, the other engine — maps to the same FP, so cross-job
+// dedup is a map key lookup.
+type Finding struct {
+	FP     string `json:"fp"`
+	Kind   string `json:"kind"`
+	Case   string `json:"case"`
+	Detail string `json:"detail"`
+}
+
+// NewFinding builds a Finding with its fingerprint. The fingerprint
+// hashes (kind, case, detail) only — never seed, engine, or worker —
+// so the identity of a defect is independent of which job saw it.
+func NewFinding(kind, caseName, detail string) Finding {
+	sum := sha256.Sum256([]byte("cusan-fp/v1|" + kind + "|" + caseName + "|" + detail))
+	return Finding{
+		FP:     fmt.Sprintf("%x", sum[:8]),
+		Kind:   kind,
+		Case:   caseName,
+		Detail: detail,
+	}
+}
+
+// Record is one job's result — one JSONL line. Field order here is the
+// serialization order. DurationUS and Cached are volatile: they vary
+// run to run and are zeroed in canonical output (WriteJSONL with
+// volatile=false) so that report bytes depend only on job identities
+// and verdicts.
+type Record struct {
+	V       int    `json:"v"`
+	Type    string `json:"type"` // "job"
+	Kind    string `json:"kind"` // "suite" | "chaos" | "replay"
+	Case    string `json:"case"`
+	Engine  string `json:"engine"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Faults  string `json:"faults,omitempty"`
+	Config  string `json:"config,omitempty"`
+	Key     string `json:"key"`
+	Verdict string `json:"verdict"`
+	Races   int    `json:"races"`
+	Issues  int    `json:"issues"`
+
+	// Injected lists the replay specs of faults the plan actually fired.
+	Injected []string `json:"injected,omitempty"`
+	// Degraded counts contained checker crashes (partial verdicts).
+	Degraded int `json:"degraded,omitempty"`
+	// AppFault labels a rank failure: a fault spec, "aborted", or an
+	// error string. Empty when all ranks completed.
+	AppFault string    `json:"app_fault,omitempty"`
+	Findings []Finding `json:"findings,omitempty"`
+
+	// Volatile fields — wall-clock facts, not part of the canonical
+	// byte stream.
+	DurationUS int64 `json:"duration_us,omitempty"`
+	Cached     bool  `json:"cached,omitempty"`
+}
+
+// canonical returns a copy with the volatile fields zeroed.
+func (r *Record) canonical() Record {
+	cp := *r
+	cp.DurationUS = 0
+	cp.Cached = false
+	return cp
+}
+
+// Report aggregates a campaign run. Records is in job enumeration
+// order — position i is job i's result regardless of which worker
+// finished it when.
+type Report struct {
+	Records   []*Record
+	Workers   int
+	Wall      time.Duration
+	Executed  int // jobs actually run (cache misses)
+	CacheHits int
+}
+
+// Counts tallies verdicts.
+func (rep *Report) Counts() (pass, fail, errs int) {
+	for _, r := range rep.Records {
+		switch r.Verdict {
+		case VerdictPass:
+			pass++
+		case VerdictFail:
+			fail++
+		default:
+			errs++
+		}
+	}
+	return
+}
+
+// UniqueFinding is a deduplicated finding plus how many jobs saw it.
+type UniqueFinding struct {
+	Finding
+	Jobs int
+}
+
+// UniqueFindings dedups findings across all jobs by fingerprint,
+// sorted by fingerprint for stable output.
+func (rep *Report) UniqueFindings() []UniqueFinding {
+	byFP := map[string]*UniqueFinding{}
+	for _, r := range rep.Records {
+		for _, f := range r.Findings {
+			if u, ok := byFP[f.FP]; ok {
+				u.Jobs++
+			} else {
+				byFP[f.FP] = &UniqueFinding{Finding: f, Jobs: 1}
+			}
+		}
+	}
+	out := make([]UniqueFinding, 0, len(byFP))
+	for _, u := range byFP {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FP < out[j].FP })
+	return out
+}
+
+// WriteJSONL emits the versioned report: a header line, one line per
+// job in enumeration order, one line per unique finding, and a summary
+// trailer. With volatile=false (canonical mode) the bytes are a pure
+// function of job identities and verdicts: durations, cache state,
+// worker count, and wall time are omitted.
+func (rep *Report) WriteJSONL(w io.Writer, volatile bool) error {
+	enc := json.NewEncoder(w)
+	if err := encodeOrdered(w, `{"v":%d,"type":"header","format":"cusan-campaign/v1","jobs":%d}`,
+		FormatVersion, len(rep.Records)); err != nil {
+		return err
+	}
+	for _, r := range rep.Records {
+		line := *r
+		if !volatile {
+			line = r.canonical()
+		}
+		if err := enc.Encode(&line); err != nil {
+			return err
+		}
+	}
+	for _, u := range rep.UniqueFindings() {
+		if err := encodeOrdered(w,
+			`{"v":%d,"type":"finding","fp":%q,"kind":%q,"case":%q,"detail":%q,"jobs":%d}`,
+			FormatVersion, u.FP, u.Kind, u.Case, u.Detail, u.Jobs); err != nil {
+			return err
+		}
+	}
+	pass, fail, errs := rep.Counts()
+	if volatile {
+		return encodeOrdered(w,
+			`{"v":%d,"type":"summary","jobs":%d,"pass":%d,"fail":%d,"error":%d,"findings":%d,"executed":%d,"cache_hits":%d,"workers":%d,"wall_us":%d}`,
+			FormatVersion, len(rep.Records), pass, fail, errs,
+			len(rep.UniqueFindings()), rep.Executed, rep.CacheHits,
+			rep.Workers, rep.Wall.Microseconds())
+	}
+	return encodeOrdered(w,
+		`{"v":%d,"type":"summary","jobs":%d,"pass":%d,"fail":%d,"error":%d,"findings":%d}`,
+		FormatVersion, len(rep.Records), pass, fail, errs, len(rep.UniqueFindings()))
+}
+
+// encodeOrdered writes a hand-ordered JSON line. Go maps randomize
+// iteration, so header/summary lines are formatted, not marshaled.
+func encodeOrdered(w io.Writer, format string, args ...any) error {
+	_, err := fmt.Fprintf(w, format+"\n", args...)
+	return err
+}
+
+// Summary renders the human table: verdict counts, unique findings,
+// throughput.
+func (rep *Report) Summary() string {
+	pass, fail, errs := rep.Counts()
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d jobs  pass=%d fail=%d error=%d\n",
+		len(rep.Records), pass, fail, errs)
+	fmt.Fprintf(&b, "  executed=%d cache-hits=%d workers=%d wall=%s",
+		rep.Executed, rep.CacheHits, rep.Workers, rep.Wall.Round(time.Millisecond))
+	if s := rep.Wall.Seconds(); s > 0 && rep.Executed > 0 {
+		fmt.Fprintf(&b, " (%.0f jobs/s)", float64(rep.Executed)/s)
+	}
+	b.WriteString("\n")
+	if uf := rep.UniqueFindings(); len(uf) > 0 {
+		fmt.Fprintf(&b, "  %d unique finding(s):\n", len(uf))
+		for _, u := range uf {
+			fmt.Fprintf(&b, "    [%s] %s %s: %s (%d job(s))\n",
+				u.FP, u.Kind, u.Case, u.Detail, u.Jobs)
+		}
+	}
+	return b.String()
+}

@@ -166,3 +166,89 @@ func TestAbortFirstWins(t *testing.T) {
 		t.Fatalf("abort error %q, want first cause only", got)
 	}
 }
+
+// TestAbortPrefersCompletion: a message the dead rank delivered before
+// dying is still receivable after the abort is visible — completion
+// wins over the abort, which is what makes faulted verdicts a pure
+// function of the fault plan (the campaign determinism guarantee).
+func TestAbortPrefersCompletion(t *testing.T) {
+	w := NewWorld(2)
+	comms := attach(t, w)
+	sbuf := comms[1].mem.Alloc(64, memspace.KindHostPageable)
+	rbuf := comms[0].mem.Alloc(64, memspace.KindHostPageable)
+	if err := comms[1].Send(sbuf, 8, Float64, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort(1, errors.New("rank died after sending"))
+
+	// The delivered message completes; the next (unmatched) Recv aborts.
+	if st, err := comms[0].Recv(rbuf, 8, Float64, 1, 0); err != nil || st.Count != 8 {
+		t.Fatalf("Recv of pre-abort delivery = (%+v, %v), want completion", st, err)
+	}
+	if _, err := comms[0].Recv(rbuf, 8, Float64, 1, 0); !errors.Is(err, ErrAborted) {
+		t.Fatalf("unmatched post-abort Recv returned %v, want ErrAborted", err)
+	}
+}
+
+// TestTestTerminatesOnAbort: a Test poll on an unmatched request fails
+// with the abort error once the abort is visible (no infinite spin),
+// but still completes a request the dead rank matched before dying.
+func TestTestTerminatesOnAbort(t *testing.T) {
+	w := NewWorld(2)
+	comms := attach(t, w)
+	buf := comms[0].mem.Alloc(64, memspace.KindHostPageable)
+	unmatched, err := comms[0].Irecv(buf, 8, Float64, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2 := comms[0].mem.Alloc(64, memspace.KindHostPageable)
+	matched, err := comms[0].Irecv(buf2, 8, Float64, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbuf := comms[1].mem.Alloc(64, memspace.KindHostPageable)
+	if err := comms[1].Send(sbuf, 8, Float64, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort(1, errors.New("rank died"))
+
+	if done, _, err := comms[0].Test(matched); err != nil || !done {
+		t.Fatalf("Test of matched request = (%v, %v), want completion", done, err)
+	}
+	if _, _, err := comms[0].Test(unmatched); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Test of unmatched request returned %v, want ErrAborted", err)
+	}
+}
+
+// TestIprobeTerminatesOnAbort: an Iprobe poll still finds a pre-abort
+// delivery, and fails (rather than reporting "no message" forever) for
+// an envelope the dead rank never sent.
+func TestIprobeTerminatesOnAbort(t *testing.T) {
+	w := NewWorld(2)
+	comms := attach(t, w)
+	sbuf := comms[1].mem.Alloc(64, memspace.KindHostPageable)
+	if err := comms[1].Send(sbuf, 8, Float64, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort(1, errors.New("rank died"))
+
+	if ok, st, err := comms[0].Iprobe(1, 7); err != nil || !ok || st.Count != 8 {
+		t.Fatalf("Iprobe of pre-abort delivery = (%v, %+v, %v), want found", ok, st, err)
+	}
+	if _, _, err := comms[0].Iprobe(1, 99); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Iprobe of never-sent envelope returned %v, want ErrAborted", err)
+	}
+}
+
+// TestPostAbortBufferedSend: a buffered send after an abort still
+// succeeds — it never blocks on the dead peer, so it can complete, and
+// completion always wins.
+func TestPostAbortBufferedSend(t *testing.T) {
+	w := NewWorld(2)
+	comms := attach(t, w)
+	w.Abort(1, errors.New("rank died"))
+	sbuf := comms[0].mem.Alloc(64, memspace.KindHostPageable)
+	if err := comms[0].Send(sbuf, 8, Float64, 1, 0); err != nil {
+		t.Fatalf("post-abort buffered Send returned %v, want success", err)
+	}
+}

@@ -65,7 +65,14 @@ func (w *World) contribute(op *collOp, seq int64, rank int, name string, data []
 	case <-op.done:
 		return nil
 	case <-w.aborted:
-		return w.abortErr
+		// Completion wins over a concurrent abort: if the last rank
+		// arrived while the abort raced in, the collective finished.
+		select {
+		case <-op.done:
+			return nil
+		default:
+			return w.abortErr
+		}
 	}
 }
 

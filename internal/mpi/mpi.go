@@ -206,8 +206,16 @@ func (w *World) Size() int { return w.size }
 
 // Abort marks the job aborted on behalf of rank (the MPI_Abort analog,
 // also used when a rank's application code dies). Every rank blocked in
-// a matching or collective call unblocks with ErrAborted, and all
-// future calls fail fast. The first abort wins; later ones are no-ops.
+// a matching or collective call that can no longer complete unblocks
+// with ErrAborted, and future blocking calls and polls fail the same
+// way once their operation is provably dead. Operations that can still
+// complete — buffered sends, receives matched by messages the dead rank
+// delivered before dying — are allowed to finish first: completion
+// always wins over a concurrent abort, which is what makes a faulted
+// run's behaviour a pure function of the fault plan rather than of
+// goroutine scheduling (the campaign scheduler's byte-identical-report
+// guarantee relies on this). The first abort wins; later ones are
+// no-ops.
 func (w *World) Abort(rank int, cause error) {
 	w.abortMu.Lock()
 	defer w.abortMu.Unlock()
@@ -282,13 +290,17 @@ func (c *Comm) SetHooks(h Hooks) {
 // MPI calls (nil uninstalls). See internal/faults.
 func (c *Comm) SetInjector(in *faults.Injector) { c.inj = in }
 
-// enter runs the per-call checks shared by every MPI operation: an
-// already-aborted job fails fast, and the rank-abort fault site can
-// fire, killing the job as if this rank died at this call.
+// enter runs the per-call bookkeeping shared by every full MPI
+// operation: the rank-abort fault site can fire, killing the job as if
+// this rank died at this call. There is deliberately no global
+// "aborted?" fast-fail here — whether an unrelated rank's death has
+// become visible at this instant is a wall-clock race, and failing on
+// it would make a rank's progress (and therefore its fault-site
+// occurrence counters and race verdicts) scheduling-dependent. A job
+// abort is instead observed at completion points (waitAbortable, Test,
+// Iprobe), where "this operation can never complete" is a deterministic
+// property of the fault plan.
 func (c *Comm) enter() error {
-	if err := c.world.Aborted(); err != nil {
-		return err
-	}
 	if f := c.inj.Fire(faults.MPIRankAbort); f != nil {
 		c.world.Abort(c.rank, f)
 		return fmt.Errorf("rank %d aborted: %w", c.rank, f)
@@ -297,7 +309,11 @@ func (c *Comm) enter() error {
 }
 
 // waitAbortable blocks on ch, unblocking with the abort error if the
-// job dies first. An already-ready ch wins over a concurrent abort.
+// job dies first. Completion always wins over an abort: everything the
+// dead rank delivered happens-before its abort flag (its deliveries and
+// its World.Abort run on one goroutine, and observing the closed abort
+// channel establishes the edge), so when the abort is visible and ch is
+// still not ready, the completion is provably never coming.
 func (c *Comm) waitAbortable(ch <-chan struct{}) error {
 	select {
 	case <-ch:
@@ -308,6 +324,11 @@ func (c *Comm) waitAbortable(ch <-chan struct{}) error {
 	case <-ch:
 		return nil
 	case <-c.world.aborted:
+		select {
+		case <-ch:
+			return nil
+		default:
+		}
 		return c.world.abortErr
 	}
 }

@@ -133,28 +133,50 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 	})
 	chosen, _, _ := reflect.Select(cases)
 	if chosen == len(reqs) {
+		// Abort woke us, but a request that completed concurrently still
+		// wins: re-poll before surfacing the abort.
+		if chosen, _, _ := reflect.Select(poll); chosen < len(reqs) {
+			st, err := c.Wait(reqs[chosen])
+			return chosen, st, err
+		}
 		return -1, Status{}, c.world.abortErr
 	}
 	st, err := c.Wait(reqs[chosen])
 	return chosen, st, err
 }
 
-// Iprobe checks non-blockingly for a matching incoming message without
-// receiving it (MPI_Iprobe).
-func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
-	if err := c.checkPeer(src, true); err != nil {
-		return false, Status{}, err
-	}
-	if err := c.enter(); err != nil {
-		return false, Status{}, err
-	}
+// findMatch scans this rank's mailbox for a delivered message matching
+// (src, tag) without consuming it.
+func (c *Comm) findMatch(src, tag int) (bool, Status) {
 	mb := c.world.boxes[c.rank]
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for _, p := range mb.sends {
 		if envelopeMatch(src, tag, p) {
-			return true, statusOf(p), nil
+			return true, statusOf(p)
 		}
+	}
+	return false, Status{}
+}
+
+// Iprobe checks non-blockingly for a matching incoming message without
+// receiving it (MPI_Iprobe). Like Test, a poll is not a failure point:
+// no fault site fires here, so occurrence numbering is independent of
+// how many times a polling loop spins before its message arrives. Once
+// a job abort is visible the poll fails — after one final re-scan, so
+// a message the dead rank delivered before dying is still found.
+func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
+	if err := c.checkPeer(src, true); err != nil {
+		return false, Status{}, err
+	}
+	if ok, st := c.findMatch(src, tag); ok {
+		return true, st, nil
+	}
+	if err := c.world.Aborted(); err != nil {
+		if ok, st := c.findMatch(src, tag); ok {
+			return true, st, nil
+		}
+		return false, Status{}, err
 	}
 	return false, Status{}, nil
 }
@@ -185,6 +207,13 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	case st := <-w.found:
 		return st, nil
 	case <-c.world.aborted:
-		return Status{}, c.world.abortErr
+		// Completion wins over a concurrent abort: a match delivered
+		// while the abort raced in is still taken.
+		select {
+		case st := <-w.found:
+			return st, nil
+		default:
+			return Status{}, c.world.abortErr
+		}
 	}
 }

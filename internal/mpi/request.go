@@ -169,6 +169,13 @@ func (c *Comm) WaitAll(reqs ...*Request) error {
 
 // Test polls a request (MPI_Test). With the eager transport, a send is
 // always complete and a receive is complete once matched.
+//
+// A poll is not a failure point: Test fires no rank-abort site and the
+// delayed-completion site fires only for a request that could complete,
+// so fault-site occurrence numbering stays a pure function of program
+// order — the number of fruitless iterations a Test busy-wait performs
+// before its message arrives is wall-clock noise and must not shift
+// which occurrence a fault plan hits.
 func (c *Comm) Test(req *Request) (bool, Status, error) {
 	if req == nil || req.comm != c {
 		return false, Status{}, fmt.Errorf("%w: foreign or nil request", ErrRequest)
@@ -176,23 +183,30 @@ func (c *Comm) Test(req *Request) (bool, Status, error) {
 	if req.done {
 		return true, req.st, nil
 	}
-	// An aborted job fails the poll immediately: a Test loop must not
-	// spin forever waiting for a message a dead rank will never send.
-	if err := c.enter(); err != nil {
-		return false, Status{}, err
+	if req.kind == ReqRecv {
+		select {
+		case <-req.post.done:
+		default:
+			// Not matched yet. If the job is aborted the match can never
+			// arrive (the dead rank's deliveries happen-before its abort
+			// flag), so fail the poll — a Test loop must not spin forever
+			// waiting for a message a dead rank will never send.
+			if err := c.world.Aborted(); err != nil {
+				select {
+				case <-req.post.done:
+				default:
+					return false, Status{}, err
+				}
+			} else {
+				return false, Status{}, nil
+			}
+		}
 	}
 	// Delayed completion: report "not yet" even though the request could
 	// complete — legal under MPI progress semantics, so the tool's
 	// verdict must be unaffected.
 	if f := c.inj.Fire(faults.MPIDelayCompletion); f != nil {
 		return false, Status{}, nil
-	}
-	if req.kind == ReqRecv {
-		select {
-		case <-req.post.done:
-		default:
-			return false, Status{}, nil
-		}
 	}
 	st, err := c.Wait(req)
 	if err != nil {

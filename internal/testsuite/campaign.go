@@ -1,0 +1,224 @@
+package testsuite
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cusango/internal/campaign"
+	"cusango/internal/faults"
+	"cusango/internal/mpi"
+	"cusango/internal/tsan"
+)
+
+// Campaign adapter: enumerates the suite's three sweep families —
+// plain classification, chaos soak, replay parity — as campaign jobs
+// and executes them. ExecuteJob is a pure function of the job identity
+// (the MPI layer's prefer-completion abort protocol guarantees faulted
+// runs are schedule-independent), so the campaign engine may shard
+// jobs across workers and cache results freely.
+
+// Job kinds understood by ExecuteJob.
+const (
+	KindSuite  = "suite"  // plain classification: Verdict must Pass
+	KindChaos  = "chaos"  // fault soak: ChaosVerdict must stay trustworthy
+	KindReplay = "replay" // record + offline replay must agree
+)
+
+// SuiteJobs enumerates one classification job per (engine, case).
+func SuiteJobs(cases []Case, engines []tsan.Engine) []campaign.Job {
+	var jobs []campaign.Job
+	for _, eng := range engines {
+		for _, c := range cases {
+			jobs = append(jobs, campaign.Job{
+				Kind: KindSuite, Case: c.Name, Engine: eng.String(),
+			})
+		}
+	}
+	return jobs
+}
+
+// ChaosJobs enumerates one soak job per (seed, engine, case) — the
+// same nesting order the serial ChaosSoak used, so reports read in
+// the familiar order.
+func ChaosJobs(cases []Case, seeds []uint64, rate float64, engines []tsan.Engine) []campaign.Job {
+	var jobs []campaign.Job
+	for _, seed := range seeds {
+		spec := faults.Seeded(seed, rate).String()
+		for _, eng := range engines {
+			for _, c := range cases {
+				jobs = append(jobs, campaign.Job{
+					Kind: KindChaos, Case: c.Name, Engine: eng.String(),
+					Seed: seed, Faults: spec,
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// ReplayJobs enumerates one record-and-replay parity job per
+// (engine, case).
+func ReplayJobs(cases []Case, engines []tsan.Engine) []campaign.Job {
+	var jobs []campaign.Job
+	for _, eng := range engines {
+		for _, c := range cases {
+			jobs = append(jobs, campaign.Job{
+				Kind: KindReplay, Case: c.Name, Engine: eng.String(),
+			})
+		}
+	}
+	return jobs
+}
+
+// AllJobs enumerates every sweep family over the full suite.
+func AllJobs(cases []Case, seeds []uint64, rate float64, engines []tsan.Engine) []campaign.Job {
+	jobs := SuiteJobs(cases, engines)
+	jobs = append(jobs, ChaosJobs(cases, seeds, rate, engines)...)
+	jobs = append(jobs, ReplayJobs(cases, engines)...)
+	return jobs
+}
+
+var caseIndex = sync.OnceValue(func() map[string]Case {
+	m := make(map[string]Case)
+	for _, c := range Cases() {
+		m[c.Name] = c
+	}
+	return m
+})
+
+// ExecuteJob runs one campaign job. It is safe for concurrent use and
+// deterministic in the job identity; infrastructure problems (unknown
+// case, malformed spec) yield an error record, never a panic.
+func ExecuteJob(j campaign.Job) *campaign.Record {
+	c, ok := caseIndex()[j.Case]
+	if !ok {
+		return errRecord(fmt.Sprintf("unknown case %q", j.Case))
+	}
+	engine, err := tsan.ParseEngine(j.Engine)
+	if err != nil {
+		return errRecord(err.Error())
+	}
+	switch j.Kind {
+	case KindSuite:
+		return execSuite(c, engine)
+	case KindChaos:
+		return execChaos(c, j.Faults, engine)
+	case KindReplay:
+		return execReplay(c, engine)
+	default:
+		return errRecord(fmt.Sprintf("unknown job kind %q", j.Kind))
+	}
+}
+
+func errRecord(msg string) *campaign.Record {
+	return &campaign.Record{Verdict: campaign.VerdictError, AppFault: msg}
+}
+
+func execSuite(c Case, engine tsan.Engine) *campaign.Record {
+	v := RunCaseTSan(c, tsan.Config{Engine: engine})
+	r := &campaign.Record{
+		Verdict: campaign.VerdictPass,
+		Races:   int(v.Races),
+		Issues:  len(v.Issues),
+	}
+	if v.Err != nil {
+		r.Verdict = campaign.VerdictError
+		r.AppFault = v.Err.Error()
+		r.Findings = append(r.Findings,
+			campaign.NewFinding("misclassification", c.Name, "run error: "+v.Err.Error()))
+		return r
+	}
+	if !v.Pass() {
+		r.Verdict = campaign.VerdictFail
+		r.Findings = append(r.Findings, campaign.NewFinding("misclassification", c.Name,
+			fmt.Sprintf("races=%d issues=%d, expect race=%v issue=%v",
+				v.Races, len(v.Issues), c.ExpectRace, c.ExpectIssue)))
+	}
+	return r
+}
+
+func execChaos(c Case, spec string, engine tsan.Engine) *campaign.Record {
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		return errRecord(fmt.Sprintf("bad fault spec %q: %v", spec, err))
+	}
+	v := RunChaosCase(c, plan, engine)
+	r := &campaign.Record{
+		Verdict:  campaign.VerdictPass,
+		Races:    int(v.Races),
+		Degraded: len(v.Degraded),
+	}
+	for _, f := range v.Injected {
+		r.Injected = append(r.Injected, f.Spec())
+	}
+	r.AppFault = faultLabel(v.AppFault)
+	if !v.OK() {
+		r.Verdict = campaign.VerdictFail
+		for _, viol := range v.Violations {
+			r.Findings = append(r.Findings,
+				campaign.NewFinding("chaos-violation", c.Name, viol))
+		}
+	}
+	return r
+}
+
+// faultLabel reduces an attributable rank error to a deterministic
+// label: the injected fault's replay spec, abort collateral, or the
+// error text.
+func faultLabel(err error) string {
+	if err == nil {
+		return ""
+	}
+	if f, ok := faults.Extract(err); ok {
+		return f.Spec()
+	}
+	if errors.Is(err, mpi.ErrAborted) {
+		return "aborted"
+	}
+	return err.Error()
+}
+
+func execReplay(c Case, engine tsan.Engine) *campaign.Record {
+	tcfg := tsan.Config{Engine: engine}
+	live, blobs, err := RecordCase(c, tcfg)
+	if err != nil {
+		return errRecord("record: " + err.Error())
+	}
+	replayed, err := ReplayTraces(c, blobs, tcfg)
+	if err != nil {
+		return errRecord("replay: " + err.Error())
+	}
+	r := &campaign.Record{
+		Verdict: campaign.VerdictPass,
+		Races:   int(live.Races),
+		Issues:  len(live.Issues),
+	}
+	fail := func(detail string) {
+		r.Verdict = campaign.VerdictFail
+		r.Findings = append(r.Findings,
+			campaign.NewFinding("replay-parity", c.Name, detail))
+	}
+	if live.Races != replayed.Races {
+		fail(fmt.Sprintf("race count: live %d, replayed %d", live.Races, replayed.Races))
+	}
+	lk, rk := issueKeys(live.Issues), issueKeys(replayed.Issues)
+	if len(lk) != len(rk) {
+		fail(fmt.Sprintf("issues: live %v, replayed %v", lk, rk))
+	} else {
+		for i := range lk {
+			if lk[i] != rk[i] {
+				fail(fmt.Sprintf("issue %d: live %q, replayed %q", i, lk[i], rk[i]))
+			}
+		}
+	}
+	if live.Pass() != replayed.Pass() {
+		fail(fmt.Sprintf("verdict: live pass=%v, replayed pass=%v", live.Pass(), replayed.Pass()))
+	}
+	if !live.Pass() {
+		r.Verdict = campaign.VerdictFail
+		r.Findings = append(r.Findings,
+			campaign.NewFinding("misclassification", c.Name, "live run failed expectation: "+live.String()))
+	}
+	return r
+}

@@ -1,0 +1,106 @@
+package testsuite
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"cusango/internal/campaign"
+)
+
+// fullCampaignJobs is the acceptance workload: full classification +
+// chaos schedules + replay parity, both shadow engines.
+func fullCampaignJobs(seeds int) []campaign.Job {
+	s := make([]uint64, seeds)
+	for i := range s {
+		s[i] = uint64(i + 1)
+	}
+	return AllJobs(Cases(), s, 0.05, bothEngines)
+}
+
+// TestCampaignDeterministicAcrossWorkers: the canonical report is
+// byte-identical for 1 and 8 workers over the full suite + chaos +
+// replay workload, both engines — the tentpole guarantee.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-campaign determinism is a long acceptance run")
+	}
+	jobs := fullCampaignJobs(3)
+	var reports [2]bytes.Buffer
+	for i, workers := range []int{1, 8} {
+		rep := campaign.Run(jobs, ExecuteJob, campaign.Options{Workers: workers})
+		if err := rep.WriteJSONL(&reports[i], false); err != nil {
+			t.Fatal(err)
+		}
+		if pass, fail, errs := rep.Counts(); fail != 0 || errs != 0 {
+			t.Fatalf("workers=%d: pass=%d fail=%d error=%d; findings: %v",
+				workers, pass, fail, errs, rep.UniqueFindings())
+		}
+	}
+	if !bytes.Equal(reports[0].Bytes(), reports[1].Bytes()) {
+		t.Fatal("canonical campaign report differs between 1 and 8 workers")
+	}
+}
+
+// TestCampaignWarmCache: a second run against a warm directory cache
+// executes zero jobs, reports 100% cache hits, and emits the identical
+// canonical report; changing the build salt invalidates everything.
+func TestCampaignWarmCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warm-cache acceptance run executes the suite twice")
+	}
+	jobs := fullCampaignJobs(1)
+	cache, err := campaign.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs atomic.Int64
+	exec := func(j campaign.Job) *campaign.Record {
+		execs.Add(1)
+		return ExecuteJob(j)
+	}
+
+	cold := campaign.Run(jobs, exec, campaign.Options{Workers: 8, Cache: cache, Salt: "build-a"})
+	if got := execs.Load(); got != int64(len(jobs)) {
+		t.Fatalf("cold run executed %d of %d jobs", got, len(jobs))
+	}
+	warm := campaign.Run(jobs, exec, campaign.Options{Workers: 8, Cache: cache, Salt: "build-a"})
+	if got := execs.Load(); got != int64(len(jobs)) {
+		t.Fatalf("warm run executed %d jobs, want 0", got-int64(len(jobs)))
+	}
+	if warm.Executed != 0 || warm.CacheHits != len(jobs) {
+		t.Fatalf("warm run: executed=%d cache-hits=%d, want 0/%d", warm.Executed, warm.CacheHits, len(jobs))
+	}
+	var a, b bytes.Buffer
+	if err := cold.WriteJSONL(&a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.WriteJSONL(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("warm-cache canonical report differs from cold run")
+	}
+
+	// A new build salt must invalidate every entry.
+	salted := campaign.Run(jobs, exec, campaign.Options{Workers: 8, Cache: cache, Salt: "build-b"})
+	if salted.CacheHits != 0 || salted.Executed != len(jobs) {
+		t.Fatalf("salted run: executed=%d cache-hits=%d, want %d/0",
+			salted.Executed, salted.CacheHits, len(jobs))
+	}
+}
+
+// TestSuiteJobsViaCampaign: the campaign suite path classifies every
+// case exactly like the direct RunCase path.
+func TestSuiteJobsViaCampaign(t *testing.T) {
+	jobs := SuiteJobs(Cases(), bothEngines)
+	rep := campaign.Run(jobs, ExecuteJob, campaign.Options{})
+	if len(rep.Records) != 2*len(Cases()) {
+		t.Fatalf("%d records, want %d", len(rep.Records), 2*len(Cases()))
+	}
+	for _, r := range rep.Records {
+		if r.Verdict != campaign.VerdictPass {
+			t.Errorf("%s [%s]: %s — %v", r.Case, r.Engine, r.Verdict, r.Findings)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cusango/internal/campaign"
 	"cusango/internal/core"
 	"cusango/internal/faults"
 	"cusango/internal/mpi"
@@ -145,7 +146,9 @@ type SoakReport struct {
 	Faulted    int // runs where at least one fault fired
 	Injected   int // total faults fired
 	Degraded   int // contained checker crashes
-	Violations []*ChaosVerdict
+	Violations []string
+	// Campaign is the underlying job-level report (JSONL-exportable).
+	Campaign *campaign.Report
 }
 
 func (r *SoakReport) String() string {
@@ -154,24 +157,29 @@ func (r *SoakReport) String() string {
 }
 
 // ChaosSoak runs every case under every (seed, engine) schedule at the
-// given per-site rate and aggregates trust violations.
+// given per-site rate and aggregates trust violations. Jobs dispatch
+// through the campaign engine across NumCPU workers; the aggregate is
+// identical to the historical serial sweep because each job's verdict
+// is a pure function of its (case, plan, engine) identity.
 func ChaosSoak(seeds []uint64, rate float64, engines []tsan.Engine) *SoakReport {
-	rep := &SoakReport{}
-	for _, seed := range seeds {
-		plan := faults.Seeded(seed, rate)
-		for _, eng := range engines {
-			for _, c := range Cases() {
-				v := RunChaosCase(c, plan, eng)
-				rep.Runs++
-				rep.Injected += len(v.Injected)
-				rep.Degraded += len(v.Degraded)
-				if len(v.Injected) > 0 {
-					rep.Faulted++
-				}
-				if !v.OK() {
-					rep.Violations = append(rep.Violations, v)
-				}
-			}
+	return ChaosSoakN(seeds, rate, engines, 0)
+}
+
+// ChaosSoakN is ChaosSoak with an explicit worker count (0 = NumCPU).
+func ChaosSoakN(seeds []uint64, rate float64, engines []tsan.Engine, workers int) *SoakReport {
+	jobs := ChaosJobs(Cases(), seeds, rate, engines)
+	crep := campaign.Run(jobs, ExecuteJob, campaign.Options{Workers: workers})
+	rep := &SoakReport{Campaign: crep}
+	for _, r := range crep.Records {
+		rep.Runs++
+		rep.Injected += len(r.Injected)
+		rep.Degraded += r.Degraded
+		if len(r.Injected) > 0 {
+			rep.Faulted++
+		}
+		for _, f := range r.Findings {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("chaos seed=%d engine=%s :: %s: %s", r.Seed, r.Engine, f.Case, f.Detail))
 		}
 	}
 	return rep

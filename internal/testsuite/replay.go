@@ -3,12 +3,27 @@ package testsuite
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"cusango/internal/core"
 	"cusango/internal/cuda"
+	"cusango/internal/must"
 	"cusango/internal/trace"
 	"cusango/internal/tsan"
 )
+
+// issueKeys reduces MUST findings to comparable, order-independent
+// (kind, call) pairs. Detail strings are excluded: the request-leak
+// detail joins outstanding requests in map order, which is not
+// deterministic for multiple leaks — but the set of findings is.
+func issueKeys(issues []*must.Issue) []string {
+	keys := make([]string, len(issues))
+	for i, is := range issues {
+		keys[i] = fmt.Sprintf("%s/%s", is.Kind, is.Call)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Record/replay support: every suite case can be run with per-rank
 // trace recording and then re-analyzed offline from the recorded event

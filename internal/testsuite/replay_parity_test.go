@@ -1,76 +1,36 @@
 package testsuite
 
 import (
-	"fmt"
-	"sort"
 	"testing"
 
-	"cusango/internal/must"
+	"cusango/internal/campaign"
 	"cusango/internal/tsan"
 )
-
-// issueKeys reduces MUST findings to comparable, order-independent
-// (kind, call) pairs. Detail strings are excluded: the request-leak
-// detail joins outstanding requests in map order, which is not
-// deterministic for multiple leaks — but the set of findings is.
-func issueKeys(issues []*must.Issue) []string {
-	keys := make([]string, len(issues))
-	for i, is := range issues {
-		keys[i] = fmt.Sprintf("%s/%s", is.Kind, is.Call)
-	}
-	sort.Strings(keys)
-	return keys
-}
 
 // TestReplayParity records every suite case and replays the traces
 // offline, requiring identical classification: same pass/fail verdict,
 // same total race count, and the same multiset of MUST finding kinds.
 // This is the determinism guarantee of the trace subsystem, asserted
 // over the full feature surface the suite covers, under both shadow
-// engines.
+// engines. The sweep dispatches through the campaign engine — parity
+// checking is embarrassingly parallel — and any divergence surfaces
+// as a replay-parity finding on the job record.
 func TestReplayParity(t *testing.T) {
-	engines := []struct {
-		name string
-		cfg  tsan.Config
-	}{
-		{"fast", tsan.Config{Engine: tsan.EngineBatched}},
-		{"slow", tsan.Config{Engine: tsan.EngineSlow}},
+	jobs := ReplayJobs(Cases(), bothEngines)
+	rep := campaign.Run(jobs, ExecuteJob, campaign.Options{})
+	if len(rep.Records) != len(jobs) {
+		t.Fatalf("%d records for %d jobs", len(rep.Records), len(jobs))
 	}
-	for _, eng := range engines {
-		eng := eng
-		t.Run(eng.name, func(t *testing.T) {
-			for _, c := range Cases() {
-				c := c
-				t.Run(c.Name, func(t *testing.T) {
-					live, blobs, err := RecordCase(c, eng.cfg)
-					if err != nil {
-						t.Fatalf("record: %v", err)
-					}
-					replayed, err := ReplayTraces(c, blobs, eng.cfg)
-					if err != nil {
-						t.Fatalf("replay: %v", err)
-					}
-					if live.Races != replayed.Races {
-						t.Errorf("race count: live %d, replayed %d", live.Races, replayed.Races)
-					}
-					lk, rk := issueKeys(live.Issues), issueKeys(replayed.Issues)
-					if len(lk) != len(rk) {
-						t.Fatalf("issues: live %v, replayed %v", lk, rk)
-					}
-					for i := range lk {
-						if lk[i] != rk[i] {
-							t.Errorf("issue %d: live %q, replayed %q", i, lk[i], rk[i])
-						}
-					}
-					if live.Pass() != replayed.Pass() {
-						t.Errorf("verdict: live pass=%v, replayed pass=%v", live.Pass(), replayed.Pass())
-					}
-					if !live.Pass() {
-						t.Errorf("live run itself failed expectation: %s", live)
-					}
-				})
+	for _, r := range rep.Records {
+		if r.Verdict != campaign.VerdictPass {
+			t.Errorf("%s [%s]: %s", r.Case, r.Engine, r.Verdict)
+			for _, f := range r.Findings {
+				t.Errorf("  [%s] %s: %s", f.FP, f.Kind, f.Detail)
 			}
-		})
+			if r.AppFault != "" {
+				t.Errorf("  app fault: %s", r.AppFault)
+			}
+		}
 	}
 }
 
