@@ -7,6 +7,7 @@
 //	cusan-bench [-experiment all|fig10|fig11|table1|fig12|ablation|cells|engine|campaign]
 //	            [-app jacobi,tealeaf,halo2d] [-engine batched|slow]
 //	            [-runs N] [-warmup N] [-ranks N]
+//	            [-cpuprofile f] [-memprofile f]
 //	            [-jacobi-nx N] [-jacobi-ny N] [-jacobi-iters N]
 //	            [-tealeaf-nx N] [-tealeaf-ny N] [-tealeaf-iters N]
 //	            [-halo2d-nx N] [-halo2d-ny N] [-halo2d-iters N]
@@ -19,10 +20,17 @@ import (
 	"strings"
 
 	"cusango/internal/bench"
+	"cusango/internal/perf"
 	"cusango/internal/tsan"
 )
 
+// main routes every exit through run so the pprof stop hook always
+// fires — a profile of a failing experiment is the point.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	cfg := bench.DefaultConfig()
 	experiment := flag.String("experiment", "all",
 		"which experiment to run: all, fig10, fig11, table1, fig12, ablation, cells, engine, campaign")
@@ -42,12 +50,14 @@ func main() {
 	flag.IntVar(&cfg.Halo2DCfg.NX, "halo2d-nx", cfg.Halo2DCfg.NX, "Halo2D global NX")
 	flag.IntVar(&cfg.Halo2DCfg.NY, "halo2d-ny", cfg.Halo2DCfg.NY, "Halo2D global NY")
 	flag.IntVar(&cfg.Halo2DCfg.Iters, "halo2d-iters", cfg.Halo2DCfg.Iters, "Halo2D iterations")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	eng, err := tsan.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cusan-bench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	cfg.TSanCfg.Engine = eng
 
@@ -57,11 +67,28 @@ func main() {
 			app, err := bench.ParseApp(name)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cusan-bench: %v\n", err)
-				os.Exit(2)
+				return 2
 			}
 			cfg.Apps = append(cfg.Apps, app)
 		}
 	}
+
+	stop, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cusan-bench: %v\n", err)
+		return 3
+	}
+	code := runExperiments(cfg, *experiment)
+	if err := stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "cusan-bench: %v\n", err)
+		if code == 0 {
+			code = 3
+		}
+	}
+	return code
+}
+
+func runExperiments(cfg bench.Config, experiment string) int {
 
 	type exp struct {
 		name string
@@ -79,19 +106,20 @@ func main() {
 	}
 	ran := false
 	for _, e := range all {
-		if *experiment != "all" && *experiment != e.name {
+		if experiment != "all" && experiment != e.name {
 			continue
 		}
 		ran = true
 		tab, err := e.run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cusan-bench: %s: %v\n", e.name, err)
-			os.Exit(1)
+			return 1
 		}
 		tab.Render(os.Stdout)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "cusan-bench: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "cusan-bench: unknown experiment %q\n", experiment)
+		return 2
 	}
+	return 0
 }

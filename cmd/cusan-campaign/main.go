@@ -7,6 +7,7 @@
 //	cusan-campaign [-j N] [-kinds suite,chaos,replay] [-filter substr]
 //	               [-engines fast,slow] [-seeds N] [-faults-rate R]
 //	               [-cache dir] [-salt s] [-out report.jsonl] [-timings] [-v]
+//	               [-cpuprofile f] [-memprofile f]
 //
 // The canonical report (default) is byte-identical for any -j: results
 // aggregate in job enumeration order and wall-clock facts (durations,
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"cusango/internal/campaign"
+	"cusango/internal/perf"
 	"cusango/internal/testsuite"
 	"cusango/internal/tsan"
 )
@@ -47,7 +49,14 @@ const (
 	exitDegraded = 4
 )
 
+// main routes every exit through run so the pprof stop hook fires
+// before the process dies — a profile of a slow or failing campaign
+// is exactly what the flags are for.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	jobs := flag.Int("j", runtime.NumCPU(), "worker count")
 	kindsFlag := flag.String("kinds", "suite,chaos,replay",
 		"job kinds to enumerate: suite, chaos, replay")
@@ -61,6 +70,8 @@ func main() {
 	timings := flag.Bool("timings", false,
 		"emit volatile report fields (durations, cache status) — not byte-stable")
 	verbose := flag.Bool("v", false, "print every non-pass record")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	var engines []tsan.Engine
@@ -68,13 +79,13 @@ func main() {
 		eng, err := tsan.ParseEngine(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
-			os.Exit(exitUsage)
+			return exitUsage
 		}
 		engines = append(engines, eng)
 	}
 	if *seeds < 0 || *rate < 0 || *rate > 1 {
 		fmt.Fprintln(os.Stderr, "cusan-campaign: -seeds must be >= 0, -faults-rate in [0,1]")
-		os.Exit(exitUsage)
+		return exitUsage
 	}
 
 	cases := testsuite.Cases()
@@ -88,7 +99,7 @@ func main() {
 		cases = kept
 		if len(cases) == 0 {
 			fmt.Fprintf(os.Stderr, "cusan-campaign: no case matches %q\n", *filter)
-			os.Exit(exitUsage)
+			return exitUsage
 		}
 	}
 	seedList := make([]uint64, *seeds)
@@ -107,7 +118,7 @@ func main() {
 			jobList = append(jobList, testsuite.ReplayJobs(cases, engines)...)
 		default:
 			fmt.Fprintf(os.Stderr, "cusan-campaign: unknown kind %q\n", kind)
-			os.Exit(exitUsage)
+			return exitUsage
 		}
 	}
 
@@ -116,7 +127,7 @@ func main() {
 		cache, err := campaign.OpenDir(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
-			os.Exit(exitError)
+			return exitError
 		}
 		opt.Cache = cache
 		opt.Salt = *salt
@@ -125,7 +136,16 @@ func main() {
 		}
 	}
 
+	stopProfiles, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
+		return exitError
+	}
 	rep := campaign.Run(jobList, testsuite.ExecuteJob, opt)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
+		return exitError
+	}
 	fmt.Fprint(os.Stderr, "\r\033[K") // clear the progress line
 
 	if *out != "" {
@@ -134,14 +154,14 @@ func main() {
 			f, err := os.Create(*out)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
-				os.Exit(exitError)
+				return exitError
 			}
 			defer f.Close()
 			w = f
 		}
 		if err := rep.WriteJSONL(w, *timings); err != nil {
 			fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
-			os.Exit(exitError)
+			return exitError
 		}
 	}
 
@@ -167,13 +187,13 @@ func main() {
 	// its jobs cannot vouch for "clean".
 	switch {
 	case infraErrs > 0:
-		os.Exit(exitError)
+		return exitError
 	case degraded > 0:
-		os.Exit(exitDegraded)
+		return exitDegraded
 	case fail > 0:
-		os.Exit(exitFindings)
+		return exitFindings
 	}
-	os.Exit(exitClean)
+	return exitClean
 }
 
 // progressLine returns a throttled \r-progress callback for stderr.

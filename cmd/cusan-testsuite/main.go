@@ -82,6 +82,10 @@ func emitFeatureDoc(cases []testsuite.Case) {
 	fmt.Println("full matrix — plain classification, chaos soak under seeded fault")
 	fmt.Println("schedules, and record/replay parity — across both shadow engines in")
 	fmt.Println("parallel, with byte-deterministic JSONL reports (DESIGN.md §10).")
+	fmt.Println()
+	fmt.Println("Checker performance is tracked separately: `cusan-perf` records the")
+	fmt.Println("benchmark scenario catalog into schema-versioned BENCH files and CI")
+	fmt.Println("gates on regressions against committed baselines (DESIGN.md §11).")
 	byCat := map[string][]testsuite.Case{}
 	var order []string
 	for _, c := range cases {

@@ -50,6 +50,12 @@ func CellsAblation(cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// MeasureTSan is Measure under MUST & CuSan with a custom sanitizer
+// configuration (exported for the perf harness's engine scenarios).
+func MeasureTSan(app App, cfg Config, tcfg tsan.Config) (*Measurement, error) {
+	return measureWithTSan(app, cfg, tcfg)
+}
+
 // measureWithTSan is Measure under MUST & CuSan with a custom sanitizer
 // configuration.
 func measureWithTSan(app App, cfg Config, tcfg tsan.Config) (*Measurement, error) {

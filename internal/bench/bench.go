@@ -100,6 +100,23 @@ func DefaultConfig() Config {
 	}
 }
 
+// ReducedConfig returns the scaled-down workload the perf harness and
+// the top-level benchmarks share: large enough that overhead ratios
+// keep the paper's shape, small enough that R repeats of every flavor
+// fit a CI gate. Changing these sizes changes canonical BENCH params —
+// refresh bench/baselines afterwards.
+func ReducedConfig() Config {
+	return Config{
+		Ranks:      2,
+		Runs:       1,
+		Warmup:     0,
+		JacobiCfg:  jacobi.Config{NX: 128, NY: 64, Iters: 50},
+		TeaLeafCfg: tealeaf.Config{NX: 48, NY: 48, Iters: 20, K: 0.1},
+		Halo2DCfg:  halo2d.Config{NX: 48, NY: 48, Iters: 40},
+		Fig12Sizes: [][2]int{{64, 32}, {128, 64}, {256, 128}},
+	}
+}
+
 // Measurement is one (app, flavor) data point.
 type Measurement struct {
 	App    App

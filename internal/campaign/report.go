@@ -127,6 +127,15 @@ func (rep *Report) Counts() (pass, fail, errs int) {
 	return
 }
 
+// JobsPerSecond reports executed-job throughput over the wall time
+// (0 when nothing executed or no time elapsed).
+func (rep *Report) JobsPerSecond() float64 {
+	if s := rep.Wall.Seconds(); s > 0 && rep.Executed > 0 {
+		return float64(rep.Executed) / s
+	}
+	return 0
+}
+
 // UniqueFinding is a deduplicated finding plus how many jobs saw it.
 type UniqueFinding struct {
 	Finding
@@ -210,8 +219,8 @@ func (rep *Report) Summary() string {
 		len(rep.Records), pass, fail, errs)
 	fmt.Fprintf(&b, "  executed=%d cache-hits=%d workers=%d wall=%s",
 		rep.Executed, rep.CacheHits, rep.Workers, rep.Wall.Round(time.Millisecond))
-	if s := rep.Wall.Seconds(); s > 0 && rep.Executed > 0 {
-		fmt.Fprintf(&b, " (%.0f jobs/s)", float64(rep.Executed)/s)
+	if jps := rep.JobsPerSecond(); jps > 0 {
+		fmt.Fprintf(&b, " (%.0f jobs/s)", jps)
 	}
 	b.WriteString("\n")
 	if uf := rep.UniqueFindings(); len(uf) > 0 {

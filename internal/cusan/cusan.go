@@ -58,40 +58,65 @@ type Options struct {
 // Counters are the CUDA-side event counters CuSan reports (Table I).
 // The TSan-related fields count only the calls CuSan itself issued, so
 // they are separable from MUST's annotations when both tools run.
+// The JSON tags define the counter export schema consumed by the perf
+// harness's BENCH_*.json canonical sections (internal/perf); renaming
+// a tag is a schema change and must bump perf.FormatVersion.
 type Counters struct {
-	Streams     int64
-	Memsets     int64
-	Memcpys     int64
-	SyncCalls   int64
-	KernelCalls int64
-	EventsSeen  int64
+	Streams     int64 `json:"streams"`
+	Memsets     int64 `json:"memsets"`
+	Memcpys     int64 `json:"memcpys"`
+	SyncCalls   int64 `json:"sync_calls"`
+	KernelCalls int64 `json:"kernel_calls"`
+	EventsSeen  int64 `json:"events_seen"`
 	// ExtentMisses counts pointer arguments whose allocation extent could
 	// not be resolved through TypeART (annotation skipped).
-	ExtentMisses int64
+	ExtentMisses int64 `json:"extent_misses"`
 
 	// TSan API calls issued by CuSan (Table I, lower half).
-	FiberSwitches int64
-	HBAnnotations int64
-	HAAnnotations int64
-	ReadRanges    int64
-	WriteRanges   int64
-	ReadBytes     int64
-	WriteBytes    int64
+	FiberSwitches int64 `json:"fiber_switches"`
+	HBAnnotations int64 `json:"hb_annotations"`
+	HAAnnotations int64 `json:"ha_annotations"`
+	ReadRanges    int64 `json:"read_ranges"`
+	WriteRanges   int64 `json:"write_ranges"`
+	ReadBytes     int64 `json:"read_bytes"`
+	WriteBytes    int64 `json:"write_bytes"`
 
 	// Shadow range-engine counters, snapshotted from the sanitizer at
 	// Counters() time (Table I extension: what the annotation traffic
 	// above costs inside the detector). Unlike the call counters these
 	// cover all annotation sources sharing the sanitizer, and stay zero
 	// under the slow reference engine.
-	EnginePages        int64
-	EngineGranules     int64
-	EngineFastGranules int64
-	RangeCacheHits     int64
-	RangeCacheMisses   int64
+	EnginePages        int64 `json:"engine_pages"`
+	EngineGranules     int64 `json:"engine_granules"`
+	EngineFastGranules int64 `json:"engine_fast_granules"`
+	RangeCacheHits     int64 `json:"range_cache_hits"`
+	RangeCacheMisses   int64 `json:"range_cache_misses"`
 	// ShadowPagesShed counts pages dropped by the sanitizer's shadow
 	// budget; non-zero means the run traded completeness (possible
 	// missed races) for bounded memory.
-	ShadowPagesShed int64
+	ShadowPagesShed int64 `json:"shadow_pages_shed"`
+}
+
+// CountersFromStats lifts a raw sanitizer snapshot into the exported
+// counter schema: the annotation-call and range-engine rows that exist
+// outside a CuSan runtime (used by detector-only workloads such as the
+// perf harness's range-engine sweep).
+func CountersFromStats(st tsan.Stats) Counters {
+	return Counters{
+		FiberSwitches:      st.FiberSwitches,
+		HBAnnotations:      st.HappensBefore,
+		HAAnnotations:      st.HappensAfter,
+		ReadRanges:         st.ReadRangeCalls,
+		WriteRanges:        st.WriteRangeCalls,
+		ReadBytes:          st.ReadBytes,
+		WriteBytes:         st.WriteBytes,
+		EnginePages:        st.EnginePages,
+		EngineGranules:     st.EngineGranules,
+		EngineFastGranules: st.EngineFastGranules,
+		RangeCacheHits:     st.RangeCacheHits,
+		RangeCacheMisses:   st.RangeCacheMisses,
+		ShadowPagesShed:    st.ShadowPagesShed,
+	}
 }
 
 // AvgReadKB returns the average bytes per CuSan read-range call in KiB.

@@ -1,0 +1,47 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"cusango/internal/cusan"
+)
+
+// counterFields lists "name: base -> cur" strings for every counter
+// field that differs between the two snapshots, sorted by field name.
+// Both snapshots go through their JSON encoding so the comparison
+// tracks exactly what the canonical section serializes.
+func counterFields(base, cur *cusan.Counters) []string {
+	bm, cm := counterMap(base), counterMap(cur)
+	names := make([]string, 0, len(bm))
+	for n := range bm {
+		names = append(names, n)
+	}
+	for n := range cm {
+		if _, ok := bm[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var out []string
+	for _, n := range names {
+		if bm[n] != cm[n] {
+			out = append(out, fmt.Sprintf("%s: %v -> %v", n, bm[n], cm[n]))
+		}
+	}
+	return out
+}
+
+func counterMap(c *cusan.Counters) map[string]float64 {
+	out := map[string]float64{}
+	if c == nil {
+		return out
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return out
+	}
+	_ = json.Unmarshal(b, &out)
+	return out
+}

@@ -1,0 +1,140 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateOptions configures the enforcement pass.
+type GateOptions struct {
+	Run RunConfig
+	Cmp CompareOptions
+	// Retries is how many confirmation passes a regressed scenario
+	// gets before the regression is confirmed (default 1). Each retry
+	// re-runs the scenario fresh; a metric must regress in the first
+	// pass AND every retry to count — a single-fluke CI blip is
+	// rejected.
+	Retries int
+}
+
+// GateOutcome is the gate's full verdict.
+type GateOutcome struct {
+	// First is the comparison of the initial fresh run.
+	First *Comparison
+	// Confirmed are regressions that survived every retry.
+	Confirmed []MetricDelta
+	// Flukes are first-pass regressions a retry cleared.
+	Flukes []MetricDelta
+	// Drifts are canonical-section mismatches (deterministic; never
+	// retried away).
+	Drifts []Drift
+	// Results is the initial fresh run, for saving as an artifact.
+	Results map[string]*Result
+	// Retried lists the scenarios that got confirmation passes.
+	Retried []string
+}
+
+// Pass reports whether the gate should exit zero.
+func (g *GateOutcome) Pass() bool {
+	return len(g.Confirmed) == 0 && len(g.Drifts) == 0
+}
+
+// Gate runs the scenarios fresh, compares against the baseline, and
+// gives every regressed scenario opt.Retries fresh confirmation runs:
+// only metrics that regress in every pass are confirmed. Canonical
+// drift is deterministic and confirmed immediately.
+func Gate(baseline map[string]*Result, scs []Scenario, opt GateOptions,
+	logf func(format string, args ...any)) (*GateOutcome, error) {
+	if opt.Retries <= 0 {
+		opt.Retries = 1
+	}
+	results, err := RunAll(scs, opt.Run, logf)
+	if err != nil {
+		return nil, err
+	}
+	first := Compare(baseline, results, opt.Cmp)
+	out := &GateOutcome{First: first, Results: results, Drifts: first.Drifts}
+
+	regs := first.Regressions()
+	if len(regs) == 0 {
+		return out, nil
+	}
+
+	// Regressed metrics, grouped by scenario, keyed for confirmation.
+	type key struct{ scenario, metric string }
+	pending := map[key]MetricDelta{}
+	byScenario := map[string]bool{}
+	for _, d := range regs {
+		pending[key{d.Scenario, d.Metric}] = d
+		byScenario[d.Scenario] = true
+	}
+	scenarios := make([]string, 0, len(byScenario))
+	for name := range byScenario {
+		scenarios = append(scenarios, name)
+	}
+	sort.Strings(scenarios)
+	out.Retried = scenarios
+
+	for pass := 0; pass < opt.Retries && len(pending) > 0; pass++ {
+		for _, name := range scenarios {
+			sc, ok := lookupIn(scs, name)
+			if !ok {
+				// Regression on a scenario we cannot re-run (fresh run
+				// lacked it entirely) — stands confirmed.
+				continue
+			}
+			if logf != nil {
+				logf("perf: gate retry %d/%d: %s", pass+1, opt.Retries, name)
+			}
+			res, err := RunScenario(sc, opt.Run)
+			if err != nil {
+				return nil, fmt.Errorf("perf: gate retry %s: %w", name, err)
+			}
+			rerun := Compare(
+				map[string]*Result{name: baseline[name]},
+				map[string]*Result{name: res},
+				opt.Cmp,
+			)
+			still := map[key]bool{}
+			for _, d := range rerun.Regressions() {
+				still[key{d.Scenario, d.Metric}] = true
+			}
+			for k, d := range pending {
+				if k.scenario != name {
+					continue
+				}
+				if !still[k] {
+					out.Flukes = append(out.Flukes, d)
+					delete(pending, k)
+				}
+			}
+		}
+	}
+
+	for _, d := range regs {
+		if _, ok := pending[key{d.Scenario, d.Metric}]; ok {
+			out.Confirmed = append(out.Confirmed, d)
+		}
+	}
+	sortDeltas(out.Confirmed)
+	sortDeltas(out.Flukes)
+	return out, nil
+}
+
+func lookupIn(scs []Scenario, name string) (Scenario, bool) {
+	for _, sc := range scs {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+func sortDeltas(ds []MetricDelta) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Scenario != ds[j].Scenario {
+			return ds[i].Scenario < ds[j].Scenario
+		}
+		return ds[i].Metric < ds[j].Metric
+	})
+}

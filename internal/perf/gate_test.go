@@ -1,0 +1,128 @@
+package perf
+
+import (
+	"testing"
+
+	"cusango/internal/cusan"
+)
+
+// queueScenario returns a scenario whose successive Run calls pop
+// values off the queue (repeating the last one when exhausted), so a
+// test can script "regress on the first pass, recover on the retry".
+func queueScenario(name string, vals []float64, ctrs *cusan.Counters) Scenario {
+	i := 0
+	return Scenario{
+		Name:    name,
+		Doc:     "synthetic",
+		Params:  "synthetic",
+		Metrics: []MetricSpec{{Name: "m", Unit: "x", Class: ClassRatio, Better: BetterLower}},
+		Run: func() (map[string]float64, *cusan.Counters, error) {
+			v := vals[len(vals)-1]
+			if i < len(vals) {
+				v = vals[i]
+			}
+			i++
+			return map[string]float64{"m": v}, ctrs, nil
+		},
+	}
+}
+
+// one repeat, zero warmup: every Gate pass consumes exactly one queue
+// entry, so the scripts below are deterministic.
+var gateRC = RunConfig{Repeats: 1, Warmup: -1}
+
+func mkBaseline(t *testing.T, sc Scenario) map[string]*Result {
+	t.Helper()
+	r, err := RunScenario(sc, gateRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Result{sc.Name: r}
+}
+
+func TestGateClean(t *testing.T) {
+	base := mkBaseline(t, queueScenario("s", []float64{1.0}, nil))
+	sc := queueScenario("s", []float64{1.0}, nil)
+	out, err := Gate(base, []Scenario{sc}, GateOptions{Run: gateRC}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Pass() || len(out.Retried) != 0 {
+		t.Fatalf("clean gate: pass=%v retried=%v", out.Pass(), out.Retried)
+	}
+}
+
+func TestGateFlukeCleared(t *testing.T) {
+	base := mkBaseline(t, queueScenario("s", []float64{1.0}, nil))
+	// First pass regresses (10x), the confirmation run is clean again.
+	sc := queueScenario("s", []float64{10.0, 1.0}, nil)
+	out, err := Gate(base, []Scenario{sc}, GateOptions{Run: gateRC, Retries: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Pass() {
+		t.Fatalf("fluke should be cleared, got confirmed=%v", out.Confirmed)
+	}
+	if len(out.Flukes) != 1 || out.Flukes[0].Metric != "m" {
+		t.Fatalf("fluke not recorded: %+v", out.Flukes)
+	}
+	if len(out.Retried) != 1 || out.Retried[0] != "s" {
+		t.Fatalf("retried = %v", out.Retried)
+	}
+}
+
+func TestGateConfirmedRegression(t *testing.T) {
+	base := mkBaseline(t, queueScenario("s", []float64{1.0}, nil))
+	// Regresses on the first pass AND the retry: confirmed.
+	sc := queueScenario("s", []float64{10.0, 10.0}, nil)
+	out, err := Gate(base, []Scenario{sc}, GateOptions{Run: gateRC, Retries: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pass() {
+		t.Fatalf("persistent regression must fail the gate")
+	}
+	if len(out.Confirmed) != 1 || out.Confirmed[0].Metric != "m" {
+		t.Fatalf("confirmed = %+v", out.Confirmed)
+	}
+	if len(out.Flukes) != 0 {
+		t.Fatalf("unexpected flukes: %+v", out.Flukes)
+	}
+}
+
+func TestGateMultipleRetriesAllMustRegress(t *testing.T) {
+	base := mkBaseline(t, queueScenario("s", []float64{1.0}, nil))
+	// Regresses twice, clears on the final confirmation pass: a metric
+	// must regress in EVERY pass to be confirmed.
+	sc := queueScenario("s", []float64{10.0, 10.0, 1.0}, nil)
+	out, err := Gate(base, []Scenario{sc}, GateOptions{Run: gateRC, Retries: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Pass() {
+		t.Fatalf("metric cleared on pass 3, gate should pass; confirmed=%v", out.Confirmed)
+	}
+	if len(out.Flukes) != 1 {
+		t.Fatalf("flukes = %+v", out.Flukes)
+	}
+}
+
+func TestGateDriftNotRetriedAway(t *testing.T) {
+	base := mkBaseline(t, queueScenario("s", []float64{1.0}, &cusan.Counters{KernelCalls: 5}))
+	// Same timings, drifted counters: deterministic finding, no retry
+	// can clear it.
+	sc := queueScenario("s", []float64{1.0}, &cusan.Counters{KernelCalls: 6})
+	out, err := Gate(base, []Scenario{sc}, GateOptions{Run: gateRC, Retries: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pass() {
+		t.Fatalf("counter drift must fail the gate")
+	}
+	if len(out.Drifts) != 1 {
+		t.Fatalf("drifts = %+v", out.Drifts)
+	}
+	if len(out.Retried) != 0 {
+		t.Fatalf("drift alone must not trigger metric retries, got %v", out.Retried)
+	}
+}

@@ -1,0 +1,150 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cusango/internal/cusan"
+)
+
+// Scenario is one named, repeatable measurement. Run executes a single
+// repeat and returns one sample per metric in the catalog, plus an
+// optional deterministic counter snapshot. Run must be a pure function
+// of the build (no configuration leaks in), so the canonical section
+// assembled from it is byte-stable.
+type Scenario struct {
+	Name string
+	Doc  string
+	// Params is the canonical workload description stamped into the
+	// file; it must change whenever the workload shape changes.
+	Params  string
+	Metrics []MetricSpec
+	// Deterministic marks scenarios whose samples cannot vary (counter
+	// and modeled-memory scenarios): the harness runs them once,
+	// whatever the requested repeat count.
+	Deterministic bool
+	Run           func() (map[string]float64, *cusan.Counters, error)
+}
+
+// RunConfig tunes the harness.
+type RunConfig struct {
+	// Repeats is the measured repeat count R (default 3).
+	Repeats int
+	// Warmup repeats are executed and discarded (default 1).
+	Warmup int
+}
+
+// withDefaults resolves zero fields. Warmup uses -1 for "explicit 0".
+func (rc RunConfig) withDefaults() RunConfig {
+	if rc.Repeats <= 0 {
+		rc.Repeats = 3
+	}
+	if rc.Warmup < 0 {
+		rc.Warmup = 0
+	} else if rc.Warmup == 0 {
+		rc.Warmup = 1
+	}
+	return rc
+}
+
+// RunScenario executes warmup + R repeats and assembles the Result:
+// per-repeat samples, robust summaries, the canonical catalog, and the
+// environment snapshot. The counter snapshot comes from the first
+// measured repeat; any later repeat disagreeing with it is an error
+// (the scenario violated its determinism contract).
+func RunScenario(sc Scenario, rc RunConfig) (*Result, error) {
+	rc = rc.withDefaults()
+	repeats, warmup := rc.Repeats, rc.Warmup
+	if sc.Deterministic {
+		repeats, warmup = 1, 0
+	}
+	start := time.Now()
+	for i := 0; i < warmup; i++ {
+		if _, _, err := sc.Run(); err != nil {
+			return nil, fmt.Errorf("perf: %s: warmup: %w", sc.Name, err)
+		}
+	}
+	samples := make(map[string][]float64, len(sc.Metrics))
+	var counters *cusan.Counters
+	for i := 0; i < repeats; i++ {
+		vals, ctrs, err := sc.Run()
+		if err != nil {
+			return nil, fmt.Errorf("perf: %s: repeat %d: %w", sc.Name, i, err)
+		}
+		for _, spec := range sc.Metrics {
+			v, ok := vals[spec.Name]
+			if !ok {
+				return nil, fmt.Errorf("perf: %s: repeat %d produced no %q", sc.Name, i, spec.Name)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("perf: %s: metric %q is %v", sc.Name, spec.Name, v)
+			}
+			samples[spec.Name] = append(samples[spec.Name], v)
+		}
+		if len(vals) != len(sc.Metrics) {
+			return nil, fmt.Errorf("perf: %s: repeat %d produced %d values, catalog has %d",
+				sc.Name, i, len(vals), len(sc.Metrics))
+		}
+		if i == 0 {
+			counters = ctrs
+		} else if err := sameCounters(counters, ctrs); err != nil {
+			return nil, fmt.Errorf("perf: %s: repeat %d: %w", sc.Name, i, err)
+		}
+	}
+	summary := make(map[string]Summary, len(samples))
+	for name, xs := range samples {
+		summary[name] = Summarize(xs)
+	}
+	return &Result{
+		Canonical: Canonical{
+			V:        FormatVersion,
+			Format:   Format,
+			Scenario: sc.Name,
+			Params:   sc.Params,
+			Metrics:  sc.Metrics,
+			Counters: counters,
+		},
+		Volatile: Volatile{
+			Env:     CaptureEnv(),
+			Repeats: repeats,
+			Warmup:  warmup,
+			Samples: samples,
+			Summary: summary,
+			WallUS:  time.Since(start).Microseconds(),
+		},
+	}, nil
+}
+
+// sameCounters enforces the determinism contract on counter snapshots.
+func sameCounters(a, b *cusan.Counters) error {
+	if (a == nil) != (b == nil) {
+		return fmt.Errorf("counter snapshot flapped between repeats")
+	}
+	if a == nil {
+		return nil
+	}
+	if diffs := counterFields(a, b); len(diffs) > 0 {
+		return fmt.Errorf("nondeterministic counters: %s", diffs[0])
+	}
+	return nil
+}
+
+// RunAll runs the given scenarios and returns the results keyed by
+// name. logf (optional) receives one progress line per scenario.
+func RunAll(scs []Scenario, rc RunConfig, logf func(format string, args ...any)) (map[string]*Result, error) {
+	out := make(map[string]*Result, len(scs))
+	for _, sc := range scs {
+		t0 := time.Now()
+		r, err := RunScenario(sc, rc)
+		if err != nil {
+			return nil, err
+		}
+		out[sc.Name] = r
+		if logf != nil {
+			logf("perf: %-22s %d repeat(s) in %s", sc.Name, r.Volatile.Repeats,
+				time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	return out, nil
+}

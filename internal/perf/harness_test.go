@@ -1,0 +1,141 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"cusango/internal/cusan"
+)
+
+func constScenario(name string, v float64, ctrs *cusan.Counters) Scenario {
+	return Scenario{
+		Name:    name,
+		Doc:     "synthetic",
+		Params:  "synthetic",
+		Metrics: []MetricSpec{{Name: "m", Unit: "x", Class: ClassRatio, Better: BetterLower}},
+		Run: func() (map[string]float64, *cusan.Counters, error) {
+			return map[string]float64{"m": v}, ctrs, nil
+		},
+	}
+}
+
+func TestRunScenarioCanonicalByteIdentity(t *testing.T) {
+	sc := constScenario("s", 1.5, &cusan.Counters{KernelCalls: 7, ReadBytes: 4096})
+	a, err := RunScenario(sc, RunConfig{Repeats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(sc, RunConfig{Repeats: 5, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err1 := a.CanonicalJSON()
+	bb, err2 := b.CanonicalJSON()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// Canonical bytes must not depend on repeat count, warmup, or any
+	// wall-clock fact — that is the whole contract.
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("canonical sections differ:\n%s\n%s", ab, bb)
+	}
+}
+
+func TestRunScenarioDeterministicRunsOnce(t *testing.T) {
+	calls := 0
+	sc := Scenario{
+		Name: "det", Doc: "d", Params: "p", Deterministic: true,
+		Metrics: []MetricSpec{{Name: "m", Unit: "x", Class: ClassCount, Better: BetterLower}},
+		Run: func() (map[string]float64, *cusan.Counters, error) {
+			calls++
+			return map[string]float64{"m": 1}, nil, nil
+		},
+	}
+	r, err := RunScenario(sc, RunConfig{Repeats: 10, Warmup: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || r.Volatile.Repeats != 1 || r.Volatile.Warmup != 0 {
+		t.Fatalf("deterministic scenario ran %d times (repeats=%d warmup=%d), want exactly once",
+			calls, r.Volatile.Repeats, r.Volatile.Warmup)
+	}
+}
+
+func TestRunScenarioNondeterministicCountersRejected(t *testing.T) {
+	n := int64(0)
+	sc := Scenario{
+		Name: "s", Doc: "d", Params: "p",
+		Metrics: []MetricSpec{{Name: "m", Unit: "x", Class: ClassRatio, Better: BetterLower}},
+		Run: func() (map[string]float64, *cusan.Counters, error) {
+			n++
+			return map[string]float64{"m": 1}, &cusan.Counters{KernelCalls: n}, nil
+		},
+	}
+	_, err := RunScenario(sc, RunConfig{Repeats: 2, Warmup: -1})
+	if err == nil || !strings.Contains(err.Error(), "nondeterministic counters") {
+		t.Fatalf("want nondeterministic-counters error, got %v", err)
+	}
+}
+
+func TestRunScenarioCounterFlapRejected(t *testing.T) {
+	first := true
+	sc := Scenario{
+		Name: "s", Doc: "d", Params: "p",
+		Metrics: []MetricSpec{{Name: "m", Unit: "x", Class: ClassRatio, Better: BetterLower}},
+		Run: func() (map[string]float64, *cusan.Counters, error) {
+			var c *cusan.Counters
+			if first {
+				c = &cusan.Counters{}
+				first = false
+			}
+			return map[string]float64{"m": 1}, c, nil
+		},
+	}
+	_, err := RunScenario(sc, RunConfig{Repeats: 2, Warmup: -1})
+	if err == nil || !strings.Contains(err.Error(), "flapped") {
+		t.Fatalf("want snapshot-flap error, got %v", err)
+	}
+}
+
+func TestRunScenarioRejectsBadSamples(t *testing.T) {
+	mk := func(vals map[string]float64) Scenario {
+		return Scenario{
+			Name: "s", Doc: "d", Params: "p",
+			Metrics: []MetricSpec{{Name: "m", Unit: "x", Class: ClassRatio, Better: BetterLower}},
+			Run: func() (map[string]float64, *cusan.Counters, error) {
+				return vals, nil, nil
+			},
+		}
+	}
+	for name, vals := range map[string]map[string]float64{
+		"nan":      {"m": math.NaN()},
+		"inf":      {"m": math.Inf(1)},
+		"missing":  {},
+		"surprise": {"m": 1, "extra": 2},
+	} {
+		if _, err := RunScenario(mk(vals), RunConfig{Repeats: 1, Warmup: -1}); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestRunAllKeysByName(t *testing.T) {
+	scs := []Scenario{constScenario("a", 1, nil), constScenario("b", 2, nil)}
+	var lines []string
+	out, err := RunAll(scs, RunConfig{Repeats: 1, Warmup: -1},
+		func(f string, a ...any) { lines = append(lines, f) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out["a"] == nil || out["b"] == nil {
+		t.Fatalf("RunAll = %v", out)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("progress lines = %d, want 2", len(lines))
+	}
+	if got := out["b"].Volatile.Summary["m"].Median; got != 2 {
+		t.Fatalf("b median = %v", got)
+	}
+}

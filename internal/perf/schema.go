@@ -1,0 +1,253 @@
+// Package perf is the machine-readable performance harness: it runs
+// named benchmark scenarios (shadow-range engine sweep, campaign
+// worker scaling, trace record/replay throughput, and the paper's
+// Fig. 10/11/12 and Table I app experiments) for R repeats and emits
+// canonical, schema-versioned BENCH_<scenario>.json files; a
+// noise-aware comparator diffs a fresh run against committed baselines
+// and the gate turns confirmed regressions into a nonzero exit.
+//
+// The file format follows the campaign report's discipline
+// (DESIGN.md §10): every fact is either canonical — a pure function of
+// the scenario identity and the build's deterministic behaviour
+// (metric catalog, workload parameters, Table I counter snapshots) —
+// or volatile — wall-clock measurements, robust summary statistics,
+// and environment metadata. Two record runs on the same build produce
+// byte-identical canonical sections; only the volatile section moves.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"cusango/internal/campaign"
+	"cusango/internal/cusan"
+)
+
+// FormatVersion identifies the BENCH_*.json schema. Bump on any change
+// to field names, metric semantics, or section layout.
+const FormatVersion = 1
+
+// Format is the format tag stamped into every file.
+const Format = "cusan-perf/v1"
+
+// Class buckets metrics by how trustworthy they are across machines,
+// which drives the comparator's default thresholds and gating.
+type Class string
+
+const (
+	// ClassTime is an absolute wall-clock measurement. Machine-dependent:
+	// recorded for trending, gated only under CompareOptions.Strict.
+	ClassTime Class = "time"
+	// ClassRate is a throughput measurement (items/s, MB/s). Same
+	// machine-dependence as ClassTime.
+	ClassRate Class = "rate"
+	// ClassRatio is a self-normalized quotient of two measurements taken
+	// in the same run on the same machine (overhead factors, speedups).
+	// Machine-independent to first order; gated by default.
+	ClassRatio Class = "ratio"
+	// ClassCount is a deterministic event count (Table I counters,
+	// trace event totals). Gated tightly: any drift is a behaviour
+	// change, not noise.
+	ClassCount Class = "count"
+	// ClassBytes is a deterministic size (modeled RSS, tracked bytes).
+	// Gated like ClassCount.
+	ClassBytes Class = "bytes"
+)
+
+// Direction of improvement.
+const (
+	BetterLower  = "lower"
+	BetterHigher = "higher"
+)
+
+// MetricSpec is the canonical identity of one metric: what is measured,
+// in what unit, and how the gate should judge it. RelTol/MADMult
+// override the class defaults when non-zero (see CompareOptions).
+type MetricSpec struct {
+	Name   string `json:"name"`
+	Unit   string `json:"unit"`
+	Class  Class  `json:"class"`
+	Better string `json:"better"`
+	// Trend marks a metric as trend-only: recorded and compared but
+	// never gated (e.g. parallel speedup, which tracks the runner's
+	// core count rather than the code).
+	Trend bool `json:"trend,omitempty"`
+	// RelTol is the per-metric relative tolerance override (0 = class
+	// default).
+	RelTol float64 `json:"rel_tol,omitempty"`
+	// MADMult is the per-metric MAD-multiplier override (0 = class
+	// default).
+	MADMult float64 `json:"mad_mult,omitempty"`
+}
+
+// Summary holds the robust per-metric statistics over the repeats.
+// Median and MAD (median absolute deviation, unscaled) drive the
+// comparator; min is the classical "best observed" floor.
+type Summary struct {
+	Median float64 `json:"median"`
+	MAD    float64 `json:"mad"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+}
+
+// Canonical is the byte-stable section: a pure function of the
+// scenario identity and the build's deterministic behaviour.
+type Canonical struct {
+	V        int    `json:"v"`
+	Format   string `json:"format"`
+	Scenario string `json:"scenario"`
+	// Params is the canonical one-line description of the workload
+	// (sizes, iteration counts, worker counts).
+	Params  string       `json:"params"`
+	Metrics []MetricSpec `json:"metrics"`
+	// Counters is the deterministic Table I counter snapshot of the
+	// scenario's representative run (nil for scenarios without one).
+	// Any drift here is a behaviour change the gate must flag.
+	Counters *cusan.Counters `json:"counters,omitempty"`
+}
+
+// Env records where a measurement was taken. Volatile: two machines —
+// or two builds — legitimately differ here.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// BuildSalt identifies the build (VCS revision when stamped; see
+	// campaign.BuildSalt).
+	BuildSalt string `json:"build_salt"`
+}
+
+// CaptureEnv snapshots the current process environment.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BuildSalt:  campaign.BuildSalt(),
+	}
+}
+
+// Volatile is the run-to-run section: samples, summaries, environment.
+type Volatile struct {
+	Env     Env `json:"env"`
+	Repeats int `json:"repeats"`
+	Warmup  int `json:"warmup"`
+	// Samples holds the per-repeat raw values, metric name -> samples
+	// in repeat order.
+	Samples map[string][]float64 `json:"samples"`
+	// Summary holds the robust statistics per metric.
+	Summary map[string]Summary `json:"summary"`
+	// WallUS is the total scenario wall time including warmup.
+	WallUS int64 `json:"wall_us"`
+}
+
+// Result is one scenario's recorded outcome — one BENCH_<scenario>.json.
+type Result struct {
+	Canonical Canonical `json:"canonical"`
+	Volatile  Volatile  `json:"volatile"`
+}
+
+// CanonicalJSON returns the canonical section's byte encoding — the
+// part of the file that must be identical across record runs on the
+// same build.
+func (r *Result) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(&r.Canonical)
+}
+
+// SummaryOf returns the metric's summary (zero value when absent).
+func (r *Result) SummaryOf(metric string) (Summary, bool) {
+	s, ok := r.Volatile.Summary[metric]
+	return s, ok
+}
+
+// FileName is the canonical file name for a scenario's result.
+func FileName(scenario string) string {
+	return "BENCH_" + scenario + ".json"
+}
+
+// Encode renders the result as indented JSON with a trailing newline.
+// encoding/json writes struct fields in declaration order and map keys
+// sorted, so the encoding is a deterministic function of the values.
+func (r *Result) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the result into dir under its canonical file name,
+// atomically (write to a temp file, then rename).
+func WriteFile(dir string, r *Result) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := r.Encode()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileName(r.Canonical.Scenario))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadFile parses one BENCH_*.json and validates its version tag.
+func ReadFile(path string) (*Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if r.Canonical.V != FormatVersion || r.Canonical.Format != Format {
+		return nil, fmt.Errorf("perf: %s: format %q v%d (want %q v%d)",
+			path, r.Canonical.Format, r.Canonical.V, Format, FormatVersion)
+	}
+	if r.Canonical.Scenario == "" {
+		return nil, fmt.Errorf("perf: %s: missing scenario name", path)
+	}
+	return &r, nil
+}
+
+// ReadDir loads every BENCH_*.json in dir, keyed by scenario name.
+func ReadDir(dir string) (map[string]*Result, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make(map[string]*Result, len(paths))
+	for _, p := range paths {
+		if strings.HasSuffix(p, ".tmp") {
+			continue
+		}
+		r, err := ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := out[r.Canonical.Scenario]; dup {
+			return nil, fmt.Errorf("perf: scenario %q appears twice in %s (v%d)",
+				r.Canonical.Scenario, dir, prev.Canonical.V)
+		}
+		out[r.Canonical.Scenario] = r
+	}
+	return out, nil
+}

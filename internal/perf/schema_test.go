@@ -1,0 +1,183 @@
+package perf
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cusango/internal/cusan"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden BENCH file")
+
+// goldenResult is a fully-pinned Result: every field fixed, so its
+// encoding is a pure function of the schema. If this test breaks, the
+// on-disk format changed — bump FormatVersion and refresh every
+// committed baseline, or revert the schema change.
+func goldenResult() *Result {
+	return &Result{
+		Canonical: Canonical{
+			V:        FormatVersion,
+			Format:   Format,
+			Scenario: "golden",
+			Params:   "app=golden nx=8 ny=4 iters=2",
+			Metrics: []MetricSpec{
+				{Name: "wall_s", Unit: "s", Class: ClassTime, Better: BetterLower},
+				{Name: "speedup", Unit: "x", Class: ClassRatio, Better: BetterHigher, RelTol: 0.30, MADMult: 4},
+				{Name: "events", Unit: "events", Class: ClassCount, Better: BetterLower},
+				{Name: "parallel", Unit: "x", Class: ClassRatio, Better: BetterHigher, Trend: true},
+			},
+			Counters: &cusan.Counters{
+				Memcpys: 3, SyncCalls: 10, KernelCalls: 4,
+				ReadRanges: 12, WriteRanges: 8, ReadBytes: 4096, WriteBytes: 2048,
+			},
+		},
+		Volatile: Volatile{
+			Env: Env{
+				GoVersion: "go1.99", GOOS: "linux", GOARCH: "amd64",
+				NumCPU: 8, GOMAXPROCS: 8, BuildSalt: "deadbeef",
+			},
+			Repeats: 3,
+			Warmup:  1,
+			Samples: map[string][]float64{
+				"wall_s":   {0.5, 0.6, 0.55},
+				"speedup":  {2.0, 2.1, 1.9},
+				"events":   {100, 100, 100},
+				"parallel": {3.5, 3.6, 3.4},
+			},
+			Summary: map[string]Summary{
+				"wall_s":   Summarize([]float64{0.5, 0.6, 0.55}),
+				"speedup":  Summarize([]float64{2.0, 2.1, 1.9}),
+				"events":   Summarize([]float64{100, 100, 100}),
+				"parallel": Summarize([]float64{3.5, 3.6, 3.4}),
+			},
+			WallUS: 1234567,
+		},
+	}
+}
+
+// TestGoldenEncoding pins the exact BENCH_*.json byte encoding.
+func TestGoldenEncoding(t *testing.T) {
+	got, err := goldenResult().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "BENCH_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("BENCH encoding drifted from the golden file.\n"+
+			"If intentional: bump FormatVersion, refresh committed baselines, and rerun with -update.\n"+
+			"got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err1 := goldenResult().Encode()
+	b, err2 := goldenResult().Encode()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode is not deterministic")
+	}
+}
+
+func TestFileName(t *testing.T) {
+	if got := FileName("range-engine"); got != "BENCH_range-engine.json" {
+		t.Fatalf("FileName = %q", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := goldenResult()
+	path, err := WriteFile(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_golden.json" {
+		t.Fatalf("path = %q", path)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Encode()
+	b, _ := back.Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("round trip changed the result")
+	}
+
+	m, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m["golden"] == nil {
+		t.Fatalf("ReadDir = %v", m)
+	}
+}
+
+func TestReadFileRejectsWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	r := goldenResult()
+	r.Canonical.V = FormatVersion + 1
+	b, _ := r.Encode()
+	path := filepath.Join(dir, "BENCH_golden.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestReadDirRejectsDuplicateScenario(t *testing.T) {
+	dir := t.TempDir()
+	r := goldenResult()
+	b, _ := r.Encode()
+	for _, name := range []string{"BENCH_golden.json", "BENCH_golden2.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Fatal("duplicate scenario accepted")
+	}
+}
+
+// TestCommittedBaselinesParse keeps the checked-in baselines loadable:
+// a schema change that silently orphans them should fail here, not in
+// CI's gate step.
+func TestCommittedBaselinesParse(t *testing.T) {
+	dir := filepath.Join("..", "..", "bench", "baselines")
+	if _, err := os.Stat(dir); err != nil {
+		t.Skip("no committed baselines in this checkout")
+	}
+	m, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) == 0 {
+		t.Fatal("baseline directory exists but holds no BENCH files")
+	}
+	for name, r := range m {
+		if len(r.Canonical.Metrics) == 0 {
+			t.Errorf("%s: empty metric catalog", name)
+		}
+		for _, spec := range r.Canonical.Metrics {
+			if _, ok := r.SummaryOf(spec.Name); !ok {
+				t.Errorf("%s: metric %q promised but not summarized", name, spec.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package perf
+
+import "sort"
+
+// Median returns the middle of the sorted samples (average of the two
+// middles for even counts); 0 for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation from the median, unscaled
+// (no 1.4826 normal-consistency factor — the comparator multiplies it
+// by an explicit per-metric factor instead). 0 for fewer than two
+// samples: a single observation carries no spread information.
+func MAD(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		d := x - m
+		if d < 0 {
+			d = -d
+		}
+		dev[i] = d
+	}
+	return Median(dev)
+}
+
+// Summarize computes the robust summary over the repeat samples.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	min, max, sum := xs[0], xs[0], 0.0
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		sum += x
+	}
+	return Summary{
+		Median: Median(xs),
+		MAD:    MAD(xs),
+		Min:    min,
+		Max:    max,
+		Mean:   sum / float64(len(xs)),
+	}
+}

@@ -1,0 +1,73 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"negative", []float64{-5, -1, -3}, -3},
+		{"duplicates", []float64{2, 2, 2, 9}, 2},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.want {
+			t.Errorf("%s: Median(%v) = %v, want %v", c.name, c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single carries no spread", []float64{42}, 0},
+		{"identical", []float64{5, 5, 5}, 0},
+		// median 2, deviations {1,0,1} -> median deviation 1
+		{"simple", []float64{1, 2, 3}, 1},
+		// median 10, deviations {9,0,0,9} -> 4.5
+		{"outlier pair", []float64{1, 10, 10, 19}, 4.5},
+	}
+	for _, c := range cases {
+		if got := MAD(c.xs); got != c.want {
+			t.Errorf("%s: MAD(%v) = %v, want %v", c.name, c.xs, got, c.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	want := Summary{Median: 2.5, MAD: 1, Min: 1, Max: 4, Mean: 2.5}
+	if s != want {
+		t.Fatalf("Summarize = %+v, want %+v", s, want)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", z)
+	}
+}
+
+func TestSummarizeMean(t *testing.T) {
+	s := Summarize([]float64{1, 2, 6})
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("Mean = %v, want 3", s.Mean)
+	}
+}
