@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	cusan-campaign [-j N] [-kinds suite,chaos,replay] [-filter substr]
+//	cusan-campaign [-j N] [-kinds suite,chaos,replay,explore] [-filter substr]
 //	               [-engines fast,slow] [-seeds N] [-faults-rate R]
+//	               [-explore-budget N] [-explore-bound N]
 //	               [-cache dir] [-salt s] [-out report.jsonl] [-timings] [-v]
 //	               [-cpuprofile f] [-memprofile f]
+//
+// The explore kind (off by default: it runs many schedules per job)
+// systematically enumerates each case's completion schedules under the
+// controlled scheduler with DPOR pruning, recording exact explored and
+// pruned counts per case and — for known-racy cases — a minimal racy
+// schedule spec replayable via `cusan-run -schedule`.
 //
 // The canonical report (default) is byte-identical for any -j: results
 // aggregate in job enumeration order and wall-clock facts (durations,
@@ -59,11 +66,15 @@ func main() {
 func run() int {
 	jobs := flag.Int("j", runtime.NumCPU(), "worker count")
 	kindsFlag := flag.String("kinds", "suite,chaos,replay",
-		"job kinds to enumerate: suite, chaos, replay")
+		"job kinds to enumerate: suite, chaos, replay, explore")
 	filter := flag.String("filter", "", "substring filter on case names")
 	enginesFlag := flag.String("engines", "fast,slow", "shadow engines to sweep")
 	seeds := flag.Int("seeds", 25, "chaos seed count (seeds 1..N)")
 	rate := flag.Float64("faults-rate", 0.05, "chaos per-site fault rate")
+	exploreBudget := flag.Int("explore-budget", 0,
+		"explore kind: max schedules per case (0 = testsuite default)")
+	exploreBound := flag.Int("explore-bound", 0,
+		"explore kind: preemption bound per schedule (0 = unbounded)")
 	cacheDir := flag.String("cache", "", "result cache directory (empty = no cache)")
 	salt := flag.String("salt", "", "cache build salt (empty = derive from build info)")
 	out := flag.String("out", "", "JSONL report path (empty = none, - = stdout)")
@@ -116,6 +127,8 @@ func run() int {
 			jobList = append(jobList, testsuite.ChaosJobs(cases, seedList, *rate, engines)...)
 		case testsuite.KindReplay:
 			jobList = append(jobList, testsuite.ReplayJobs(cases, engines)...)
+		case testsuite.KindExplore:
+			jobList = append(jobList, testsuite.ExploreJobs(cases, engines, *exploreBudget, *exploreBound)...)
 		default:
 			fmt.Fprintf(os.Stderr, "cusan-campaign: unknown kind %q\n", kind)
 			return exitUsage

@@ -9,11 +9,21 @@
 //	          [-flavor vanilla|tsan|must|cusan|must+cusan]
 //	          [-engine fast|slow] [-ranks N] [-nx N] [-ny N] [-iters N]
 //	          [-inject-race] [-skip-wait] [-faults spec]
+//	          [-explore] [-explore-budget N] [-explore-bound N]
+//	          [-schedule spec]
 //
 // -faults injects deterministic runtime faults (see internal/faults):
 // "seed=7,rate=0.05" perturbs every site at 5%, "cuda-malloc@2:r1"
 // fails exactly the third cudaMalloc on rank 1. Every injected fault
 // is reported with a replay spec that re-injects it exactly.
+//
+// -explore runs the app under the controlled scheduler (internal/sched)
+// and systematically enumerates its completion schedules with DPOR
+// pruning (internal/explore): the verdict is either "race-free across
+// all N schedules" or a minimal racy schedule spec that -schedule
+// replays byte-identically. -explore-bound caps non-default choices per
+// schedule (preemption bounding); bounded or budget-capped explorations
+// report themselves incomplete.
 //
 // Exit codes:
 //
@@ -33,7 +43,9 @@ import (
 	"cusango/internal/apps"
 	"cusango/internal/core"
 	"cusango/internal/cusan"
+	"cusango/internal/explore"
 	"cusango/internal/faults"
+	"cusango/internal/sched"
 	"cusango/internal/tsan"
 )
 
@@ -64,6 +76,14 @@ func main() {
 		"tealeaf only: use the halo before MPI_Waitall (MPI-to-CUDA bug)")
 	faultSpec := flag.String("faults", "",
 		"deterministic fault schedule, e.g. \"seed=7,rate=0.05\" or \"cuda-malloc@2:r1\"")
+	exploreFlag := flag.Bool("explore", false,
+		"systematically explore completion schedules (controlled scheduler + DPOR)")
+	exploreBudget := flag.Int("explore-budget", 512,
+		"-explore: max schedules to execute (0 = unlimited)")
+	exploreBound := flag.Int("explore-bound", 0,
+		"-explore: preemption bound — max non-default choices per schedule (0 = unbounded)")
+	scheduleSpec := flag.String("schedule", "",
+		"replay one completion schedule from its spec (e.g. \"g1.m0\"); runs controlled")
 	flag.Parse()
 
 	flavor, err := core.ParseFlavor(*flavorName)
@@ -98,6 +118,14 @@ func main() {
 		Faults: plan,
 	}
 	cfg.TSanCfg.Engine = engine
+
+	if *exploreFlag || *scheduleSpec != "" {
+		if plan != nil {
+			fmt.Fprintln(os.Stderr, "cusan-run: -faults cannot combine with -explore/-schedule (schedule determinism)")
+			os.Exit(exitUsage)
+		}
+		os.Exit(runControlled(cfg, app, opt, *scheduleSpec, *exploreBudget, *exploreBound))
+	}
 	res, err := core.Run(cfg, func(s *core.Session) error {
 		line, err := app.Run(s, opt)
 		if err != nil {
@@ -154,6 +182,82 @@ func main() {
 		exit = exitDegraded
 	}
 	os.Exit(exit)
+}
+
+// runControlled handles -explore and -schedule: the app runs under the
+// controlled scheduler, either replaying one schedule spec or
+// enumerating the whole schedule space.
+func runControlled(cfg core.Config, app apps.App, opt apps.Options, spec string, budget, bound int) int {
+	runOne := func(prefix []sched.Choice) explore.Outcome {
+		rep := sched.NewReplayer(prefix)
+		ctl := sched.NewController(cfg.Ranks, rep)
+		c := cfg
+		c.Sched = ctl
+		res, err := core.Run(c, func(s *core.Session) error {
+			_, err := app.Run(s, opt)
+			return err
+		})
+		out := explore.Outcome{
+			Log:    ctl.Log(),
+			Acts:   ctl.Acts(),
+			Forced: ctl.Forced(),
+			Stuck:  ctl.Stuck(),
+		}
+		switch {
+		case err != nil:
+			out.Err = err
+		case rep.Err() != nil:
+			out.Err = rep.Err()
+		case out.Stuck:
+			// Deadlocked schedule: rank errors are the deliberate teardown.
+		default:
+			if res != nil {
+				out.Err = res.FirstError()
+			}
+		}
+		if res != nil {
+			out.Races = res.TotalRaces()
+		}
+		return out
+	}
+
+	if spec != "" {
+		prefix, err := sched.ParseSpec(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cusan-run:", err)
+			return exitUsage
+		}
+		out := runOne(prefix)
+		fmt.Printf("schedule %s: races=%d stuck=%v\n", sched.FormatSpec(out.Log), out.Races, out.Stuck)
+		switch {
+		case out.Err != nil:
+			fmt.Fprintln(os.Stderr, "cusan-run:", out.Err)
+			return exitAppFault
+		case out.Races > 0 || out.Stuck:
+			return exitFindings
+		}
+		return exitClean
+	}
+
+	res := explore.Run(explore.Options{MaxSchedules: budget, PreemptionBound: bound}, runOne)
+	fmt.Printf("%s -ranks %d: %s\n", app.Name, cfg.Ranks, res.String())
+	if res.Stuck > 0 {
+		fmt.Printf("  %d schedule(s) deadlocked\n", res.Stuck)
+	}
+	if res.MinRacySpec != "" {
+		fmt.Printf("  replay the minimal racy schedule: cusan-run -app %s -ranks %d -schedule %q\n",
+			app.Name, cfg.Ranks, res.MinRacySpec)
+	}
+	for _, e := range res.Errs {
+		fmt.Fprintln(os.Stderr, "cusan-run:", e)
+	}
+	switch {
+	case len(res.Errs) > 0:
+		return exitAppFault
+	case res.Racy > 0 || res.Stuck > 0:
+		return exitFindings
+	}
+	return exitClean
 }
 
 // formatCounters renders the per-process counter block.

@@ -67,7 +67,7 @@ func NewFinding(kind, caseName, detail string) Finding {
 type Record struct {
 	V       int    `json:"v"`
 	Type    string `json:"type"` // "job"
-	Kind    string `json:"kind"` // "suite" | "chaos" | "replay"
+	Kind    string `json:"kind"` // "suite" | "chaos" | "replay" | "explore"
 	Case    string `json:"case"`
 	Engine  string `json:"engine"`
 	Seed    uint64 `json:"seed,omitempty"`
@@ -86,6 +86,20 @@ type Record struct {
 	// error string. Empty when all ranks completed.
 	AppFault string    `json:"app_fault,omitempty"`
 	Findings []Finding `json:"findings,omitempty"`
+
+	// Explore-kind fields (schedule-space exploration; all omitempty so
+	// records of other kinds serialize unchanged — additive, no format
+	// bump). Races above is the default schedule's race count.
+	Explored      int    `json:"explored,omitempty"`       // schedules executed
+	Pruned        int    `json:"pruned,omitempty"`         // branches proven redundant
+	RacySchedules int    `json:"racy_schedules,omitempty"` // explored schedules that raced
+	Schedule      string `json:"schedule,omitempty"`       // minimal racy schedule spec
+	// Incomplete marks a budget- or bound-capped exploration: "race-free"
+	// then only covers the explored subset, not the whole space.
+	Incomplete bool `json:"incomplete,omitempty"`
+	// NeedsExploration marks a known-racy case whose default schedule is
+	// race-free — only systematic exploration exposes its race.
+	NeedsExploration bool `json:"needs_exploration,omitempty"`
 
 	// Volatile fields — wall-clock facts, not part of the canonical
 	// byte stream.

@@ -30,6 +30,7 @@ import (
 	"cusango/internal/memspace"
 	"cusango/internal/mpi"
 	"cusango/internal/must"
+	"cusango/internal/sched"
 	"cusango/internal/trace"
 	"cusango/internal/tsan"
 	"cusango/internal/typeart"
@@ -116,6 +117,14 @@ type Config struct {
 	// configures MUST "to only check for data races of (non-blocking)
 	// MPI communication"; set DisableTypeChecks for that configuration.
 	MustOpts must.Options
+	// Sched, when non-nil, places the job's MPI world under a schedule
+	// controller: every nondeterministic completion choice becomes an
+	// explicit decision point decided by the controller's chooser, so a
+	// run is an exact function of its schedule spec (see internal/sched
+	// and internal/explore). Build a fresh controller per run, sized to
+	// Ranks. Controlled jobs should use the default eager CUDA mode —
+	// async stream executors are goroutines the controller cannot park.
+	Sched *sched.Controller
 	// Faults, when non-nil, is the deterministic fault-injection plan.
 	// Each rank derives its injector from (Faults.Seed, rank), so any
 	// injected fault is exactly replayable from its (seed, site,
@@ -454,6 +463,9 @@ func Run(cfg Config, app func(s *Session) error) (*Result, error) {
 		ranks = 2
 	}
 	world := mpi.NewWorld(ranks)
+	if cfg.Sched != nil {
+		world.SetController(cfg.Sched)
+	}
 	sessions := make([]*Session, ranks)
 	for i := 0; i < ranks; i++ {
 		s, err := newSession(cfg, i, world)
@@ -492,6 +504,11 @@ func Run(cfg Config, app func(s *Session) error) (*Result, error) {
 			}
 			s.Dev.Close() // drains async-mode executors; eager no-op
 			s.Comm.Finalize()
+			if cfg.Sched != nil {
+				// The rank is done for good: quiescence no longer waits on
+				// it (other ranks may still need grants to finish).
+				cfg.Sched.Finish(i)
+			}
 			if s.rec != nil {
 				if err := s.rec.Flush(); err != nil && rr.Err == nil {
 					rr.Err = fmt.Errorf("rank %d trace: %w", i, err)

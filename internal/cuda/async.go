@@ -1,7 +1,7 @@
 package cuda
 
 import (
-	"time"
+	"runtime"
 
 	"cusango/internal/faults"
 	"cusango/internal/kinterp"
@@ -34,10 +34,13 @@ type asyncOp struct {
 	prereqs []<-chan struct{}
 	run     func()
 	done    chan struct{}
-	// jitter delays execution by a deterministic amount (fault
-	// injection). FIFO order and prerequisites are unaffected — only
-	// real-time completion shifts, which the documented semantics allow.
-	jitter time.Duration
+	// yields delays execution by a deterministic number of logical
+	// yields (fault injection). FIFO order and prerequisites are
+	// unaffected — only completion order relative to unordered work
+	// shifts, which the documented semantics allow. Logical delay keeps
+	// jittered runs independent of wall-clock speed (a real sleep made
+	// the perturbation vanish or dominate depending on machine load).
+	yields int
 }
 
 type streamExec struct {
@@ -53,15 +56,15 @@ var closedChan = func() chan struct{} {
 	return ch
 }()
 
-func newStreamExec() *streamExec {
+func newStreamExec(yield func(n int)) *streamExec {
 	se := &streamExec{ops: make(chan *asyncOp, 64), tail: closedChan}
 	go func() {
 		for op := range se.ops {
 			for _, p := range op.prereqs {
 				<-p
 			}
-			if op.jitter > 0 {
-				time.Sleep(op.jitter)
+			if op.yields > 0 {
+				yield(op.yields)
 			}
 			if op.run != nil {
 				op.run()
@@ -76,10 +79,22 @@ func newStreamExec() *streamExec {
 func (d *Device) exec(s *Stream) *streamExec {
 	se, ok := d.execs[s.id]
 	if !ok {
-		se = newStreamExec()
+		se = newStreamExec(d.yield)
 		d.execs[s.id] = se
 	}
 	return se
+}
+
+// yield performs n logical delay steps (Config.Yield, defaulting to
+// goroutine reschedules).
+func (d *Device) yield(n int) {
+	if d.cfg.Yield != nil {
+		d.cfg.Yield(n)
+		return
+	}
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
 }
 
 // barrierPrereqs returns the cross-stream prerequisites of an operation
@@ -114,7 +129,7 @@ func (d *Device) enqueue(s *Stream, run func(), extra ...<-chan struct{}) <-chan
 	// The jitter decision is made here on the host goroutine, where
 	// enqueue order (and thus occurrence numbering) is deterministic.
 	if f := d.cfg.Inject.Fire(faults.CudaAsyncJitter); f != nil {
-		op.jitter = time.Duration(f.Occurrence%7+1) * 100 * time.Microsecond
+		op.yields = int(f.Occurrence%7 + 1)
 	}
 	se.tail = op.done
 	se.ops <- op

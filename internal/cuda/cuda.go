@@ -216,6 +216,10 @@ type Config struct {
 	// deterministic faults (allocation failures, launch failures, handle
 	// invalidation, async-completion jitter). See internal/faults.
 	Inject *faults.Injector
+	// Yield, when non-nil, implements the logical delay step used by
+	// injected completion jitter (n steps per jittered op). Nil means n
+	// goroutine reschedules — wall-clock-independent in either case.
+	Yield func(n int)
 }
 
 // Device is one simulated GPU attached to a rank's address space, with a

@@ -1,0 +1,208 @@
+// Package explore enumerates the schedule space of a controlled run
+// (internal/sched) by stateless model checking: it repeatedly executes
+// the program under a replayed choice prefix, reads the decision log the
+// run produced, and branches on every untried alternative after the
+// prefix. Enumeration is breadth-first over prefix length, so the first
+// racy schedule found is a minimal one.
+//
+// Pruning is a conservative rank-granularity dynamic partial-order
+// reduction: an alternative grant "B instead of A at decision i" is
+// skipped when the log shows B granted later anyway and the activity
+// window between the two grants is rank-disjoint from B's own execution
+// segment — then the two orders commute and the alternative schedule is
+// a permutation of one already explored. Poll stutters (defer granted
+// again with no intervening activity) are pruned inside the controller
+// by its sleep-set rule and surface here in Outcome.Forced.
+//
+// Naive mode disables both prunings (modulo a finite defer budget to
+// keep poll loops bounded) and exists to differentially validate DPOR:
+// both modes must agree exactly on which schedules are racy.
+package explore
+
+import (
+	"fmt"
+
+	"cusango/internal/sched"
+)
+
+// Options bounds one exploration.
+type Options struct {
+	// MaxSchedules caps the number of executed schedules; <= 0 means
+	// unlimited. Exceeding the cap sets Result.Complete = false.
+	MaxSchedules int
+	// PreemptionBound, when > 0, skips prefixes with more than this many
+	// non-default choices (Chess-style iterative bounding); skipped
+	// branches set Result.Complete = false. 0 disables the bound.
+	PreemptionBound int
+	// Naive disables DPOR pruning (full enumeration), for differential
+	// testing.
+	Naive bool
+	// DeferBudget is forwarded to the controller in naive mode: how many
+	// consecutive no-activity poll defers to allow before forcing
+	// completion. Ignored (0: sleep-set rule) unless Naive.
+	DeferBudget int
+}
+
+// Outcome is what one controlled execution reports back to the explorer.
+type Outcome struct {
+	// Races is the run's race-report count.
+	Races int64
+	// Stuck marks a scheduler-detected deadlock on this schedule.
+	Stuck bool
+	// Err is a non-schedule failure (checker error, replay divergence).
+	Err error
+	// Log and Acts are the controller's decision and activity logs.
+	Log  []sched.Point
+	Acts []sched.Act
+	// Forced counts stutter-pruned poll defers (sleep-set rule).
+	Forced int
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Explored is the number of schedules actually executed.
+	Explored int
+	// Pruned counts branches proven redundant (DPOR commutation plus
+	// stutter-forced poll completions).
+	Pruned int
+	// Racy is the number of explored schedules with at least one race.
+	Racy int
+	// MinRacySpec is the replayable spec of the first (minimal) racy
+	// schedule, "" if none.
+	MinRacySpec string
+	// DefaultRaces is the race count of the default (empty-prefix)
+	// schedule.
+	DefaultRaces int64
+	// Stuck counts schedules that deadlocked.
+	Stuck int
+	// Complete reports that the whole schedule space was covered: no
+	// budget exhaustion, no preemption-bound skip, no failed run.
+	Complete bool
+	// Errs holds distinct run failures (capped).
+	Errs []string
+}
+
+func (r *Result) String() string {
+	if r.Racy == 0 && r.Complete {
+		return fmt.Sprintf("race-free across all %d schedules (%d pruned by DPOR)", r.Explored, r.Pruned)
+	}
+	if r.Racy > 0 {
+		return fmt.Sprintf("racy: %d/%d schedules race (%d pruned), minimal schedule %q",
+			r.Racy, r.Explored, r.Pruned, r.MinRacySpec)
+	}
+	return fmt.Sprintf("race-free in %d explored schedules (incomplete; %d pruned)", r.Explored, r.Pruned)
+}
+
+const maxErrs = 8
+
+// Run explores the schedule space of run, a deterministic controlled
+// execution of the program under the given choice prefix (defaults past
+// the prefix). run must build a fresh controller per call.
+func Run(opt Options, run func(prefix []sched.Choice) Outcome) Result {
+	res := Result{Complete: true}
+	// Shortest-prefix-first queue (children are always strictly longer
+	// than their parent, so the depth cursor only moves forward); this is
+	// what makes the first racy schedule found a minimal one.
+	queue := map[int][][]sched.Choice{0: {nil}}
+	pending, depth := 1, 0
+	for pending > 0 {
+		if opt.MaxSchedules > 0 && res.Explored >= opt.MaxSchedules {
+			res.Complete = false
+			break
+		}
+		for len(queue[depth]) == 0 {
+			depth++
+		}
+		prefix := queue[depth][0]
+		queue[depth] = queue[depth][1:]
+		pending--
+		out := run(prefix)
+		res.Explored++
+		res.Pruned += out.Forced
+		if res.Explored == 1 {
+			res.DefaultRaces = out.Races
+		}
+		if out.Err != nil {
+			res.Complete = false
+			if len(res.Errs) < maxErrs {
+				res.Errs = append(res.Errs, fmt.Sprintf("schedule %q: %v", sched.FormatSpec(out.Log), out.Err))
+			}
+			continue
+		}
+		if out.Stuck {
+			res.Stuck++
+		}
+		if out.Races > 0 {
+			res.Racy++
+			if res.MinRacySpec == "" {
+				res.MinRacySpec = sched.FormatSpec(out.Log)
+			}
+		}
+		for i := len(prefix); i < len(out.Log); i++ {
+			p := &out.Log[i]
+			for j := 1; j < p.Arity; j++ {
+				child := append(sched.Choices(out.Log[:i]), sched.Choice{Kind: p.Kind, Index: j})
+				if opt.PreemptionBound > 0 && sched.NonDefault(child) > opt.PreemptionBound {
+					res.Complete = false
+					continue
+				}
+				if !opt.Naive && p.Kind == sched.Grant && canPrune(&out, i, j) {
+					res.Pruned++
+					continue
+				}
+				queue[i+1] = append(queue[i+1], child)
+				pending++
+			}
+		}
+	}
+	return res
+}
+
+// canPrune reports whether granting alternative j at Grant point i is
+// provably equivalent to the explored schedule: the alternative settler
+// b is granted later in the log anyway, nothing in the window between
+// the two grants touches b, and b's own execution segment is
+// rank-disjoint from the window — so the two orders commute.
+func canPrune(out *Outcome, i, j int) bool {
+	g := &out.Log[i]
+	if j >= len(g.Vals) {
+		return false
+	}
+	b := g.Vals[j]
+	jpos := -1
+	for k := i + 1; k < len(out.Log); k++ {
+		p := &out.Log[k]
+		if p.Kind == sched.Grant && p.Chosen < len(p.Vals) && p.Vals[p.Chosen] == b {
+			jpos = k
+			break
+		}
+	}
+	if jpos < 0 {
+		return false
+	}
+	// Window acts: everything between the two grant decisions. Any
+	// involvement of b — or a wildcard target — kills commutation.
+	involved := map[int]bool{}
+	for _, a := range out.Acts[g.ActOff:out.Log[jpos].ActOff] {
+		if a.Actor == b || a.Target == b || a.Target == -1 {
+			return false
+		}
+		involved[a.Actor] = true
+		involved[a.Target] = true
+	}
+	// b's segment: from its grant to the next grant (or run end). It must
+	// not touch any rank the window involved.
+	end := len(out.Acts)
+	for k := jpos + 1; k < len(out.Log); k++ {
+		if out.Log[k].Kind == sched.Grant {
+			end = out.Log[k].ActOff
+			break
+		}
+	}
+	for _, a := range out.Acts[out.Log[jpos].ActOff:end] {
+		if a.Target == -1 || involved[a.Actor] || involved[a.Target] {
+			return false
+		}
+	}
+	return true
+}

@@ -58,8 +58,18 @@ func (w *World) contribute(op *collOp, seq int64, rank int, name string, data []
 	}
 	w.collMu.Unlock()
 	if last {
+		if w.ctl != nil {
+			// A completing collective affects every rank (including ones
+			// still on their way to the call): record a wildcard activity,
+			// then wake the parked waiters before the close.
+			w.ctl.Activity(rank, -1)
+			w.ctl.Wake(rank, op.done, -1)
+		}
 		close(op.done)
 		return nil
+	}
+	if w.ctl != nil {
+		w.ctl.Block(rank, op.done)
 	}
 	select {
 	case <-op.done:

@@ -22,6 +22,7 @@ import (
 
 	"cusango/internal/faults"
 	"cusango/internal/memspace"
+	"cusango/internal/sched"
 	"cusango/internal/typeart"
 )
 
@@ -179,6 +180,10 @@ type World struct {
 	size  int
 	boxes []*mailbox
 
+	// ctl, when non-nil, virtualizes every completion choice as a
+	// decision point (see SetController and internal/sched).
+	ctl *sched.Controller
+
 	collMu sync.Mutex
 	colls  map[int64]*collOp
 
@@ -228,6 +233,12 @@ func (w *World) Abort(rank int, cause error) {
 		w.abortErr = fmt.Errorf("%w by rank %d: %w", ErrAborted, rank, cause)
 	} else {
 		w.abortErr = fmt.Errorf("%w by rank %d", ErrAborted, rank)
+	}
+	if w.ctl != nil {
+		// Release settlers and mark channel-parked ranks runnable before
+		// the physical unblock below, so the controller never grants into
+		// a tearing-down world.
+		w.ctl.AbortAll()
 	}
 	close(w.aborted)
 }
@@ -314,11 +325,18 @@ func (c *Comm) enter() error {
 // its World.Abort run on one goroutine, and observing the closed abort
 // channel establishes the edge), so when the abort is visible and ch is
 // still not ready, the completion is provably never coming.
-func (c *Comm) waitAbortable(ch <-chan struct{}) error {
+func (c *Comm) waitAbortable(ch chan struct{}) error {
 	select {
 	case <-ch:
 		return nil
 	default:
+	}
+	if ctl := c.world.ctl; ctl != nil {
+		// Park under the controller; the signalling side re-marks this
+		// rank runnable (Wake) before closing ch, so the controller never
+		// sees a false quiescence. If ch was signalled already, Block is a
+		// no-op and the select falls straight through.
+		ctl.Block(c.rank, ch)
 	}
 	select {
 	case <-ch:

@@ -6,6 +6,7 @@ import (
 
 	"cusango/internal/faults"
 	"cusango/internal/memspace"
+	"cusango/internal/sched"
 )
 
 // Point-to-point matching engine.
@@ -27,9 +28,33 @@ type mailbox struct {
 	sends  []*packet
 	recvs  []*recvPost
 	probes []*probeWaiter
+
+	// owner/ctl are set when the world is placed under a schedule
+	// controller (World.SetController); owner is the destination rank.
+	owner int
+	ctl   *sched.Controller
 }
 
 func newMailbox() *mailbox { return &mailbox{} }
+
+// wake re-marks ranks parked on key runnable before the caller signals
+// the underlying channel (no-op without a controller). Must be called
+// before the close/send so the controller never sees a false
+// quiescence.
+func (mb *mailbox) wake(actor int, key any, hint int) {
+	if mb.ctl != nil {
+		mb.ctl.Wake(actor, key, hint)
+	}
+}
+
+// activity records a cross-rank effect that signals no channel (an
+// unmatched delivery), feeding settler viability re-evaluation and the
+// explorer's independence analysis.
+func (mb *mailbox) activity(actor, target int) {
+	if mb.ctl != nil {
+		mb.ctl.Activity(actor, target)
+	}
+}
 
 func envelopeMatch(wantSrc, wantTag int, p *packet) bool {
 	if wantSrc != AnySource && wantSrc != p.src {
@@ -51,10 +76,12 @@ func (mb *mailbox) deliver(p *packet) {
 		if envelopeMatch(r.src, r.tag, p) {
 			mb.recvs = append(mb.recvs[:i], mb.recvs[i+1:]...)
 			r.pkt = p
+			mb.wake(p.src, r.done, mb.owner)
 			close(r.done)
 			return
 		}
 	}
+	mb.activity(p.src, mb.owner)
 	mb.sends = append(mb.sends, p)
 }
 
@@ -67,8 +94,10 @@ func (mb *mailbox) post(r *recvPost) {
 		if envelopeMatch(r.src, r.tag, p) {
 			mb.sends = append(mb.sends[:i], mb.sends[i+1:]...)
 			r.pkt = p
+			mb.wake(mb.owner, r.done, mb.owner)
 			close(r.done)
 			if p.rendezvous != nil {
+				mb.wake(mb.owner, p.rendezvous, p.src)
 				close(p.rendezvous)
 			}
 			return
@@ -124,6 +153,10 @@ func (c *Comm) Recv(buf memspace.Addr, count int, dt Datatype, src, tag int) (St
 		return Status{}, err
 	}
 	c.hooks.PreRecv(buf, count, dt, src, tag)
+	if c.world.ctl != nil && (src == AnySource || tag == AnyTag) {
+		// Which candidate a wildcard matches is a schedule choice.
+		return c.recvControlled(buf, count, dt, src, tag)
+	}
 	r := &recvPost{src: src, tag: tag, done: make(chan struct{})}
 	c.world.boxes[c.rank].post(r)
 	if err := c.waitAbortable(r.done); err != nil {
@@ -182,8 +215,12 @@ func (c *Comm) Sendrecv(
 	c.hooks.PreSend(sendBuf, sendCount, sendType, dest, sendTag)
 	c.hooks.PreRecv(recvBuf, recvCount, recvType, src, recvTag)
 
-	r := &recvPost{src: src, tag: recvTag, done: make(chan struct{})}
-	c.world.boxes[c.rank].post(r)
+	ctlWild := c.world.ctl != nil && (src == AnySource || recvTag == AnyTag)
+	var r *recvPost
+	if !ctlWild {
+		r = &recvPost{src: src, tag: recvTag, done: make(chan struct{})}
+		c.world.boxes[c.rank].post(r)
+	}
 
 	data, err := c.readBuf(sendBuf, sendCount, sendType)
 	if err != nil {
@@ -195,6 +232,11 @@ func (c *Comm) Sendrecv(
 	c.countBufferKind(sendBuf)
 	c.hooks.PostSend(sendBuf, sendCount, sendType, dest, sendTag)
 
+	if ctlWild {
+		// The wildcard receive half settles as a Match decision (the send
+		// above already went out, so peers can make progress).
+		return c.recvControlled(recvBuf, recvCount, recvType, src, recvTag)
+	}
 	if err := c.waitAbortable(r.done); err != nil {
 		return Status{}, err
 	}

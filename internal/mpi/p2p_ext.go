@@ -22,6 +22,7 @@ func (mb *mailbox) notifyProbes(p *packet) {
 	kept := mb.probes[:0]
 	for _, w := range mb.probes {
 		if envelopeMatch(w.src, w.tag, p) {
+			mb.wake(p.src, w.found, mb.owner)
 			w.found <- statusOf(p)
 		} else {
 			kept = append(kept, w)
@@ -49,11 +50,14 @@ func (mb *mailbox) deliverSync(p *packet) {
 		if envelopeMatch(r.src, r.tag, p) {
 			mb.recvs = append(mb.recvs[:i], mb.recvs[i+1:]...)
 			r.pkt = p
+			mb.wake(p.src, r.done, mb.owner)
 			close(r.done)
+			mb.wake(p.src, p.rendezvous, p.src)
 			close(p.rendezvous)
 			return
 		}
 	}
+	mb.activity(p.src, mb.owner)
 	mb.sends = append(mb.sends, p)
 }
 
@@ -112,6 +116,10 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 			return i, st, err
 		}
 	}
+	if c.world.ctl != nil {
+		// Which completed request Waitany returns is a schedule choice.
+		return c.waitanyControlled(reqs)
+	}
 	// All receives: select over their matching channels.
 	cases := make([]reflect.SelectCase, len(reqs))
 	for i, r := range reqs {
@@ -169,6 +177,11 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
 	if err := c.checkPeer(src, true); err != nil {
 		return false, Status{}, err
 	}
+	if c.world.ctl != nil {
+		// Whether a poll sees the message is a schedule choice; an
+		// unmatchable poll parks (a fruitless iteration is unobservable).
+		return c.iprobeControlled(src, tag)
+	}
 	if ok, st := c.findMatch(src, tag); ok {
 		return true, st, nil
 	}
@@ -191,6 +204,10 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	if err := c.enter(); err != nil {
 		return Status{}, err
 	}
+	if c.world.ctl != nil && (src == AnySource || tag == AnyTag) {
+		// Which candidate a wildcard probe reports is a schedule choice.
+		return c.probeControlled(src, tag)
+	}
 	mb := c.world.boxes[c.rank]
 	mb.mu.Lock()
 	for _, p := range mb.sends {
@@ -203,6 +220,9 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	w := &probeWaiter{src: src, tag: tag, found: make(chan Status, 1)}
 	mb.probes = append(mb.probes, w)
 	mb.mu.Unlock()
+	if ctl := c.world.ctl; ctl != nil {
+		ctl.Block(c.rank, w.found)
+	}
 	select {
 	case st := <-w.found:
 		return st, nil

@@ -34,6 +34,11 @@ type Request struct {
 
 	comm *Comm
 	post *recvPost // recv only
+	// held marks a wildcard receive under a schedule controller: the
+	// match is not posted eagerly but settled as a Match decision at the
+	// completion call (Wait/Test/Waitany), where the candidate choice is
+	// a schedule branch.
+	held bool
 	done bool
 	st   Status
 }
@@ -112,8 +117,12 @@ func (c *Comm) Irecv(buf memspace.Addr, count int, dt Datatype, src, tag int) (*
 	}
 	req := &Request{kind: ReqRecv, buf: buf, count: count, dt: dt, peer: src, tag: tag, comm: c}
 	c.hooks.PreIrecv(buf, count, dt, src, tag, req)
-	req.post = &recvPost{src: src, tag: tag, done: make(chan struct{})}
-	c.world.boxes[c.rank].post(req.post)
+	if c.world.ctl != nil && (src == AnySource || tag == AnyTag) {
+		req.held = true
+	} else {
+		req.post = &recvPost{src: src, tag: tag, done: make(chan struct{})}
+		c.world.boxes[c.rank].post(req.post)
+	}
 	c.stats.Irecvs++
 	c.countBufferKind(buf)
 	c.track(req)
@@ -139,6 +148,11 @@ func (c *Comm) Wait(req *Request) (Status, error) {
 		// Buffered send: complete as soon as posted.
 		st = Status{Source: c.rank, Tag: req.tag, Count: req.count}
 	case ReqRecv:
+		if req.held {
+			if err := c.waitHeld(req); err != nil {
+				return Status{}, err
+			}
+		}
 		if err := c.waitAbortable(req.post.done); err != nil {
 			return Status{}, err
 		}
@@ -182,6 +196,11 @@ func (c *Comm) Test(req *Request) (bool, Status, error) {
 	}
 	if req.done {
 		return true, req.st, nil
+	}
+	if c.world.ctl != nil {
+		// Complete-versus-defer is a schedule choice (the delayed-
+		// completion fault's logical analog); an unmatchable poll parks.
+		return c.testControlled(req)
 	}
 	if req.kind == ReqRecv {
 		select {

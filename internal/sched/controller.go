@@ -1,0 +1,458 @@
+package sched
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Controller serializes a controlled run's decision points.
+//
+// Rank lifecycle: every rank starts Running. A rank parks by blocking on
+// a completion channel (Block; it is re-marked Running by the waker's
+// Wake, synchronously with the channel signal) or by settling at a
+// decision point (Settle; it resumes when a grant delivers its choice).
+// When every rank is parked — the quiescent state — whichever goroutine
+// parked last coordinates: it evaluates the settlers' candidate sets,
+// asks the Chooser which viable settler to grant (a Grant point) and
+// which of that settler's options to take (a Match/Poll/Pick point), and
+// wakes the settler with its choice. The settler applies the choice and
+// runs on until it parks again, which triggers the next grant.
+//
+// Two invariants make the decision log deterministic:
+//
+//   - candidate sets are only read at quiescence, when no rank can be
+//     mid-flight mutating mailboxes, so they are a pure function of the
+//     choices made so far;
+//   - a waker marks its waiter Running *before* signalling the channel
+//     (Wake), so there is no window in which a woken rank is physically
+//     runnable while the controller still counts it parked (which would
+//     let a grant read a candidate set the woken rank is about to
+//     change).
+//
+// Lock order: mailbox locks are taken before the controller lock (Wake
+// and Activity are called under them); the coordinator therefore drops
+// the controller lock while evaluating ready() callbacks, which is safe
+// precisely because evaluation only happens at quiescence.
+type Controller struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	chooser Chooser
+	n       int
+	state   []rankState
+	settles []*settleReq
+
+	// blockedOn maps a completion key (its channel) to the ranks parked
+	// on it; signaled remembers keys whose Wake arrived before (or
+	// without) a Block, so the late Block falls through.
+	blockedOn map[any][]int
+	signaled  map[any]struct{}
+
+	log  []Point
+	acts []Act
+
+	// Poll stutter control: deferAt[r] is 1+len(acts) at rank r's last
+	// poll defer; while the activity log hasn't grown, re-granting the
+	// defer would repeat the identical state (a sleep-set stutter), so
+	// the defer option is stripped and counted as pruned. deferBudget
+	// > 0 (naive full enumeration) instead allows that many consecutive
+	// stutter defers before stripping.
+	deferAt     []int
+	deferRun    []int
+	deferBudget int
+	forced      int
+
+	granting    bool
+	stuck       bool
+	aborted     bool
+	notifyStuck bool
+	onStuck     func()
+}
+
+type rankState uint8
+
+const (
+	running rankState = iota
+	blocked
+	settling
+	finished
+)
+
+type settleReq struct {
+	kind  Kind
+	op    string
+	ready func() []Option
+
+	granted bool
+	opts    []Option
+	chosen  int
+	err     error
+}
+
+// Option is one grantable option of a settling decision point.
+type Option struct {
+	label string
+	val   int
+	// isDefer marks the poll "report not-ready" option, subject to the
+	// stutter rule.
+	isDefer bool
+}
+
+// Opt builds a plain settle option; val is the option's integer payload
+// (candidate source, request index) surfaced in Point.Vals.
+func Opt(label string, val int) Option {
+	return Option{label: label, val: val}
+}
+
+// DeferOpt builds the poll defer option (always list it last).
+func DeferOpt() Option {
+	return Option{label: "defer", val: -1, isDefer: true}
+}
+
+// NewController builds a controller for n ranks deciding via chooser
+// (nil = the default schedule).
+func NewController(n int, chooser Chooser) *Controller {
+	if chooser == nil {
+		chooser = DefaultChooser{}
+	}
+	c := &Controller{
+		chooser:   chooser,
+		n:         n,
+		state:     make([]rankState, n),
+		settles:   make([]*settleReq, n),
+		blockedOn: make(map[any][]int),
+		signaled:  make(map[any]struct{}),
+		deferAt:   make([]int, n),
+		deferRun:  make([]int, n),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// SetOnStuck installs the deadlock hook, called (unlocked) once when the
+// controller declares the schedule stuck; it should abort the job so
+// channel-parked ranks unblock.
+func (c *Controller) SetOnStuck(fn func()) {
+	c.mu.Lock()
+	c.onStuck = fn
+	c.mu.Unlock()
+}
+
+// SetDeferBudget switches the poll stutter rule to naive mode: a matched
+// poll may defer k consecutive times with no intervening activity before
+// completion is forced. 0 (the default) forces completion at the first
+// stutter — the sleep-set rule.
+func (c *Controller) SetDeferBudget(k int) {
+	c.mu.Lock()
+	c.deferBudget = k
+	c.mu.Unlock()
+}
+
+// Log returns the decision log (call after the run completes).
+func (c *Controller) Log() []Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Point(nil), c.log...)
+}
+
+// Acts returns the activity log (call after the run completes).
+func (c *Controller) Acts() []Act {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Act(nil), c.acts...)
+}
+
+// Forced counts stutter-forced poll completions — branches pruned by the
+// sleep-set rule (or by the naive defer budget).
+func (c *Controller) Forced() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.forced
+}
+
+// Stuck reports whether the schedule deadlocked.
+func (c *Controller) Stuck() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stuck
+}
+
+// --- rank lifecycle -------------------------------------------------------
+
+// Block marks rank parked on key just before it blocks on the matching
+// channel. If the key was already signaled the rank stays Running and
+// the caller's select will fall straight through.
+func (c *Controller) Block(rank int, key any) {
+	c.mu.Lock()
+	if c.aborted || c.stuck {
+		c.mu.Unlock()
+		return
+	}
+	if _, ok := c.signaled[key]; ok {
+		c.mu.Unlock()
+		return
+	}
+	c.state[rank] = blocked
+	c.blockedOn[key] = append(c.blockedOn[key], rank)
+	c.maybeGrantLocked()
+	c.unlockAndNotify()
+}
+
+// Wake signals key on behalf of actor: every rank parked on it is
+// re-marked Running, synchronously, before the caller closes (or sends
+// on) the underlying channel. hint names the expected waiter when the
+// caller knows it and none is parked yet (-1 = unknown, recorded as a
+// wildcard activity that blocks pruning).
+func (c *Controller) Wake(actor int, key any, hint int) {
+	c.mu.Lock()
+	if c.aborted || c.stuck {
+		c.mu.Unlock()
+		return
+	}
+	c.signaled[key] = struct{}{}
+	waiters := c.blockedOn[key]
+	delete(c.blockedOn, key)
+	if len(waiters) == 0 {
+		c.acts = append(c.acts, Act{Actor: actor, Target: hint})
+		c.mu.Unlock()
+		return
+	}
+	for _, r := range waiters {
+		if c.state[r] == blocked {
+			c.state[r] = running
+		}
+		c.acts = append(c.acts, Act{Actor: actor, Target: r})
+	}
+	c.mu.Unlock()
+}
+
+// Activity records a cross-rank effect that signals no channel (an
+// unmatched delivery landing in a mailbox): it wakes settlers' viability
+// and feeds the explorer's independence analysis.
+func (c *Controller) Activity(actor, target int) {
+	c.mu.Lock()
+	if !c.aborted && !c.stuck {
+		c.acts = append(c.acts, Act{Actor: actor, Target: target})
+	}
+	c.mu.Unlock()
+}
+
+// Finish marks rank done for good.
+func (c *Controller) Finish(rank int) {
+	c.mu.Lock()
+	c.state[rank] = finished
+	c.settles[rank] = nil
+	if !c.aborted && !c.stuck {
+		c.maybeGrantLocked()
+	}
+	c.unlockAndNotify()
+}
+
+// AbortAll tears the controlled run down (job abort): every parked rank
+// is released, settlers return ErrAborted, and the controller goes
+// inert.
+func (c *Controller) AbortAll() {
+	c.mu.Lock()
+	c.aborted = true
+	for r := range c.state {
+		if c.state[r] == blocked {
+			c.state[r] = running
+		}
+	}
+	c.blockedOn = make(map[any][]int)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// --- decision points ------------------------------------------------------
+
+// Settle parks rank at a decision point of the given kind. ready is
+// evaluated by the coordinator at quiescent states and returns the
+// currently grantable options (nil/empty = not viable yet: an unmatched
+// poll, a wildcard with no candidate). Settle returns the chosen option
+// index once granted; the caller applies it. ready must not call back
+// into the controller and runs while every rank is parked.
+func (c *Controller) Settle(rank int, kind Kind, op string, ready func() []Option) (int, error) {
+	c.mu.Lock()
+	if c.aborted {
+		c.mu.Unlock()
+		return 0, ErrAborted
+	}
+	if c.stuck {
+		c.mu.Unlock()
+		return 0, ErrStuck
+	}
+	st := &settleReq{kind: kind, op: op, ready: ready}
+	c.settles[rank] = st
+	c.state[rank] = settling
+	c.maybeGrantLocked()
+	for !st.granted && !c.aborted && !c.stuck {
+		c.cond.Wait()
+	}
+	c.settles[rank] = nil
+	var err error
+	switch {
+	case st.granted:
+		err = st.err
+	case c.aborted:
+		c.state[rank] = running
+		err = ErrAborted
+	default:
+		c.state[rank] = running
+		err = ErrStuck
+	}
+	chosen := st.chosen
+	c.unlockAndNotify()
+	return chosen, err
+}
+
+// --- the coordinator ------------------------------------------------------
+
+// maybeGrantLocked runs on whichever goroutine just parked: if the
+// system is quiescent it selects and delivers the next decision.
+func (c *Controller) maybeGrantLocked() {
+	if c.granting || c.aborted || c.stuck {
+		return
+	}
+	parked := 0
+	for r := 0; r < c.n; r++ {
+		switch c.state[r] {
+		case running:
+			return // not quiescent
+		case blocked, settling:
+			parked++
+		}
+	}
+	if parked == 0 {
+		return // everyone finished
+	}
+	var settlers []int
+	for r := 0; r < c.n; r++ {
+		if c.state[r] == settling {
+			settlers = append(settlers, r)
+		}
+	}
+	if len(settlers) == 0 {
+		c.declareStuckLocked()
+		return
+	}
+
+	// Evaluate candidate sets with the lock dropped: every rank is
+	// parked, so nothing mutates shared state concurrently, and ready()
+	// may take mailbox locks without inverting the lock order.
+	c.granting = true
+	c.mu.Unlock()
+	type viable struct {
+		rank int
+		opts []Option
+	}
+	var vs []viable
+	for _, r := range settlers {
+		if opts := c.settles[r].ready(); len(opts) > 0 {
+			vs = append(vs, viable{rank: r, opts: opts})
+		}
+	}
+	c.mu.Lock()
+	c.granting = false
+	if c.aborted || c.stuck {
+		return
+	}
+	if len(vs) == 0 {
+		c.declareStuckLocked()
+		return
+	}
+
+	// Grant decision: which viable settler proceeds. Logged even when
+	// forced so replay prefixes align with log positions.
+	glabels := make([]string, len(vs))
+	gvals := make([]int, len(vs))
+	for i, v := range vs {
+		glabels[i] = "rank=" + strconv.Itoa(v.rank)
+		gvals[i] = v.rank
+	}
+	g := vs[c.decideLocked(Grant, -1, "grant", glabels, gvals)]
+	st := c.settles[g.rank]
+
+	// Stutter rule: a poll that deferred and re-settled with no
+	// intervening activity would repeat the identical state; strip the
+	// defer option (sleep set) or, in naive mode, charge the budget.
+	opts := g.opts
+	if st.kind == Poll && c.deferAt[g.rank] != 0 && c.deferAt[g.rank] == len(c.acts) {
+		if c.deferBudget == 0 || c.deferRun[g.rank] >= c.deferBudget {
+			trimmed := opts[:0:0]
+			for _, o := range opts {
+				if !o.isDefer {
+					trimmed = append(trimmed, o)
+				}
+			}
+			if len(trimmed) > 0 && len(trimmed) < len(opts) {
+				opts = trimmed
+				c.forced++
+			}
+		}
+	}
+
+	labels := make([]string, len(opts))
+	vals := make([]int, len(opts))
+	for i, o := range opts {
+		labels[i] = o.label
+		vals[i] = o.val
+	}
+	idx := c.decideLocked(st.kind, g.rank, st.op, labels, vals)
+	c.acts = append(c.acts, Act{Actor: g.rank, Target: g.rank})
+	if opts[idx].isDefer {
+		c.deferAt[g.rank] = len(c.acts)
+		c.deferRun[g.rank]++
+	} else {
+		c.deferAt[g.rank] = 0
+		c.deferRun[g.rank] = 0
+	}
+
+	st.granted = true
+	st.opts = opts
+	st.chosen = idx
+	c.state[g.rank] = running
+	c.cond.Broadcast()
+}
+
+// decideLocked consults the chooser and appends to the decision log.
+func (c *Controller) decideLocked(kind Kind, rank int, op string, labels []string, vals []int) int {
+	p := Point{
+		Seq:    len(c.log),
+		Rank:   rank,
+		Kind:   kind,
+		Op:     op,
+		Arity:  len(labels),
+		Labels: labels,
+		Vals:   vals,
+		ActOff: len(c.acts),
+	}
+	idx := c.chooser.Choose(&p)
+	if idx < 0 || idx >= len(labels) {
+		idx = 0
+	}
+	p.Chosen = idx
+	c.log = append(c.log, p)
+	return idx
+}
+
+func (c *Controller) declareStuckLocked() {
+	c.stuck = true
+	c.notifyStuck = true
+	c.cond.Broadcast()
+}
+
+// unlockAndNotify releases the lock and fires the stuck hook outside it
+// (the hook aborts the MPI world, whose locks order before ours).
+func (c *Controller) unlockAndNotify() {
+	fire := false
+	if c.notifyStuck {
+		c.notifyStuck = false
+		fire = true
+	}
+	fn := c.onStuck
+	c.mu.Unlock()
+	if fire && fn != nil {
+		fn()
+	}
+}

@@ -1,0 +1,256 @@
+// Package sched virtualizes the runtime's nondeterministic completion
+// choices behind a single decision-point interface, so that a run's
+// schedule — which settling rank proceeds at each quiescent state, which
+// candidate message a wildcard receive matches, whether a poll that
+// could complete reports completion or defers, which completed request a
+// Waitany returns — becomes an explicit, replayable sequence of small
+// integers instead of an accident of goroutine scheduling.
+//
+// The model is the stable-state scheduling of MPI model checkers (and of
+// GPUMC's stateless model checking, see PAPERS.md): ranks run freely
+// through deterministic code, park when they block or reach a decision
+// point, and decisions are granted one at a time only when the system is
+// quiescent (no rank can make further progress). At quiescence the
+// candidate set of every decision is a pure function of the choices made
+// so far, which is what makes the global decision log deterministic and
+// a schedule spec (see FormatSpec) sufficient to replay a run
+// byte-identically.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates decision points.
+type Kind uint8
+
+// Decision-point kinds.
+const (
+	// Grant picks which settling rank proceeds at a quiescent state.
+	Grant Kind = iota
+	// Match picks which candidate message a wildcard receive (or probe)
+	// takes, among the first matching packet of each source.
+	Match
+	// Poll picks a Test/Iprobe outcome: complete (or which candidate to
+	// complete, for a held wildcard) versus defer.
+	Poll
+	// Pick picks which completed request a Waitany returns.
+	Pick
+	// Delay is the logical analog of completion jitter: arity 1, never
+	// explored — jitter shifts wall-clock time, not visible order.
+	Delay
+)
+
+var kindLetters = [...]byte{'g', 'm', 'p', 'w', 'd'}
+var kindNames = [...]string{"grant", "match", "poll", "pick", "delay"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Letter is the kind's one-letter schedule-spec code.
+func (k Kind) Letter() byte { return kindLetters[k] }
+
+func kindOfLetter(b byte) (Kind, bool) {
+	for i, l := range kindLetters {
+		if l == b {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Point is one decision-point occurrence in the global decision log.
+// Every point — including forced ones with a single option — is logged
+// and consumes one chooser position, so a replay prefix aligns with log
+// positions one-to-one.
+type Point struct {
+	// Seq is the point's position in the decision log.
+	Seq int
+	// Rank is the deciding rank (-1 for Grant points, which decide
+	// between ranks).
+	Rank int
+	Kind Kind
+	// Op labels the operation ("recv", "test", "waitany", ...).
+	Op string
+	// Arity is the option count; Labels describes each option.
+	Arity  int
+	Labels []string
+	// Vals carries per-option integer payloads (settler ranks for Grant
+	// points, candidate sources for Match points; nil otherwise).
+	Vals []int
+	// Chosen is the selected option index.
+	Chosen int
+	// ActOff is the activity-log offset when the decision was made; the
+	// explorer's partial-order reduction reads activity windows from it.
+	ActOff int
+}
+
+func (p *Point) String() string {
+	lab := ""
+	if p.Chosen < len(p.Labels) {
+		lab = " " + p.Labels[p.Chosen]
+	}
+	return fmt.Sprintf("%c%d[%s r%d/%d%s]", p.Kind.Letter(), p.Chosen, p.Op, p.Rank, p.Arity, lab)
+}
+
+// Act is one cross-rank effect (a delivery, a wake, a granted decision):
+// Actor did something observable to Target. Target -1 means "possibly
+// anyone" and blocks partial-order pruning across it.
+type Act struct {
+	Actor, Target int
+}
+
+// Choice is one prefix entry of a schedule spec.
+type Choice struct {
+	Kind  Kind
+	Index int
+}
+
+// Chooser decides one Point; implementations must be deterministic.
+// Choose runs under the controller lock at a quiescent state.
+type Chooser interface {
+	Choose(p *Point) int
+}
+
+// DefaultChooser always takes option 0 — the default schedule.
+type DefaultChooser struct{}
+
+// Choose implements Chooser.
+func (DefaultChooser) Choose(*Point) int { return 0 }
+
+// Replayer replays a choice prefix and takes option 0 beyond it,
+// recording a divergence error if the run's decision sequence does not
+// match the prefix (wrong kind, out-of-range index).
+type Replayer struct {
+	prefix []Choice
+	pos    int
+	err    error
+}
+
+// NewReplayer builds a Replayer over the given prefix (nil = default
+// schedule).
+func NewReplayer(prefix []Choice) *Replayer {
+	return &Replayer{prefix: prefix}
+}
+
+// Choose implements Chooser.
+func (r *Replayer) Choose(p *Point) int {
+	i := r.pos
+	r.pos++
+	if i >= len(r.prefix) {
+		return 0
+	}
+	ch := r.prefix[i]
+	if ch.Kind != p.Kind {
+		if r.err == nil {
+			r.err = fmt.Errorf("sched: replay divergence at %d: spec has %s, run reached %s(%s)",
+				i, ch.Kind, p.Kind, p.Op)
+		}
+		return 0
+	}
+	if ch.Index < 0 || ch.Index >= p.Arity {
+		if r.err == nil {
+			r.err = fmt.Errorf("sched: replay divergence at %d: choice %c%d out of range (arity %d)",
+				i, ch.Kind.Letter(), ch.Index, p.Arity)
+		}
+		return 0
+	}
+	return ch.Index
+}
+
+// Err returns the first divergence observed, if any. A prefix the run
+// did not fully consume is also a divergence: the spec promises more
+// decisions than the run reached.
+func (r *Replayer) Err() error {
+	if r.err == nil && r.pos < len(r.prefix) {
+		return fmt.Errorf("sched: replay divergence: spec has %d choices, run decided only %d",
+			len(r.prefix), r.pos)
+	}
+	return r.err
+}
+
+// DefaultSpec is the spec string of the empty (all-defaults) schedule.
+const DefaultSpec = "default"
+
+// FormatSpec renders a decision log as a replayable schedule spec:
+// one '<kind letter><chosen>' token per logged point, dot-joined, e.g.
+// "g0.m1.p0". The empty log renders as DefaultSpec.
+func FormatSpec(log []Point) string {
+	if len(log) == 0 {
+		return DefaultSpec
+	}
+	var b strings.Builder
+	for i := range log {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteByte(log[i].Kind.Letter())
+		b.WriteString(strconv.Itoa(log[i].Chosen))
+	}
+	return b.String()
+}
+
+// Choices extracts the choice sequence of a log prefix, suitable for
+// replay.
+func Choices(log []Point) []Choice {
+	out := make([]Choice, len(log))
+	for i := range log {
+		out[i] = Choice{Kind: log[i].Kind, Index: log[i].Chosen}
+	}
+	return out
+}
+
+// ParseSpec parses a schedule spec produced by FormatSpec. "" and
+// DefaultSpec parse to an empty prefix.
+func ParseSpec(s string) ([]Choice, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == DefaultSpec {
+		return nil, nil
+	}
+	parts := strings.Split(s, ".")
+	out := make([]Choice, 0, len(parts))
+	for i, tok := range parts {
+		if len(tok) < 2 {
+			return nil, fmt.Errorf("sched: bad schedule token %q at %d", tok, i)
+		}
+		k, ok := kindOfLetter(tok[0])
+		if !ok {
+			return nil, fmt.Errorf("sched: unknown decision kind %q at %d", tok[:1], i)
+		}
+		n, err := strconv.Atoi(tok[1:])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sched: bad choice index %q at %d", tok[1:], i)
+		}
+		out = append(out, Choice{Kind: k, Index: n})
+	}
+	return out, nil
+}
+
+// NonDefault counts the non-default choices of a prefix — the
+// preemption-bound metric (see Controller and internal/explore).
+func NonDefault(prefix []Choice) int {
+	n := 0
+	for _, c := range prefix {
+		if c.Index != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sentinel errors surfaced by Settle/Block when the controlled run can
+// no longer proceed.
+var (
+	// ErrStuck reports a scheduler-detected deadlock or livelock: the
+	// system is quiescent and no decision point is viable.
+	ErrStuck = errors.New("sched: schedule stuck (no viable decision at quiescence)")
+	// ErrAborted reports that the controlled job aborted (a rank died).
+	ErrAborted = errors.New("sched: controlled job aborted")
+)

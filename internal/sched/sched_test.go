@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecRoundtrip(t *testing.T) {
+	log := []Point{
+		{Kind: Grant, Chosen: 0},
+		{Kind: Match, Chosen: 1},
+		{Kind: Poll, Chosen: 0},
+		{Kind: Pick, Chosen: 2},
+		{Kind: Delay, Chosen: 0},
+	}
+	spec := FormatSpec(log)
+	if spec != "g0.m1.p0.w2.d0" {
+		t.Fatalf("FormatSpec = %q", spec)
+	}
+	got, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Choices(log)
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("choice %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpecDefault(t *testing.T) {
+	if FormatSpec(nil) != DefaultSpec {
+		t.Fatalf("empty log renders as %q", FormatSpec(nil))
+	}
+	for _, s := range []string{"", DefaultSpec, "  default  "} {
+		got, err := ParseSpec(s)
+		if err != nil || len(got) != 0 {
+			t.Fatalf("ParseSpec(%q) = %v, %v", s, got, err)
+		}
+	}
+}
+
+func TestSpecRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"x0", "g", "g-1", "gx", "g0..m1", "g0.q2"} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", s)
+		}
+	}
+}
+
+func TestNonDefault(t *testing.T) {
+	prefix := []Choice{{Grant, 0}, {Match, 2}, {Poll, 0}, {Poll, 1}}
+	if n := NonDefault(prefix); n != 2 {
+		t.Fatalf("NonDefault = %d, want 2", n)
+	}
+}
+
+func TestReplayerBeyondPrefixDefaults(t *testing.T) {
+	r := NewReplayer([]Choice{{Match, 1}})
+	if got := r.Choose(&Point{Kind: Match, Arity: 2}); got != 1 {
+		t.Fatalf("prefix choice = %d", got)
+	}
+	if got := r.Choose(&Point{Kind: Grant, Arity: 3}); got != 0 {
+		t.Fatalf("beyond-prefix choice = %d", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+}
+
+func TestReplayerKindDivergence(t *testing.T) {
+	r := NewReplayer([]Choice{{Poll, 0}})
+	r.Choose(&Point{Kind: Match, Arity: 2})
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("want kind divergence, got %v", err)
+	}
+}
+
+func TestReplayerArityDivergence(t *testing.T) {
+	r := NewReplayer([]Choice{{Match, 5}})
+	if got := r.Choose(&Point{Kind: Match, Arity: 2}); got != 0 {
+		t.Fatalf("out-of-range choice fell back to %d, want 0", got)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("want arity divergence, got %v", err)
+	}
+}
+
+func TestReplayerUnconsumedPrefix(t *testing.T) {
+	r := NewReplayer([]Choice{{Grant, 0}, {Match, 1}})
+	r.Choose(&Point{Kind: Grant, Arity: 1})
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("want unconsumed-prefix divergence, got %v", err)
+	}
+}

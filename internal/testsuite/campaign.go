@@ -3,6 +3,8 @@ package testsuite
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"cusango/internal/campaign"
@@ -20,9 +22,10 @@ import (
 
 // Job kinds understood by ExecuteJob.
 const (
-	KindSuite  = "suite"  // plain classification: Verdict must Pass
-	KindChaos  = "chaos"  // fault soak: ChaosVerdict must stay trustworthy
-	KindReplay = "replay" // record + offline replay must agree
+	KindSuite   = "suite"   // plain classification: Verdict must Pass
+	KindChaos   = "chaos"   // fault soak: ChaosVerdict must stay trustworthy
+	KindReplay  = "replay"  // record + offline replay must agree
+	KindExplore = "explore" // schedule-space exploration must match classification
 )
 
 // SuiteJobs enumerates one classification job per (engine, case).
@@ -71,7 +74,65 @@ func ReplayJobs(cases []Case, engines []tsan.Engine) []campaign.Job {
 	return jobs
 }
 
-// AllJobs enumerates every sweep family over the full suite.
+// ExploreJobs enumerates one schedule-space exploration job per
+// (engine, case). Budget (max schedules) and bound (preemption bound)
+// are encoded into the job's Config string so the result cache keys on
+// them; zero means the testsuite default (unbounded coverage within
+// DefaultExploreBudget).
+func ExploreJobs(cases []Case, engines []tsan.Engine, budget, bound int) []campaign.Job {
+	cfg := FormatExploreConfig(budget, bound)
+	var jobs []campaign.Job
+	for _, eng := range engines {
+		for _, c := range cases {
+			jobs = append(jobs, campaign.Job{
+				Kind: KindExplore, Case: c.Name, Engine: eng.String(), Config: cfg,
+			})
+		}
+	}
+	return jobs
+}
+
+// FormatExploreConfig renders the explore job config ("b=512,p=2");
+// zero values are omitted and an all-default config is "".
+func FormatExploreConfig(budget, bound int) string {
+	var parts []string
+	if budget > 0 {
+		parts = append(parts, fmt.Sprintf("b=%d", budget))
+	}
+	if bound > 0 {
+		parts = append(parts, fmt.Sprintf("p=%d", bound))
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseExploreConfig(s string) (budget, bound int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("bad explore config token %q", tok)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, 0, fmt.Errorf("bad explore config value %q", tok)
+		}
+		switch k {
+		case "b":
+			budget = n
+		case "p":
+			bound = n
+		default:
+			return 0, 0, fmt.Errorf("unknown explore config key %q", k)
+		}
+	}
+	return budget, bound, nil
+}
+
+// AllJobs enumerates every per-schedule sweep family over the full
+// suite. Exploration (ExploreJobs) is enumerated separately — it runs
+// many schedules per job and is opted into via `-kinds explore`.
 func AllJobs(cases []Case, seeds []uint64, rate float64, engines []tsan.Engine) []campaign.Job {
 	jobs := SuiteJobs(cases, engines)
 	jobs = append(jobs, ChaosJobs(cases, seeds, rate, engines)...)
@@ -106,6 +167,8 @@ func ExecuteJob(j campaign.Job) *campaign.Record {
 		return execChaos(c, j.Faults, engine)
 	case KindReplay:
 		return execReplay(c, engine)
+	case KindExplore:
+		return execExplore(c, j.Config, engine)
 	default:
 		return errRecord(fmt.Sprintf("unknown job kind %q", j.Kind))
 	}
@@ -177,6 +240,33 @@ func faultLabel(err error) string {
 		return "aborted"
 	}
 	return err.Error()
+}
+
+func execExplore(c Case, cfg string, engine tsan.Engine) *campaign.Record {
+	budget, bound, err := parseExploreConfig(cfg)
+	if err != nil {
+		return errRecord(fmt.Sprintf("bad explore config %q: %v", cfg, err))
+	}
+	v := ExploreCase(c, ExploreOptions{Engine: engine, Budget: budget, Bound: bound})
+	res := &v.Result
+	r := &campaign.Record{
+		Verdict:          campaign.VerdictPass,
+		Races:            int(res.DefaultRaces),
+		Explored:         res.Explored,
+		Pruned:           res.Pruned,
+		RacySchedules:    res.Racy,
+		Schedule:         res.MinRacySpec,
+		Incomplete:       !res.Complete,
+		NeedsExploration: v.NeedsExploration,
+	}
+	if !v.OK() {
+		r.Verdict = campaign.VerdictFail
+		for _, viol := range v.Violations {
+			r.Findings = append(r.Findings,
+				campaign.NewFinding("explore-violation", c.Name, viol))
+		}
+	}
+	return r
 }
 
 func execReplay(c Case, engine tsan.Engine) *campaign.Record {

@@ -114,9 +114,16 @@ func RunChaosCase(c Case, plan *faults.Plan, engine tsan.Engine) *ChaosVerdict {
 	}
 	// Verdict stability: a schedule that fired nothing and degraded
 	// nothing is an ordinary run and must classify exactly like one.
+	// This is deliberately a single-schedule check — it can only demand
+	// the race on the one schedule that actually ran. The explore
+	// modality (ExploreCase) asserts the stronger property that every
+	// known-racy case has at least one racy schedule across the full
+	// space, and flags cases whose race needs exploration to expose
+	// (ExploreVerdict.NeedsExploration).
 	if !faulted && len(v.Injected) == 0 && len(v.Degraded) == 0 {
 		if c.ExpectRace && v.Races == 0 {
-			v.Violations = append(v.Violations, "fault-free schedule missed the expected race")
+			v.Violations = append(v.Violations,
+				"fault-free run missed the expected race on this schedule (explore proves the full space)")
 		}
 	}
 	return v

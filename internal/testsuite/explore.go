@@ -1,0 +1,175 @@
+package testsuite
+
+import (
+	"fmt"
+
+	"cusango/internal/core"
+	"cusango/internal/explore"
+	"cusango/internal/sched"
+	"cusango/internal/tsan"
+)
+
+// Systematic schedule exploration over the classified suite: every case
+// runs under a controlled scheduler (internal/sched) and the explorer
+// (internal/explore) enumerates its completion schedules. The verdict
+// upgrades the chaos soak's "no race found on the schedules we ran" to
+// "race-free across all N schedules" for correct cases, and demands a
+// witness schedule (replayable from its spec) for every known-racy one.
+
+// ExploreOptions configures one case exploration.
+type ExploreOptions struct {
+	// Engine selects the shadow engine (default batched).
+	Engine tsan.Engine
+	// Budget caps executed schedules (0 = DefaultExploreBudget).
+	Budget int
+	// Bound, when > 0, bounds non-default choices per schedule
+	// (preemption bound); bounded runs may be incomplete.
+	Bound int
+	// Naive disables DPOR pruning (differential testing).
+	Naive bool
+}
+
+// DefaultExploreBudget is plenty for every suite case (the largest
+// suite schedule space is far below it) while keeping a runaway
+// exploration bounded.
+const DefaultExploreBudget = 512
+
+// naiveDeferBudget bounds consecutive no-activity poll defers in naive
+// mode so full enumeration of poll loops stays finite.
+const naiveDeferBudget = 2
+
+// ExploreVerdict is the outcome of exploring one case.
+type ExploreVerdict struct {
+	Case   Case
+	Engine tsan.Engine
+	Result explore.Result
+	// NeedsExploration marks a known-racy case whose default schedule is
+	// race-free: only systematic exploration (or lucky timing) exposes
+	// the race, so single-schedule modalities under-approximate it.
+	NeedsExploration bool
+	// ReplayOK reports that the minimal racy schedule replayed
+	// byte-identically (same decision log, same races) twice.
+	ReplayOK bool
+	// Violations are trust failures; empty means the exploration verdict
+	// matches the case's classification.
+	Violations []string
+}
+
+// OK reports whether exploration agreed with the classification.
+func (v *ExploreVerdict) OK() bool { return len(v.Violations) == 0 }
+
+func (v *ExploreVerdict) String() string {
+	status := "OK"
+	if !v.OK() {
+		status = "VIOLATION"
+	}
+	return fmt.Sprintf("%s: explore engine=%s :: %s (%s)", status, v.Engine, v.Case.Name, v.Result.String())
+}
+
+// RunExploreSchedule executes one case under one schedule prefix and
+// returns the explorer outcome. It is the single-schedule primitive
+// behind both exploration and `cusan-run -schedule` replay.
+func RunExploreSchedule(c Case, prefix []sched.Choice, opt ExploreOptions) explore.Outcome {
+	ranks := c.Ranks
+	if ranks == 0 {
+		ranks = 2
+	}
+	rep := sched.NewReplayer(prefix)
+	ctl := sched.NewController(ranks, rep)
+	if opt.Naive {
+		ctl.SetDeferBudget(naiveDeferBudget)
+	}
+	res, err := core.Run(core.Config{
+		Flavor:  core.MUSTCuSan,
+		Ranks:   ranks,
+		Module:  Module(),
+		TSanCfg: tsan.Config{Engine: opt.Engine},
+		Sched:   ctl,
+	}, c.App)
+	out := explore.Outcome{
+		Log:    ctl.Log(),
+		Acts:   ctl.Acts(),
+		Forced: ctl.Forced(),
+		Stuck:  ctl.Stuck(),
+	}
+	switch {
+	case err != nil:
+		out.Err = err
+	case rep.Err() != nil:
+		out.Err = rep.Err()
+	case out.Stuck:
+		// The controller proved this schedule deadlocked; rank errors are
+		// the deliberate teardown, not failures.
+	default:
+		if ferr := res.FirstError(); ferr != nil {
+			out.Err = ferr
+		}
+	}
+	if res != nil {
+		out.Races = res.TotalRaces()
+	}
+	return out
+}
+
+// ExploreCase enumerates one case's schedule space and checks the
+// verdict against its classification.
+func ExploreCase(c Case, opt ExploreOptions) *ExploreVerdict {
+	budget := opt.Budget
+	if budget == 0 {
+		budget = DefaultExploreBudget
+	}
+	v := &ExploreVerdict{Case: c, Engine: opt.Engine}
+	v.Result = explore.Run(explore.Options{
+		MaxSchedules:    budget,
+		PreemptionBound: opt.Bound,
+		Naive:           opt.Naive,
+		DeferBudget:     naiveDeferBudget,
+	}, func(prefix []sched.Choice) explore.Outcome {
+		return RunExploreSchedule(c, prefix, opt)
+	})
+	r := &v.Result
+
+	for _, e := range r.Errs {
+		v.Violations = append(v.Violations, "explore error: "+e)
+	}
+	if r.Stuck > 0 {
+		v.Violations = append(v.Violations,
+			fmt.Sprintf("deadlock: %d schedule(s) got stuck on a deadlock-free case", r.Stuck))
+	}
+	if c.ExpectRace {
+		v.NeedsExploration = r.DefaultRaces == 0 && r.Racy > 0
+		if r.Racy == 0 {
+			kind := "explore-missed-race"
+			if !r.Complete {
+				kind = "explore-budget-exhausted"
+			}
+			v.Violations = append(v.Violations, fmt.Sprintf(
+				"%s: known-racy case has no racy schedule in %d explored", kind, r.Explored))
+		}
+	} else if r.Racy > 0 {
+		v.Violations = append(v.Violations, fmt.Sprintf(
+			"explore-false-positive: correct case races on %d/%d schedules (minimal %q)",
+			r.Racy, r.Explored, r.MinRacySpec))
+	}
+
+	// Replay self-check: the minimal racy schedule must reproduce
+	// byte-identically from its spec — same decision log, same races.
+	if r.MinRacySpec != "" {
+		prefix, err := sched.ParseSpec(r.MinRacySpec)
+		if err != nil {
+			v.Violations = append(v.Violations, "explore-replay-divergence: unparseable spec: "+err.Error())
+			return v
+		}
+		a := RunExploreSchedule(c, prefix, opt)
+		b := RunExploreSchedule(c, prefix, opt)
+		sa, sb := sched.FormatSpec(a.Log), sched.FormatSpec(b.Log)
+		v.ReplayOK = a.Races > 0 && a.Races == b.Races && sa == r.MinRacySpec && sb == r.MinRacySpec &&
+			a.Err == nil && b.Err == nil
+		if !v.ReplayOK {
+			v.Violations = append(v.Violations, fmt.Sprintf(
+				"explore-replay-divergence: spec %q replayed as %q/%q with races %d/%d (want > 0, identical)",
+				r.MinRacySpec, sa, sb, a.Races, b.Races))
+		}
+	}
+	return v
+}

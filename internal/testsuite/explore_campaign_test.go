@@ -1,0 +1,91 @@
+package testsuite
+
+import (
+	"bytes"
+	"testing"
+
+	"cusango/internal/campaign"
+	"cusango/internal/tsan"
+)
+
+// TestExploreCampaign is the ISSUE acceptance gate for the explore job
+// kind: `cusan-campaign -kinds explore` over the whole suite proves at
+// least 20 cases race-free across their complete schedule space (with
+// exact explored/pruned counts in the JSONL record), finds a racy
+// schedule for every known-racy case, and aggregates byte-identically
+// across worker counts.
+func TestExploreCampaign(t *testing.T) {
+	jobs := ExploreJobs(Cases(), []tsan.Engine{tsan.EngineBatched}, 0, 0)
+	var reports [2]bytes.Buffer
+	var rep *campaign.Report
+	for i, workers := range []int{1, 8} {
+		rep = campaign.Run(jobs, ExecuteJob, campaign.Options{Workers: workers})
+		if err := rep.WriteJSONL(&reports[i], false); err != nil {
+			t.Fatal(err)
+		}
+		if pass, fail, errs := rep.Counts(); fail != 0 || errs != 0 {
+			t.Fatalf("workers=%d: pass=%d fail=%d error=%d; findings: %v",
+				workers, pass, fail, errs, rep.UniqueFindings())
+		}
+	}
+	if !bytes.Equal(reports[0].Bytes(), reports[1].Bytes()) {
+		t.Fatal("canonical explore report differs between 1 and 8 workers")
+	}
+
+	provenRaceFree := 0
+	for _, r := range rep.Records {
+		c := caseIndex()[r.Case]
+		if r.Explored < 1 {
+			t.Errorf("%s: explored %d schedules", r.Case, r.Explored)
+		}
+		if r.Incomplete {
+			t.Errorf("%s: exploration incomplete within the default budget", r.Case)
+		}
+		if c.ExpectRace {
+			if r.RacySchedules == 0 || r.Schedule == "" {
+				t.Errorf("%s: known-racy case has no racy schedule (explored %d)", r.Case, r.Explored)
+			}
+		} else {
+			if r.RacySchedules != 0 {
+				t.Errorf("%s: correct case raced on %d schedules (minimal %q)",
+					r.Case, r.RacySchedules, r.Schedule)
+			}
+			if !r.Incomplete {
+				provenRaceFree++
+			}
+		}
+	}
+	if provenRaceFree < 20 {
+		t.Errorf("only %d cases proven race-free across their full schedule space, want >= 20", provenRaceFree)
+	}
+	t.Logf("explore campaign: %d jobs, %d cases proven race-free over complete schedule spaces",
+		len(rep.Records), provenRaceFree)
+}
+
+// TestExploreConfigRoundtrip pins the job-config grammar the cache key
+// depends on.
+func TestExploreConfigRoundtrip(t *testing.T) {
+	for _, tc := range []struct {
+		budget, bound int
+		want          string
+	}{
+		{0, 0, ""},
+		{512, 0, "b=512"},
+		{0, 2, "p=2"},
+		{64, 3, "b=64,p=3"},
+	} {
+		got := FormatExploreConfig(tc.budget, tc.bound)
+		if got != tc.want {
+			t.Errorf("FormatExploreConfig(%d,%d) = %q, want %q", tc.budget, tc.bound, got, tc.want)
+		}
+		b, p, err := parseExploreConfig(got)
+		if err != nil || b != tc.budget || p != tc.bound {
+			t.Errorf("parseExploreConfig(%q) = %d,%d,%v", got, b, p, err)
+		}
+	}
+	for _, bad := range []string{"b", "b=x", "q=1", "b=-1"} {
+		if _, _, err := parseExploreConfig(bad); err == nil {
+			t.Errorf("parseExploreConfig(%q) accepted garbage", bad)
+		}
+	}
+}

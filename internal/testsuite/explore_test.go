@@ -1,0 +1,224 @@
+package testsuite
+
+import (
+	"strings"
+	"testing"
+
+	"cusango/internal/sched"
+	"cusango/internal/tsan"
+)
+
+func findCase(t *testing.T, name string) Case {
+	t.Helper()
+	for _, c := range Cases() {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("no such case: %s", name)
+	return Case{}
+}
+
+// TestExploreCorrectCase: a correct case explores to completion,
+// race-free across its whole schedule space.
+func TestExploreCorrectCase(t *testing.T) {
+	for _, name := range []string{
+		"mpi-to-cuda/recv_blocking_kernel",
+		"mpi-modes/ssend_after_devicesync",
+		"mpi-modes/probe_recv_kernel",
+		"mpi-modes/iprobe_poll_recv",
+		"mpi-to-cuda/irecv_test_loop_kernel",
+		"mpi-modes/waitany_then_kernel",
+	} {
+		v := ExploreCase(findCase(t, name), ExploreOptions{Engine: tsan.EngineBatched})
+		t.Logf("%s: %s", name, v.Result.String())
+		if !v.OK() {
+			t.Errorf("%s: %v", name, v.Violations)
+		}
+		if !v.Result.Complete {
+			t.Errorf("%s: exploration incomplete", name)
+		}
+		if v.Result.Explored < 1 {
+			t.Errorf("%s: nothing explored", name)
+		}
+	}
+}
+
+// TestExploreRacyCase: every explored schedule of a deterministic racy
+// case races, and the minimal racy schedule replays byte-identically.
+func TestExploreRacyCase(t *testing.T) {
+	for _, name := range []string{
+		"mpi-modes/ssend_nosync",
+		"mpi-modes/waitany_wrong_buffer",
+	} {
+		v := ExploreCase(findCase(t, name), ExploreOptions{Engine: tsan.EngineBatched})
+		t.Logf("%s: %s", name, v.Result.String())
+		if !v.OK() {
+			t.Errorf("%s: %v", name, v.Violations)
+		}
+		if v.Result.Racy == 0 {
+			t.Errorf("%s: no racy schedule found", name)
+		}
+		if v.Result.MinRacySpec != "" && !v.ReplayOK {
+			t.Errorf("%s: minimal racy schedule did not replay", name)
+		}
+	}
+}
+
+// TestExploreWholeSuiteDefaultSchedule: the default schedule of every
+// case classifies exactly like an uncontrolled run — placing the world
+// under the controller must not change any verdict.
+func TestExploreWholeSuiteDefaultSchedule(t *testing.T) {
+	for _, c := range Cases() {
+		out := RunExploreSchedule(c, nil, ExploreOptions{Engine: tsan.EngineBatched})
+		if out.Err != nil {
+			t.Errorf("%s: default schedule error: %v", c.Name, out.Err)
+			continue
+		}
+		if out.Stuck {
+			t.Errorf("%s: default schedule stuck", c.Name)
+			continue
+		}
+		if (out.Races > 0) != c.ExpectRace {
+			t.Errorf("%s: default schedule races=%d, expect race=%v (spec %s)",
+				c.Name, out.Races, c.ExpectRace, sched.FormatSpec(out.Log))
+		}
+	}
+}
+
+// TestExploreReplayPrefixStability: replaying the full spec of any
+// explored schedule reproduces the identical decision log.
+func TestExploreReplayPrefixStability(t *testing.T) {
+	c := findCase(t, "mpi-modes/probe_recv_kernel")
+	opt := ExploreOptions{Engine: tsan.EngineBatched}
+	out := RunExploreSchedule(c, nil, opt)
+	if out.Err != nil {
+		t.Fatalf("default schedule: %v", out.Err)
+	}
+	spec := sched.FormatSpec(out.Log)
+	prefix, err := sched.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	again := RunExploreSchedule(c, prefix, opt)
+	if got := sched.FormatSpec(again.Log); got != spec {
+		t.Fatalf("replay diverged: %q vs %q", got, spec)
+	}
+	if again.Err != nil {
+		t.Fatalf("replay error: %v", again.Err)
+	}
+}
+
+// TestExploreEngineAgreement: exploration verdicts agree across both
+// shadow engines on a representative slice.
+func TestExploreEngineAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine agreement is part of the long acceptance run")
+	}
+	for _, name := range []string{
+		"mpi-modes/ssend_nosync",
+		"mpi-modes/probe_recv_kernel",
+		"mpi-to-cuda/irecv_test_loop_kernel",
+	} {
+		c := findCase(t, name)
+		a := ExploreCase(c, ExploreOptions{Engine: tsan.EngineBatched})
+		b := ExploreCase(c, ExploreOptions{Engine: tsan.EngineSlow})
+		if a.Result.Explored != b.Result.Explored || a.Result.Pruned != b.Result.Pruned ||
+			(a.Result.Racy > 0) != (b.Result.Racy > 0) {
+			t.Errorf("%s: engines disagree: batched %s vs slow %s", name, a.Result.String(), b.Result.String())
+		}
+	}
+}
+
+// TestExploreModalityAgreement is satellite coverage: for every suite
+// case on both engines, explore's verdict must be a superset of the
+// 25-seed chaos soak's — any race chaos can find, explore finds.
+func TestExploreModalityAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("modality agreement sweeps the whole suite twice")
+	}
+	for _, engine := range bothEngines {
+		for _, c := range Cases() {
+			v := ExploreCase(c, ExploreOptions{Engine: engine})
+			// The chaos soak's strongest race claim on any case is "the
+			// expected race shows on some schedule"; explore must find a
+			// racy schedule whenever the classification expects one, and
+			// none when chaos (fault-free) may never see one.
+			if c.ExpectRace && v.Result.Racy == 0 {
+				t.Errorf("engine %s %s: chaos expects a race, explore found none (%s)",
+					engine, c.Name, v.Result.String())
+			}
+			if !c.ExpectRace && v.Result.Racy > 0 {
+				t.Errorf("engine %s %s: explore races where chaos must never (%s)",
+					engine, c.Name, v.Result.String())
+			}
+			if !v.OK() {
+				t.Errorf("engine %s %s: %v", engine, c.Name, v.Violations)
+			}
+		}
+	}
+}
+
+// TestExploreNaiveDifferential: DPOR pruning must never drop a racy
+// schedule — naive full enumeration and DPOR agree on every case's
+// race verdict, and DPOR never explores more than naive.
+func TestExploreNaiveDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential exploration is part of the long acceptance run")
+	}
+	for _, name := range []string{
+		"mpi-modes/ssend_nosync",
+		"mpi-modes/waitany_then_kernel",
+		"mpi-modes/waitany_wrong_buffer",
+		"mpi-modes/probe_recv_kernel",
+		"mpi-modes/iprobe_poll_recv",
+		"mpi-to-cuda/irecv_test_loop_kernel",
+	} {
+		c := findCase(t, name)
+		dpor := ExploreCase(c, ExploreOptions{Engine: tsan.EngineBatched})
+		naive := ExploreCase(c, ExploreOptions{Engine: tsan.EngineBatched, Naive: true})
+		t.Logf("%s: dpor %s | naive %s", name, dpor.Result.String(), naive.Result.String())
+		if (dpor.Result.Racy > 0) != (naive.Result.Racy > 0) {
+			t.Errorf("%s: DPOR and naive disagree: %s vs %s",
+				name, dpor.Result.String(), naive.Result.String())
+		}
+		if dpor.Result.Explored > naive.Result.Explored {
+			t.Errorf("%s: DPOR explored more than naive (%d > %d)",
+				name, dpor.Result.Explored, naive.Result.Explored)
+		}
+		if !naive.OK() || !dpor.OK() {
+			t.Errorf("%s: violations: dpor=%v naive=%v", name, dpor.Violations, naive.Violations)
+		}
+	}
+}
+
+// TestExploreBoundedPreemption: a preemption bound of 0 choices still
+// covers the default schedule; bound 1 covers every single-deviation
+// schedule and marks the run incomplete only when it skipped branches.
+func TestExploreBoundedPreemption(t *testing.T) {
+	c := findCase(t, "mpi-modes/probe_recv_kernel")
+	full := ExploreCase(c, ExploreOptions{Engine: tsan.EngineBatched})
+	bounded := ExploreCase(c, ExploreOptions{Engine: tsan.EngineBatched, Bound: 1})
+	if bounded.Result.Explored > full.Result.Explored {
+		t.Errorf("bound explored more than full: %d > %d",
+			bounded.Result.Explored, full.Result.Explored)
+	}
+	if bounded.Result.Explored < 1 {
+		t.Error("bounded exploration explored nothing")
+	}
+}
+
+// TestScheduleSpecRejectsGarbage: replaying a syntactically valid but
+// semantically impossible spec surfaces a divergence, not a wrong
+// verdict.
+func TestScheduleSpecRejectsGarbage(t *testing.T) {
+	c := findCase(t, "mpi-to-cuda/recv_blocking_kernel")
+	prefix, err := sched.ParseSpec("m7.p3")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	out := RunExploreSchedule(c, prefix, ExploreOptions{Engine: tsan.EngineBatched})
+	if out.Err == nil || !strings.Contains(out.Err.Error(), "divergence") {
+		t.Fatalf("want replay divergence, got err=%v", out.Err)
+	}
+}
