@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"cusango/internal/bench"
+	"cusango/internal/core"
 	"cusango/internal/perf"
 	"cusango/internal/tsan"
 )
@@ -52,7 +53,13 @@ func run() int {
 	flag.IntVar(&cfg.Halo2DCfg.Iters, "halo2d-iters", cfg.Halo2DCfg.Iters, "Halo2D iterations")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	version := flag.Bool("version", false, "print build identification and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(core.VersionLine("cusan-bench"))
+		return 0
+	}
 
 	eng, err := tsan.ParseEngine(*engineName)
 	if err != nil {

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"cusango/internal/campaign"
+	"cusango/internal/core"
 	"cusango/internal/perf"
 	"cusango/internal/testsuite"
 	"cusango/internal/tsan"
@@ -83,7 +84,13 @@ func run() int {
 	verbose := flag.Bool("v", false, "print every non-pass record")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	version := flag.Bool("version", false, "print build identification and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(core.VersionLine("cusan-campaign"))
+		return exitClean
+	}
 
 	var engines []tsan.Engine
 	for _, name := range strings.Split(*enginesFlag, ",") {

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cusango/internal/core"
 	"cusango/internal/kaccess"
 	"cusango/internal/kinterp"
 	"cusango/internal/kir"
@@ -45,8 +46,15 @@ func loadModule(path string) *kir.Module {
 }
 
 func main() {
+	if len(os.Args) >= 2 {
+		switch os.Args[1] {
+		case "version", "-version", "--version":
+			fmt.Println(core.VersionLine("cusan-kir"))
+			return
+		}
+	}
 	if len(os.Args) < 3 {
-		fatalf("usage: cusan-kir fmt|verify|analyze|run <file.kir> [flags]")
+		fatalf("usage: cusan-kir fmt|verify|analyze|run|version <file.kir> [flags]")
 	}
 	cmd, path := os.Args[1], os.Args[2]
 	switch cmd {

@@ -27,6 +27,7 @@ import (
 	"os"
 	"sort"
 
+	"cusango/internal/core"
 	"cusango/internal/perf"
 )
 
@@ -65,6 +66,9 @@ func run(args []string) int {
 		return cmdCompare(rest, true)
 	case "list":
 		return cmdList(rest)
+	case "version", "-version", "--version":
+		fmt.Println(core.VersionLine("cusan-perf"))
+		return exitOK
 	case "-h", "--help", "help":
 		usage()
 		return exitOK

@@ -84,7 +84,13 @@ func main() {
 		"-explore: preemption bound — max non-default choices per schedule (0 = unbounded)")
 	scheduleSpec := flag.String("schedule", "",
 		"replay one completion schedule from its spec (e.g. \"g1.m0\"); runs controlled")
+	version := flag.Bool("version", false, "print build identification and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(core.VersionLine("cusan-run"))
+		os.Exit(exitClean)
+	}
 
 	flavor, err := core.ParseFlavor(*flavorName)
 	if err != nil {

@@ -1,0 +1,112 @@
+// cusan-serve is the checking-as-a-service daemon: the campaign
+// engine behind a JSON HTTP API. Submit a job matrix, stream its
+// per-job JSONL records as they land, query findings by fingerprint
+// across all campaigns, and share one content-addressed result cache —
+// a warm resubmission of an identical matrix executes zero jobs.
+//
+// Usage:
+//
+//	cusan-serve [-addr host:port] [-j N] [-cache dir] [-salt s]
+//	            [-state dir] [-backlog N] [-tenant-quota N] [-version]
+//
+// API (see DESIGN.md §13 and the README for curl examples):
+//
+//	POST /v1/campaigns               submit a matrix (cusan-campaign flags as JSON)
+//	GET  /v1/campaigns/{id}          campaign status
+//	GET  /v1/campaigns/{id}/stream   NDJSON record stream, resumable via ?from=
+//	GET  /v1/findings/{fp}           finding lookup by stable fingerprint
+//	GET  /v1/status                  queue depth, cache hit rate, utilization
+//
+// The streamed JSONL of a completed campaign is byte-identical to
+// `cusan-campaign -out` offline output for the same matrix and build
+// salt. SIGTERM/SIGINT drains gracefully: in-flight jobs finish,
+// queued campaigns persist manifests under -state and resume on the
+// next start, and connected streams receive a terminal drain record
+// carrying the offset to resume from.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"cusango/internal/core"
+	"cusango/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address (host:port; :0 picks a free port)")
+	workers := flag.Int("j", runtime.NumCPU(), "per-campaign worker count")
+	cacheDir := flag.String("cache", "", "shared result cache directory (empty = in-memory)")
+	salt := flag.String("salt", "", "cache build salt (empty = derive from build info)")
+	stateDir := flag.String("state", "", "manifest directory for drain/resume (empty = no durability)")
+	backlog := flag.Int("backlog", serve.DefaultBacklog, "max queued campaigns before 429")
+	quota := flag.Int("tenant-quota", serve.DefaultTenantQuota,
+		"max queued+running campaigns per API key before 429 (negative = unlimited)")
+	version := flag.Bool("version", false, "print build identification and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(core.VersionLine("cusan-serve"))
+		return 0
+	}
+
+	srv, err := serve.New(serve.Config{
+		Workers:     *workers,
+		Salt:        *salt,
+		CacheDir:    *cacheDir,
+		StateDir:    *stateDir,
+		Backlog:     *backlog,
+		TenantQuota: *quota,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cusan-serve:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cusan-serve:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "cusan-serve: listening on http://%s (workers=%d salt=%s)\n",
+		ln.Addr(), *workers, srv.Salt())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "cusan-serve: %s — draining (in-flight jobs finish, backlog persists)\n", got)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "cusan-serve:", err)
+		return 1
+	}
+
+	srv.Drain()
+	// The drain woke every stream with its terminal record; Shutdown
+	// now only waits for those responses to flush.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "cusan-serve:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "cusan-serve: drained")
+	return 0
+}

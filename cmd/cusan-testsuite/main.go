@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"cusango/internal/campaign"
+	"cusango/internal/core"
 	"cusango/internal/testsuite"
 	"cusango/internal/tsan"
 )
@@ -27,7 +28,13 @@ func main() {
 		"shadow engine: fast (batched) or slow (reference oracle)")
 	verbose := flag.Bool("v", false, "print each case's documentation line")
 	doc := flag.Bool("doc", false, "emit the feature-documentation matrix (markdown) instead of running")
+	version := flag.Bool("version", false, "print build identification and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(core.VersionLine("cusan-testsuite"))
+		return
+	}
 
 	engine, err := tsan.ParseEngine(*engineName)
 	if err != nil {

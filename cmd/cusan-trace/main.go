@@ -56,6 +56,9 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println(core.VersionLine("cusan-trace"))
+		return
 	case "-h", "-help", "--help", "help":
 		usage()
 		return

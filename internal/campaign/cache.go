@@ -4,8 +4,9 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
-	"runtime/debug"
 	"sync"
+
+	"cusango/internal/core"
 )
 
 // Cache is a content-addressed result store: cache key -> serialized
@@ -93,23 +94,9 @@ func (c *Cache) Len() int {
 }
 
 // BuildSalt derives a salt identifying the current build, so cached
-// results die with the binary that produced them. Prefers the VCS
-// revision stamped into the build, falls back to the module checksum,
-// then to "dev" (always-miss-safe: a dev salt still separates cache
-// namespaces between salted runs, it just cannot distinguish two dev
-// builds).
+// results die with the binary that produced them (see core.BuildSalt
+// for the derivation; the -version flag on every CLI prints the same
+// value, making cache-miss-after-rebuild diagnosable).
 func BuildSalt() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "dev"
-	}
-	for _, s := range info.Settings {
-		if s.Key == "vcs.revision" && s.Value != "" {
-			return s.Value
-		}
-	}
-	if info.Main.Sum != "" {
-		return info.Main.Sum
-	}
-	return "dev"
+	return core.BuildSalt()
 }

@@ -64,6 +64,18 @@ type Options struct {
 	// OnProgress, when non-nil, is called after every job completion
 	// from worker goroutines; it must be safe for concurrent use.
 	OnProgress func(Progress)
+	// OnRecord, when non-nil, is called with finished records in job
+	// enumeration order — never by completion order — under an internal
+	// lock, so calls are serialized and records[0..i] have all been
+	// delivered when record i arrives. This is the streaming hook: a
+	// consumer that writes each delivered record's canonical JSONL line
+	// reproduces WriteJSONL's job-line section byte for byte, live.
+	OnRecord func(i int, r *Record)
+	// Interrupt, when non-nil and closed, stops the dispatch of jobs
+	// that have not started: in-flight jobs run to completion, the rest
+	// are left unexecuted (nil records) and the report is marked
+	// Interrupted. This is the graceful-drain primitive.
+	Interrupt <-chan struct{}
 }
 
 // Run shards jobs across the worker pool and aggregates the results
@@ -82,6 +94,26 @@ func Run(jobs []Job, exec func(Job) *Record, opt Options) *Report {
 	start := time.Now()
 	records := make([]*Record, len(jobs))
 	var done, executed, hits, failed atomic.Int64
+
+	// store publishes a finished record and, when streaming, advances
+	// the enumeration-order watermark: record i is delivered only once
+	// records[0..i-1] have been. The lock also orders the records[]
+	// writes against the watermark reads.
+	var emitMu sync.Mutex
+	nextEmit := 0
+	store := func(i int, r *Record) {
+		if opt.OnRecord == nil {
+			records[i] = r
+			return
+		}
+		emitMu.Lock()
+		records[i] = r
+		for nextEmit < len(records) && records[nextEmit] != nil {
+			opt.OnRecord(nextEmit, records[nextEmit])
+			nextEmit++
+		}
+		emitMu.Unlock()
+	}
 
 	report := func(r *Record) {
 		done.Add(1)
@@ -138,22 +170,40 @@ func Run(jobs []Job, exec func(Job) *Record, opt Options) *Report {
 				if opt.Cache != nil && !r.Cached {
 					opt.Cache.Put(j.CacheKey(opt.Salt), r)
 				}
-				records[i] = r
+				store(i, r)
 				report(r)
 			}
 		}()
 	}
+	interrupted := false
+feed:
 	for i := range jobs {
-		idx <- i
+		// Check the interrupt with priority: a closed Interrupt and a
+		// ready worker are often both ready, and a plain two-case select
+		// would keep feeding jobs half the time.
+		select {
+		case <-opt.Interrupt: // nil channel: never fires
+			interrupted = true
+			break feed
+		default:
+		}
+		select {
+		case idx <- i:
+		case <-opt.Interrupt:
+			interrupted = true
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 
 	return &Report{
-		Records:   records,
-		Workers:   workers,
-		Wall:      time.Since(start),
-		Executed:  int(executed.Load()),
-		CacheHits: int(hits.Load()),
+		Records:     records,
+		Workers:     workers,
+		Wall:        time.Since(start),
+		Executed:    int(executed.Load()),
+		CacheHits:   int(hits.Load()),
+		Done:        int(done.Load()),
+		Interrupted: interrupted,
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -248,5 +250,79 @@ func TestSaltChangesCacheKey(t *testing.T) {
 	}
 	if j.Key() == (Job{Kind: "chaos", Case: "c", Engine: "slow", Seed: 4, Faults: "seed=3,rate=0.05"}).Key() {
 		t.Fatal("seed does not affect job key")
+	}
+}
+
+// TestDirCacheCorruption: a corrupted or foreign dir-cache entry must
+// degrade to a silent miss — the job re-executes, the canonical report
+// is unaffected, and the entry is repaired in place — never a crash or
+// a poisoned record.
+func TestDirCacheCorruption(t *testing.T) {
+	for name, corrupt := range map[string][]byte{
+		"empty file":          {},
+		"truncated json":      []byte(`{"v":1,"type":"job","verdict":"pa`),
+		"garbage":             []byte("\x00\xff\x17not json at all\x01"),
+		"wrong version":       []byte(`{"v":999,"type":"job","verdict":"pass"}`),
+		"valid but wrong doc": []byte(`[1,2,3]`),
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			jobs := fakeJobs(5)
+			const salt = "corrupt-salt"
+
+			c, err := OpenDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			Run(jobs, fakeExec, Options{Workers: 2, Cache: c, Salt: salt})
+
+			// Corrupt one entry on disk, then reopen (a fresh process has
+			// no memory copy to shadow the damage).
+			victim := filepath.Join(dir, jobs[2].CacheKey(salt)+".json")
+			if _, err := os.Stat(victim); err != nil {
+				t.Fatalf("expected cache entry missing: %v", err)
+			}
+			if err := os.WriteFile(victim, corrupt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c2, err := OpenDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var execs atomic.Int64
+			rep := Run(jobs, func(j Job) *Record { execs.Add(1); return fakeExec(j) },
+				Options{Workers: 2, Cache: c2, Salt: salt})
+			if execs.Load() != 1 || rep.Executed != 1 || rep.CacheHits != len(jobs)-1 {
+				t.Fatalf("corrupt entry: executed=%d hits=%d, want exactly the victim re-executed",
+					rep.Executed, rep.CacheHits)
+			}
+
+			// The report must be byte-identical to an uncached run: the
+			// corrupt entry contributed nothing.
+			clean := Run(jobs, fakeExec, Options{Workers: 2})
+			var got, want bytes.Buffer
+			if err := rep.WriteJSONL(&got, false); err != nil {
+				t.Fatal(err)
+			}
+			if err := clean.WriteJSONL(&want, false); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("report after corruption differs from uncached run:\ngot:\n%s\nwant:\n%s",
+					got.String(), want.String())
+			}
+
+			// The re-execution repaired the entry: a third process hits it.
+			c3, err := OpenDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var execs3 atomic.Int64
+			rep3 := Run(jobs, func(j Job) *Record { execs3.Add(1); return fakeExec(j) },
+				Options{Workers: 2, Cache: c3, Salt: salt})
+			if execs3.Load() != 0 || rep3.CacheHits != len(jobs) {
+				t.Fatalf("after repair: executed=%d hits=%d, want all hits", execs3.Load(), rep3.CacheHits)
+			}
+		})
 	}
 }

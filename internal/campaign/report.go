@@ -117,18 +117,28 @@ func (r *Record) canonical() Record {
 
 // Report aggregates a campaign run. Records is in job enumeration
 // order — position i is job i's result regardless of which worker
-// finished it when.
+// finished it when. An interrupted run (Options.Interrupt fired) has
+// nil records for the jobs that never started; every accessor skips
+// them.
 type Report struct {
 	Records   []*Record
 	Workers   int
 	Wall      time.Duration
 	Executed  int // jobs actually run (cache misses)
 	CacheHits int
+	// Done counts jobs with results (== len(Records) unless Interrupted).
+	Done int
+	// Interrupted marks a drained run: dispatch stopped early and the
+	// un-started jobs have nil records.
+	Interrupted bool
 }
 
 // Counts tallies verdicts.
 func (rep *Report) Counts() (pass, fail, errs int) {
 	for _, r := range rep.Records {
+		if r == nil {
+			continue
+		}
 		switch r.Verdict {
 		case VerdictPass:
 			pass++
@@ -161,6 +171,9 @@ type UniqueFinding struct {
 func (rep *Report) UniqueFindings() []UniqueFinding {
 	byFP := map[string]*UniqueFinding{}
 	for _, r := range rep.Records {
+		if r == nil {
+			continue
+		}
 		for _, f := range r.Findings {
 			if u, ok := byFP[f.FP]; ok {
 				u.Jobs++
@@ -177,50 +190,85 @@ func (rep *Report) UniqueFindings() []UniqueFinding {
 	return out
 }
 
+// HeaderLine renders the report header as one newline-terminated JSONL
+// line for a report of the given job count. Exported so a streaming
+// emitter (internal/serve) can produce the exact bytes WriteJSONL
+// would, before any job has finished.
+func HeaderLine(jobs int) []byte {
+	return []byte(fmt.Sprintf(`{"v":%d,"type":"header","format":"cusan-campaign/v1","jobs":%d}`+"\n",
+		FormatVersion, jobs))
+}
+
+// JSONL renders the record as one newline-terminated JSONL line. With
+// volatile=false the volatile fields (duration, cache status) are
+// zeroed first, making the bytes a pure function of job identity and
+// verdict.
+func (r *Record) JSONL(volatile bool) ([]byte, error) {
+	line := *r
+	if !volatile {
+		line = r.canonical()
+	}
+	b, err := json.Marshal(&line)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// TrailerLines renders the report tail: one line per unique finding
+// (sorted by fingerprint) and the summary line. Together with
+// HeaderLine and per-record JSONL lines this reconstitutes WriteJSONL
+// output exactly.
+func (rep *Report) TrailerLines(volatile bool) ([]byte, error) {
+	var b strings.Builder
+	uf := rep.UniqueFindings()
+	for _, u := range uf {
+		fmt.Fprintf(&b,
+			`{"v":%d,"type":"finding","fp":%q,"kind":%q,"case":%q,"detail":%q,"jobs":%d}`+"\n",
+			FormatVersion, u.FP, u.Kind, u.Case, u.Detail, u.Jobs)
+	}
+	pass, fail, errs := rep.Counts()
+	if volatile {
+		fmt.Fprintf(&b,
+			`{"v":%d,"type":"summary","jobs":%d,"pass":%d,"fail":%d,"error":%d,"findings":%d,"executed":%d,"cache_hits":%d,"workers":%d,"wall_us":%d}`+"\n",
+			FormatVersion, len(rep.Records), pass, fail, errs,
+			len(uf), rep.Executed, rep.CacheHits,
+			rep.Workers, rep.Wall.Microseconds())
+	} else {
+		fmt.Fprintf(&b,
+			`{"v":%d,"type":"summary","jobs":%d,"pass":%d,"fail":%d,"error":%d,"findings":%d}`+"\n",
+			FormatVersion, len(rep.Records), pass, fail, errs, len(uf))
+	}
+	return []byte(b.String()), nil
+}
+
 // WriteJSONL emits the versioned report: a header line, one line per
 // job in enumeration order, one line per unique finding, and a summary
 // trailer. With volatile=false (canonical mode) the bytes are a pure
 // function of job identities and verdicts: durations, cache state,
-// worker count, and wall time are omitted.
+// worker count, and wall time are omitted. Nil records (an interrupted
+// run) are skipped.
 func (rep *Report) WriteJSONL(w io.Writer, volatile bool) error {
-	enc := json.NewEncoder(w)
-	if err := encodeOrdered(w, `{"v":%d,"type":"header","format":"cusan-campaign/v1","jobs":%d}`,
-		FormatVersion, len(rep.Records)); err != nil {
+	if _, err := w.Write(HeaderLine(len(rep.Records))); err != nil {
 		return err
 	}
 	for _, r := range rep.Records {
-		line := *r
-		if !volatile {
-			line = r.canonical()
+		if r == nil {
+			continue
 		}
-		if err := enc.Encode(&line); err != nil {
+		line, err := r.JSONL(volatile)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(line); err != nil {
 			return err
 		}
 	}
-	for _, u := range rep.UniqueFindings() {
-		if err := encodeOrdered(w,
-			`{"v":%d,"type":"finding","fp":%q,"kind":%q,"case":%q,"detail":%q,"jobs":%d}`,
-			FormatVersion, u.FP, u.Kind, u.Case, u.Detail, u.Jobs); err != nil {
-			return err
-		}
+	trailer, err := rep.TrailerLines(volatile)
+	if err != nil {
+		return err
 	}
-	pass, fail, errs := rep.Counts()
-	if volatile {
-		return encodeOrdered(w,
-			`{"v":%d,"type":"summary","jobs":%d,"pass":%d,"fail":%d,"error":%d,"findings":%d,"executed":%d,"cache_hits":%d,"workers":%d,"wall_us":%d}`,
-			FormatVersion, len(rep.Records), pass, fail, errs,
-			len(rep.UniqueFindings()), rep.Executed, rep.CacheHits,
-			rep.Workers, rep.Wall.Microseconds())
-	}
-	return encodeOrdered(w,
-		`{"v":%d,"type":"summary","jobs":%d,"pass":%d,"fail":%d,"error":%d,"findings":%d}`,
-		FormatVersion, len(rep.Records), pass, fail, errs, len(rep.UniqueFindings()))
-}
-
-// encodeOrdered writes a hand-ordered JSON line. Go maps randomize
-// iteration, so header/summary lines are formatted, not marshaled.
-func encodeOrdered(w io.Writer, format string, args ...any) error {
-	_, err := fmt.Fprintf(w, format+"\n", args...)
+	_, err = w.Write(trailer)
 	return err
 }
 

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identification shared by every CLI's -version flag. The build
+// salt printed here is the exact string the campaign result cache
+// mixes into its keys (campaign.BuildSalt delegates to BuildSalt), so
+// "why did my warm cache miss after a rebuild" is answerable by
+// comparing two -version lines.
+
+// BuildSalt derives a salt identifying the current build, so cached
+// campaign results die with the binary that produced them. Prefers the
+// VCS revision stamped into the build, falls back to the module
+// checksum, then to "dev" (always-miss-safe: a dev salt still
+// separates cache namespaces between salted runs, it just cannot
+// distinguish two dev builds).
+func BuildSalt() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			return s.Value
+		}
+	}
+	if info.Main.Sum != "" {
+		return info.Main.Sum
+	}
+	return "dev"
+}
+
+// VersionLine renders the one-line build identification every CLI
+// prints for -version: tool name, VCS revision (with a +dirty marker
+// for modified trees) and commit time when stamped, the Go toolchain,
+// and the campaign cache build salt.
+func VersionLine(tool string) string {
+	revision, vcsTime, dirty := "unknown", "", ""
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if s.Value != "" {
+					revision = s.Value
+				}
+			case "vcs.time":
+				vcsTime = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+	}
+	line := fmt.Sprintf("%s revision %s%s", tool, revision, dirty)
+	if vcsTime != "" {
+		line += " (" + vcsTime + ")"
+	}
+	return fmt.Sprintf("%s %s build-salt %s", line, runtime.Version(), BuildSalt())
+}

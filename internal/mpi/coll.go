@@ -16,6 +16,7 @@ import (
 type collOp struct {
 	name     string
 	contribs [][]byte
+	came     []bool // per-rank arrival, for the death predicate
 	arrived  int
 	result   []byte
 	err      error
@@ -28,7 +29,8 @@ func (w *World) getColl(seq int64, name string) *collOp {
 	defer w.collMu.Unlock()
 	op, ok := w.colls[seq]
 	if !ok {
-		op = &collOp{name: name, contribs: make([][]byte, w.size), done: make(chan struct{})}
+		op = &collOp{name: name, contribs: make([][]byte, w.size),
+			came: make([]bool, w.size), done: make(chan struct{})}
 		w.colls[seq] = op
 	}
 	return op
@@ -48,6 +50,7 @@ func (w *World) contribute(op *collOp, seq int64, rank int, name string, data []
 		op.err = fmt.Errorf("%w: %q vs %q", ErrCollectiveMismatch, op.name, name)
 	}
 	op.contribs[rank] = data
+	op.came[rank] = true
 	op.arrived++
 	last := op.arrived == w.size
 	if last {
@@ -71,17 +74,42 @@ func (w *World) contribute(op *collOp, seq int64, rank int, name string, data []
 	if w.ctl != nil {
 		w.ctl.Block(rank, op.done)
 	}
-	select {
-	case <-op.done:
-		return nil
-	case <-w.aborted:
-		// Completion wins over a concurrent abort: if the last rank
-		// arrived while the abort raced in, the collective finished.
+	// Completion wins over a concurrent abort, and the collective fails
+	// only once it can provably never complete: some participant died
+	// before arriving at this instance. A rank that arrived and died
+	// later already contributed (its arrival mark happens-before its
+	// death flag), so its death does not doom the operation — failing
+	// on it would race the death's visibility against the remaining
+	// arrivals.
+	impossible := func() bool {
+		w.collMu.Lock()
+		defer w.collMu.Unlock()
+		for r := 0; r < w.size; r++ {
+			if !op.came[r] && w.rankGone(r) {
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		gen := w.goneWatch()
 		select {
 		case <-op.done:
 			return nil
 		default:
-			return w.abortErr
+		}
+		if w.tornDown() || impossible() {
+			select {
+			case <-op.done:
+				return nil
+			default:
+				return w.abortError()
+			}
+		}
+		select {
+		case <-op.done:
+			return nil
+		case <-gen:
 		}
 	}
 }

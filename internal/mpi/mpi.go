@@ -189,9 +189,22 @@ type World struct {
 
 	// abort plane: aborted closes once when any rank aborts the job;
 	// abortErr is written before the close and immutable afterwards.
+	// The per-rank gone channels record *which* ranks can never act
+	// again — they died (first death also aborts the job, but later
+	// deaths are still recorded) or finalized cleanly. An operation
+	// blocked after an abort fails only once the ranks whose
+	// participation it still needs are provably gone, so whether it
+	// errors or completes is a function of the fault plan, never of how
+	// fast an unrelated rank's death became visible. goneGen is a
+	// broadcast edge: it is closed and replaced on every recorded
+	// departure (and on a stuck-schedule teardown), waking blocked
+	// operations to re-evaluate their impossibility predicate.
 	abortMu  sync.Mutex
 	aborted  chan struct{}
 	abortErr error
+	goneCh   []chan struct{}
+	goneGen  chan struct{}
+	tearDown bool // aborted without a rank death (deadlocked schedule)
 }
 
 // NewWorld creates a world for size ranks.
@@ -199,9 +212,11 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{size: size, colls: make(map[int64]*collOp), aborted: make(chan struct{})}
+	w := &World{size: size, colls: make(map[int64]*collOp), aborted: make(chan struct{}),
+		goneGen: make(chan struct{})}
 	for i := 0; i < size; i++ {
 		w.boxes = append(w.boxes, newMailbox())
+		w.goneCh = append(w.goneCh, make(chan struct{}))
 	}
 	return w
 }
@@ -224,6 +239,12 @@ func (w *World) Size() int { return w.size }
 func (w *World) Abort(rank int, cause error) {
 	w.abortMu.Lock()
 	defer w.abortMu.Unlock()
+	// Record this rank's departure even if the job is already aborted:
+	// impossibility predicates need to know exactly which ranks can no
+	// longer act. Everything the rank delivered or contributed
+	// happens-before this close (its MPI activity and its Abort run on
+	// one goroutine).
+	w.markGoneLocked(rank)
 	select {
 	case <-w.aborted:
 		return
@@ -251,6 +272,79 @@ func (w *World) Aborted() error {
 	default:
 		return nil
 	}
+}
+
+// abortError returns the job abort error under the lock. Callers hold a
+// proof their operation can never complete — usually a recorded death
+// or the teardown flag, which guarantee the error is set. The fallback
+// covers the one deathless corner (a single-rank wildcard receive with
+// nothing in flight is impossible without anyone dying).
+func (w *World) abortError() error {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	if w.abortErr == nil {
+		return fmt.Errorf("%w: operation can never complete", ErrAborted)
+	}
+	return w.abortErr
+}
+
+// markGoneLocked records that rank can never act again (death or clean
+// finalize) and wakes blocked operations to re-evaluate. Caller holds
+// abortMu.
+func (w *World) markGoneLocked(rank int) {
+	if rank < 0 || rank >= w.size {
+		return
+	}
+	select {
+	case <-w.goneCh[rank]:
+		return
+	default:
+	}
+	close(w.goneCh[rank])
+	close(w.goneGen)
+	w.goneGen = make(chan struct{})
+}
+
+// goneWatch returns the current departure-broadcast edge: it is closed
+// on the next recorded departure (or teardown). Departures recorded
+// before the snapshot are already visible through rankGone.
+func (w *World) goneWatch() <-chan struct{} {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.goneGen
+}
+
+// rankGone reports whether rank can never act again: it died (aborted
+// or errored out) or finalized cleanly. Everything the rank delivered,
+// posted, or contributed happens-before this flag.
+func (w *World) rankGone(rank int) bool {
+	select {
+	case <-w.goneCh[rank]:
+		return true
+	default:
+		return false
+	}
+}
+
+// othersGone reports whether every rank except self is gone — the
+// impossibility condition for wildcard matching (self cannot deliver to
+// itself while it is blocked waiting).
+func (w *World) othersGone(self int) bool {
+	for r := 0; r < w.size; r++ {
+		if r != self && !w.rankGone(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// tornDown reports whether the job was aborted without a rank death
+// (a deadlocked schedule being dismantled): every blocked operation
+// must fail regardless of its impossibility predicate.
+func (w *World) tornDown() bool {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.tearDown
 }
 
 // AttachRank binds rank's address space and interception hooks, returning
@@ -310,7 +404,8 @@ func (c *Comm) SetInjector(in *faults.Injector) { c.inj = in }
 // occurrence counters and race verdicts) scheduling-dependent. A job
 // abort is instead observed at completion points (waitAbortable, Test,
 // Iprobe), where "this operation can never complete" is a deterministic
-// property of the fault plan.
+// property of the fault plan: the specific ranks whose participation
+// the operation still needs are dead (see waitAbortable).
 func (c *Comm) enter() error {
 	if f := c.inj.Fire(faults.MPIRankAbort); f != nil {
 		c.world.Abort(c.rank, f)
@@ -319,13 +414,22 @@ func (c *Comm) enter() error {
 	return nil
 }
 
-// waitAbortable blocks on ch, unblocking with the abort error if the
-// job dies first. Completion always wins over an abort: everything the
-// dead rank delivered happens-before its abort flag (its deliveries and
-// its World.Abort run on one goroutine, and observing the closed abort
-// channel establishes the edge), so when the abort is visible and ch is
-// still not ready, the completion is provably never coming.
-func (c *Comm) waitAbortable(ch chan struct{}) error {
+// waitAbortable blocks on ch, unblocking with the abort error only once
+// impossible reports that ch can provably never close. Completion
+// always wins over an abort, and a death that does NOT make the
+// operation impossible (a third rank died but the rank this operation
+// needs is still alive) keeps the wait alive — in an N-rank job,
+// failing on an unrelated rank's death would make the outcome a
+// wall-clock race between that death's visibility and the needed rank's
+// progress. Soundness of the predicate rests on the per-rank ordering
+// edge: everything a dead rank delivered, posted, or contributed
+// happens-before its death flag (its MPI activity and its World.Abort
+// run on one goroutine), so when the needed rank's death is visible and
+// ch is still not ready, the completion is provably never coming. The
+// impossible callback must be a monotone function of the death flags
+// (and any state the dying ranks mutated before dying) so re-evaluation
+// on each death edge converges.
+func (c *Comm) waitAbortable(ch chan struct{}, impossible func() bool) error {
 	select {
 	case <-ch:
 		return nil
@@ -338,16 +442,40 @@ func (c *Comm) waitAbortable(ch chan struct{}) error {
 		// no-op and the select falls straight through.
 		ctl.Block(c.rank, ch)
 	}
-	select {
-	case <-ch:
-		return nil
-	case <-c.world.aborted:
+	for {
+		gen := c.world.goneWatch()
 		select {
 		case <-ch:
 			return nil
 		default:
 		}
-		return c.world.abortErr
+		if c.world.tornDown() || impossible() {
+			select {
+			case <-ch:
+				return nil
+			default:
+			}
+			return c.world.abortError()
+		}
+		select {
+		case <-ch:
+			return nil
+		case <-gen:
+			// A death (or teardown) was recorded; loop to re-evaluate.
+		}
+	}
+}
+
+// recvImpossible is the impossibility predicate of a posted receive:
+// the source can never deliver a match. For a specific source that is
+// its departure (death or finalize); a wildcard receive needs every
+// other rank gone.
+func (c *Comm) recvImpossible(src int) func() bool {
+	return func() bool {
+		if src == AnySource {
+			return c.world.othersGone(c.rank)
+		}
+		return c.world.rankGone(src)
 	}
 }
 
@@ -362,6 +490,13 @@ func (c *Comm) Finalize() {
 	}
 	c.hooks.PreFinalize()
 	c.finalized = true
+	// The rank can never act again: record its departure so peers
+	// blocked on a message or collective only this rank could have
+	// provided fail deterministically instead of waiting forever.
+	// Everything the rank delivered happens-before this mark.
+	c.world.abortMu.Lock()
+	c.world.markGoneLocked(c.rank)
+	c.world.abortMu.Unlock()
 }
 
 // Finalized reports whether Finalize ran.

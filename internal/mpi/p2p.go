@@ -159,7 +159,7 @@ func (c *Comm) Recv(buf memspace.Addr, count int, dt Datatype, src, tag int) (St
 	}
 	r := &recvPost{src: src, tag: tag, done: make(chan struct{})}
 	c.world.boxes[c.rank].post(r)
-	if err := c.waitAbortable(r.done); err != nil {
+	if err := c.waitAbortable(r.done, c.recvImpossible(src)); err != nil {
 		return Status{}, err
 	}
 	st, err := c.completeRecv(buf, count, dt, r.pkt)
@@ -237,7 +237,7 @@ func (c *Comm) Sendrecv(
 		// above already went out, so peers can make progress).
 		return c.recvControlled(recvBuf, recvCount, recvType, src, recvTag)
 	}
-	if err := c.waitAbortable(r.done); err != nil {
+	if err := c.waitAbortable(r.done, c.recvImpossible(src)); err != nil {
 		return Status{}, err
 	}
 	st, err := c.completeRecv(recvBuf, recvCount, recvType, r.pkt)

@@ -82,7 +82,10 @@ func (c *Comm) Ssend(buf memspace.Addr, count int, dt Datatype, dest, tag int) e
 	}
 	p := &packet{src: c.rank, tag: tag, dt: dt, data: data, rendezvous: make(chan struct{})}
 	c.world.boxes[dest].deliverSync(p)
-	if err := c.waitAbortable(p.rendezvous); err != nil {
+	// Rendezvous is impossible only once the receiver is dead: its
+	// receive posts happen-before its death flag, so no match by then
+	// means no match ever.
+	if err := c.waitAbortable(p.rendezvous, func() bool { return c.world.rankGone(dest) }); err != nil {
 		return err
 	}
 	c.stats.Sends++
@@ -128,29 +131,44 @@ func (c *Comm) Waitany(reqs []*Request) (int, Status, error) {
 			Chan: reflect.ValueOf(r.post.done),
 		}
 	}
-	// An already-complete request wins over a concurrent job abort.
+	// An already-complete request wins over a concurrent job abort, and
+	// Waitany keeps waiting while any constituent receive can still be
+	// matched: it fails only when every request is provably dead (its
+	// source — every other rank, for a wildcard — died without
+	// delivering a match). Each recorded death re-evaluates.
 	poll := append(append([]reflect.SelectCase{}, cases...),
 		reflect.SelectCase{Dir: reflect.SelectDefault})
-	if chosen, _, _ := reflect.Select(poll); chosen < len(reqs) {
-		st, err := c.Wait(reqs[chosen])
-		return chosen, st, err
-	}
-	cases = append(cases, reflect.SelectCase{
-		Dir:  reflect.SelectRecv,
-		Chan: reflect.ValueOf(c.world.aborted),
-	})
-	chosen, _, _ := reflect.Select(cases)
-	if chosen == len(reqs) {
-		// Abort woke us, but a request that completed concurrently still
-		// wins: re-poll before surfacing the abort.
+	for {
 		if chosen, _, _ := reflect.Select(poll); chosen < len(reqs) {
 			st, err := c.Wait(reqs[chosen])
 			return chosen, st, err
 		}
-		return -1, Status{}, c.world.abortErr
+		gen := c.world.goneWatch()
+		if chosen, _, _ := reflect.Select(poll); chosen < len(reqs) {
+			st, err := c.Wait(reqs[chosen])
+			return chosen, st, err
+		}
+		allDead := true
+		for _, r := range reqs {
+			if !c.recvImpossible(r.post.src)() {
+				allDead = false
+				break
+			}
+		}
+		if c.world.tornDown() || allDead {
+			if chosen, _, _ := reflect.Select(poll); chosen < len(reqs) {
+				st, err := c.Wait(reqs[chosen])
+				return chosen, st, err
+			}
+			return -1, Status{}, c.world.abortError()
+		}
+		sel := append(append([]reflect.SelectCase{}, cases...),
+			reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(gen)})
+		if chosen, _, _ := reflect.Select(sel); chosen < len(reqs) {
+			st, err := c.Wait(reqs[chosen])
+			return chosen, st, err
+		}
 	}
-	st, err := c.Wait(reqs[chosen])
-	return chosen, st, err
 }
 
 // findMatch scans this rank's mailbox for a delivered message matching
@@ -185,11 +203,16 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
 	if ok, st := c.findMatch(src, tag); ok {
 		return true, st, nil
 	}
-	if err := c.world.Aborted(); err != nil {
+	// No match: fail the poll only once a match can provably never
+	// arrive — the probed source (every other rank, for a wildcard) is
+	// dead and delivered nothing matching. A still-alive source may
+	// simply not have sent yet; failing on an unrelated rank's death
+	// would make the probe's outcome a wall-clock race.
+	if c.world.tornDown() || c.recvImpossible(src)() {
 		if ok, st := c.findMatch(src, tag); ok {
 			return true, st, nil
 		}
-		return false, Status{}, err
+		return false, Status{}, c.world.abortError()
 	}
 	return false, Status{}, nil
 }
@@ -223,17 +246,29 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	if ctl := c.world.ctl; ctl != nil {
 		ctl.Block(c.rank, w.found)
 	}
-	select {
-	case st := <-w.found:
-		return st, nil
-	case <-c.world.aborted:
-		// Completion wins over a concurrent abort: a match delivered
-		// while the abort raced in is still taken.
+	// Completion wins over a concurrent abort, and the probe keeps
+	// waiting past unrelated deaths: it fails only once the probed
+	// source (every other rank, for a wildcard) is dead without having
+	// delivered a match.
+	for {
+		gen := c.world.goneWatch()
 		select {
 		case st := <-w.found:
 			return st, nil
 		default:
-			return Status{}, c.world.abortErr
+		}
+		if c.world.tornDown() || c.recvImpossible(src)() {
+			select {
+			case st := <-w.found:
+				return st, nil
+			default:
+				return Status{}, c.world.abortError()
+			}
+		}
+		select {
+		case st := <-w.found:
+			return st, nil
+		case <-gen:
 		}
 	}
 }

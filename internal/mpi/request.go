@@ -153,7 +153,7 @@ func (c *Comm) Wait(req *Request) (Status, error) {
 				return Status{}, err
 			}
 		}
-		if err := c.waitAbortable(req.post.done); err != nil {
+		if err := c.waitAbortable(req.post.done, c.recvImpossible(req.post.src)); err != nil {
 			return Status{}, err
 		}
 		var err error
@@ -206,15 +206,20 @@ func (c *Comm) Test(req *Request) (bool, Status, error) {
 		select {
 		case <-req.post.done:
 		default:
-			// Not matched yet. If the job is aborted the match can never
-			// arrive (the dead rank's deliveries happen-before its abort
-			// flag), so fail the poll — a Test loop must not spin forever
-			// waiting for a message a dead rank will never send.
-			if err := c.world.Aborted(); err != nil {
+			// Not matched yet. Fail the poll only once the match can
+			// provably never arrive — the source rank (every other rank,
+			// for a wildcard) is dead and its deliveries, which happen-
+			// before its death flag, did not include one. A still-alive
+			// source may simply not have sent yet, and a poll loop must
+			// keep reporting "not yet" rather than racing an unrelated
+			// rank's death — a Test loop must not spin forever waiting
+			// for a message a dead rank will never send, but it equally
+			// must not fail on a message that is still coming.
+			if c.world.tornDown() || c.recvImpossible(req.post.src)() {
 				select {
 				case <-req.post.done:
 				default:
-					return false, Status{}, err
+					return false, Status{}, c.world.abortError()
 				}
 			} else {
 				return false, Status{}, nil

@@ -47,6 +47,11 @@ func (w *World) abortStuck() {
 	default:
 	}
 	w.abortErr = fmt.Errorf("%w: %w", ErrAborted, sched.ErrStuck)
+	// No rank died: flag the teardown and wake every blocked operation
+	// through the death edge so impossibility predicates are bypassed.
+	w.tearDown = true
+	close(w.goneGen)
+	w.goneGen = make(chan struct{})
 	close(w.aborted)
 }
 

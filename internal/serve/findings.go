@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"cusango/internal/campaign"
+)
+
+// findingIndex is the cross-campaign finding store: every finding that
+// any job of any campaign reported, keyed by its stable SHA-256
+// fingerprint. The fingerprint hashes (kind, case, detail) only, so
+// the same defect observed by different campaigns, seeds, or engines
+// lands on one entry — GET /v1/findings/{fp} answers "has this defect
+// ever been seen, and where" with a map lookup.
+type findingIndex struct {
+	mu sync.Mutex
+	by map[string]*FindingEntry
+}
+
+// FindingEntry is the JSON shape of GET /v1/findings/{fp}.
+type FindingEntry struct {
+	campaign.Finding
+	// Jobs counts job records that reported the finding.
+	Jobs int `json:"jobs"`
+	// Campaigns lists the campaign IDs that observed it, sorted.
+	Campaigns []string `json:"campaigns"`
+}
+
+func newFindingIndex() *findingIndex {
+	return &findingIndex{by: make(map[string]*FindingEntry)}
+}
+
+// add indexes one job record's findings under its campaign ID.
+func (x *findingIndex) add(campaignID string, r *campaign.Record) {
+	if len(r.Findings) == 0 {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for _, f := range r.Findings {
+		e, ok := x.by[f.FP]
+		if !ok {
+			e = &FindingEntry{Finding: f}
+			x.by[f.FP] = e
+		}
+		e.Jobs++
+		if i := sort.SearchStrings(e.Campaigns, campaignID); i == len(e.Campaigns) || e.Campaigns[i] != campaignID {
+			e.Campaigns = append(e.Campaigns, "")
+			copy(e.Campaigns[i+1:], e.Campaigns[i:])
+			e.Campaigns[i] = campaignID
+		}
+	}
+}
+
+// get returns a copy of the entry for fp, or nil.
+func (x *findingIndex) get(fp string) *FindingEntry {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e, ok := x.by[fp]
+	if !ok {
+		return nil
+	}
+	cp := *e
+	cp.Campaigns = append([]string(nil), e.Campaigns...)
+	return &cp
+}
+
+// size is the distinct-fingerprint count.
+func (x *findingIndex) size() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.by)
+}

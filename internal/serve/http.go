@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// HTTP surface. All responses are JSON; the stream endpoint is
+// newline-delimited JSON (NDJSON) with chunked transfer.
+//
+//	POST /v1/campaigns               submit a matrix  -> 202 {id,...}
+//	GET  /v1/campaigns/{id}          status           -> 200 Status
+//	GET  /v1/campaigns/{id}/stream   JSONL records    -> 200 NDJSON
+//	GET  /v1/findings/{fp}           finding by FP    -> 200 FindingEntry
+//	GET  /v1/status                  daemon health    -> 200 ServerStatus
+//
+// The tenant is the X-API-Key header ("anonymous" when absent).
+// Admission rejections: 400 bad matrix, 429 backlog/quota (with
+// Retry-After), 503 draining.
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
+	mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/findings/{fp}", s.handleFinding)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "5")
+	}
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func tenantOf(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	return "anonymous"
+}
+
+// SubmitResponse is the JSON shape of POST /v1/campaigns.
+type SubmitResponse struct {
+	ID       string `json:"id"`
+	Jobs     int    `json:"jobs"`
+	Status   string `json:"status"`
+	Position int    `json:"position"` // 0-based place in the queue
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	st, pos, err := s.Submit(req, tenantOf(r))
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBacklog), errors.Is(err, ErrQuota):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		var bad *BadRequestError
+		if errors.As(err, &bad) {
+			writeError(w, http.StatusBadRequest, bad.Msg)
+		} else {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	status, _, _, _, _, _ := st.snapshot()
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID: st.ID, Jobs: st.Jobs, Status: status, Position: pos,
+	})
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	st := s.Campaign(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	writeJSON(w, http.StatusOK, st.statusJSON())
+}
+
+func (s *Server) handleFinding(w http.ResponseWriter, r *http.Request) {
+	e := s.Finding(r.PathValue("fp"))
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown fingerprint")
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// handleStream streams the campaign's report lines from ?from=N (a
+// line offset; the header is line 0) to the end of the report. For a
+// completed campaign the body from offset 0 is byte-identical to the
+// offline canonical JSONL report; the summary trailer is the natural
+// terminal line. During a drain the stream ends early with a
+// `"type":"drain"` marker carrying the offset to resume from after
+// restart. A disconnected client just reconnects with the offset it
+// reached.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	st := s.Campaign(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "from must be a non-negative line offset")
+			return
+		}
+		from = n
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	// A canceled client cannot interrupt cond.Wait directly; a watcher
+	// goroutine converts the cancellation into a broadcast. It exits
+	// with the handler (the request context completes then).
+	ctx := r.Context()
+	go func() {
+		<-ctx.Done()
+		st.wake()
+	}()
+
+	i := from
+	for {
+		st.mu.Lock()
+		// Wait while the campaign may still produce lines we have not
+		// got: running campaigns always may (drain lets in-flight jobs
+		// finish, and each landing record broadcasts); queued ones only
+		// until the drain begins. Terminal states never grow their line
+		// list — status is set only after the last append, under this
+		// lock — so a terminal snapshot with the batch drained is final.
+		for ctx.Err() == nil && i >= len(st.lines) &&
+			(st.status == StatusRunning || (st.status == StatusQueued && !s.draining.Load())) {
+			st.cond.Wait()
+		}
+		batch := st.lines[min(i, len(st.lines)):]
+		status := st.status
+		st.mu.Unlock()
+
+		if ctx.Err() != nil {
+			return
+		}
+		for _, line := range batch {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			i++
+		}
+		if len(batch) > 0 {
+			flusher.Flush()
+		}
+		switch {
+		case status == StatusDone:
+			// The summary line just went out; it is the terminal record.
+			return
+		case status == StatusDrained, status == StatusQueued && s.draining.Load():
+			fmt.Fprintf(w, `{"v":1,"type":"drain","campaign":%q,"status":%q,"resume_from":%d}`+"\n",
+				st.ID, status, i)
+			flusher.Flush()
+			return
+		}
+	}
+}

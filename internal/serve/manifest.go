@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Manifests make the backlog durable: every accepted campaign writes
+// one before it is acknowledged, and deletes it only when the trailer
+// has been emitted. A daemon killed mid-campaign therefore restarts
+// with the incomplete and the never-started campaigns re-queued under
+// their original IDs; the shared result cache turns the already-
+// finished jobs of an interrupted campaign into warm hits, so a resume
+// replays the stream byte-identically and executes only the remainder.
+
+// manifestVersion guards the on-disk schema.
+const manifestVersion = 1
+
+// manifest is the durable form of one queued or running campaign.
+type manifest struct {
+	V        int     `json:"v"`
+	ID       string  `json:"id"`
+	Tenant   string  `json:"tenant"`
+	Priority int     `json:"priority"`
+	Seq      int64   `json:"seq"`
+	Req      Request `json:"req"`
+}
+
+func manifestPath(dir, id string) string {
+	return filepath.Join(dir, id+".manifest.json")
+}
+
+// writeManifest persists st atomically (tmp + rename).
+func writeManifest(dir string, st *campaignState) error {
+	m := manifest{
+		V: manifestVersion, ID: st.ID, Tenant: st.Tenant,
+		Priority: st.Priority, Seq: st.Seq, Req: st.Req,
+	}
+	data, err := json.Marshal(&m)
+	if err != nil {
+		return err
+	}
+	path := manifestPath(dir, st.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// removeManifest deletes the manifest for id; missing is fine.
+func removeManifest(dir, id string) {
+	_ = os.Remove(manifestPath(dir, id))
+}
+
+// loadManifests reads every manifest under dir in resume order
+// (priority desc, seq asc). Unreadable or version-mismatched files are
+// skipped with a warning on stderr — a corrupt manifest must not keep
+// the daemon from starting.
+func loadManifests(dir string) []manifest {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []manifest
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".manifest.json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil || m.V != manifestVersion || m.ID == "" {
+			fmt.Fprintf(os.Stderr, "cusan-serve: skipping bad manifest %s\n", e.Name())
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

@@ -1,0 +1,54 @@
+package serve
+
+import "sort"
+
+// queue is the campaign backlog: a priority queue ordered by
+// (priority desc, submit sequence asc) with a bound. It is not
+// self-locking — the Server's mutex guards it — because admission
+// decisions (backlog bound, tenant quota) and the push must be atomic.
+type queue struct {
+	items []*campaignState
+	bound int
+}
+
+// full reports whether the backlog bound is reached.
+func (q *queue) full() bool { return q.bound > 0 && len(q.items) >= q.bound }
+
+// push inserts in priority order. Equal priorities keep submit order,
+// so the sort must be stable in Seq — we insert at the first position
+// with strictly lower priority.
+func (q *queue) push(st *campaignState) {
+	i := sort.Search(len(q.items), func(i int) bool {
+		return q.items[i].Priority < st.Priority ||
+			(q.items[i].Priority == st.Priority && q.items[i].Seq > st.Seq)
+	})
+	q.items = append(q.items, nil)
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = st
+}
+
+// pop removes the head (highest priority, earliest submit), nil when
+// empty.
+func (q *queue) pop() *campaignState {
+	if len(q.items) == 0 {
+		return nil
+	}
+	st := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return st
+}
+
+// depth is the queued-campaign count.
+func (q *queue) depth() int { return len(q.items) }
+
+// position reports st's 0-based place in line, -1 if not queued.
+func (q *queue) position(st *campaignState) int {
+	for i, it := range q.items {
+		if it == st {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+
+	"cusango/internal/campaign"
+	"cusango/internal/testsuite"
+	"cusango/internal/tsan"
+)
+
+// Request is the job-matrix specification a client submits with
+// POST /v1/campaigns. The fields mirror the cusan-campaign flags one
+// for one, and the expansion into jobs is the CLI's expansion — same
+// enumerators, same order — which is what makes the streamed report
+// byte-identical to the offline one for the same matrix and salt.
+type Request struct {
+	// Kinds are expanded in the given order: suite, chaos, replay,
+	// explore. Empty means the CLI default (suite, chaos, replay).
+	Kinds []string `json:"kinds,omitempty"`
+	// Filter is a substring filter on case names.
+	Filter string `json:"filter,omitempty"`
+	// Engines are the shadow engines to sweep (default fast, slow).
+	Engines []string `json:"engines,omitempty"`
+	// Seeds is the chaos seed count, seeds 1..N. Absent means the CLI
+	// default (25); an explicit 0 disables chaos seeding.
+	Seeds *int `json:"seeds,omitempty"`
+	// FaultsRate is the chaos per-site fault rate (default 0.05).
+	FaultsRate *float64 `json:"faults_rate,omitempty"`
+	// ExploreBudget caps schedules per explore job (0 = suite default).
+	ExploreBudget int `json:"explore_budget,omitempty"`
+	// ExploreBound is the explore preemption bound (0 = unbounded).
+	ExploreBound int `json:"explore_bound,omitempty"`
+	// Priority orders the queue: higher runs first; ties FIFO.
+	Priority int `json:"priority,omitempty"`
+}
+
+// defaults mirror the cusan-campaign flag defaults.
+const (
+	defaultSeeds      = 25
+	defaultFaultsRate = 0.05
+)
+
+func defaultKinds() []string   { return []string{"suite", "chaos", "replay"} }
+func defaultEngines() []string { return []string{"fast", "slow"} }
+
+// normalized returns a copy with defaults applied, so two requests
+// that expand to the same matrix share one canonical form.
+func (r Request) normalized() Request {
+	cp := r
+	if len(cp.Kinds) == 0 {
+		cp.Kinds = defaultKinds()
+	}
+	if len(cp.Engines) == 0 {
+		cp.Engines = defaultEngines()
+	}
+	if cp.Seeds == nil {
+		n := defaultSeeds
+		cp.Seeds = &n
+	}
+	if cp.FaultsRate == nil {
+		f := defaultFaultsRate
+		cp.FaultsRate = &f
+	}
+	return cp
+}
+
+// MatrixID is a stable content hash of the normalized matrix
+// specification plus the build salt — the campaign-level analog of
+// Job.CacheKey. Identical resubmissions share it.
+func (r Request) MatrixID(salt string) string {
+	n := r.normalized()
+	var b strings.Builder
+	fmt.Fprintf(&b, "cusan-serve-matrix/v1|%s|kinds=%s|filter=%s|engines=%s|seeds=%d|rate=%g|eb=%d|ep=%d",
+		salt, strings.Join(n.Kinds, ","), n.Filter, strings.Join(n.Engines, ","),
+		*n.Seeds, *n.FaultsRate, n.ExploreBudget, n.ExploreBound)
+	sum := sha256.Sum256([]byte(b.String()))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// Jobs expands the request into campaign jobs, mirroring
+// cusan-campaign's enumeration exactly. A request that expands to no
+// jobs, names an unknown kind or engine, or filters every case away
+// is a *BadRequestError*.
+func (r Request) Jobs() ([]campaign.Job, error) {
+	n := r.normalized()
+
+	var engines []tsan.Engine
+	for _, name := range n.Engines {
+		eng, err := tsan.ParseEngine(strings.TrimSpace(name))
+		if err != nil {
+			return nil, &BadRequestError{Msg: err.Error()}
+		}
+		engines = append(engines, eng)
+	}
+	if *n.Seeds < 0 || *n.FaultsRate < 0 || *n.FaultsRate > 1 {
+		return nil, &BadRequestError{Msg: "seeds must be >= 0, faults_rate in [0,1]"}
+	}
+
+	cases := testsuite.Cases()
+	if n.Filter != "" {
+		kept := cases[:0]
+		for _, c := range cases {
+			if strings.Contains(c.Name, n.Filter) {
+				kept = append(kept, c)
+			}
+		}
+		cases = kept
+		if len(cases) == 0 {
+			return nil, &BadRequestError{Msg: fmt.Sprintf("no case matches filter %q", n.Filter)}
+		}
+	}
+	seedList := make([]uint64, *n.Seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+
+	var jobs []campaign.Job
+	for _, kind := range n.Kinds {
+		switch strings.TrimSpace(kind) {
+		case testsuite.KindSuite:
+			jobs = append(jobs, testsuite.SuiteJobs(cases, engines)...)
+		case testsuite.KindChaos:
+			jobs = append(jobs, testsuite.ChaosJobs(cases, seedList, *n.FaultsRate, engines)...)
+		case testsuite.KindReplay:
+			jobs = append(jobs, testsuite.ReplayJobs(cases, engines)...)
+		case testsuite.KindExplore:
+			jobs = append(jobs, testsuite.ExploreJobs(cases, engines, n.ExploreBudget, n.ExploreBound)...)
+		default:
+			return nil, &BadRequestError{Msg: fmt.Sprintf("unknown kind %q", kind)}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, &BadRequestError{Msg: "matrix expands to zero jobs"}
+	}
+	return jobs, nil
+}
+
+// BadRequestError marks a client-side matrix error (HTTP 400).
+type BadRequestError struct{ Msg string }
+
+func (e *BadRequestError) Error() string { return e.Msg }

@@ -1,0 +1,422 @@
+// Package serve is the checking-as-a-service layer: a long-lived
+// daemon fronting the campaign engine (internal/campaign) with a JSON
+// HTTP API. Clients submit job matrices, stream per-job JSONL records
+// as they land, query findings by stable fingerprint across all
+// campaigns, and share one process-wide content-addressed result
+// cache — a warm resubmission of an identical matrix executes zero
+// jobs.
+//
+// The load-bearing property is that determinism survives the service
+// boundary: the line stream of a completed campaign, concatenated, is
+// byte-identical to `cusan-campaign` offline output for the same
+// matrix and build salt. That holds by construction — the daemon
+// expands matrices with the CLI's own enumerators, receives records
+// through the campaign engine's enumeration-order callback, and
+// encodes every line with the same exported encoders WriteJSONL uses.
+//
+// Shutdown is a graceful drain: in-flight jobs finish, queued
+// campaigns persist resumable manifests, stream clients get a clean
+// terminal record, and a restarted daemon re-queues the remainder —
+// the shared cache turns the finished prefix into warm hits, so the
+// resumed stream is a byte-exact continuation.
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cusango/internal/campaign"
+	"cusango/internal/core"
+	"cusango/internal/testsuite"
+)
+
+// Config configures a daemon instance.
+type Config struct {
+	// Workers bounds each campaign's worker pool; <= 0 means NumCPU.
+	Workers int
+	// Salt is the cache build salt ("" = core.BuildSalt()). It must
+	// match the offline CLI's salt for cache sharing and byte-identity
+	// across the service boundary.
+	Salt string
+	// CacheDir backs the shared result cache; "" keeps it in memory
+	// (still shared across campaigns, but not across restarts).
+	CacheDir string
+	// StateDir persists campaign manifests for drain/resume; "" keeps
+	// the backlog in memory only.
+	StateDir string
+	// Backlog bounds the queued-campaign count; 0 means DefaultBacklog.
+	Backlog int
+	// TenantQuota bounds queued+running campaigns per API key; 0 means
+	// DefaultTenantQuota. Negative disables the quota.
+	TenantQuota int
+	// Exec overrides the job executor (tests); nil = testsuite.ExecuteJob.
+	Exec func(campaign.Job) *campaign.Record
+}
+
+// Defaults for the admission bounds.
+const (
+	DefaultBacklog     = 64
+	DefaultTenantQuota = 8
+)
+
+// Overload errors map to HTTP 429.
+var (
+	// ErrBacklog rejects a submission because the queue is full.
+	ErrBacklog = errors.New("backlog full, retry later")
+	// ErrQuota rejects a submission over the per-tenant quota.
+	ErrQuota = errors.New("tenant quota exceeded, retry later")
+	// ErrDraining rejects a submission during shutdown (HTTP 503).
+	ErrDraining = errors.New("server is draining")
+)
+
+// Server is the daemon: admission control, the priority queue, the
+// campaign runner, the finding index, and the shared cache.
+type Server struct {
+	workers     int
+	salt        string
+	stateDir    string
+	backlog     int
+	tenantQuota int
+	cache       *campaign.Cache
+	findings    *findingIndex
+	exec        func(campaign.Job) *campaign.Record
+
+	mu          sync.Mutex
+	q           queue
+	campaigns   map[string]*campaignState
+	runningID   string
+	seq         int64
+	outstanding map[string]int // tenant -> queued+running campaigns
+	doneCount   int
+
+	// draining is atomic so stream followers can read it while holding
+	// a campaign's lock without nesting the server lock under it.
+	// Invariant: draining true implies drainCh is closed (Drain closes
+	// the channel first), so anyone who observes the flag can rely on
+	// the dispatch interrupt already being visible to the engine.
+	draining  atomic.Bool
+	drainOnce sync.Once
+
+	newWork chan struct{} // nudges the runner; buffered
+	drainCh chan struct{} // closed once on Drain; campaign.Run Interrupt
+	stopped chan struct{} // closed when the runner goroutine exits
+
+	busy          atomic.Int64 // jobs executing right now
+	totalExecuted atomic.Int64
+	totalHits     atomic.Int64
+}
+
+// New builds a Server, resumes any manifests in StateDir, and starts
+// the campaign runner goroutine. Call Drain to stop it.
+func New(cfg Config) (*Server, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	salt := cfg.Salt
+	if salt == "" {
+		salt = core.BuildSalt()
+	}
+	backlog := cfg.Backlog
+	if backlog == 0 {
+		backlog = DefaultBacklog
+	}
+	quota := cfg.TenantQuota
+	if quota == 0 {
+		quota = DefaultTenantQuota
+	}
+	exec := cfg.Exec
+	if exec == nil {
+		exec = testsuite.ExecuteJob
+	}
+	var cache *campaign.Cache
+	if cfg.CacheDir != "" {
+		var err error
+		if cache, err = campaign.OpenDir(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	} else {
+		cache = campaign.NewMemCache()
+	}
+	s := &Server{
+		workers:     workers,
+		salt:        salt,
+		stateDir:    cfg.StateDir,
+		backlog:     backlog,
+		tenantQuota: quota,
+		cache:       cache,
+		findings:    newFindingIndex(),
+		exec:        exec,
+		campaigns:   make(map[string]*campaignState),
+		outstanding: make(map[string]int),
+		newWork:     make(chan struct{}, 1),
+		drainCh:     make(chan struct{}),
+		stopped:     make(chan struct{}),
+	}
+	s.q.bound = backlog
+	if s.stateDir != "" {
+		if err := os.MkdirAll(s.stateDir, 0o755); err != nil {
+			return nil, err
+		}
+		s.resume()
+	}
+	go s.runLoop()
+	return s, nil
+}
+
+// Salt reports the cache salt in effect (for logs and -version).
+func (s *Server) Salt() string { return s.salt }
+
+// resume re-queues every manifest in the state dir under its original
+// identity and ordering. An unexpandable manifest (the suite changed
+// under it) is dropped with a warning — it would never run.
+func (s *Server) resume() {
+	for _, m := range loadManifests(s.stateDir) {
+		jobs, err := m.Req.Jobs()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cusan-serve: dropping unresumable campaign %s: %v\n", m.ID, err)
+			removeManifest(s.stateDir, m.ID)
+			continue
+		}
+		st := newCampaignState(m.ID, m.Tenant, m.Priority, m.Seq, m.Req, len(jobs))
+		s.campaigns[st.ID] = st
+		s.q.push(st)
+		s.outstanding[st.Tenant]++
+		if m.Seq >= s.seq {
+			s.seq = m.Seq
+		}
+	}
+}
+
+// Submit validates and enqueues a campaign for tenant, returning the
+// state and its queue position. Admission errors: *BadRequestError
+// (400), ErrBacklog/ErrQuota (429), ErrDraining (503).
+func (s *Server) Submit(req Request, tenant string) (*campaignState, int, error) {
+	jobs, err := req.Jobs()
+	if err != nil {
+		return nil, 0, err
+	}
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+
+	if s.draining.Load() {
+		return nil, 0, ErrDraining
+	}
+	s.mu.Lock()
+	switch {
+	case s.q.full():
+		s.mu.Unlock()
+		return nil, 0, ErrBacklog
+	case s.tenantQuota >= 0 && s.outstanding[tenant] >= s.tenantQuota:
+		s.mu.Unlock()
+		return nil, 0, ErrQuota
+	}
+	s.seq++
+	id := fmt.Sprintf("c%04d-%s", s.seq, req.MatrixID(s.salt))
+	st := newCampaignState(id, tenant, req.Priority, s.seq, req, len(jobs))
+	s.campaigns[id] = st
+	s.q.push(st)
+	s.outstanding[tenant]++
+	pos := s.q.position(st)
+	s.mu.Unlock()
+
+	if s.stateDir != "" {
+		if err := writeManifest(s.stateDir, st); err != nil {
+			fmt.Fprintf(os.Stderr, "cusan-serve: manifest write failed for %s: %v\n", id, err)
+		}
+	}
+	select {
+	case s.newWork <- struct{}{}:
+	default:
+	}
+	return st, pos, nil
+}
+
+// Campaign looks up a campaign by ID.
+func (s *Server) Campaign(id string) *campaignState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[id]
+}
+
+// Finding looks up a finding entry by fingerprint.
+func (s *Server) Finding(fp string) *FindingEntry { return s.findings.get(fp) }
+
+// runLoop is the single campaign runner: campaigns execute one at a
+// time (each with its own Workers-wide job pool), in priority order.
+func (s *Server) runLoop() {
+	defer close(s.stopped)
+	for {
+		st := s.nextCampaign()
+		if st == nil {
+			return
+		}
+		s.runCampaign(st)
+	}
+}
+
+// nextCampaign blocks until a campaign is queued or the drain begins.
+func (s *Server) nextCampaign() *campaignState {
+	for {
+		if s.draining.Load() {
+			return nil
+		}
+		s.mu.Lock()
+		if st := s.q.pop(); st != nil {
+			s.runningID = st.ID
+			s.mu.Unlock()
+			return st
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.newWork:
+		case <-s.drainCh:
+		}
+	}
+}
+
+// runCampaign executes one campaign through the engine, streaming each
+// record's canonical JSONL line to followers as it lands.
+func (s *Server) runCampaign(st *campaignState) {
+	finish := func(status string) {
+		s.mu.Lock()
+		s.runningID = ""
+		if status == StatusDone {
+			s.doneCount++
+			if s.outstanding[st.Tenant]--; s.outstanding[st.Tenant] <= 0 {
+				delete(s.outstanding, st.Tenant)
+			}
+		}
+		s.mu.Unlock()
+		if status == StatusDone && s.stateDir != "" {
+			removeManifest(s.stateDir, st.ID)
+		}
+	}
+
+	jobs, err := st.Req.Jobs()
+	if err != nil {
+		// Validated at submit; only a suite change underneath a resumed
+		// manifest gets here.
+		st.setStatus(StatusDone, "matrix no longer expandable: "+err.Error())
+		finish(StatusDone)
+		return
+	}
+	st.setStatus(StatusRunning, "")
+
+	opt := campaign.Options{
+		Workers:   s.workers,
+		Cache:     s.cache,
+		Salt:      s.salt,
+		Interrupt: s.drainCh,
+		OnRecord: func(i int, r *campaign.Record) {
+			line, err := r.JSONL(false)
+			if err != nil {
+				// Record marshaling cannot realistically fail; keep line
+				// indices dense anyway so resume offsets stay honest.
+				line = []byte(fmt.Sprintf(`{"v":%d,"type":"job","verdict":"error","app_fault":%q}`+"\n",
+					campaign.FormatVersion, "encode: "+err.Error()))
+			}
+			st.appendRecord(line, r.Cached)
+			s.findings.add(st.ID, r)
+			if r.Cached {
+				s.totalHits.Add(1)
+			} else {
+				s.totalExecuted.Add(1)
+			}
+		},
+	}
+	exec := func(j campaign.Job) *campaign.Record {
+		s.busy.Add(1)
+		defer s.busy.Add(-1)
+		return s.exec(j)
+	}
+
+	rep := campaign.Run(jobs, exec, opt)
+	if rep.Interrupted {
+		// Drain: the manifest stays, the tenant stays accounted, and the
+		// finished prefix is in the shared cache for the resume.
+		st.setStatus(StatusDrained, "")
+		finish(StatusDrained)
+		return
+	}
+	trailer, err := rep.TrailerLines(false)
+	if err == nil {
+		for _, line := range bytes.SplitAfter(trailer, []byte("\n")) {
+			if len(line) > 0 {
+				st.appendLine(line)
+			}
+		}
+	}
+	st.setStatus(StatusDone, "")
+	finish(StatusDone)
+}
+
+// Drain begins a graceful shutdown and blocks until the runner has
+// stopped: the in-flight jobs of the running campaign complete, queued
+// campaigns keep their manifests, and every stream follower is woken
+// to emit its terminal record. Safe to call more than once.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		close(s.drainCh)
+		s.draining.Store(true)
+	})
+	<-s.stopped
+	s.mu.Lock()
+	states := make([]*campaignState, 0, len(s.campaigns))
+	for _, st := range s.campaigns {
+		states = append(states, st)
+	}
+	s.mu.Unlock()
+	for _, st := range states {
+		st.wake()
+	}
+}
+
+// ServerStatus is the JSON shape of GET /v1/status.
+type ServerStatus struct {
+	QueueDepth   int     `json:"queue_depth"`
+	Running      string  `json:"running,omitempty"` // running campaign ID
+	Done         int     `json:"done"`              // campaigns completed
+	Draining     bool    `json:"draining"`
+	Workers      int     `json:"workers"`
+	Busy         int     `json:"busy"` // jobs executing now
+	Utilization  float64 `json:"utilization"`
+	Executed     int64   `json:"executed"` // jobs run since start
+	CacheHits    int64   `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Findings     int     `json:"findings"` // distinct fingerprints
+	Salt         string  `json:"salt"`
+}
+
+// Status snapshots the daemon.
+func (s *Server) Status() ServerStatus {
+	s.mu.Lock()
+	depth, running, done := s.q.depth(), s.runningID, s.doneCount
+	s.mu.Unlock()
+	draining := s.draining.Load()
+	busy := s.busy.Load()
+	executed, hits := s.totalExecuted.Load(), s.totalHits.Load()
+	st := ServerStatus{
+		QueueDepth:  depth,
+		Running:     running,
+		Done:        done,
+		Draining:    draining,
+		Workers:     s.workers,
+		Busy:        int(busy),
+		Utilization: float64(busy) / float64(s.workers),
+		Executed:    executed,
+		CacheHits:   hits,
+		Findings:    s.findings.size(),
+		Salt:        s.salt,
+	}
+	if total := executed + hits; total > 0 {
+		st.CacheHitRate = float64(hits) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,507 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"cusango/internal/campaign"
+	"cusango/internal/testsuite"
+)
+
+// smallMatrix is a fast real-executor matrix: six mpi-modes cases on
+// the batched engine, classification only.
+func smallMatrix() Request {
+	zero := 0
+	return Request{
+		Kinds:   []string{"suite"},
+		Filter:  "mpi-modes/",
+		Engines: []string{"fast"},
+		Seeds:   &zero,
+	}
+}
+
+// offlineJSONL renders the matrix the way cusan-campaign would: same
+// job expansion, same engine, canonical WriteJSONL.
+func offlineJSONL(t *testing.T, req Request, exec func(campaign.Job) *campaign.Record, salt string, cache *campaign.Cache) []byte {
+	t.Helper()
+	jobs, err := req.Jobs()
+	if err != nil {
+		t.Fatalf("expand offline matrix: %v", err)
+	}
+	rep := campaign.Run(jobs, exec, campaign.Options{Workers: 4, Cache: cache, Salt: salt})
+	var buf bytes.Buffer
+	if err := rep.WriteJSONL(&buf, false); err != nil {
+		t.Fatalf("offline WriteJSONL: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Salt == "" {
+		cfg.Salt = "test-salt"
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(srv.Drain)
+	return srv, hs
+}
+
+func submit(t *testing.T, base string, req Request, tenant string) SubmitResponse {
+	t.Helper()
+	resp := submitRaw(t, base, req, tenant)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("submit: decode: %v", err)
+	}
+	return sr
+}
+
+func submitRaw(t *testing.T, base string, req Request, tenant string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	hreq, err := http.NewRequest("POST", base+"/v1/campaigns", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		hreq.Header.Set("X-API-Key", tenant)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	return resp
+}
+
+func streamAll(t *testing.T, base, id string, from int) []byte {
+	t.Helper()
+	url := fmt.Sprintf("%s/v1/campaigns/%s/stream", base, id)
+	if from > 0 {
+		url += fmt.Sprintf("?from=%d", from)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	return data
+}
+
+func campaignStatus(t *testing.T, base, id string) Status {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	return st
+}
+
+// TestStreamByteIdentity is the service-boundary determinism pin: the
+// streamed JSONL of a completed campaign must be byte-identical to the
+// offline canonical report for the same matrix and salt.
+func TestStreamByteIdentity(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 4})
+	req := smallMatrix()
+
+	sr := submit(t, hs.URL, req, "")
+	streamed := streamAll(t, hs.URL, sr.ID, 0)
+	want := offlineJSONL(t, req, testsuite.ExecuteJob, "test-salt", nil)
+	if !bytes.Equal(streamed, want) {
+		t.Fatalf("streamed JSONL differs from offline report:\nstreamed:\n%s\noffline:\n%s", streamed, want)
+	}
+	if sr.Jobs == 0 {
+		t.Fatal("matrix expanded to zero jobs")
+	}
+}
+
+// TestWarmResubmission: an identical matrix resubmitted against the
+// shared cache executes zero jobs and streams identical bytes.
+func TestWarmResubmission(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 4})
+	req := smallMatrix()
+
+	first := submit(t, hs.URL, req, "")
+	cold := streamAll(t, hs.URL, first.ID, 0)
+	coldStatus := campaignStatus(t, hs.URL, first.ID)
+	if coldStatus.Executed != first.Jobs || coldStatus.CacheHits != 0 {
+		t.Fatalf("cold run: executed=%d hits=%d, want executed=%d hits=0",
+			coldStatus.Executed, coldStatus.CacheHits, first.Jobs)
+	}
+
+	second := submit(t, hs.URL, req, "")
+	if second.ID == first.ID {
+		t.Fatalf("resubmission reused campaign ID %s", first.ID)
+	}
+	warm := streamAll(t, hs.URL, second.ID, 0)
+	warmStatus := campaignStatus(t, hs.URL, second.ID)
+	if warmStatus.Executed != 0 || warmStatus.CacheHits != second.Jobs {
+		t.Fatalf("warm run: executed=%d hits=%d, want executed=0 hits=%d",
+			warmStatus.Executed, warmStatus.CacheHits, second.Jobs)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm stream differs from cold stream:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+}
+
+// fakeExec is a deterministic pure-function executor for queue/drain
+// tests: verdict and races derive from the job identity alone.
+func fakeExec(j campaign.Job) *campaign.Record {
+	r := &campaign.Record{Verdict: campaign.VerdictPass, Races: len(j.Case) % 3}
+	if strings.Contains(j.Case, "nosync") {
+		r.Findings = append(r.Findings,
+			campaign.NewFinding("misclassification", j.Case, "synthetic finding"))
+		r.Verdict = campaign.VerdictFail
+	}
+	return r
+}
+
+// TestDrainAndResume: drain mid-campaign — in-flight jobs finish, the
+// stream ends with a drain marker, and a restarted server resumes the
+// remainder so the concatenated stream equals the offline report.
+func TestDrainAndResume(t *testing.T) {
+	stateDir := t.TempDir()
+	cacheDir := t.TempDir()
+
+	var mu sync.Mutex
+	started := 0
+	blocked := make(chan struct{}, 16)
+	release := make(chan struct{})
+	gated := func(j campaign.Job) *campaign.Record {
+		mu.Lock()
+		started++
+		n := started
+		mu.Unlock()
+		if n > 3 {
+			select {
+			case blocked <- struct{}{}:
+			default:
+			}
+			<-release
+		}
+		return fakeExec(j)
+	}
+
+	zero := 0
+	req := Request{Kinds: []string{"suite"}, Engines: []string{"fast"}, Seeds: &zero}
+	jobs, err := req.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(jobs)
+	if total < 6 {
+		t.Fatalf("need a matrix with several jobs, got %d", total)
+	}
+
+	srv, err := New(Config{
+		Workers: 2, Salt: "drain-salt", CacheDir: cacheDir, StateDir: stateDir, Exec: gated,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	sr := submit(t, hs.URL, req, "tenant-a")
+
+	// Open the stream before draining so the client observes the marker.
+	streamResp, err := http.Get(hs.URL + "/v1/campaigns/" + sr.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+
+	// Wait until both workers are blocked in exec (3 done, 2 in flight),
+	// then drain: the blocked jobs must complete, the rest must not run.
+	<-blocked
+	<-blocked
+	drained := make(chan struct{})
+	go func() { srv.Drain(); close(drained) }()
+	waitDraining(t, hs.URL) // dispatch has stopped; now release the in-flight jobs
+	close(release)
+	<-drained
+
+	firstBody, err := io.ReadAll(streamResp.Body)
+	if err != nil {
+		t.Fatalf("read drained stream: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(firstBody, []byte("\n")), []byte("\n"))
+	last := lines[len(lines)-1]
+	var marker struct {
+		Type       string `json:"type"`
+		Campaign   string `json:"campaign"`
+		ResumeFrom int    `json:"resume_from"`
+	}
+	if err := json.Unmarshal(last, &marker); err != nil || marker.Type != "drain" {
+		t.Fatalf("stream did not end with a drain marker, last line: %s", last)
+	}
+	if marker.Campaign != sr.ID {
+		t.Fatalf("marker campaign %q, want %q", marker.Campaign, sr.ID)
+	}
+	doneFirst := marker.ResumeFrom - 1 // lines delivered minus header
+	if doneFirst < 3 || doneFirst >= total {
+		t.Fatalf("first run delivered %d records, want in [3, %d)", doneFirst, total)
+	}
+	hs.Close()
+
+	// Restart: the manifest resumes the campaign under its original ID;
+	// the finished prefix comes from the shared cache.
+	srv2, err := New(Config{
+		Workers: 2, Salt: "drain-salt", CacheDir: cacheDir, StateDir: stateDir, Exec: fakeExec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(srv2.Handler())
+	defer hs2.Close()
+	defer srv2.Drain()
+
+	rest := streamAll(t, hs2.URL, sr.ID, marker.ResumeFrom)
+	got := append(append([]byte(nil), firstBody[:len(firstBody)-len(last)-1]...), rest...)
+
+	want := offlineJSONL(t, req, fakeExec, "offline-salt", nil)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed stream differs from offline report:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	st := campaignStatus(t, hs2.URL, sr.ID)
+	if st.Status != StatusDone {
+		t.Fatalf("resumed campaign status %q, want done", st.Status)
+	}
+	if st.Executed != total-doneFirst {
+		t.Fatalf("resume executed %d jobs, want %d (cache must cover the finished prefix)",
+			st.Executed, total-doneFirst)
+	}
+	if st.CacheHits != doneFirst {
+		t.Fatalf("resume cache hits %d, want %d", st.CacheHits, doneFirst)
+	}
+}
+
+// TestBackpressure: backlog and tenant quota return 429, draining 503.
+// The runner stays blocked in its first job throughout, so the queue
+// and outstanding counts are exact.
+func TestBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	gated := func(j campaign.Job) *campaign.Record {
+		<-block
+		return fakeExec(j)
+	}
+	srv, err := New(Config{Workers: 1, Salt: "bp", Backlog: 3, TenantQuota: 2, Exec: gated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	zero := 0
+	req := Request{Kinds: []string{"suite"}, Filter: "mpi-modes/", Engines: []string{"fast"}, Seeds: &zero}
+
+	// Runner takes tenant-a's campaign and blocks; "hog" then fills its
+	// quota of 2 with queued campaigns (backlog 2/3).
+	submit(t, hs.URL, req, "a")
+	waitRunning(t, hs.URL)
+	submit(t, hs.URL, req, "hog")
+	submit(t, hs.URL, req, "hog")
+
+	resp := submitRaw(t, hs.URL, req, "hog")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("tenant quota: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	resp.Body.Close()
+
+	// A different tenant still fits (backlog 3/3)...
+	submit(t, hs.URL, req, "b")
+	// ...but the next one overflows the backlog, whoever asks.
+	resp = submitRaw(t, hs.URL, req, "c")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("backlog overflow: status %d, want 429", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	go srv.Drain()
+	waitDraining(t, hs.URL)
+	resp = submitRaw(t, hs.URL, req, "d")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	close(block) // release the in-flight job so the drain completes
+}
+
+func serverStatus(t *testing.T, base string) ServerStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatalf("GET /v1/status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st ServerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	return st
+}
+
+func waitRunning(t *testing.T, base string) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if serverStatus(t, base).Running != "" {
+			return
+		}
+	}
+	t.Fatal("runner never picked up the campaign")
+}
+
+func waitDraining(t *testing.T, base string) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if serverStatus(t, base).Draining {
+			return
+		}
+	}
+	t.Fatal("server never started draining")
+}
+
+// TestFindingsIndex: findings reported by any campaign are queryable
+// by fingerprint, with cross-campaign dedup on one entry.
+func TestFindingsIndex(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Workers: 2, Exec: fakeExec})
+	zero := 0
+	req := Request{Kinds: []string{"suite"}, Filter: "nosync", Engines: []string{"fast"}, Seeds: &zero}
+
+	a := submit(t, hs.URL, req, "")
+	streamAll(t, hs.URL, a.ID, 0)
+	b := submit(t, hs.URL, req, "")
+	streamAll(t, hs.URL, b.ID, 0)
+
+	// Recover a fingerprint from the stream's finding trailer line.
+	body := streamAll(t, hs.URL, a.ID, 0)
+	var fp string
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		var rec struct {
+			Type string `json:"type"`
+			FP   string `json:"fp"`
+		}
+		if json.Unmarshal(line, &rec) == nil && rec.Type == "finding" {
+			fp = rec.FP
+			break
+		}
+	}
+	if fp == "" {
+		t.Fatal("no finding line in stream")
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/findings/" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("findings: status %d", resp.StatusCode)
+	}
+	var entry FindingEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.FP != fp || entry.Jobs < 2 || len(entry.Campaigns) != 2 {
+		t.Fatalf("finding entry %+v: want fp=%s, >=2 jobs, 2 campaigns", entry, fp)
+	}
+	if entry.Campaigns[0] != a.ID && entry.Campaigns[1] != a.ID {
+		t.Fatalf("finding campaigns %v missing %s", entry.Campaigns, a.ID)
+	}
+
+	resp2, err := http.Get(hs.URL + "/v1/findings/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint: status %d, want 404", resp2.StatusCode)
+	}
+	_ = srv
+}
+
+// TestBadRequests: malformed bodies and unmatchable matrices are 400s.
+func TestBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1, Exec: fakeExec})
+	for name, body := range map[string]string{
+		"bad json":      "{",
+		"unknown field": `{"bogus": 1}`,
+		"bad kind":      `{"kinds": ["nope"]}`,
+		"bad engine":    `{"engines": ["warp"]}`,
+		"bad filter":    `{"filter": "no-such-case"}`,
+		"zero jobs":     `{"kinds": ["chaos"], "seeds": 0}`,
+	} {
+		resp, err := http.Post(hs.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(hs.URL + "/v1/campaigns/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown campaign: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestQueuePriority: higher priority runs first; ties keep FIFO.
+func TestQueuePriority(t *testing.T) {
+	var q queue
+	mk := func(pri int, seq int64) *campaignState {
+		return &campaignState{ID: fmt.Sprintf("p%d-s%d", pri, seq), Priority: pri, Seq: seq}
+	}
+	q.push(mk(0, 1))
+	q.push(mk(5, 2))
+	q.push(mk(5, 3))
+	q.push(mk(1, 4))
+	var got []string
+	for st := q.pop(); st != nil; st = q.pop() {
+		got = append(got, st.ID)
+	}
+	want := []string{"p5-s2", "p5-s3", "p1-s4", "p0-s1"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("pop order %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sync"
+
+	"cusango/internal/campaign"
+)
+
+// Campaign lifecycle states.
+const (
+	StatusQueued  = "queued"  // accepted, waiting for the runner
+	StatusRunning = "running" // jobs executing
+	StatusDone    = "done"    // all jobs finished, trailer emitted
+	StatusDrained = "drained" // interrupted by shutdown; resumes on restart
+)
+
+// campaignState is one submitted campaign: its immutable identity and
+// the mutable stream of report lines. Lines accumulate in report
+// order — header first, then job records in enumeration order, then
+// the finding/summary trailer — so a client that concatenates
+// lines[0:] reads exactly the offline canonical JSONL report.
+type campaignState struct {
+	ID       string
+	Tenant   string
+	Priority int
+	Seq      int64 // submit order; FIFO tiebreak within a priority
+	Req      Request
+	Jobs     int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	status string
+	lines  [][]byte
+	// done counts job records appended so far (excludes header/trailer).
+	done int
+	// executed and cacheHits are this campaign's split of done.
+	executed  int
+	cacheHits int
+	errMsg    string
+}
+
+func newCampaignState(id, tenant string, priority int, seq int64, req Request, jobs int) *campaignState {
+	st := &campaignState{
+		ID: id, Tenant: tenant, Priority: priority, Seq: seq,
+		Req: req, Jobs: jobs, status: StatusQueued,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	// The header line depends only on the job count, so it is streamable
+	// the moment the campaign is accepted.
+	st.lines = append(st.lines, campaign.HeaderLine(jobs))
+	return st
+}
+
+// appendLine publishes one report line and wakes stream followers.
+func (st *campaignState) appendLine(line []byte) {
+	st.mu.Lock()
+	st.lines = append(st.lines, line)
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// appendRecord publishes one job-record line and updates the progress
+// counters in the same critical section.
+func (st *campaignState) appendRecord(line []byte, cached bool) {
+	st.mu.Lock()
+	st.lines = append(st.lines, line)
+	st.done++
+	if cached {
+		st.cacheHits++
+	} else {
+		st.executed++
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// setStatus transitions the lifecycle state and wakes followers.
+func (st *campaignState) setStatus(status, errMsg string) {
+	st.mu.Lock()
+	st.status = status
+	if errMsg != "" {
+		st.errMsg = errMsg
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// wake broadcasts without a state change (drain begin, client cancel).
+func (st *campaignState) wake() {
+	st.mu.Lock()
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// snapshot returns the mutable fields under the lock.
+func (st *campaignState) snapshot() (status string, lines, done, executed, hits int, errMsg string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.status, len(st.lines), st.done, st.executed, st.cacheHits, st.errMsg
+}
+
+// Status is the JSON shape of GET /v1/campaigns/{id}.
+type Status struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Tenant    string `json:"tenant"`
+	Priority  int    `json:"priority,omitempty"`
+	Jobs      int    `json:"jobs"`
+	Done      int    `json:"done"`
+	Executed  int    `json:"executed"`
+	CacheHits int    `json:"cache_hits"`
+	Lines     int    `json:"lines"`
+	Error     string `json:"error,omitempty"`
+}
+
+func (st *campaignState) statusJSON() Status {
+	status, lines, done, executed, hits, errMsg := st.snapshot()
+	return Status{
+		ID: st.ID, Status: status, Tenant: st.Tenant, Priority: st.Priority,
+		Jobs: st.Jobs, Done: done, Executed: executed, CacheHits: hits,
+		Lines: lines, Error: errMsg,
+	}
+}

@@ -222,3 +222,27 @@ func TestScheduleSpecRejectsGarbage(t *testing.T) {
 		t.Fatalf("want replay divergence, got err=%v", out.Err)
 	}
 }
+
+// TestExploreWideScheduleCases: the wide-sched category must present a
+// genuinely wide choice tree — many distinct schedules even under DPOR
+// pruning — and stay race-free and deadlock-free on every one that a
+// bounded budget reaches. Budget exhaustion on these correct cases is
+// a coverage statement, not a violation.
+func TestExploreWideScheduleCases(t *testing.T) {
+	for _, name := range []string{
+		"wide-sched/multi_sender_wildcard",
+		"wide-sched/iprobe_test_ring",
+	} {
+		v := ExploreCase(findCase(t, name), ExploreOptions{Engine: tsan.EngineBatched, Budget: 64})
+		t.Logf("%s: %s", name, v.Result.String())
+		if !v.OK() {
+			t.Errorf("%s: %v", name, v.Violations)
+		}
+		if v.Result.Explored < 8 {
+			t.Errorf("%s: schedule space not wide: explored only %d schedules", name, v.Result.Explored)
+		}
+		if v.Result.Stuck > 0 {
+			t.Errorf("%s: %d schedules deadlocked", name, v.Result.Stuck)
+		}
+	}
+}

@@ -196,6 +196,7 @@ func Cases() []Case {
 	all = append(all, cudaToMPICases()...)
 	all = append(all, mpiToCUDACases()...)
 	all = append(all, mpiModeCases()...)
+	all = append(all, wideScheduleCases()...)
 	all = append(all, localCUDACases()...)
 	all = append(all, mustCheckCases()...)
 	return all

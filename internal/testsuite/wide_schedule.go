@@ -1,0 +1,151 @@
+package testsuite
+
+import (
+	"fmt"
+
+	"cusango/internal/core"
+	"cusango/internal/mpi"
+)
+
+// Wide-schedule-space cases: correct 3-rank programs whose schedule
+// spaces are substantially larger than the 2-rank suite's — wildcard
+// matching against multiple concurrent senders, and racing Iprobe/Test
+// polling loops on every rank of a ring. They pin down that the
+// controlled scheduler and DPOR exploration stay sound when the choice
+// tree is wide, not just when it is deep: every interleaving must be
+// race-free and deadlock-free, and exploration that runs out of budget
+// on a correct case is a coverage statement, not a violation.
+
+// wideMsgs is how many messages each sender streams to rank 0 in the
+// multi-sender case: two senders with per-source ordering gives
+// C(6,3) = 20 distinct wildcard match interleavings.
+const wideMsgs = 3
+
+func wideScheduleCases() []Case {
+	return []Case{
+		{
+			Name:  "wide-sched/multi_sender_wildcard",
+			Doc:   "3 ranks: two synced senders stream messages, rank 0 wildcard-recvs them all in arrival order: correct under every match order",
+			Ranks: 3,
+			App: func(s *core.Session) error {
+				if s.Rank() != 0 {
+					buf, err := s.CudaMallocF64(bufN)
+					if err != nil {
+						return err
+					}
+					if err := launch(s, "k_write", nil, buf); err != nil {
+						return err
+					}
+					s.Dev.DeviceSynchronize()
+					for m := 0; m < wideMsgs; m++ {
+						if err := s.Comm.Send(buf, bufN, mpi.Float64, 0, m); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				// Which sender each wildcard receive matches is a schedule
+				// choice (per-source order is fixed by non-overtaking), so
+				// the match tree has C(2*wideMsgs, wideMsgs) leaves. The
+				// program is correct whichever interleaving wins because
+				// every receive lands in a fresh buffer and the dependent
+				// kernel touches only the completed one.
+				perSource := make(map[int]int)
+				for m := 0; m < 2*wideMsgs; m++ {
+					buf, err := s.CudaMallocF64(bufN)
+					if err != nil {
+						return err
+					}
+					st, err := s.Comm.Recv(buf, bufN, mpi.Float64, mpi.AnySource, mpi.AnyTag)
+					if err != nil {
+						return err
+					}
+					if st.Tag != perSource[st.Source] {
+						return fmt.Errorf("source %d overtook itself: got tag %d, want %d",
+							st.Source, st.Tag, perSource[st.Source])
+					}
+					perSource[st.Source]++
+					if err := launch(s, "k_inc", nil, buf); err != nil {
+						return err
+					}
+				}
+				if perSource[1] != wideMsgs || perSource[2] != wideMsgs {
+					return fmt.Errorf("message counts per source: %v, want %d each", perSource, wideMsgs)
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "wide-sched/iprobe_test_ring",
+			Doc:   "3-rank ring: every rank races an Iprobe loop (tag 5) against a Test loop (tag 7) for its neighbor's messages: correct on every poll interleaving",
+			Ranks: 3,
+			App: func(s *core.Session) error {
+				sendBuf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				probeBuf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				recvBuf, err := s.CudaMallocF64(bufN)
+				if err != nil {
+					return err
+				}
+				size := s.Comm.Size()
+				right := (s.Rank() + 1) % size
+				left := (s.Rank() + size - 1) % size
+				if err := launch(s, "k_write", nil, sendBuf); err != nil {
+					return err
+				}
+				s.Dev.DeviceSynchronize()
+				// Two messages to the right neighbor: tag 5 is discovered by
+				// the Iprobe loop and consumed by a blocking Recv only after
+				// the probe saw it; tag 7 completes a posted Irecv through
+				// the Test loop. The two pollers race on every rank at once,
+				// and each fruitful poll is an independent complete-vs-defer
+				// schedule choice, so the ring multiplies the choice tree
+				// across all three ranks.
+				s1, err := s.Comm.Isend(sendBuf, bufN, mpi.Float64, right, 5)
+				if err != nil {
+					return err
+				}
+				s2, err := s.Comm.Isend(sendBuf, bufN, mpi.Float64, right, 7)
+				if err != nil {
+					return err
+				}
+				rreq, err := s.Comm.Irecv(recvBuf, bufN, mpi.Float64, left, 7)
+				if err != nil {
+					return err
+				}
+				probed, completed := false, false
+				for !probed || !completed {
+					if !probed {
+						found, _, err := s.Comm.Iprobe(left, 5)
+						if err != nil {
+							return err
+						}
+						probed = found
+					}
+					if !completed {
+						done, _, err := s.Comm.Test(rreq)
+						if err != nil {
+							return err
+						}
+						completed = done
+					}
+				}
+				if _, err := s.Comm.Recv(probeBuf, bufN, mpi.Float64, left, 5); err != nil {
+					return err
+				}
+				if err := launch(s, "k_inc", nil, recvBuf); err != nil {
+					return err
+				}
+				if err := launch(s, "k_inc", nil, probeBuf); err != nil {
+					return err
+				}
+				return s.Comm.WaitAll(s1, s2)
+			},
+		},
+	}
+}
