@@ -7,6 +7,7 @@
 //	cusan-campaign [-j N] [-kinds suite,chaos,replay,explore] [-filter substr]
 //	               [-engines fast,slow] [-seeds N] [-faults-rate R]
 //	               [-explore-budget N] [-explore-bound N]
+//	               [-timeout d] [-max-steps N] [-retries N]
 //	               [-cache dir] [-salt s] [-out report.jsonl] [-timings] [-v]
 //	               [-cpuprofile f] [-memprofile f]
 //
@@ -23,6 +24,16 @@
 // cache: a re-run of an unchanged campaign against a warm cache
 // executes zero jobs. The cache key incorporates a build salt (the VCS
 // revision by default), so a new build invalidates every entry.
+//
+// Supervision: -timeout puts a wall-clock watchdog on every job
+// attempt (a hung job is torn down and reports the deterministic
+// "timeout" verdict, which names only the configured deadline and is
+// never cached); -max-steps caps each job's logical steps (exceeding
+// it is the deterministic, cacheable "budget" verdict — max-steps is
+// mixed into the cache salt because it changes verdicts); -retries
+// re-runs infra-class failures (timeouts, contained panics) with
+// deterministic exponential backoff. None of the three can change the
+// canonical bytes of a verdict-class record.
 //
 // Exit codes (mirroring cusan-run):
 //
@@ -76,6 +87,12 @@ func run() int {
 		"explore kind: max schedules per case (0 = testsuite default)")
 	exploreBound := flag.Int("explore-bound", 0,
 		"explore kind: preemption bound per schedule (0 = unbounded)")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock deadline per job attempt (0 = no watchdog)")
+	maxSteps := flag.Int64("max-steps", 0,
+		"logical step budget per job (0 = unlimited; changes verdicts, salts the cache)")
+	retries := flag.Int("retries", 0,
+		"max supervised retries of infra-class failures (timeouts, panics)")
 	cacheDir := flag.String("cache", "", "result cache directory (empty = no cache)")
 	salt := flag.String("salt", "", "cache build salt (empty = derive from build info)")
 	out := flag.String("out", "", "JSONL report path (empty = none, - = stdout)")
@@ -142,6 +159,10 @@ func run() int {
 		}
 	}
 
+	if *timeout < 0 || *maxSteps < 0 || *retries < 0 {
+		fmt.Fprintln(os.Stderr, "cusan-campaign: -timeout, -max-steps and -retries must be >= 0")
+		return exitUsage
+	}
 	opt := campaign.Options{Workers: *jobs, OnProgress: progressLine()}
 	if *cacheDir != "" {
 		cache, err := campaign.OpenDir(*cacheDir)
@@ -154,14 +175,21 @@ func run() int {
 		if opt.Salt == "" {
 			opt.Salt = campaign.BuildSalt()
 		}
+		// MaxSteps changes verdicts, so it is part of the cache identity;
+		// the wall-clock timeout is not (timeout records are never cached).
+		opt.Salt = campaign.LimitsSalt(opt.Salt, *maxSteps)
 	}
+	exec := campaign.Supervise(testsuite.Executor(*maxSteps), campaign.Limits{
+		Timeout: *timeout,
+		Retries: *retries,
+	})
 
 	stopProfiles, err := perf.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
 		return exitError
 	}
-	rep := campaign.Run(jobList, testsuite.ExecuteJob, opt)
+	rep := campaign.Run(jobList, exec, opt)
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintln(os.Stderr, "cusan-campaign:", err)
 		return exitError

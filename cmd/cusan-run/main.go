@@ -8,14 +8,26 @@
 //	cusan-run [-app jacobi|tealeaf|halo2d]
 //	          [-flavor vanilla|tsan|must|cusan|must+cusan]
 //	          [-engine fast|slow] [-ranks N] [-nx N] [-ny N] [-iters N]
-//	          [-inject-race] [-skip-wait] [-faults spec]
-//	          [-explore] [-explore-budget N] [-explore-bound N]
+//	          [-inject-race] [-skip-wait] [-faults spec] [-max-steps N]
+//	          [-timeout d] [-explore] [-explore-budget N] [-explore-bound N]
 //	          [-schedule spec]
 //
 // -faults injects deterministic runtime faults (see internal/faults):
 // "seed=7,rate=0.05" perturbs every site at 5%, "cuda-malloc@2:r1"
 // fails exactly the third cudaMalloc on rank 1. Every injected fault
-// is reported with a replay spec that re-injects it exactly.
+// is reported with a replay spec that re-injects it exactly. The
+// sched-stall site ("sched-stall@0:r1") wedges a rank forever and only
+// fires when named explicitly; combine it with -timeout so the run
+// terminates (-max-steps cannot catch a blocked rank — it meters
+// started operations, not elapsed time).
+//
+// -max-steps caps the run's logical steps — MPI operations started per
+// rank on free runs, controller decisions under -explore/-schedule —
+// and tears the job down deterministically when exceeded. -timeout is
+// the wall-clock watchdog: when it fires the MPI world is torn down
+// and every rank reports an abort naming only the configured deadline,
+// so a wedged run ends with deterministic output. They are the
+// supervision primitives behind `cusan-campaign -max-steps/-timeout`.
 //
 // -explore runs the app under the controlled scheduler (internal/sched)
 // and systematically enumerates its completion schedules with DPOR
@@ -35,6 +47,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -76,6 +89,10 @@ func main() {
 		"tealeaf only: use the halo before MPI_Waitall (MPI-to-CUDA bug)")
 	faultSpec := flag.String("faults", "",
 		"deterministic fault schedule, e.g. \"seed=7,rate=0.05\" or \"cuda-malloc@2:r1\"")
+	maxSteps := flag.Int64("max-steps", 0,
+		"logical step budget: per-rank MPI ops, or controller decisions under -explore (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock watchdog: tear the run down after this long (0 = none)")
 	exploreFlag := flag.Bool("explore", false,
 		"systematically explore completion schedules (controlled scheduler + DPOR)")
 	exploreBudget := flag.Int("explore-budget", 512,
@@ -117,20 +134,33 @@ func main() {
 		NX: *nx, NY: *ny, Iters: *iters,
 		InjectRace: *injectRace, SkipWait: *skipWait,
 	}
+	if *maxSteps < 0 || *timeout < 0 {
+		fmt.Fprintln(os.Stderr, "cusan-run: -max-steps and -timeout must be >= 0")
+		os.Exit(exitUsage)
+	}
 	cfg := core.Config{
-		Flavor: flavor,
-		Ranks:  *ranks,
-		Module: app.Module(),
-		Faults: plan,
+		Flavor:   flavor,
+		Ranks:    *ranks,
+		Module:   app.Module(),
+		Faults:   plan,
+		MaxSteps: *maxSteps,
 	}
 	cfg.TSanCfg.Engine = engine
+	if *timeout > 0 {
+		// The cause names only the configured deadline, never elapsed
+		// time, so a watchdog teardown prints identically on every run.
+		ctx, cancel := context.WithTimeoutCause(context.Background(), *timeout,
+			fmt.Errorf("watchdog: run exceeded the %s deadline", *timeout))
+		defer cancel()
+		cfg.Ctx = ctx
+	}
 
 	if *exploreFlag || *scheduleSpec != "" {
 		if plan != nil {
 			fmt.Fprintln(os.Stderr, "cusan-run: -faults cannot combine with -explore/-schedule (schedule determinism)")
 			os.Exit(exitUsage)
 		}
-		os.Exit(runControlled(cfg, app, opt, *scheduleSpec, *exploreBudget, *exploreBound))
+		os.Exit(runControlled(cfg, app, opt, *scheduleSpec, *exploreBudget, *exploreBound, *maxSteps))
 	}
 	res, err := core.Run(cfg, func(s *core.Session) error {
 		line, err := app.Run(s, opt)
@@ -193,12 +223,19 @@ func main() {
 // runControlled handles -explore and -schedule: the app runs under the
 // controlled scheduler, either replaying one schedule spec or
 // enumerating the whole schedule space.
-func runControlled(cfg core.Config, app apps.App, opt apps.Options, spec string, budget, bound int) int {
+func runControlled(cfg core.Config, app apps.App, opt apps.Options, spec string, budget, bound int, maxSteps int64) int {
 	runOne := func(prefix []sched.Choice) explore.Outcome {
 		rep := sched.NewReplayer(prefix)
 		ctl := sched.NewController(cfg.Ranks, rep)
+		if maxSteps > 0 {
+			ctl.SetStepBudget(int(maxSteps))
+		}
 		c := cfg
 		c.Sched = ctl
+		// Controlled runs meter decisions, not per-rank ops: the decision
+		// log is the schedule identity, so the budget must be a pure
+		// function of it.
+		c.MaxSteps = 0
 		res, err := core.Run(c, func(s *core.Session) error {
 			_, err := app.Run(s, opt)
 			return err
@@ -208,14 +245,16 @@ func runControlled(cfg core.Config, app apps.App, opt apps.Options, spec string,
 			Acts:   ctl.Acts(),
 			Forced: ctl.Forced(),
 			Stuck:  ctl.Stuck(),
+			Budget: ctl.BudgetHit(),
 		}
 		switch {
 		case err != nil:
 			out.Err = err
 		case rep.Err() != nil:
 			out.Err = rep.Err()
-		case out.Stuck:
-			// Deadlocked schedule: rank errors are the deliberate teardown.
+		case out.Stuck || out.Budget:
+			// The controller tore this schedule down deliberately (proven
+			// deadlock or step budget); rank errors are the teardown.
 		default:
 			if res != nil {
 				out.Err = res.FirstError()
@@ -234,7 +273,8 @@ func runControlled(cfg core.Config, app apps.App, opt apps.Options, spec string,
 			return exitUsage
 		}
 		out := runOne(prefix)
-		fmt.Printf("schedule %s: races=%d stuck=%v\n", sched.FormatSpec(out.Log), out.Races, out.Stuck)
+		fmt.Printf("schedule %s: races=%d stuck=%v budget=%v\n",
+			sched.FormatSpec(out.Log), out.Races, out.Stuck, out.Budget)
 		switch {
 		case out.Err != nil:
 			fmt.Fprintln(os.Stderr, "cusan-run:", out.Err)
@@ -249,6 +289,9 @@ func runControlled(cfg core.Config, app apps.App, opt apps.Options, spec string,
 	fmt.Printf("%s -ranks %d: %s\n", app.Name, cfg.Ranks, res.String())
 	if res.Stuck > 0 {
 		fmt.Printf("  %d schedule(s) deadlocked\n", res.Stuck)
+	}
+	if res.Budgeted > 0 {
+		fmt.Printf("  %d schedule(s) cut short by -max-steps %d\n", res.Budgeted, maxSteps)
 	}
 	if res.MinRacySpec != "" {
 		fmt.Printf("  replay the minimal racy schedule: cusan-run -app %s -ranks %d -schedule %q\n",

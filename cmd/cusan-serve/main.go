@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	cusan-serve [-addr host:port] [-j N] [-cache dir] [-salt s]
-//	            [-state dir] [-backlog N] [-tenant-quota N] [-version]
+//	cusan-serve [-addr host:port] [-j N] [-concurrency K] [-cache dir]
+//	            [-salt s] [-state dir] [-backlog N] [-tenant-quota N]
+//	            [-timeout d] [-max-steps N] [-retries N] [-version]
 //
 // API (see DESIGN.md §13 and the README for curl examples):
 //
@@ -19,10 +20,20 @@
 //
 // The streamed JSONL of a completed campaign is byte-identical to
 // `cusan-campaign -out` offline output for the same matrix and build
-// salt. SIGTERM/SIGINT drains gracefully: in-flight jobs finish,
-// queued campaigns persist manifests under -state and resume on the
-// next start, and connected streams receive a terminal drain record
-// carrying the offset to resume from.
+// salt (pass matching -max-steps to both; it is part of the cache
+// identity). -concurrency K runs up to K campaigns at once under
+// tenant-fair scheduling over one shared -j-wide job pool. -timeout,
+// -max-steps and -retries supervise every job exactly as
+// cusan-campaign does: hung jobs are torn down by the watchdog,
+// runaway jobs get the deterministic "budget" verdict, and infra-class
+// failures retry with deterministic backoff.
+//
+// SIGTERM/SIGINT drains gracefully: in-flight jobs finish, queued
+// campaigns persist manifests under -state and resume on the next
+// start, and connected streams receive a terminal drain record
+// carrying the offset to resume from. Manifests and cache entries are
+// fsynced, so even a kill -9 restart resumes every accepted campaign
+// with a byte-exact continuation of its stream.
 package main
 
 import (
@@ -48,13 +59,18 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", "127.0.0.1:8077", "listen address (host:port; :0 picks a free port)")
-	workers := flag.Int("j", runtime.NumCPU(), "per-campaign worker count")
+	workers := flag.Int("j", runtime.NumCPU(), "process-wide job pool shared by all running campaigns")
+	concurrency := flag.Int("concurrency", 1, "campaigns running at once (tenant-fair over the shared pool)")
 	cacheDir := flag.String("cache", "", "shared result cache directory (empty = in-memory)")
 	salt := flag.String("salt", "", "cache build salt (empty = derive from build info)")
 	stateDir := flag.String("state", "", "manifest directory for drain/resume (empty = no durability)")
 	backlog := flag.Int("backlog", serve.DefaultBacklog, "max queued campaigns before 429")
 	quota := flag.Int("tenant-quota", serve.DefaultTenantQuota,
 		"max queued+running campaigns per API key before 429 (negative = unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline per job attempt (0 = no watchdog)")
+	maxSteps := flag.Int64("max-steps", 0,
+		"logical step budget per job (0 = unlimited; changes verdicts, salts the cache)")
+	retries := flag.Int("retries", 0, "max supervised retries of infra-class failures")
 	version := flag.Bool("version", false, "print build identification and exit")
 	flag.Parse()
 
@@ -63,13 +79,21 @@ func run() int {
 		return 0
 	}
 
+	if *timeout < 0 || *maxSteps < 0 || *retries < 0 || *concurrency < 0 {
+		fmt.Fprintln(os.Stderr, "cusan-serve: -timeout, -max-steps, -retries and -concurrency must be >= 0")
+		return 1
+	}
 	srv, err := serve.New(serve.Config{
 		Workers:     *workers,
+		Concurrency: *concurrency,
 		Salt:        *salt,
 		CacheDir:    *cacheDir,
 		StateDir:    *stateDir,
 		Backlog:     *backlog,
 		TenantQuota: *quota,
+		JobTimeout:  *timeout,
+		Retries:     *retries,
+		MaxSteps:    *maxSteps,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cusan-serve:", err)
@@ -81,8 +105,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "cusan-serve:", err)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "cusan-serve: listening on http://%s (workers=%d salt=%s)\n",
-		ln.Addr(), *workers, srv.Salt())
+	fmt.Fprintf(os.Stderr, "cusan-serve: listening on http://%s (workers=%d concurrency=%d salt=%s)\n",
+		ln.Addr(), *workers, *concurrency, srv.Salt())
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

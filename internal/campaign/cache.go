@@ -27,10 +27,18 @@ func NewMemCache() *Cache {
 	return &Cache{mem: make(map[string][]byte)}
 }
 
-// OpenDir returns a cache backed by dir, creating it if needed.
+// OpenDir returns a cache backed by dir, creating it if needed. Stale
+// temp files — litter from a writer that was SIGKILLed between create
+// and rename — are swept; a concurrent live writer that loses its temp
+// file merely degrades that Put to a cache miss on the next run.
 func OpenDir(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp*")); err == nil {
+		for _, p := range stale {
+			_ = os.Remove(p)
+		}
 	}
 	return &Cache{mem: make(map[string][]byte), dir: dir}, nil
 }
@@ -66,10 +74,12 @@ func (c *Cache) Get(key string) *Record {
 }
 
 // Put stores the record under key. The stored copy is never marked
-// cached — that flag describes how *this* run obtained the result.
+// cached and carries no attempt count — those describe how *this* run
+// obtained the result, not the result itself.
 func (c *Cache) Put(key string, r *Record) {
 	cp := *r
 	cp.Cached = false
+	cp.Attempts = 0
 	data, err := json.Marshal(&cp)
 	if err != nil {
 		return
@@ -78,10 +88,26 @@ func (c *Cache) Put(key string, r *Record) {
 	c.mem[key] = data
 	c.mu.Unlock()
 	if c.dir != "" {
-		// Best-effort: a failed write degrades to a miss next run.
-		tmp := c.path(key) + ".tmp"
-		if os.WriteFile(tmp, data, 0o644) == nil {
-			_ = os.Rename(tmp, c.path(key))
+		// Best-effort: a failed write degrades to a miss next run. The
+		// temp name is unique per writer (two server processes may Put
+		// the same key concurrently: each writes its own temp, the
+		// renames race, and either way a reader sees one complete entry,
+		// never a torn one). Entries are fsynced before the rename so a
+		// hard crash (kill -9) cannot leave a renamed-but-empty record.
+		f, err := os.CreateTemp(c.dir, key+".tmp*")
+		if err != nil {
+			return
+		}
+		tmp := f.Name()
+		_, werr := f.Write(data)
+		if werr == nil {
+			werr = f.Sync()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil || os.Rename(tmp, c.path(key)) != nil {
+			_ = os.Remove(tmp)
 		}
 	}
 }

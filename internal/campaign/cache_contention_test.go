@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestDirCacheTwoProcessContention models two server processes sharing
+// one cache directory: two independent Cache handles (separate mem
+// maps, same dir) hammer overlapping keys concurrently. Every read
+// must observe either a miss or a complete record — never a torn one —
+// and once both writers finish, both handles agree on every key.
+func TestDirCacheTwoProcessContention(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 32
+	rec := func(i int) *Record {
+		return &Record{
+			V:        FormatVersion,
+			Kind:     "suite",
+			Case:     fmt.Sprintf("contention/case-%d", i),
+			Engine:   "fast",
+			Verdict:  VerdictPass,
+			AppFault: fmt.Sprintf("detail for %d", i),
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, c := range []*Cache{a, b} {
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(c *Cache) {
+				defer wg.Done()
+				for round := 0; round < 20; round++ {
+					for i := 0; i < keys; i++ {
+						c.Put(fmt.Sprintf("k%d", i), rec(i))
+					}
+				}
+			}(c)
+		}
+		// Concurrent readers on a third handle per iteration simulate a
+		// process that starts mid-write: reads go straight to disk.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 40; round++ {
+				fresh, err := OpenDir(dir)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < keys; i++ {
+					r := fresh.Get(fmt.Sprintf("k%d", i))
+					if r == nil {
+						continue // miss is fine; torn is not
+					}
+					if r.Case != fmt.Sprintf("contention/case-%d", i) || r.Verdict != VerdictPass {
+						t.Errorf("torn or cross-wired entry for k%d: %+v", i, r)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Both original handles and a cold third process agree on every key.
+	cold, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("k%d", i)
+		for name, c := range map[string]*Cache{"a": a, "b": b, "cold": cold} {
+			r := c.Get(key)
+			if r == nil {
+				t.Fatalf("handle %s: miss on %s after writers finished", name, key)
+			}
+			if r.Case != fmt.Sprintf("contention/case-%d", i) {
+				t.Fatalf("handle %s: wrong record for %s: %+v", name, key, r)
+			}
+		}
+	}
+
+	// No temp litter survives the contention, and a fresh OpenDir sweeps
+	// any that a SIGKILLed writer would have left.
+	if litter, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(litter) != 0 {
+		t.Fatalf("temp litter left behind: %v", litter)
+	}
+	planted := filepath.Join(dir, "k0.tmp-stale")
+	if err := os.WriteFile(planted, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(planted); !os.IsNotExist(err) {
+		t.Fatalf("OpenDir did not sweep stale temp file %s", planted)
+	}
+}

@@ -167,7 +167,10 @@ func Run(jobs []Job, exec func(Job) *Record, opt Options) *Report {
 				r.Kind, r.Case, r.Engine = j.Kind, j.Case, j.Engine
 				r.Seed, r.Faults, r.Config = j.Seed, j.Faults, j.Config
 				r.Key = j.Key()
-				if opt.Cache != nil && !r.Cached {
+				if opt.Cache != nil && !r.Cached && r.Verdict != VerdictTimeout {
+					// Timeout verdicts are wall-clock facts, not functions
+					// of the job: never cache them, so a resumed or warm run
+					// re-executes (and may complete) the job.
 					opt.Cache.Put(j.CacheKey(opt.Salt), r)
 				}
 				store(i, r)

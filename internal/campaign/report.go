@@ -32,6 +32,18 @@ const (
 	VerdictPass  = "pass"  // ran, behaved exactly as classified
 	VerdictFail  = "fail"  // ran, produced findings / misclassified
 	VerdictError = "error" // could not run (infrastructure failure)
+	// VerdictTimeout marks a job killed by the wall-clock watchdog. The
+	// record's bytes mention only the configured deadline — never the
+	// elapsed time — so a job that deterministically hangs (sched-stall)
+	// reports byte-identically at any worker count. Timeout records are
+	// retryable and never cached: the wall clock is not part of a job's
+	// identity.
+	VerdictTimeout = "timeout"
+	// VerdictBudget marks a job terminated by its logical step budget
+	// (sched.Controller.SetStepBudget / mpi.World.SetOpBudget). Unlike a
+	// timeout this is a pure function of the job, so budget records are
+	// deterministic, cacheable, and not retried.
+	VerdictBudget = "budget"
 )
 
 // Finding is one deduplicable observation (a misclassification, a
@@ -102,9 +114,12 @@ type Record struct {
 	NeedsExploration bool `json:"needs_exploration,omitempty"`
 
 	// Volatile fields — wall-clock facts, not part of the canonical
-	// byte stream.
+	// byte stream. Attempts counts supervision attempts (1 = first try
+	// succeeded); which attempt produced the result is a wall-clock
+	// fact, so it is volatile like the duration.
 	DurationUS int64 `json:"duration_us,omitempty"`
 	Cached     bool  `json:"cached,omitempty"`
+	Attempts   int   `json:"attempts,omitempty"`
 }
 
 // canonical returns a copy with the volatile fields zeroed.
@@ -112,6 +127,7 @@ func (r *Record) canonical() Record {
 	cp := *r
 	cp.DurationUS = 0
 	cp.Cached = false
+	cp.Attempts = 0
 	return cp
 }
 

@@ -1,0 +1,201 @@
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Supervision: deadlines, a hung-job watchdog, and deterministic retry.
+//
+// The supervisor wraps a context-aware executor into the plain
+// func(Job) *Record the campaign engine dispatches. Each attempt runs
+// under a wall-clock deadline; when it fires the executor's context is
+// cancelled, the core runner tears the job's MPI world down
+// (mpi.World.Cancel), and the attempt is recorded as VerdictTimeout —
+// a record whose bytes mention only the configured deadline, so a job
+// that deterministically hangs (the sched-stall fault site) reports
+// byte-identically at any -j and across repeats. Infra-class failures
+// — watchdog kills and executor panics — are retried with exponential
+// backoff; verdict-class results (pass/fail/error-with-cause/budget)
+// never are, so retries cannot change canonical report bytes.
+
+// ExecFunc is a supervised job executor: a pure function of the job
+// identity that honours ctx cancellation (thread ctx into
+// core.Config.Ctx so a cancel tears the MPI world down).
+type ExecFunc func(ctx context.Context, j Job) *Record
+
+// InfraPrefix marks AppFault strings of infra-class failures — the
+// harness failed, not the checker. Records whose VerdictError AppFault
+// carries this prefix are retryable; all other error records are
+// verdicts (a deterministic property of the job) and are not.
+const InfraPrefix = "infra: "
+
+// Limits configures the supervisor. The zero value supervises nothing:
+// no deadline, no retries (Supervise then only adds panic containment).
+type Limits struct {
+	// Timeout is the per-attempt wall-clock deadline (0 = none).
+	Timeout time.Duration
+	// Grace is how long after a cancel to wait for the executor to
+	// unwind before abandoning its goroutine (a rank spinning in pure
+	// computation cannot be preempted). Default 2s.
+	Grace time.Duration
+	// Retries is how many extra attempts an infra-class failure gets.
+	Retries int
+	// RetryBase is the first backoff delay (default 100ms); RetryMax
+	// caps the exponential growth (default 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Sleep is the backoff sleeper (test seam; nil = time.Sleep).
+	Sleep func(time.Duration)
+	// OnAttempt, when non-nil, observes every attempt (progress
+	// accounting); it must be safe for concurrent use.
+	OnAttempt func(j Job, attempt int, r *Record)
+}
+
+// Supervise wraps exec for campaign.Run: deadline per attempt, bounded
+// retry with exponential backoff and deterministic jitter for
+// retryable results, panic containment to an infra-class record.
+func Supervise(exec ExecFunc, lim Limits) func(Job) *Record {
+	if lim.Grace <= 0 {
+		lim.Grace = 2 * time.Second
+	}
+	if lim.RetryBase <= 0 {
+		lim.RetryBase = 100 * time.Millisecond
+	}
+	if lim.RetryMax <= 0 {
+		lim.RetryMax = 5 * time.Second
+	}
+	sleep := lim.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return func(j Job) *Record {
+		attempts := lim.Retries + 1
+		var r *Record
+		for a := 1; a <= attempts; a++ {
+			r = runAttempt(exec, j, lim)
+			r.Attempts = a
+			if lim.OnAttempt != nil {
+				lim.OnAttempt(j, a, r)
+			}
+			if a == attempts || !Retryable(r) {
+				break
+			}
+			sleep(Backoff(j, a, lim.RetryBase, lim.RetryMax))
+		}
+		return r
+	}
+}
+
+// Retryable classifies a record: true only for infra-class failures —
+// a watchdog kill (timeout) or a harness failure (InfraPrefix error) —
+// where a retry can legitimately change the outcome. Verdict-class
+// results are pure functions of the job; retrying them is wasted work
+// and, worse, would let a flaky harness alter canonical bytes.
+func Retryable(r *Record) bool {
+	if r == nil {
+		return true
+	}
+	switch r.Verdict {
+	case VerdictTimeout:
+		return true
+	case VerdictError:
+		return strings.HasPrefix(r.AppFault, InfraPrefix)
+	}
+	return false
+}
+
+// Backoff computes the post-attempt delay: RetryBase doubled per
+// attempt, capped at RetryMax, plus deterministic jitter in [0, 50%)
+// derived from the job identity and attempt number — workers retrying
+// different jobs spread out, yet a replayed campaign sleeps the exact
+// same schedule.
+func Backoff(j Job, attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("cusan-backoff/v1|%s|%d", j.Identity(), attempt)))
+	jitter := binary.BigEndian.Uint64(sum[:8]) % uint64(d/2+1)
+	return d + time.Duration(jitter)
+}
+
+// runAttempt executes one supervised attempt. On deadline expiry the
+// context cancel tears the executor's MPI world down; whatever the
+// unwinding executor returns reflects a wall-clock cut and is replaced
+// by the deterministic timeout record. An executor that does not
+// unwind within the grace window is abandoned (goroutines cannot be
+// killed); its eventual return value is dropped into a buffered
+// channel and garbage-collected.
+func runAttempt(exec ExecFunc, j Job, lim Limits) *Record {
+	ctx := context.Background()
+	if lim.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, lim.Timeout,
+			fmt.Errorf("job deadline exceeded (timeout=%s)", lim.Timeout))
+		defer cancel()
+	}
+	done := make(chan *Record, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- &Record{
+					Verdict:  VerdictError,
+					AppFault: fmt.Sprintf("%sexecutor panicked: %v", InfraPrefix, p),
+				}
+			}
+		}()
+		done <- exec(ctx, j)
+	}()
+	select {
+	case r := <-done:
+		if ctx.Err() != nil {
+			return timeoutRecord(lim.Timeout)
+		}
+		if r == nil {
+			return &Record{
+				Verdict:  VerdictError,
+				AppFault: InfraPrefix + "executor returned no result",
+			}
+		}
+		return r
+	case <-ctx.Done():
+	}
+	grace := time.NewTimer(lim.Grace)
+	defer grace.Stop()
+	select {
+	case <-done:
+	case <-grace.C:
+	}
+	return timeoutRecord(lim.Timeout)
+}
+
+// timeoutRecord is the deterministic watchdog verdict: it names the
+// configured deadline, never the elapsed time.
+func timeoutRecord(d time.Duration) *Record {
+	return &Record{
+		Verdict:  VerdictTimeout,
+		AppFault: fmt.Sprintf("timeout: job exceeded the %s deadline", d),
+	}
+}
+
+// LimitsSalt derives the effective cache salt under a step budget:
+// MaxSteps changes verdicts, so results cached under a different
+// budget must not leak in — offline cusan-campaign and cusan-serve
+// both apply this derivation, which is what keeps their reports
+// byte-identical when run with the same flags. The wall-clock timeout
+// is deliberately NOT mixed in: timeout records are never cached, and
+// every cacheable record is timeout-independent.
+func LimitsSalt(salt string, maxSteps int64) string {
+	if maxSteps <= 0 {
+		return salt
+	}
+	return fmt.Sprintf("%s|max-steps=%d", salt, maxSteps)
+}

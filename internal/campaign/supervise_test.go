@@ -1,0 +1,223 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func superviseJob() Job {
+	return Job{Kind: "suite", Case: "x/y", Engine: "fast"}
+}
+
+// TestSuperviseFirstTry: a healthy executor runs once, Attempts = 1,
+// and the record passes through untouched otherwise.
+func TestSuperviseFirstTry(t *testing.T) {
+	var calls atomic.Int64
+	exec := Supervise(func(ctx context.Context, j Job) *Record {
+		calls.Add(1)
+		return &Record{Verdict: VerdictPass}
+	}, Limits{Retries: 3})
+	r := exec(superviseJob())
+	if calls.Load() != 1 || r.Attempts != 1 || r.Verdict != VerdictPass {
+		t.Fatalf("calls=%d attempts=%d verdict=%s, want 1/1/pass", calls.Load(), r.Attempts, r.Verdict)
+	}
+}
+
+// TestSuperviseTimeout: an executor that never returns is killed by
+// the watchdog; the record names only the configured deadline (no
+// elapsed time — byte-determinism), carries the timeout verdict, and
+// retries consume the budget.
+func TestSuperviseTimeout(t *testing.T) {
+	var calls atomic.Int64
+	block := make(chan struct{})
+	defer close(block)
+	var slept []time.Duration
+	exec := Supervise(func(ctx context.Context, j Job) *Record {
+		calls.Add(1)
+		<-block
+		return &Record{Verdict: VerdictPass}
+	}, Limits{
+		Timeout: 10 * time.Millisecond,
+		Grace:   time.Millisecond,
+		Retries: 2,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	})
+	r := exec(superviseJob())
+	if calls.Load() != 3 {
+		t.Fatalf("attempted %d times, want 3 (1 + 2 retries)", calls.Load())
+	}
+	if r.Verdict != VerdictTimeout || r.Attempts != 3 {
+		t.Fatalf("verdict=%s attempts=%d, want timeout/3", r.Verdict, r.Attempts)
+	}
+	if want := "timeout: job exceeded the 10ms deadline"; r.AppFault != want {
+		t.Fatalf("AppFault = %q, want %q (deadline only, never elapsed time)", r.AppFault, want)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times between attempts, want 2", len(slept))
+	}
+}
+
+// TestSupervisePanic: a panicking executor becomes an infra-class
+// error record and is retried; a later clean attempt wins.
+func TestSupervisePanic(t *testing.T) {
+	var calls atomic.Int64
+	exec := Supervise(func(ctx context.Context, j Job) *Record {
+		if calls.Add(1) < 3 {
+			panic("boom")
+		}
+		return &Record{Verdict: VerdictPass}
+	}, Limits{Retries: 3, Sleep: func(time.Duration) {}})
+	r := exec(superviseJob())
+	if r.Verdict != VerdictPass || r.Attempts != 3 {
+		t.Fatalf("verdict=%s attempts=%d, want pass on attempt 3", r.Verdict, r.Attempts)
+	}
+}
+
+// TestSupervisePanicExhausted: when every attempt panics the final
+// record is an infra-prefixed error.
+func TestSupervisePanicExhausted(t *testing.T) {
+	exec := Supervise(func(ctx context.Context, j Job) *Record {
+		panic("always")
+	}, Limits{Retries: 1, Sleep: func(time.Duration) {}})
+	r := exec(superviseJob())
+	if r.Verdict != VerdictError || !strings.HasPrefix(r.AppFault, InfraPrefix) {
+		t.Fatalf("record = %s %q, want infra-prefixed error", r.Verdict, r.AppFault)
+	}
+	if r.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", r.Attempts)
+	}
+}
+
+// TestSuperviseVerdictNotRetried: verdict-class outcomes (pass, fail,
+// budget, even plain error records) are facts about the job, not the
+// infrastructure — no retry.
+func TestSuperviseVerdictNotRetried(t *testing.T) {
+	for _, verdict := range []string{VerdictPass, VerdictFail, VerdictBudget, VerdictError} {
+		var calls atomic.Int64
+		exec := Supervise(func(ctx context.Context, j Job) *Record {
+			calls.Add(1)
+			return &Record{Verdict: verdict, AppFault: "detail"}
+		}, Limits{Retries: 5, Sleep: func(time.Duration) {}})
+		r := exec(superviseJob())
+		if calls.Load() != 1 {
+			t.Errorf("verdict %s: %d attempts, want 1", verdict, calls.Load())
+		}
+		if r.Attempts != 1 {
+			t.Errorf("verdict %s: Attempts = %d, want 1", verdict, r.Attempts)
+		}
+	}
+}
+
+// TestRetryable pins the infra-vs-verdict classifier.
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		r    *Record
+		want bool
+	}{
+		{nil, true},
+		{&Record{Verdict: VerdictTimeout}, true},
+		{&Record{Verdict: VerdictError, AppFault: InfraPrefix + "cache io"}, true},
+		{&Record{Verdict: VerdictError, AppFault: "unknown case"}, false},
+		{&Record{Verdict: VerdictPass}, false},
+		{&Record{Verdict: VerdictFail}, false},
+		{&Record{Verdict: VerdictBudget}, false},
+	}
+	for i, c := range cases {
+		if got := Retryable(c.r); got != c.want {
+			t.Errorf("case %d: Retryable = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestBackoffDeterministic: the backoff schedule is a pure function of
+// (job identity, attempt) — same job, same delays, on every worker.
+func TestBackoffDeterministic(t *testing.T) {
+	j := superviseJob()
+	base, max := 100*time.Millisecond, 5*time.Second
+	var prev []time.Duration
+	for attempt := 1; attempt <= 6; attempt++ {
+		d1 := Backoff(j, attempt, base, max)
+		d2 := Backoff(j, attempt, base, max)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		if d1 < 0 || d1 > max+max/2 {
+			t.Fatalf("attempt %d: backoff %v outside sane bounds", attempt, d1)
+		}
+		prev = append(prev, d1)
+	}
+	other := Job{Kind: "suite", Case: "a/b", Engine: "fast"}
+	same := true
+	for attempt := 1; attempt <= 6; attempt++ {
+		if Backoff(other, attempt, base, max) != prev[attempt-1] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct jobs produced identical jitter on every attempt (jitter not keyed by identity?)")
+	}
+}
+
+// TestSuperviseAttemptCallback: OnAttempt sees every attempt with its
+// 1-based index and the attempt's record.
+func TestSuperviseAttemptCallback(t *testing.T) {
+	var calls atomic.Int64
+	var seen []int
+	exec := Supervise(func(ctx context.Context, j Job) *Record {
+		if calls.Add(1) == 1 {
+			panic("first")
+		}
+		return &Record{Verdict: VerdictPass}
+	}, Limits{
+		Retries: 1,
+		Sleep:   func(time.Duration) {},
+		OnAttempt: func(j Job, attempt int, r *Record) {
+			seen = append(seen, attempt)
+		},
+	})
+	exec(superviseJob())
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("OnAttempt saw %v, want [1 2]", seen)
+	}
+}
+
+// TestLimitsSalt: MaxSteps is part of the cache identity, the
+// wall-clock timeout is not.
+func TestLimitsSalt(t *testing.T) {
+	if LimitsSalt("s", 0) != "s" {
+		t.Fatalf("zero MaxSteps must leave the salt unchanged, got %q", LimitsSalt("s", 0))
+	}
+	if LimitsSalt("s", 100) == "s" || LimitsSalt("s", 100) == LimitsSalt("s", 200) {
+		t.Fatal("MaxSteps must split the cache identity")
+	}
+}
+
+// TestTimeoutNeverCached: a timeout record is not persisted, so a warm
+// rerun re-executes the job and can complete it.
+func TestTimeoutNeverCached(t *testing.T) {
+	cache := NewMemCache()
+	var calls atomic.Int64
+	jobs := []Job{superviseJob()}
+	timeoutThenPass := func(j Job) *Record {
+		if calls.Add(1) == 1 {
+			return &Record{Verdict: VerdictTimeout, AppFault: "timeout: job exceeded the 1ms deadline"}
+		}
+		return &Record{Verdict: VerdictPass}
+	}
+	r1 := Run(jobs, timeoutThenPass, Options{Cache: cache, Salt: "s"})
+	if r1.Records[0].Verdict != VerdictTimeout {
+		t.Fatalf("first run verdict = %s, want timeout", r1.Records[0].Verdict)
+	}
+	r2 := Run(jobs, timeoutThenPass, Options{Cache: cache, Salt: "s"})
+	if r2.Records[0].Verdict != VerdictPass || r2.Records[0].Cached {
+		t.Fatalf("second run verdict = %s cached=%v, want a fresh pass (timeouts never cached)",
+			r2.Records[0].Verdict, r2.Records[0].Cached)
+	}
+	r3 := Run(jobs, timeoutThenPass, Options{Cache: cache, Salt: "s"})
+	if !r3.Records[0].Cached {
+		t.Fatal("pass verdict should be served from cache on the third run")
+	}
+}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -137,6 +138,18 @@ type Config struct {
 	// the flavor: the taps wrap whatever tool hooks the flavor installs,
 	// including none.
 	Trace func(rank int) *trace.Writer
+	// Ctx, when non-nil, supervises the run: when it is cancelled the
+	// MPI world is torn down (mpi.World.Cancel) so ranks blocked or
+	// polling in MPI unblock with an abort error wrapping the context
+	// cause. Ranks spinning in pure computation are not preempted — the
+	// campaign watchdog abandons those after a grace window.
+	Ctx context.Context
+	// MaxSteps, when > 0, caps each rank's full MPI operations
+	// (mpi.World.SetOpBudget): the uncontrolled-run logical step budget.
+	// Controlled runs (Sched != nil) should instead cap the decision log
+	// via sched.Controller.SetStepBudget, which bounds the schedule
+	// itself.
+	MaxSteps int64
 }
 
 // Session is one rank's execution context.
@@ -465,6 +478,22 @@ func Run(cfg Config, app func(s *Session) error) (*Result, error) {
 	world := mpi.NewWorld(ranks)
 	if cfg.Sched != nil {
 		world.SetController(cfg.Sched)
+	}
+	if cfg.MaxSteps > 0 {
+		world.SetOpBudget(cfg.MaxSteps)
+	}
+	if cfg.Ctx != nil {
+		// Watchdog: a cancelled context tears the world down so blocked
+		// ranks unblock; the monitor exits once every rank returned.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-cfg.Ctx.Done():
+				world.Cancel(context.Cause(cfg.Ctx))
+			case <-stop:
+			}
+		}()
 	}
 	sessions := make([]*Session, ranks)
 	for i := 0; i < ranks; i++ {

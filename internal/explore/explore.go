@@ -56,6 +56,10 @@ type Outcome struct {
 	Acts []sched.Act
 	// Forced counts stutter-pruned poll defers (sleep-set rule).
 	Forced int
+	// Budget marks a schedule cut short by the controller's step budget
+	// (supervision): its tail is unexplored, so the exploration is
+	// incomplete but the run is not an error.
+	Budget bool
 }
 
 // Result summarizes an exploration.
@@ -75,6 +79,9 @@ type Result struct {
 	DefaultRaces int64
 	// Stuck counts schedules that deadlocked.
 	Stuck int
+	// Budgeted counts schedules cut short by the controller's step
+	// budget; any makes the exploration incomplete.
+	Budgeted int
 	// Complete reports that the whole schedule space was covered: no
 	// budget exhaustion, no preemption-bound skip, no failed run.
 	Complete bool
@@ -127,6 +134,14 @@ func Run(opt Options, run func(prefix []sched.Choice) Outcome) Result {
 			if len(res.Errs) < maxErrs {
 				res.Errs = append(res.Errs, fmt.Sprintf("schedule %q: %v", sched.FormatSpec(out.Log), out.Err))
 			}
+			continue
+		}
+		if out.Budget {
+			// The schedule was cut off mid-flight: its tail (and any
+			// branches in it) is unexplored, so coverage is incomplete,
+			// but the truncation is a supervision verdict, not a failure.
+			res.Budgeted++
+			res.Complete = false
 			continue
 		}
 		if out.Stuck {

@@ -66,6 +66,13 @@ const (
 	// the process died mid-iteration; all other ranks' pending and
 	// future MPI calls fail with mpi.ErrAborted.
 	MPIRankAbort
+	// SchedStall hangs the rank at an MPI call until the job is torn
+	// down (watchdog cancel, abort, or teardown), modelling a wedged
+	// process. It is excluded from Seeded plans and the "rate=" blanket
+	// — it only fires when named explicitly — because a stalled rank
+	// needs an external supervisor (deadline or step budget) to make
+	// the run terminate at all.
+	SchedStall
 
 	numSites
 )
@@ -79,6 +86,7 @@ var siteNames = [numSites]string{
 	MPIDelayCompletion: "mpi-delay",
 	MPITruncateRecv:    "mpi-truncate",
 	MPIRankAbort:       "mpi-abort",
+	SchedStall:         "sched-stall",
 }
 
 func (s Site) String() string {
@@ -93,6 +101,15 @@ func (s Site) String() string {
 // change timing but never produce an error or alter results.
 func (s Site) Erroring() bool {
 	return s != CudaAsyncJitter && s != MPIDelayCompletion
+}
+
+// Soakable reports whether blanket rates ("rate=F" specs and Seeded
+// plans) apply to this site. SchedStall is excluded: a stalled rank
+// never terminates on its own, so soaking it into every chaos schedule
+// would make unsupervised runs hang. It still fires when a spec names
+// it explicitly (sched-stall=F or sched-stall@N[:rK]).
+func (s Site) Soakable() bool {
+	return s != SchedStall
 }
 
 // ParseSite resolves a stable site name from a -faults spec.
@@ -175,12 +192,15 @@ type Plan struct {
 	Picks []Pick
 }
 
-// Seeded returns a plan firing every site at the given rate — the
-// schedule shape the chaos soak harness uses.
+// Seeded returns a plan firing every soakable site at the given rate —
+// the schedule shape the chaos soak harness uses. Non-soakable sites
+// (SchedStall) are omitted so chaos runs terminate without supervision.
 func Seeded(seed uint64, rate float64) *Plan {
 	rates := make(map[Site]float64, numSites-1)
 	for _, s := range Sites() {
-		rates[s] = rate
+		if s.Soakable() {
+			rates[s] = rate
+		}
 	}
 	return &Plan{Seed: seed, Rates: rates}
 }
@@ -260,7 +280,9 @@ func Parse(spec string) (*Plan, error) {
 					return nil, err
 				}
 				for _, s := range Sites() {
-					p.Rates[s] = r
+					if s.Soakable() {
+						p.Rates[s] = r
+					}
 				}
 			default:
 				site, err := ParseSite(key)

@@ -1,0 +1,144 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cusango/internal/memspace"
+)
+
+// runBudgetRanks mirrors RunRanks but exposes the world so supervision
+// hooks (SetOpBudget, Cancel) can be exercised.
+func runBudgetRanks(size int, setup func(w *World), body func(c *Comm, mem *memspace.Memory) error) []error {
+	w := NewWorld(size)
+	setup(w)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for rank := 0; rank < size; rank++ {
+		mem := memspace.New()
+		comm, err := w.AttachRank(rank, mem, nil)
+		if err != nil {
+			errs[rank] = err
+			continue
+		}
+		wg.Add(1)
+		go func(rank int, comm *Comm, mem *memspace.Memory) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+				}
+			}()
+			errs[rank] = body(comm, mem)
+		}(rank, comm, mem)
+	}
+	wg.Wait()
+	return errs
+}
+
+// TestOpBudgetExceeded: a rank that starts more full MPI operations
+// than the budget allows dies with ErrStepBudget, deterministically at
+// the same operation index on every run.
+func TestOpBudgetExceeded(t *testing.T) {
+	const budget = 5
+	for run := 0; run < 3; run++ {
+		var made int
+		errs := runBudgetRanks(2, func(w *World) { w.SetOpBudget(budget) },
+			func(c *Comm, mem *memspace.Memory) error {
+				buf := mem.Alloc(8, memspace.KindHostPageable)
+				for i := 0; ; i++ {
+					var err error
+					if c.Rank() == 0 {
+						err = c.Send(buf, 1, Float64, 1, i)
+					} else {
+						_, err = c.Recv(buf, 1, Float64, 0, i)
+					}
+					if err != nil {
+						if c.Rank() == 0 {
+							made = i
+						}
+						return err
+					}
+				}
+			})
+		if !errors.Is(errs[0], ErrStepBudget) && !errors.Is(errs[1], ErrStepBudget) {
+			t.Fatalf("run %d: no rank hit the budget: %v", run, errs)
+		}
+		// The budget is per-rank in program order: the rank that trips it
+		// always does so after exactly `budget` completed operations.
+		if errors.Is(errs[0], ErrStepBudget) && made != budget {
+			t.Fatalf("run %d: rank 0 tripped after %d ops, want %d", run, made, budget)
+		}
+		for rank, err := range errs {
+			if err == nil {
+				t.Fatalf("run %d: rank %d survived a budget abort", run, rank)
+			}
+			if !errors.Is(err, ErrAborted) && !errors.Is(err, ErrStepBudget) {
+				t.Fatalf("run %d: rank %d died of %v, want budget or abort", run, rank, err)
+			}
+		}
+	}
+}
+
+// TestOpBudgetSufficient: a budget the program fits inside changes
+// nothing.
+func TestOpBudgetSufficient(t *testing.T) {
+	errs := runBudgetRanks(2, func(w *World) { w.SetOpBudget(100) },
+		func(c *Comm, mem *memspace.Memory) error {
+			buf := mem.Alloc(8, memspace.KindHostPageable)
+			for i := 0; i < 10; i++ {
+				if c.Rank() == 0 {
+					if err := c.Send(buf, 1, Float64, 1, i); err != nil {
+						return err
+					}
+				} else if _, err := c.Recv(buf, 1, Float64, 0, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelUnblocksHungRanks: Cancel (the watchdog path) tears down a
+// world whose ranks are blocked forever — a Recv with no sender — and
+// every rank's error carries the supplied cause.
+func TestCancelUnblocksHungRanks(t *testing.T) {
+	cause := errors.New("watchdog: deadline")
+	w := NewWorld(2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	started := make(chan struct{}, 2)
+	for rank := 0; rank < 2; rank++ {
+		mem := memspace.New()
+		comm, err := w.AttachRank(rank, mem, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(rank int, comm *Comm, mem *memspace.Memory) {
+			defer wg.Done()
+			buf := mem.Alloc(8, memspace.KindHostPageable)
+			started <- struct{}{}
+			_, errs[rank] = comm.Recv(buf, 1, Float64, (rank+1)%2, 0) // both wait: deadlock
+		}(rank, comm, mem)
+	}
+	<-started
+	<-started
+	w.Cancel(cause)
+	wg.Wait()
+	for rank, err := range errs {
+		if !errors.Is(err, ErrAborted) || !errors.Is(err, cause) {
+			t.Fatalf("rank %d: err = %v, want abort wrapping the watchdog cause", rank, err)
+		}
+	}
+	// Cancel after the fact is a no-op and must not panic.
+	w.Cancel(errors.New("second"))
+	if got := w.Aborted(); !errors.Is(got, cause) {
+		t.Fatalf("Aborted() = %v, want the first cause to win", got)
+	}
+}

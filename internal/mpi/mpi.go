@@ -52,6 +52,11 @@ var (
 	// the MPI_Abort analog); pending and future calls on every rank fail
 	// with it instead of deadlocking.
 	ErrAborted = errors.New("mpi: job aborted")
+	// ErrStepBudget reports that a rank exceeded the job's logical step
+	// budget (SetOpBudget): it started more full MPI operations than the
+	// supervisor allows. Each rank's operation sequence is its program
+	// order, so the budget verdict is deterministic — no wall clock.
+	ErrStepBudget = errors.New("mpi: step budget exceeded")
 )
 
 // Datatype describes an MPI basic datatype.
@@ -205,6 +210,11 @@ type World struct {
 	goneCh   []chan struct{}
 	goneGen  chan struct{}
 	tearDown bool // aborted without a rank death (deadlocked schedule)
+
+	// opBudget > 0 caps the number of full MPI operations each rank may
+	// start (the uncontrolled-run analog of the controller's step
+	// budget). Set before ranks communicate; immutable afterwards.
+	opBudget int64
 }
 
 // NewWorld creates a world for size ranks.
@@ -259,6 +269,49 @@ func (w *World) Abort(rank int, cause error) {
 		// Release settlers and mark channel-parked ranks runnable before
 		// the physical unblock below, so the controller never grants into
 		// a tearing-down world.
+		w.ctl.AbortAll()
+	}
+	close(w.aborted)
+}
+
+// SetOpBudget caps the number of full MPI operations each rank may
+// start (0 = unlimited). A rank that exceeds the cap fails its next
+// operation with ErrStepBudget and aborts the job; because each rank's
+// operation sequence is its own program order, which operation trips is
+// a pure function of the program, byte-identical across workers and
+// repeats. Call before any rank communicates.
+func (w *World) SetOpBudget(n int64) { w.opBudget = n }
+
+// Cancel tears the job down from outside (supervision: a watchdog
+// deadline or context cancellation), without attributing the abort to
+// any rank. Every blocked or polling operation fails with an abort
+// error wrapping cause; completion in flight still wins. The first
+// abort wins; a Cancel after a rank death is a no-op.
+func (w *World) Cancel(cause error) {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	w.cancelLocked(cause)
+}
+
+// cancelLocked is the deathless-teardown core shared by Cancel and the
+// stuck/budget hooks. Caller holds abortMu.
+func (w *World) cancelLocked(cause error) {
+	select {
+	case <-w.aborted:
+		return
+	default:
+	}
+	if cause != nil {
+		w.abortErr = fmt.Errorf("%w: %w", ErrAborted, cause)
+	} else {
+		w.abortErr = fmt.Errorf("%w: cancelled", ErrAborted)
+	}
+	// No rank died: flag the teardown and wake every blocked operation
+	// through the death edge so impossibility predicates are bypassed.
+	w.tearDown = true
+	close(w.goneGen)
+	w.goneGen = make(chan struct{})
+	if w.ctl != nil {
 		w.ctl.AbortAll()
 	}
 	close(w.aborted)
@@ -370,6 +423,8 @@ type Comm struct {
 	collSeq   int64
 	stats     Stats
 	finalized bool
+	// ops counts full MPI operations started, against world.opBudget.
+	ops int64
 	// live tracks incomplete requests for MUST's leak check.
 	live map[*Request]struct{}
 }
@@ -410,6 +465,27 @@ func (c *Comm) enter() error {
 	if f := c.inj.Fire(faults.MPIRankAbort); f != nil {
 		c.world.Abort(c.rank, f)
 		return fmt.Errorf("rank %d aborted: %w", c.rank, f)
+	}
+	if f := c.inj.Fire(faults.SchedStall); f != nil {
+		// The rank wedges at this call, modelling a hung process: it
+		// unblocks only when the job is torn down from outside (watchdog
+		// Cancel, a step budget, or another rank's abort). Under a
+		// controller the park is registered so quiescence detection — and
+		// with it the logical step budget — still works.
+		if ctl := c.world.ctl; ctl != nil {
+			ctl.Block(c.rank, c.world.aborted)
+		}
+		<-c.world.aborted
+		return fmt.Errorf("rank %d stalled: %w (%w)", c.rank, f, c.world.abortError())
+	}
+	if b := c.world.opBudget; b > 0 {
+		c.ops++
+		if c.ops > b {
+			err := fmt.Errorf("%w: rank %d started more than %d MPI operations",
+				ErrStepBudget, c.rank, b)
+			c.world.Abort(c.rank, err)
+			return err
+		}
 	}
 	return nil
 }

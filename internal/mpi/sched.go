@@ -31,34 +31,31 @@ func (w *World) SetController(ctl *sched.Controller) {
 		mb.owner = i
 		mb.ctl = ctl
 	}
-	ctl.SetOnStuck(func() { w.abortStuck() })
+	ctl.SetOnStuck(func() { w.abortStuck(ctl) })
 }
 
-// abortStuck tears the job down when the controller proves the current
-// schedule deadlocked: ranks parked on channels unblock with the abort
-// error, which wraps sched.ErrStuck so verdicts can tell a genuine
-// deadlock from a fault-induced abort.
-func (w *World) abortStuck() {
+// abortStuck tears the job down when the controller halts the current
+// schedule: either a proven deadlock (ranks unblock with an abort error
+// wrapping sched.ErrStuck, so verdicts can tell a genuine deadlock from
+// a fault-induced abort) or an exhausted step budget (wrapping
+// sched.ErrBudget — the supervision verdict).
+func (w *World) abortStuck(ctl *sched.Controller) {
+	cause := error(sched.ErrStuck)
+	if ctl.BudgetHit() {
+		cause = sched.ErrBudget
+	}
 	w.abortMu.Lock()
 	defer w.abortMu.Unlock()
-	select {
-	case <-w.aborted:
-		return
-	default:
-	}
-	w.abortErr = fmt.Errorf("%w: %w", ErrAborted, sched.ErrStuck)
-	// No rank died: flag the teardown and wake every blocked operation
-	// through the death edge so impossibility predicates are bypassed.
-	w.tearDown = true
-	close(w.goneGen)
-	w.goneGen = make(chan struct{})
-	close(w.aborted)
+	w.cancelLocked(cause)
 }
 
 // schedErr maps a controller error to the library's abort errors.
 func (c *Comm) schedErr(err error) error {
 	if err == sched.ErrStuck {
 		return fmt.Errorf("%w: %w", ErrAborted, sched.ErrStuck)
+	}
+	if err == sched.ErrBudget {
+		return fmt.Errorf("%w: %w", ErrAborted, sched.ErrBudget)
 	}
 	if aerr := c.world.Aborted(); aerr != nil {
 		return aerr

@@ -62,6 +62,14 @@ type Controller struct {
 	deferBudget int
 	forced      int
 
+	// budget > 0 caps the decision-log length (a logical step budget):
+	// at the first quiescent state with len(log) >= budget the run is
+	// declared over-budget and torn down like a stuck schedule. Because
+	// the log is a pure function of the schedule, the budget verdict is
+	// deterministic — no wall clock involved.
+	budget    int
+	budgetHit bool
+
 	granting    bool
 	stuck       bool
 	aborted     bool
@@ -138,6 +146,24 @@ func (c *Controller) SetOnStuck(fn func()) {
 	c.mu.Unlock()
 }
 
+// SetStepBudget caps the decision-log length at n (0 = unlimited). A
+// run whose log reaches the cap is torn down at the next quiescent
+// state: Settle returns ErrBudget and the onStuck hook fires so
+// channel-parked ranks unblock. The verdict is a pure function of the
+// schedule, so it is byte-identical across workers and repeats.
+func (c *Controller) SetStepBudget(n int) {
+	c.mu.Lock()
+	c.budget = n
+	c.mu.Unlock()
+}
+
+// BudgetHit reports whether the run was terminated by its step budget.
+func (c *Controller) BudgetHit() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budgetHit
+}
+
 // SetDeferBudget switches the poll stutter rule to naive mode: a matched
 // poll may defer k consecutive times with no intervening activity before
 // completion is forced. 0 (the default) forces completion at the first
@@ -182,9 +208,15 @@ func (c *Controller) Stuck() bool {
 // Block marks rank parked on key just before it blocks on the matching
 // channel. If the key was already signaled the rank stays Running and
 // the caller's select will fall straight through.
+// haltedLocked reports that the controller has gone inert: no further
+// decisions are made and no new state is recorded.
+func (c *Controller) haltedLocked() bool {
+	return c.aborted || c.stuck || c.budgetHit
+}
+
 func (c *Controller) Block(rank int, key any) {
 	c.mu.Lock()
-	if c.aborted || c.stuck {
+	if c.haltedLocked() {
 		c.mu.Unlock()
 		return
 	}
@@ -205,7 +237,7 @@ func (c *Controller) Block(rank int, key any) {
 // wildcard activity that blocks pruning).
 func (c *Controller) Wake(actor int, key any, hint int) {
 	c.mu.Lock()
-	if c.aborted || c.stuck {
+	if c.haltedLocked() {
 		c.mu.Unlock()
 		return
 	}
@@ -231,7 +263,7 @@ func (c *Controller) Wake(actor int, key any, hint int) {
 // and feeds the explorer's independence analysis.
 func (c *Controller) Activity(actor, target int) {
 	c.mu.Lock()
-	if !c.aborted && !c.stuck {
+	if !c.haltedLocked() {
 		c.acts = append(c.acts, Act{Actor: actor, Target: target})
 	}
 	c.mu.Unlock()
@@ -242,7 +274,7 @@ func (c *Controller) Finish(rank int) {
 	c.mu.Lock()
 	c.state[rank] = finished
 	c.settles[rank] = nil
-	if !c.aborted && !c.stuck {
+	if !c.haltedLocked() {
 		c.maybeGrantLocked()
 	}
 	c.unlockAndNotify()
@@ -274,19 +306,28 @@ func (c *Controller) AbortAll() {
 // into the controller and runs while every rank is parked.
 func (c *Controller) Settle(rank int, kind Kind, op string, ready func() []Option) (int, error) {
 	c.mu.Lock()
-	if c.aborted {
+	// Cause priority: budget and stuck are declared by the controller
+	// itself and only ever followed by an AbortAll during teardown, so
+	// when either flag is up it is the first cause and wins over the
+	// abort flag — keeping the returned error independent of how far the
+	// teardown has proceeded when this rank observes it.
+	if c.budgetHit {
 		c.mu.Unlock()
-		return 0, ErrAborted
+		return 0, ErrBudget
 	}
 	if c.stuck {
 		c.mu.Unlock()
 		return 0, ErrStuck
 	}
+	if c.aborted {
+		c.mu.Unlock()
+		return 0, ErrAborted
+	}
 	st := &settleReq{kind: kind, op: op, ready: ready}
 	c.settles[rank] = st
 	c.state[rank] = settling
 	c.maybeGrantLocked()
-	for !st.granted && !c.aborted && !c.stuck {
+	for !st.granted && !c.haltedLocked() {
 		c.cond.Wait()
 	}
 	c.settles[rank] = nil
@@ -294,12 +335,15 @@ func (c *Controller) Settle(rank int, kind Kind, op string, ready func() []Optio
 	switch {
 	case st.granted:
 		err = st.err
-	case c.aborted:
+	case c.budgetHit:
 		c.state[rank] = running
-		err = ErrAborted
-	default:
+		err = ErrBudget
+	case c.stuck:
 		c.state[rank] = running
 		err = ErrStuck
+	default:
+		c.state[rank] = running
+		err = ErrAborted
 	}
 	chosen := st.chosen
 	c.unlockAndNotify()
@@ -311,7 +355,7 @@ func (c *Controller) Settle(rank int, kind Kind, op string, ready func() []Optio
 // maybeGrantLocked runs on whichever goroutine just parked: if the
 // system is quiescent it selects and delivers the next decision.
 func (c *Controller) maybeGrantLocked() {
-	if c.granting || c.aborted || c.stuck {
+	if c.granting || c.haltedLocked() {
 		return
 	}
 	parked := 0
@@ -325,6 +369,10 @@ func (c *Controller) maybeGrantLocked() {
 	}
 	if parked == 0 {
 		return // everyone finished
+	}
+	if c.budget > 0 && len(c.log) >= c.budget {
+		c.declareBudgetLocked()
+		return
 	}
 	var settlers []int
 	for r := 0; r < c.n; r++ {
@@ -354,7 +402,7 @@ func (c *Controller) maybeGrantLocked() {
 	}
 	c.mu.Lock()
 	c.granting = false
-	if c.aborted || c.stuck {
+	if c.haltedLocked() {
 		return
 	}
 	if len(vs) == 0 {
@@ -438,6 +486,16 @@ func (c *Controller) decideLocked(kind Kind, rank int, op string, labels []strin
 
 func (c *Controller) declareStuckLocked() {
 	c.stuck = true
+	c.notifyStuck = true
+	c.cond.Broadcast()
+}
+
+// declareBudgetLocked ends the run over-budget. It reuses the stuck
+// notification path (the hook tears the MPI world down so ranks parked
+// on channels unblock) but keeps stuck false: Stuck() means deadlock,
+// BudgetHit() means supervision.
+func (c *Controller) declareBudgetLocked() {
+	c.budgetHit = true
 	c.notifyStuck = true
 	c.cond.Broadcast()
 }

@@ -253,4 +253,9 @@ var (
 	ErrStuck = errors.New("sched: schedule stuck (no viable decision at quiescence)")
 	// ErrAborted reports that the controlled job aborted (a rank died).
 	ErrAborted = errors.New("sched: controlled job aborted")
+	// ErrBudget reports that the run hit its logical step budget
+	// (SetStepBudget): the decision log reached the configured length,
+	// so the supervisor tore the run down. Deterministic by
+	// construction — the log is a pure function of the schedule.
+	ErrBudget = errors.New("sched: step budget exceeded")
 )

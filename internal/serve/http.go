@@ -40,10 +40,48 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
-	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "5")
-	}
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// OverloadResponse is the JSON body of a 429 rejection: enough for a
+// client to back off intelligently instead of hammering a fixed delay.
+type OverloadResponse struct {
+	Error string `json:"error"`
+	// QueueDepth is the current backlog; Position is where a resubmission
+	// would land in it (== QueueDepth for a lowest-priority submit).
+	QueueDepth int `json:"queue_depth"`
+	Position   int `json:"position"`
+	// RetryAfter mirrors the Retry-After header, in seconds.
+	RetryAfter int `json:"retry_after"`
+}
+
+// writeOverload rejects with 429 and a Retry-After computed from the
+// actual congestion rather than a constant: the deeper the backlog
+// relative to the campaign runners (backlog pressure) or the fuller the
+// tenant's quota window (quota pressure), the longer the hint.
+func (s *Server) writeOverload(w http.ResponseWriter, err error, tenant string) {
+	s.mu.Lock()
+	depth := s.q.depth()
+	out := s.outstanding[tenant]
+	s.mu.Unlock()
+	after := 1 + depth/s.concurrency
+	if errors.Is(err, ErrQuota) && s.tenantQuota > 0 {
+		// The tenant's own campaigns gate readmission, not the global
+		// queue: wait for roughly the over-quota excess to finish.
+		if a := 1 + out - s.tenantQuota; a > after {
+			after = a
+		}
+	}
+	if after > 60 {
+		after = 60
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(after))
+	writeJSON(w, http.StatusTooManyRequests, OverloadResponse{
+		Error:      err.Error(),
+		QueueDepth: depth,
+		Position:   depth,
+		RetryAfter: after,
+	})
 }
 
 func tenantOf(r *http.Request) string {
@@ -69,11 +107,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	st, pos, err := s.Submit(req, tenantOf(r))
+	tenant := tenantOf(r)
+	st, pos, err := s.Submit(req, tenant)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrBacklog), errors.Is(err, ErrQuota):
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		s.writeOverload(w, err, tenant)
 		return
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -87,7 +126,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	status, _, _, _, _, _ := st.snapshot()
+	status, _, _, _, _, _, _, _ := st.snapshot()
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
 		ID: st.ID, Jobs: st.Jobs, Status: status, Position: pos,
 	})

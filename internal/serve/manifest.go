@@ -34,7 +34,9 @@ func manifestPath(dir, id string) string {
 	return filepath.Join(dir, id+".manifest.json")
 }
 
-// writeManifest persists st atomically (tmp + rename).
+// writeManifest persists st atomically and durably (tmp + fsync +
+// rename): after a kill -9 the file either exists with complete
+// contents or not at all, never truncated.
 func writeManifest(dir string, st *campaignState) error {
 	m := manifest{
 		V: manifestVersion, ID: st.ID, Tenant: st.Tenant,
@@ -46,7 +48,18 @@ func writeManifest(dir string, st *campaignState) error {
 	}
 	path := manifestPath(dir, st.ID)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
 		return err
 	}
 	return os.Rename(tmp, path)

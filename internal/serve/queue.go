@@ -30,11 +30,37 @@ func (q *queue) push(st *campaignState) {
 // pop removes the head (highest priority, earliest submit), nil when
 // empty.
 func (q *queue) pop() *campaignState {
+	return q.remove(0)
+}
+
+// popFair removes the fairest item of the top priority class: among
+// the campaigns sharing the highest queued priority, the one whose
+// tenant has been served the fewest campaigns so far (earliest submit
+// breaks ties, since the class is Seq-ordered). Priority still trumps
+// fairness — a starving tenant's low-priority campaign never overtakes
+// another tenant's high-priority one.
+func (q *queue) popFair(served map[string]int64) *campaignState {
 	if len(q.items) == 0 {
 		return nil
 	}
-	st := q.items[0]
-	copy(q.items, q.items[1:])
+	best, top := 0, q.items[0].Priority
+	for i, it := range q.items {
+		if it.Priority != top {
+			break
+		}
+		if served[it.Tenant] < served[q.items[best].Tenant] {
+			best = i
+		}
+	}
+	return q.remove(best)
+}
+
+func (q *queue) remove(i int) *campaignState {
+	if i < 0 || i >= len(q.items) {
+		return nil
+	}
+	st := q.items[i]
+	copy(q.items[i:], q.items[i+1:])
 	q.items[len(q.items)-1] = nil
 	q.items = q.items[:len(q.items)-1]
 	return st

@@ -14,21 +14,36 @@
 // through the campaign engine's enumeration-order callback, and
 // encodes every line with the same exported encoders WriteJSONL uses.
 //
+// Up to Concurrency campaigns run at once, drawn from the priority
+// queue under tenant-fair round-robin (within a priority class, the
+// tenant served the fewest campaigns goes first) and sharing one
+// Workers-wide job pool, so a tenant's wide campaign cannot monopolize
+// the machine. Job execution is supervised (internal/campaign
+// Supervise): per-attempt wall-clock deadlines, logical step budgets,
+// and bounded deterministic retry for infra-class failures.
+//
 // Shutdown is a graceful drain: in-flight jobs finish, queued
 // campaigns persist resumable manifests, stream clients get a clean
 // terminal record, and a restarted daemon re-queues the remainder —
 // the shared cache turns the finished prefix into warm hits, so the
-// resumed stream is a byte-exact continuation.
+// resumed stream is a byte-exact continuation. The same manifest +
+// cache machinery makes the daemon kill -9 safe: manifests and cache
+// entries are fsynced before rename, so a hard crash loses at most
+// uncached in-flight results, and the restarted stream is still a
+// byte-exact continuation.
 package serve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cusango/internal/campaign"
 	"cusango/internal/core"
@@ -37,11 +52,18 @@ import (
 
 // Config configures a daemon instance.
 type Config struct {
-	// Workers bounds each campaign's worker pool; <= 0 means NumCPU.
+	// Workers bounds the process-wide job pool shared by all running
+	// campaigns; <= 0 means NumCPU.
 	Workers int
+	// Concurrency is how many campaigns may run at once; <= 0 means 1.
+	// They share the Workers-wide job pool, so raising it trades one
+	// campaign's latency for cross-tenant fairness, not for more load.
+	Concurrency int
 	// Salt is the cache build salt ("" = core.BuildSalt()). It must
 	// match the offline CLI's salt for cache sharing and byte-identity
-	// across the service boundary.
+	// across the service boundary. Supervision limits that change
+	// verdicts (MaxSteps) are mixed in automatically, exactly as
+	// cusan-campaign does.
 	Salt string
 	// CacheDir backs the shared result cache; "" keeps it in memory
 	// (still shared across campaigns, but not across restarts).
@@ -54,7 +76,18 @@ type Config struct {
 	// TenantQuota bounds queued+running campaigns per API key; 0 means
 	// DefaultTenantQuota. Negative disables the quota.
 	TenantQuota int
-	// Exec overrides the job executor (tests); nil = testsuite.ExecuteJob.
+	// JobTimeout bounds one job attempt's wall clock; 0 disables the
+	// watchdog. Timed-out jobs report the deterministic timeout record
+	// (it names only the configured deadline) and are retried.
+	JobTimeout time.Duration
+	// Retries bounds supervised re-executions of infra-class failures
+	// (watchdog kills, contained panics); 0 disables retry.
+	Retries int
+	// MaxSteps caps each job's logical steps (0 = unlimited); exceeding
+	// it is the deterministic "budget" verdict.
+	MaxSteps int64
+	// Exec overrides the job executor (tests); nil = the supervised
+	// testsuite executor.
 	Exec func(campaign.Job) *campaign.Record
 }
 
@@ -75,21 +108,30 @@ var (
 )
 
 // Server is the daemon: admission control, the priority queue, the
-// campaign runner, the finding index, and the shared cache.
+// campaign runners, the finding index, and the shared cache.
 type Server struct {
 	workers     int
+	concurrency int
 	salt        string
 	stateDir    string
 	backlog     int
 	tenantQuota int
+	limits      campaign.Limits
+	maxSteps    int64
 	cache       *campaign.Cache
 	findings    *findingIndex
-	exec        func(campaign.Job) *campaign.Record
+	exec        campaign.ExecFunc
+
+	// sem is the process-wide job pool: every running campaign's worker
+	// must hold a slot to execute a job, so total in-flight jobs stay
+	// bounded by Workers no matter how many campaigns run concurrently.
+	sem chan struct{}
 
 	mu          sync.Mutex
 	q           queue
 	campaigns   map[string]*campaignState
-	runningID   string
+	running     map[string]*campaignState
+	served      map[string]int64 // tenant -> campaigns started (fairness)
 	seq         int64
 	outstanding map[string]int // tenant -> queued+running campaigns
 	doneCount   int
@@ -102,26 +144,35 @@ type Server struct {
 	draining  atomic.Bool
 	drainOnce sync.Once
 
-	newWork chan struct{} // nudges the runner; buffered
+	newWork chan struct{} // nudges the runners; buffered
 	drainCh chan struct{} // closed once on Drain; campaign.Run Interrupt
-	stopped chan struct{} // closed when the runner goroutine exits
+	stopped chan struct{} // closed when every runner goroutine has exited
 
 	busy          atomic.Int64 // jobs executing right now
 	totalExecuted atomic.Int64
 	totalHits     atomic.Int64
+	totalRetried  atomic.Int64 // attempts beyond each job's first
 }
 
 // New builds a Server, resumes any manifests in StateDir, and starts
-// the campaign runner goroutine. Call Drain to stop it.
+// the campaign runner goroutines. Call Drain to stop them.
 func New(cfg Config) (*Server, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	concurrency := cfg.Concurrency
+	if concurrency <= 0 {
+		concurrency = 1
+	}
 	salt := cfg.Salt
 	if salt == "" {
 		salt = core.BuildSalt()
 	}
+	// Mix verdict-changing supervision limits into the salt exactly as
+	// the offline CLI does, so byte-identity and cache sharing survive
+	// the service boundary under supervision too.
+	salt = campaign.LimitsSalt(salt, cfg.MaxSteps)
 	backlog := cfg.Backlog
 	if backlog == 0 {
 		backlog = DefaultBacklog
@@ -130,9 +181,12 @@ func New(cfg Config) (*Server, error) {
 	if quota == 0 {
 		quota = DefaultTenantQuota
 	}
-	exec := cfg.Exec
-	if exec == nil {
-		exec = testsuite.ExecuteJob
+	var exec campaign.ExecFunc
+	if cfg.Exec != nil {
+		override := cfg.Exec
+		exec = func(_ context.Context, j campaign.Job) *campaign.Record { return override(j) }
+	} else {
+		exec = testsuite.Executor(cfg.MaxSteps)
 	}
 	var cache *campaign.Cache
 	if cfg.CacheDir != "" {
@@ -145,16 +199,22 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		workers:     workers,
+		concurrency: concurrency,
 		salt:        salt,
 		stateDir:    cfg.StateDir,
 		backlog:     backlog,
 		tenantQuota: quota,
+		limits:      campaign.Limits{Timeout: cfg.JobTimeout, Retries: cfg.Retries},
+		maxSteps:    cfg.MaxSteps,
 		cache:       cache,
 		findings:    newFindingIndex(),
 		exec:        exec,
+		sem:         make(chan struct{}, workers),
 		campaigns:   make(map[string]*campaignState),
+		running:     make(map[string]*campaignState),
+		served:      make(map[string]int64),
 		outstanding: make(map[string]int),
-		newWork:     make(chan struct{}, 1),
+		newWork:     make(chan struct{}, concurrency),
 		drainCh:     make(chan struct{}),
 		stopped:     make(chan struct{}),
 	}
@@ -165,7 +225,18 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.resume()
 	}
-	go s.runLoop()
+	var wg sync.WaitGroup
+	wg.Add(concurrency)
+	for i := 0; i < concurrency; i++ {
+		go func() {
+			defer wg.Done()
+			s.runLoop()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(s.stopped)
+	}()
 	return s, nil
 }
 
@@ -248,10 +319,10 @@ func (s *Server) Campaign(id string) *campaignState {
 // Finding looks up a finding entry by fingerprint.
 func (s *Server) Finding(fp string) *FindingEntry { return s.findings.get(fp) }
 
-// runLoop is the single campaign runner: campaigns execute one at a
-// time (each with its own Workers-wide job pool), in priority order.
+// runLoop is one campaign runner: Concurrency of them pull from the
+// queue, so up to that many campaigns execute at once over the shared
+// job pool.
 func (s *Server) runLoop() {
-	defer close(s.stopped)
 	for {
 		st := s.nextCampaign()
 		if st == nil {
@@ -268,8 +339,9 @@ func (s *Server) nextCampaign() *campaignState {
 			return nil
 		}
 		s.mu.Lock()
-		if st := s.q.pop(); st != nil {
-			s.runningID = st.ID
+		if st := s.q.popFair(s.served); st != nil {
+			s.running[st.ID] = st
+			s.served[st.Tenant]++
 			s.mu.Unlock()
 			return st
 		}
@@ -286,7 +358,7 @@ func (s *Server) nextCampaign() *campaignState {
 func (s *Server) runCampaign(st *campaignState) {
 	finish := func(status string) {
 		s.mu.Lock()
-		s.runningID = ""
+		delete(s.running, st.ID)
 		if status == StatusDone {
 			s.doneCount++
 			if s.outstanding[st.Tenant]--; s.outstanding[st.Tenant] <= 0 {
@@ -331,10 +403,24 @@ func (s *Server) runCampaign(st *campaignState) {
 			}
 		},
 	}
+	// Per-campaign supervision: the shared limits plus this campaign's
+	// attempt accounting. Each worker holds a pool slot for the full
+	// supervised job (all attempts), so a retry storm cannot multiply
+	// in-flight work past Workers.
+	lim := s.limits
+	lim.OnAttempt = func(j campaign.Job, attempt int, r *campaign.Record) {
+		st.noteAttempt(attempt)
+		if attempt > 1 {
+			s.totalRetried.Add(1)
+		}
+	}
+	sup := campaign.Supervise(s.exec, lim)
 	exec := func(j campaign.Job) *campaign.Record {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
 		s.busy.Add(1)
 		defer s.busy.Add(-1)
-		return s.exec(j)
+		return sup(j)
 	}
 
 	rep := campaign.Run(jobs, exec, opt)
@@ -357,8 +443,8 @@ func (s *Server) runCampaign(st *campaignState) {
 	finish(StatusDone)
 }
 
-// Drain begins a graceful shutdown and blocks until the runner has
-// stopped: the in-flight jobs of the running campaign complete, queued
+// Drain begins a graceful shutdown and blocks until every runner has
+// stopped: the in-flight jobs of running campaigns complete, queued
 // campaigns keep their manifests, and every stream follower is woken
 // to emit its terminal record. Safe to call more than once.
 func (s *Server) Drain() {
@@ -380,15 +466,18 @@ func (s *Server) Drain() {
 
 // ServerStatus is the JSON shape of GET /v1/status.
 type ServerStatus struct {
-	QueueDepth   int     `json:"queue_depth"`
-	Running      string  `json:"running,omitempty"` // running campaign ID
-	Done         int     `json:"done"`              // campaigns completed
-	Draining     bool    `json:"draining"`
-	Workers      int     `json:"workers"`
-	Busy         int     `json:"busy"` // jobs executing now
-	Utilization  float64 `json:"utilization"`
-	Executed     int64   `json:"executed"` // jobs run since start
-	CacheHits    int64   `json:"cache_hits"`
+	QueueDepth  int      `json:"queue_depth"`
+	Running     []string `json:"running,omitempty"` // running campaign IDs, sorted
+	Done        int      `json:"done"`              // campaigns completed
+	Draining    bool     `json:"draining"`
+	Workers     int      `json:"workers"`
+	Concurrency int      `json:"concurrency"` // campaign runners
+	Busy        int      `json:"busy"`        // jobs executing now
+	Utilization float64  `json:"utilization"`
+	Executed    int64    `json:"executed"` // jobs run since start
+	CacheHits   int64    `json:"cache_hits"`
+	// Retried counts supervised attempts beyond each job's first.
+	Retried      int64   `json:"retried"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	Findings     int     `json:"findings"` // distinct fingerprints
 	Salt         string  `json:"salt"`
@@ -397,8 +486,13 @@ type ServerStatus struct {
 // Status snapshots the daemon.
 func (s *Server) Status() ServerStatus {
 	s.mu.Lock()
-	depth, running, done := s.q.depth(), s.runningID, s.doneCount
+	depth, done := s.q.depth(), s.doneCount
+	running := make([]string, 0, len(s.running))
+	for id := range s.running {
+		running = append(running, id)
+	}
 	s.mu.Unlock()
+	sort.Strings(running)
 	draining := s.draining.Load()
 	busy := s.busy.Load()
 	executed, hits := s.totalExecuted.Load(), s.totalHits.Load()
@@ -408,10 +502,12 @@ func (s *Server) Status() ServerStatus {
 		Done:        done,
 		Draining:    draining,
 		Workers:     s.workers,
+		Concurrency: s.concurrency,
 		Busy:        int(busy),
 		Utilization: float64(busy) / float64(s.workers),
 		Executed:    executed,
 		CacheHits:   hits,
+		Retried:     s.totalRetried.Load(),
 		Findings:    s.findings.size(),
 		Salt:        s.salt,
 	}

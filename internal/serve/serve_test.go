@@ -380,7 +380,7 @@ func serverStatus(t *testing.T, base string) ServerStatus {
 func waitRunning(t *testing.T, base string) {
 	t.Helper()
 	for i := 0; i < 2000; i++ {
-		if serverStatus(t, base).Running != "" {
+		if len(serverStatus(t, base).Running) > 0 {
 			return
 		}
 	}

@@ -36,7 +36,12 @@ type campaignState struct {
 	// executed and cacheHits are this campaign's split of done.
 	executed  int
 	cacheHits int
-	errMsg    string
+	// attempts counts supervised execution attempts; retried counts jobs
+	// that needed more than one (a wall-clock fact — reported live, never
+	// part of the canonical line stream).
+	attempts int
+	retried  int
+	errMsg   string
 }
 
 func newCampaignState(id, tenant string, priority int, seq int64, req Request, jobs int) *campaignState {
@@ -74,6 +79,17 @@ func (st *campaignState) appendRecord(line []byte, cached bool) {
 	st.mu.Unlock()
 }
 
+// noteAttempt records one supervised execution attempt (1-based per
+// job; attempt 2 marks the job retried).
+func (st *campaignState) noteAttempt(attempt int) {
+	st.mu.Lock()
+	st.attempts++
+	if attempt == 2 {
+		st.retried++
+	}
+	st.mu.Unlock()
+}
+
 // setStatus transitions the lifecycle state and wakes followers.
 func (st *campaignState) setStatus(status, errMsg string) {
 	st.mu.Lock()
@@ -93,10 +109,10 @@ func (st *campaignState) wake() {
 }
 
 // snapshot returns the mutable fields under the lock.
-func (st *campaignState) snapshot() (status string, lines, done, executed, hits int, errMsg string) {
+func (st *campaignState) snapshot() (status string, lines, done, executed, hits, attempts, retried int, errMsg string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.status, len(st.lines), st.done, st.executed, st.cacheHits, st.errMsg
+	return st.status, len(st.lines), st.done, st.executed, st.cacheHits, st.attempts, st.retried, st.errMsg
 }
 
 // Status is the JSON shape of GET /v1/campaigns/{id}.
@@ -109,15 +125,20 @@ type Status struct {
 	Done      int    `json:"done"`
 	Executed  int    `json:"executed"`
 	CacheHits int    `json:"cache_hits"`
-	Lines     int    `json:"lines"`
-	Error     string `json:"error,omitempty"`
+	// Attempts counts supervised execution attempts across the
+	// campaign's jobs; Retried counts jobs that needed more than one.
+	Attempts int    `json:"attempts"`
+	Retried  int    `json:"retried"`
+	Lines    int    `json:"lines"`
+	Error    string `json:"error,omitempty"`
 }
 
 func (st *campaignState) statusJSON() Status {
-	status, lines, done, executed, hits, errMsg := st.snapshot()
+	status, lines, done, executed, hits, attempts, retried, errMsg := st.snapshot()
 	return Status{
 		ID: st.ID, Status: status, Tenant: st.Tenant, Priority: st.Priority,
 		Jobs: st.Jobs, Done: done, Executed: executed, CacheHits: hits,
+		Attempts: attempts, Retried: retried,
 		Lines: lines, Error: errMsg,
 	}
 }

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cusango/internal/campaign"
+)
+
+func filteredMatrix(filter string) Request {
+	zero := 0
+	return Request{Kinds: []string{"suite"}, Filter: filter, Engines: []string{"fast"}, Seeds: &zero}
+}
+
+// TestConcurrentCampaignsInterleave: under -concurrency 2 two tenants'
+// campaigns run at once over the shared job pool — the executor
+// refuses to let any job finish until jobs from BOTH campaigns are in
+// flight simultaneously, so completion proves interleaved progress,
+// not just back-to-back scheduling.
+func TestConcurrentCampaignsInterleave(t *testing.T) {
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	inflight := map[string]bool{}
+	released := false
+	gated := func(j campaign.Job) *campaign.Record {
+		prefix := strings.SplitN(strings.TrimPrefix(j.Case, "mpi-modes/"), "_", 2)[0]
+		mu.Lock()
+		inflight[prefix] = true
+		if len(inflight) >= 2 {
+			released = true
+			cond.Broadcast()
+		}
+		for !released {
+			cond.Wait()
+		}
+		mu.Unlock()
+		return fakeExec(j)
+	}
+
+	// Workers 4 so one campaign's jobs cannot monopolize the pool and
+	// deadlock the both-in-flight gate (each matrix has 2 jobs).
+	srv, hs := newTestServer(t, Config{Workers: 4, Concurrency: 2, Exec: gated})
+	reqA := filteredMatrix("mpi-modes/ssend")
+	reqB := filteredMatrix("mpi-modes/waitany")
+
+	a := submit(t, hs.URL, reqA, "tenant-a")
+	b := submit(t, hs.URL, reqB, "tenant-b")
+	if a.Jobs != 2 || b.Jobs != 2 {
+		t.Fatalf("matrices expanded to %d and %d jobs, want 2 each", a.Jobs, b.Jobs)
+	}
+
+	gotA := streamAll(t, hs.URL, a.ID, 0)
+	gotB := streamAll(t, hs.URL, b.ID, 0)
+	if !bytes.Equal(gotA, offlineJSONL(t, reqA, fakeExec, "test-salt", nil)) {
+		t.Fatal("campaign A stream differs from offline report")
+	}
+	if !bytes.Equal(gotB, offlineJSONL(t, reqB, fakeExec, "test-salt", nil)) {
+		t.Fatal("campaign B stream differs from offline report")
+	}
+	if st := srv.Status(); st.Concurrency != 2 {
+		t.Fatalf("ServerStatus.Concurrency = %d, want 2", st.Concurrency)
+	}
+}
+
+// TestFairScheduling: with one runner, a tenant that queued two
+// campaigns yields its second slot to a tenant that queued one —
+// lowest-served-tenant wins within a priority class, so one noisy
+// tenant cannot monopolize the queue.
+func TestFairScheduling(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	release := make(chan struct{})
+	gated := func(j campaign.Job) *campaign.Record {
+		if strings.Contains(j.Case, "ssend") {
+			<-release // holds the first campaign until all others are queued
+		}
+		mu.Lock()
+		order = append(order, j.Case)
+		mu.Unlock()
+		return fakeExec(j)
+	}
+	_, hs := newTestServer(t, Config{Workers: 1, Concurrency: 1, Exec: gated})
+
+	first := submit(t, hs.URL, filteredMatrix("mpi-modes/ssend"), "tenant-a")
+	waitRunning(t, hs.URL)
+	hog1 := submit(t, hs.URL, filteredMatrix("waitany"), "hog")
+	hog2 := submit(t, hs.URL, filteredMatrix("iprobe_poll"), "hog")
+	fair := submit(t, hs.URL, filteredMatrix("probe_recv"), "tenant-b")
+	close(release)
+	for _, sr := range []SubmitResponse{first, hog1, hog2, fair} {
+		streamAll(t, hs.URL, sr.ID, 0) // blocks until that campaign completes
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	idx := func(substr string) int {
+		for i, c := range order {
+			if strings.Contains(c, substr) {
+				return i
+			}
+		}
+		t.Fatalf("no job matching %q ran (order: %v)", substr, order)
+		return -1
+	}
+	// hog's first campaign was queued first and runs first; then the
+	// fair scheduler prefers tenant-b (served 0) over hog's second.
+	if !(idx("waitany") < idx("probe_recv_kernel") && idx("probe_recv_kernel") < idx("iprobe_poll")) {
+		t.Fatalf("fair scheduling violated, execution order: %v", order)
+	}
+}
+
+// TestCrashRecovery is the kill -9 acceptance check, in-process: a
+// server with two campaigns mid-flight is abandoned without any drain
+// (its fsynced manifests and cache entries are all that survive, as
+// after a kill -9), and a fresh server on the same state + cache
+// directories resumes both under their original IDs with streams
+// byte-identical to the offline reports.
+func TestCrashRecovery(t *testing.T) {
+	stateDir := t.TempDir()
+	cacheDir := t.TempDir()
+
+	// First server: each campaign's first job completes (and is cached);
+	// every other job hangs forever, pinning the moment kill -9 lands.
+	var mu sync.Mutex
+	passed := map[string]bool{}
+	hang := make(chan struct{}) // never closed: the "process" dies blocked
+	gated := func(j campaign.Job) *campaign.Record {
+		prefix := strings.SplitN(j.Case, "/", 2)[0]
+		mu.Lock()
+		first := !passed[prefix]
+		passed[prefix] = true
+		mu.Unlock()
+		if !first {
+			<-hang
+		}
+		return fakeExec(j)
+	}
+	// Workers 8 > total jobs of either matrix, so the hanging jobs of
+	// one campaign cannot exhaust the pool before the other campaign's
+	// first job gets a slot.
+	srv1, err := New(Config{
+		Workers: 8, Concurrency: 2, Salt: "crash-salt",
+		CacheDir: cacheDir, StateDir: stateDir, Exec: gated,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(srv1.Handler())
+
+	reqA := filteredMatrix("mpi-modes/")
+	reqB := filteredMatrix("mpi-to-cuda/irecv")
+	a := submit(t, hs1.URL, reqA, "tenant-a")
+	b := submit(t, hs1.URL, reqB, "tenant-b")
+	// Wait for both first jobs to land durably in the shared cache (one
+	// entry per campaign); everything else is parked in <-hang, so the
+	// abandoned server can write nothing more after the "kill".
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first jobs never reached the cache (%d entries)", len(entries))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// kill -9: no Drain, no cleanup — just sever the HTTP front and
+	// abandon the server with its workers still blocked.
+	hs1.CloseClientConnections()
+	hs1.Close()
+
+	srv2, err := New(Config{
+		Workers: 2, Concurrency: 2, Salt: "crash-salt",
+		CacheDir: cacheDir, StateDir: stateDir, Exec: fakeExec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(srv2.Handler())
+	defer hs2.Close()
+	defer srv2.Drain()
+
+	for _, c := range []struct {
+		sr  SubmitResponse
+		req Request
+	}{{a, reqA}, {b, reqB}} {
+		got := streamAll(t, hs2.URL, c.sr.ID, 0)
+		want := offlineJSONL(t, c.req, fakeExec, "other-salt", nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("campaign %s: resumed stream differs from offline report:\ngot:\n%s\nwant:\n%s",
+				c.sr.ID, got, want)
+		}
+		st := campaignStatus(t, hs2.URL, c.sr.ID)
+		if st.Status != StatusDone {
+			t.Fatalf("campaign %s: status %q after resume, want done", c.sr.ID, st.Status)
+		}
+		if st.CacheHits == 0 {
+			t.Fatalf("campaign %s: resume executed everything — the pre-crash prefix was not cached", c.sr.ID)
+		}
+	}
+}
+
+// TestRetryAccounting: an infra-class failure is retried and the extra
+// attempts are visible in both the campaign and server status — while
+// the streamed bytes stay identical to a never-flaky offline run,
+// because retries cannot change canonical records.
+func TestRetryAccounting(t *testing.T) {
+	var mu sync.Mutex
+	failed := false
+	flaky := func(j campaign.Job) *campaign.Record {
+		mu.Lock()
+		first := !failed
+		if strings.Contains(j.Case, "ssend_nosync") && first {
+			failed = true
+			mu.Unlock()
+			return &campaign.Record{
+				Verdict:  campaign.VerdictError,
+				AppFault: campaign.InfraPrefix + "synthetic worker loss",
+			}
+		}
+		mu.Unlock()
+		return fakeExec(j)
+	}
+	_, hs := newTestServer(t, Config{Workers: 2, Retries: 2, Exec: flaky})
+
+	req := smallMatrix()
+	sr := submit(t, hs.URL, req, "tenant-a")
+	got := streamAll(t, hs.URL, sr.ID, 0)
+	if !bytes.Equal(got, offlineJSONL(t, req, fakeExec, "test-salt", nil)) {
+		t.Fatal("retried campaign stream differs from clean offline report")
+	}
+
+	st := campaignStatus(t, hs.URL, sr.ID)
+	if st.Retried != 1 {
+		t.Fatalf("campaign retried = %d, want 1", st.Retried)
+	}
+	if st.Attempts != sr.Jobs+1 {
+		t.Fatalf("campaign attempts = %d, want %d (jobs + one retry)", st.Attempts, sr.Jobs+1)
+	}
+	if ss := serverStatus(t, hs.URL); ss.Retried != 1 {
+		t.Fatalf("server retried = %d, want 1", ss.Retried)
+	}
+}
+
+// TestOverloadResponse: a 429 carries a Retry-After computed from the
+// actual congestion plus a JSON body with the queue depth — not the
+// old hardcoded constant.
+func TestOverloadResponse(t *testing.T) {
+	block := make(chan struct{})
+	gated := func(j campaign.Job) *campaign.Record {
+		<-block
+		return fakeExec(j)
+	}
+	defer close(block)
+	_, hs := newTestServer(t, Config{Workers: 1, Backlog: 3, TenantQuota: 2, Exec: gated})
+
+	req := smallMatrix()
+	submit(t, hs.URL, req, "a")
+	waitRunning(t, hs.URL)
+	submit(t, hs.URL, req, "hog")
+	submit(t, hs.URL, req, "hog")
+
+	decode := func(resp *http.Response) OverloadResponse {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429", resp.StatusCode)
+		}
+		var or OverloadResponse
+		if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+			t.Fatalf("decode 429 body: %v", err)
+		}
+		header, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil || header != or.RetryAfter {
+			t.Fatalf("Retry-After header %q != body retry_after %d", resp.Header.Get("Retry-After"), or.RetryAfter)
+		}
+		return or
+	}
+
+	// Quota rejection: hog has 2 outstanding of quota 2 — the hint must
+	// reflect its own congestion (1 + excess = at least the backlog
+	// formula's 1 + depth/concurrency = 3).
+	or := decode(submitRaw(t, hs.URL, req, "hog"))
+	if or.QueueDepth != 2 || or.RetryAfter < 3 {
+		t.Fatalf("quota 429: %+v, want queue_depth=2 retry_after>=3", or)
+	}
+	if !strings.Contains(or.Error, "quota") {
+		t.Fatalf("quota 429 error = %q", or.Error)
+	}
+
+	// Fill the backlog, then overflow it: the hint scales with depth.
+	submit(t, hs.URL, req, "b")
+	or = decode(submitRaw(t, hs.URL, req, "c"))
+	if or.QueueDepth != 3 || or.Position != 3 || or.RetryAfter != 4 {
+		t.Fatalf("backlog 429: %+v, want queue_depth=3 position=3 retry_after=4 (1 + 3/1)", or)
+	}
+}

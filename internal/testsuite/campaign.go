@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"cusango/internal/campaign"
+	"cusango/internal/cuda"
 	"cusango/internal/faults"
 	"cusango/internal/mpi"
 	"cusango/internal/tsan"
@@ -152,6 +153,13 @@ var caseIndex = sync.OnceValue(func() map[string]Case {
 // deterministic in the job identity; infrastructure problems (unknown
 // case, malformed spec) yield an error record, never a panic.
 func ExecuteJob(j campaign.Job) *campaign.Record {
+	return executeJob(j, Env{})
+}
+
+// executeJob is ExecuteJob under supervision: env's context tears hung
+// runs down and its step budget truncates runaway ones into the
+// deterministic "budget" verdict.
+func executeJob(j campaign.Job, env Env) *campaign.Record {
 	c, ok := caseIndex()[j.Case]
 	if !ok {
 		return errRecord(fmt.Sprintf("unknown case %q", j.Case))
@@ -162,13 +170,13 @@ func ExecuteJob(j campaign.Job) *campaign.Record {
 	}
 	switch j.Kind {
 	case KindSuite:
-		return execSuite(c, engine)
+		return execSuite(c, engine, env)
 	case KindChaos:
-		return execChaos(c, j.Faults, engine)
+		return execChaos(c, j.Faults, engine, env)
 	case KindReplay:
-		return execReplay(c, engine)
+		return execReplay(c, engine, env)
 	case KindExplore:
-		return execExplore(c, j.Config, engine)
+		return execExplore(c, j.Config, engine, env)
 	default:
 		return errRecord(fmt.Sprintf("unknown job kind %q", j.Kind))
 	}
@@ -178,14 +186,17 @@ func errRecord(msg string) *campaign.Record {
 	return &campaign.Record{Verdict: campaign.VerdictError, AppFault: msg}
 }
 
-func execSuite(c Case, engine tsan.Engine) *campaign.Record {
-	v := RunCaseTSan(c, tsan.Config{Engine: engine})
+func execSuite(c Case, engine tsan.Engine, env Env) *campaign.Record {
+	v := runCase(c, cuda.Config{}, tsan.Config{Engine: engine}, env)
 	r := &campaign.Record{
 		Verdict: campaign.VerdictPass,
 		Races:   int(v.Races),
 		Issues:  len(v.Issues),
 	}
 	if v.Err != nil {
+		if budgetClass(v.Err) {
+			return budgetRecord(env.MaxSteps)
+		}
 		r.Verdict = campaign.VerdictError
 		r.AppFault = v.Err.Error()
 		r.Findings = append(r.Findings,
@@ -201,12 +212,15 @@ func execSuite(c Case, engine tsan.Engine) *campaign.Record {
 	return r
 }
 
-func execChaos(c Case, spec string, engine tsan.Engine) *campaign.Record {
+func execChaos(c Case, spec string, engine tsan.Engine, env Env) *campaign.Record {
 	plan, err := faults.Parse(spec)
 	if err != nil {
 		return errRecord(fmt.Sprintf("bad fault spec %q: %v", spec, err))
 	}
-	v := RunChaosCase(c, plan, engine)
+	v := runChaosCase(c, plan, engine, env)
+	if v.Budget {
+		return budgetRecord(env.MaxSteps)
+	}
 	r := &campaign.Record{
 		Verdict:  campaign.VerdictPass,
 		Races:    int(v.Races),
@@ -242,13 +256,16 @@ func faultLabel(err error) string {
 	return err.Error()
 }
 
-func execExplore(c Case, cfg string, engine tsan.Engine) *campaign.Record {
+func execExplore(c Case, cfg string, engine tsan.Engine, env Env) *campaign.Record {
 	budget, bound, err := parseExploreConfig(cfg)
 	if err != nil {
 		return errRecord(fmt.Sprintf("bad explore config %q: %v", cfg, err))
 	}
-	v := ExploreCase(c, ExploreOptions{Engine: engine, Budget: budget, Bound: bound})
+	v := ExploreCase(c, ExploreOptions{Engine: engine, Budget: budget, Bound: bound, Env: env})
 	res := &v.Result
+	if env.MaxSteps > 0 && res.Budgeted > 0 {
+		return budgetRecord(env.MaxSteps)
+	}
 	r := &campaign.Record{
 		Verdict:          campaign.VerdictPass,
 		Races:            int(res.DefaultRaces),
@@ -269,10 +286,13 @@ func execExplore(c Case, cfg string, engine tsan.Engine) *campaign.Record {
 	return r
 }
 
-func execReplay(c Case, engine tsan.Engine) *campaign.Record {
+func execReplay(c Case, engine tsan.Engine, env Env) *campaign.Record {
 	tcfg := tsan.Config{Engine: engine}
-	live, blobs, err := RecordCase(c, tcfg)
+	live, blobs, err := recordCase(c, tcfg, env)
 	if err != nil {
+		if budgetClass(err) {
+			return budgetRecord(env.MaxSteps)
+		}
 		return errRecord("record: " + err.Error())
 	}
 	replayed, err := ReplayTraces(c, blobs, tcfg)

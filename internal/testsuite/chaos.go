@@ -36,12 +36,21 @@ type ChaosVerdict struct {
 	Injected []*faults.Fault
 	// Degraded lists ranks whose checker crashed and was contained.
 	Degraded []*core.Degradation
-	// AppFault is the first attributable rank error (nil on a clean run).
+	// AppFault is the most attributable rank error (nil on a clean run):
+	// the first rank that died of its OWN injected fault, falling back to
+	// abort collateral only when no rank did. The preference is what
+	// keeps the field deterministic — collateral wraps whichever abort
+	// happened to kill the world first, and when two ranks fault
+	// concurrently that winner is a wall-clock race.
 	AppFault error
 	// Violations are trust failures: unattributable errors, race reports
 	// on correct cases, or infrastructure errors. Empty means the tool
 	// stayed trustworthy under this schedule.
 	Violations []string
+	// Budget marks a run cut short by the supervisor's step budget
+	// (Env.MaxSteps): the trust properties are not evaluated — a
+	// truncated run is a supervision verdict, not a tool failure.
+	Budget bool
 }
 
 // OK reports whether the tool's behaviour stayed trustworthy.
@@ -68,6 +77,10 @@ func attributable(err error) bool {
 // RunChaosCase executes one case under the given fault plan and checks
 // the trust properties.
 func RunChaosCase(c Case, plan *faults.Plan, engine tsan.Engine) *ChaosVerdict {
+	return runChaosCase(c, plan, engine, Env{})
+}
+
+func runChaosCase(c Case, plan *faults.Plan, engine tsan.Engine, env Env) *ChaosVerdict {
 	ranks := c.Ranks
 	if ranks == 0 {
 		ranks = 2
@@ -77,11 +90,13 @@ func RunChaosCase(c Case, plan *faults.Plan, engine tsan.Engine) *ChaosVerdict {
 		v.Seed = plan.Seed
 	}
 	res, err := core.Run(core.Config{
-		Flavor:  core.MUSTCuSan,
-		Ranks:   ranks,
-		Module:  Module(),
-		TSanCfg: tsan.Config{Engine: engine},
-		Faults:  plan,
+		Flavor:   core.MUSTCuSan,
+		Ranks:    ranks,
+		Module:   Module(),
+		TSanCfg:  tsan.Config{Engine: engine},
+		Faults:   plan,
+		Ctx:      env.Ctx,
+		MaxSteps: env.MaxSteps,
 	}, c.App)
 	if err != nil {
 		v.Violations = append(v.Violations, fmt.Sprintf("infrastructure error: %v", err))
@@ -89,6 +104,7 @@ func RunChaosCase(c Case, plan *faults.Plan, engine tsan.Engine) *ChaosVerdict {
 	}
 	v.Races = res.TotalRaces()
 	faulted := false
+	var collateral error
 	for i := range res.Ranks {
 		rr := &res.Ranks[i]
 		v.Injected = append(v.Injected, rr.Injected...)
@@ -98,15 +114,31 @@ func RunChaosCase(c Case, plan *faults.Plan, engine tsan.Engine) *ChaosVerdict {
 		if rr.Err == nil {
 			continue
 		}
+		if budgetClass(rr.Err) {
+			v.Budget = true
+			continue
+		}
 		faulted = true
 		if !attributable(rr.Err) {
 			v.Violations = append(v.Violations,
 				fmt.Sprintf("rank %d: unattributable error: %v", rr.Rank, rr.Err))
 			continue
 		}
-		if v.AppFault == nil {
-			v.AppFault = fmt.Errorf("rank %d: %w", rr.Rank, rr.Err)
+		// Prefer the first rank that died of its own injected fault: which
+		// ranks those are is a pure function of the plan. A collateral
+		// error wraps whichever rank's abort killed the world first — a
+		// wall-clock race when two ranks fault concurrently — so it only
+		// stands in when no rank error is direct.
+		if f, ok := faults.Extract(rr.Err); ok && f.Rank == rr.Rank {
+			if v.AppFault == nil {
+				v.AppFault = fmt.Errorf("rank %d: %w", rr.Rank, rr.Err)
+			}
+		} else if collateral == nil {
+			collateral = fmt.Errorf("rank %d: %w", rr.Rank, rr.Err)
 		}
+	}
+	if v.AppFault == nil {
+		v.AppFault = collateral
 	}
 	if !c.ExpectRace && v.Races > 0 {
 		v.Violations = append(v.Violations,
@@ -120,7 +152,7 @@ func RunChaosCase(c Case, plan *faults.Plan, engine tsan.Engine) *ChaosVerdict {
 	// known-racy case has at least one racy schedule across the full
 	// space, and flags cases whose race needs exploration to expose
 	// (ExploreVerdict.NeedsExploration).
-	if !faulted && len(v.Injected) == 0 && len(v.Degraded) == 0 {
+	if !faulted && !v.Budget && len(v.Injected) == 0 && len(v.Degraded) == 0 {
 		if c.ExpectRace && v.Races == 0 {
 			v.Violations = append(v.Violations,
 				"fault-free run missed the expected race on this schedule (explore proves the full space)")

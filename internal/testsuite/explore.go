@@ -27,6 +27,10 @@ type ExploreOptions struct {
 	Bound int
 	// Naive disables DPOR pruning (differential testing).
 	Naive bool
+	// Env supervises every schedule execution: Ctx cancellation tears a
+	// run down (watchdog), MaxSteps caps each schedule's decision log
+	// (the controlled-run logical step budget).
+	Env Env
 }
 
 // DefaultExploreBudget is plenty for every suite case (the largest
@@ -79,27 +83,33 @@ func RunExploreSchedule(c Case, prefix []sched.Choice, opt ExploreOptions) explo
 	if opt.Naive {
 		ctl.SetDeferBudget(naiveDeferBudget)
 	}
+	if opt.Env.MaxSteps > 0 {
+		ctl.SetStepBudget(int(opt.Env.MaxSteps))
+	}
 	res, err := core.Run(core.Config{
 		Flavor:  core.MUSTCuSan,
 		Ranks:   ranks,
 		Module:  Module(),
 		TSanCfg: tsan.Config{Engine: opt.Engine},
 		Sched:   ctl,
+		Ctx:     opt.Env.Ctx,
 	}, c.App)
 	out := explore.Outcome{
 		Log:    ctl.Log(),
 		Acts:   ctl.Acts(),
 		Forced: ctl.Forced(),
 		Stuck:  ctl.Stuck(),
+		Budget: ctl.BudgetHit(),
 	}
 	switch {
 	case err != nil:
 		out.Err = err
 	case rep.Err() != nil:
 		out.Err = rep.Err()
-	case out.Stuck:
-		// The controller proved this schedule deadlocked; rank errors are
-		// the deliberate teardown, not failures.
+	case out.Stuck || out.Budget:
+		// The controller tore this schedule down deliberately (proven
+		// deadlock or step budget); rank errors are the teardown, not
+		// failures.
 	default:
 		if ferr := res.FirstError(); ferr != nil {
 			out.Err = ferr

@@ -34,6 +34,10 @@ func issueKeys(issues []*must.Issue) []string {
 // recording and returns the live verdict plus the encoded traces
 // (indexed by rank).
 func RecordCase(c Case, tcfg tsan.Config) (*Verdict, [][]byte, error) {
+	return recordCase(c, tcfg, Env{})
+}
+
+func recordCase(c Case, tcfg tsan.Config, env Env) (*Verdict, [][]byte, error) {
 	ranks := c.Ranks
 	if ranks == 0 {
 		ranks = 2
@@ -41,11 +45,13 @@ func RecordCase(c Case, tcfg tsan.Config) (*Verdict, [][]byte, error) {
 	bufs := make([]*bytes.Buffer, ranks)
 	v := &Verdict{Case: c}
 	res, err := core.Run(core.Config{
-		Flavor:  core.MUSTCuSan,
-		Ranks:   ranks,
-		Module:  Module(),
-		Cuda:    cuda.Config{},
-		TSanCfg: tcfg,
+		Flavor:   core.MUSTCuSan,
+		Ranks:    ranks,
+		Module:   Module(),
+		Cuda:     cuda.Config{},
+		TSanCfg:  tcfg,
+		Ctx:      env.Ctx,
+		MaxSteps: env.MaxSteps,
 		Trace: func(rank int) *trace.Writer {
 			bufs[rank] = &bytes.Buffer{}
 			return trace.NewWriter(bufs[rank], trace.Header{

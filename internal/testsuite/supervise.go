@@ -1,0 +1,56 @@
+package testsuite
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cusango/internal/campaign"
+	"cusango/internal/mpi"
+	"cusango/internal/sched"
+)
+
+// Supervision adapter: Env threads the campaign supervisor's controls
+// (watchdog context, logical step budget) into every modality's core
+// run, and Executor is the context-aware job executor the supervisor
+// wraps (campaign.Supervise) so hung jobs can be torn down and budget
+// overruns classified deterministically.
+
+// Env carries the supervision controls for one job execution.
+type Env struct {
+	// Ctx, when non-nil, tears the run down when cancelled (the
+	// wall-clock watchdog). A torn-down run reports a timeout record —
+	// a wall-clock fact, never cached.
+	Ctx context.Context
+	// MaxSteps, when > 0, caps the run's logical steps: MPI operations
+	// started per rank on free runs, controller decisions on controlled
+	// ones. Exceeding it is a deterministic "budget" verdict — a pure
+	// function of the job, byte-identical at any worker count.
+	MaxSteps int64
+}
+
+// Executor returns a context-aware campaign executor over ExecuteJob,
+// suitable for campaign.Supervise: the context is the per-attempt
+// deadline and maxSteps the logical step budget applied to every job.
+func Executor(maxSteps int64) func(ctx context.Context, j campaign.Job) *campaign.Record {
+	return func(ctx context.Context, j campaign.Job) *campaign.Record {
+		return executeJob(j, Env{Ctx: ctx, MaxSteps: maxSteps})
+	}
+}
+
+// budgetClass reports whether a rank error is the step budget firing —
+// either the free-run per-rank MPI operation cap or the controlled
+// scheduler's decision-log cap.
+func budgetClass(err error) bool {
+	return errors.Is(err, mpi.ErrStepBudget) || errors.Is(err, sched.ErrBudget)
+}
+
+// budgetRecord is the canonical record for a job that exceeded its
+// step budget: deterministic in the job identity (and therefore
+// cacheable), mentioning only the configured cap.
+func budgetRecord(maxSteps int64) *campaign.Record {
+	return &campaign.Record{
+		Verdict:  campaign.VerdictBudget,
+		AppFault: fmt.Sprintf("budget: step budget exceeded (max-steps=%d)", maxSteps),
+	}
+}

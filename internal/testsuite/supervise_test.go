@@ -1,0 +1,174 @@
+package testsuite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cusango/internal/campaign"
+	"cusango/internal/tsan"
+)
+
+// casesMatching filters the suite by name substring.
+func casesMatching(t *testing.T, substr string) []Case {
+	t.Helper()
+	var kept []Case
+	for _, c := range Cases() {
+		if strings.Contains(c.Name, substr) {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		t.Fatalf("no case matches %q", substr)
+	}
+	return kept
+}
+
+func canonicalJSONL(t *testing.T, rep *campaign.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSONL(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStallJobTimeoutByteIdentical is the hung-job acceptance check: a
+// chaos job carrying the sched-stall fault never terminates on its
+// own; under a supervisor deadline it completes with the deterministic
+// timeout record, and the canonical report is byte-identical at -j1
+// and -j8 and across repeats.
+func TestStallJobTimeoutByteIdentical(t *testing.T) {
+	cases := casesMatching(t, "mpi-modes/ssend_after_devicesync")
+	jobs := SuiteJobs(cases, []tsan.Engine{tsan.EngineBatched})
+	jobs = append(jobs, campaign.Job{
+		Kind: KindChaos, Case: cases[0].Name, Engine: tsan.EngineBatched.String(),
+		Seed: 1, Faults: "sched-stall@0:r1",
+	})
+
+	const deadline = 200 * time.Millisecond
+	var reports [][]byte
+	for _, workers := range []int{1, 8, 1} {
+		exec := campaign.Supervise(Executor(0), campaign.Limits{Timeout: deadline})
+		rep := campaign.Run(jobs, exec, campaign.Options{Workers: workers})
+		stall := rep.Records[len(rep.Records)-1]
+		if stall.Verdict != campaign.VerdictTimeout {
+			t.Fatalf("workers=%d: stall job verdict = %s (%s), want timeout",
+				workers, stall.Verdict, stall.AppFault)
+		}
+		if want := "timeout: job exceeded the 200ms deadline"; stall.AppFault != want {
+			t.Fatalf("workers=%d: AppFault = %q, want %q", workers, stall.AppFault, want)
+		}
+		reports = append(reports, canonicalJSONL(t, rep))
+	}
+	if !bytes.Equal(reports[0], reports[1]) || !bytes.Equal(reports[0], reports[2]) {
+		t.Fatal("timeout report bytes differ across worker counts / repeats")
+	}
+}
+
+// TestStallJobNeverCached: the timeout verdict is a wall-clock fact —
+// a warm cache must re-execute the stalled job, not replay the timeout.
+func TestStallJobNeverCached(t *testing.T) {
+	cases := casesMatching(t, "mpi-modes/ssend_after_devicesync")
+	jobs := []campaign.Job{{
+		Kind: KindChaos, Case: cases[0].Name, Engine: tsan.EngineBatched.String(),
+		Seed: 1, Faults: "sched-stall@0:r1",
+	}}
+	cache := campaign.NewMemCache()
+	exec := campaign.Supervise(Executor(0), campaign.Limits{Timeout: 100 * time.Millisecond})
+	for run := 0; run < 2; run++ {
+		rep := campaign.Run(jobs, exec, campaign.Options{Workers: 2, Cache: cache, Salt: "s"})
+		r := rep.Records[0]
+		if r.Verdict != campaign.VerdictTimeout || r.Cached {
+			t.Fatalf("run %d: verdict=%s cached=%v, want a fresh timeout each run", run, r.Verdict, r.Cached)
+		}
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cache holds %d entries after timeout-only runs, want 0", cache.Len())
+	}
+}
+
+// TestBudgetVerdictDeterministicAndCacheable: -max-steps turns runaway
+// jobs into the deterministic "budget" verdict — byte-identical at any
+// worker count, cacheable, and keyed by LimitsSalt so results under a
+// different budget cannot leak in.
+func TestBudgetVerdictDeterministicAndCacheable(t *testing.T) {
+	cases := casesMatching(t, "mpi-modes/")
+	jobs := SuiteJobs(cases, []tsan.Engine{tsan.EngineBatched})
+
+	const maxSteps = 2
+	run := func(workers int, cache *campaign.Cache) *campaign.Report {
+		exec := campaign.Supervise(Executor(maxSteps), campaign.Limits{})
+		opt := campaign.Options{Workers: workers}
+		if cache != nil {
+			opt.Cache = cache
+			opt.Salt = campaign.LimitsSalt("s", maxSteps)
+		}
+		return campaign.Run(jobs, exec, opt)
+	}
+
+	a := run(1, nil)
+	b := run(8, nil)
+	if !bytes.Equal(canonicalJSONL(t, a), canonicalJSONL(t, b)) {
+		t.Fatal("budget report bytes differ between 1 and 8 workers")
+	}
+	budgets := 0
+	for _, r := range a.Records {
+		if r.Verdict == campaign.VerdictBudget {
+			budgets++
+			if want := "budget: step budget exceeded (max-steps=2)"; r.AppFault != want {
+				t.Fatalf("budget AppFault = %q, want %q", r.AppFault, want)
+			}
+		}
+	}
+	if budgets == 0 {
+		t.Fatal("max-steps=2 tripped no budget verdicts over the mpi-modes suite")
+	}
+
+	// Budget verdicts are pure functions of the job: cacheable.
+	cache := campaign.NewMemCache()
+	cold := run(4, cache)
+	warm := run(4, cache)
+	if warm.CacheHits != len(jobs) {
+		t.Fatalf("warm run: %d cache hits, want %d (budget verdicts must be cached)",
+			warm.CacheHits, len(jobs))
+	}
+	if !bytes.Equal(canonicalJSONL(t, cold), canonicalJSONL(t, warm)) {
+		t.Fatal("cached budget report differs from cold run")
+	}
+
+	// A different budget is a different cache identity.
+	otherExec := campaign.Supervise(Executor(maxSteps+10), campaign.Limits{})
+	other := campaign.Run(jobs, otherExec, campaign.Options{
+		Workers: 4, Cache: cache, Salt: campaign.LimitsSalt("s", maxSteps+10),
+	})
+	if other.CacheHits != 0 {
+		t.Fatalf("different -max-steps hit the old cache %d times, want 0", other.CacheHits)
+	}
+}
+
+// TestControlledBudgetDeterministic: under the controlled scheduler the
+// step budget meters decision-log length; a budget below a case's
+// decision count cuts every schedule short with Outcome.Budget,
+// identically across repeats. (A wide-sched case: narrow cases never
+// reach a choice point, so their logs stay empty and no budget trips.)
+func TestControlledBudgetDeterministic(t *testing.T) {
+	c := casesMatching(t, "wide-sched/iprobe_test_ring")[0]
+	for run := 0; run < 3; run++ {
+		out := RunExploreSchedule(c, nil, ExploreOptions{
+			Engine: tsan.EngineBatched,
+			Env:    Env{MaxSteps: 2},
+		})
+		if !out.Budget {
+			t.Fatalf("run %d: max-steps=2 did not trip the controller budget", run)
+		}
+	}
+	out := RunExploreSchedule(c, nil, ExploreOptions{
+		Engine: tsan.EngineBatched,
+		Env:    Env{MaxSteps: 100000},
+	})
+	if out.Budget {
+		t.Fatal("a generous budget tripped")
+	}
+}

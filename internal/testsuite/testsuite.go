@@ -141,7 +141,7 @@ func RunCase(c Case) *Verdict {
 // asynchronous executor and must produce identical verdicts (the
 // tooling's view is enqueue-time interception in both modes).
 func RunCaseWith(c Case, cudaCfg cuda.Config) *Verdict {
-	return runCase(c, cudaCfg, tsan.Config{})
+	return runCase(c, cudaCfg, tsan.Config{}, Env{})
 }
 
 // RunCaseTSan executes one case with an explicit sanitizer
@@ -149,21 +149,23 @@ func RunCaseWith(c Case, cudaCfg cuda.Config) *Verdict {
 // suite under the batched and the slow reference shadow engines and
 // must produce identical verdicts.
 func RunCaseTSan(c Case, tcfg tsan.Config) *Verdict {
-	return runCase(c, cuda.Config{}, tcfg)
+	return runCase(c, cuda.Config{}, tcfg, Env{})
 }
 
-func runCase(c Case, cudaCfg cuda.Config, tcfg tsan.Config) *Verdict {
+func runCase(c Case, cudaCfg cuda.Config, tcfg tsan.Config, env Env) *Verdict {
 	ranks := c.Ranks
 	if ranks == 0 {
 		ranks = 2
 	}
 	v := &Verdict{Case: c}
 	res, err := core.Run(core.Config{
-		Flavor:  core.MUSTCuSan,
-		Ranks:   ranks,
-		Module:  Module(),
-		Cuda:    cudaCfg,
-		TSanCfg: tcfg,
+		Flavor:   core.MUSTCuSan,
+		Ranks:    ranks,
+		Module:   Module(),
+		Cuda:     cudaCfg,
+		TSanCfg:  tcfg,
+		Ctx:      env.Ctx,
+		MaxSteps: env.MaxSteps,
 	}, c.App)
 	if err != nil {
 		v.Err = err
