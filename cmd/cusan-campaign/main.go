@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cusan-campaign [-j N] [-kinds suite,chaos,replay,explore] [-filter substr]
+//	cusan-campaign [-j N] [-kinds suite,chaos,replay,explore,static] [-filter substr]
 //	               [-engines fast,slow] [-seeds N] [-faults-rate R]
 //	               [-explore-budget N] [-explore-bound N]
 //	               [-timeout d] [-max-steps N] [-retries N]
@@ -78,7 +78,7 @@ func main() {
 func run() int {
 	jobs := flag.Int("j", runtime.NumCPU(), "worker count")
 	kindsFlag := flag.String("kinds", "suite,chaos,replay",
-		"job kinds to enumerate: suite, chaos, replay, explore")
+		"job kinds to enumerate: suite, chaos, replay, explore, static")
 	filter := flag.String("filter", "", "substring filter on case names")
 	enginesFlag := flag.String("engines", "fast,slow", "shadow engines to sweep")
 	seeds := flag.Int("seeds", 25, "chaos seed count (seeds 1..N)")
@@ -153,6 +153,8 @@ func run() int {
 			jobList = append(jobList, testsuite.ReplayJobs(cases, engines)...)
 		case testsuite.KindExplore:
 			jobList = append(jobList, testsuite.ExploreJobs(cases, engines, *exploreBudget, *exploreBound)...)
+		case testsuite.KindStatic:
+			jobList = append(jobList, testsuite.StaticJobs()...)
 		default:
 			fmt.Fprintf(os.Stderr, "cusan-campaign: unknown kind %q\n", kind)
 			return exitUsage

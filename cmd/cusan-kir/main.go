@@ -6,8 +6,14 @@
 //
 //	cusan-kir fmt     <file.kir>   # parse + reprint (canonical form)
 //	cusan-kir verify  <file.kir>   # type-check and call-graph check
-//	cusan-kir analyze <file.kir>   # per-kernel argument access analysis
+//	cusan-kir analyze <file.kir>   # per-kernel argument access analysis + static race verdicts
+//	cusan-kir race    <file.kir>   # static intra-kernel race check (exit 1 if a race is found)
 //	cusan-kir run     <file.kir> -kernel NAME [-grid N] [-block N] [-fargs "1.5,2"] [-iargs "64"] [-elems N]
+//
+// `race` runs the internal/kstatic checker: per kernel it prints
+// race-free (proved), race (with a concrete two-thread witness), or
+// unknown, plus the barrier-interval segmentation. `analyze` appends
+// the same verdict summary after the per-argument access table.
 //
 // `run` allocates one device float64 buffer of -elems elements per
 // pointer parameter (zero-initialized), launches the kernel, and prints
@@ -25,6 +31,7 @@ import (
 	"cusango/internal/kaccess"
 	"cusango/internal/kinterp"
 	"cusango/internal/kir"
+	"cusango/internal/kstatic"
 	"cusango/internal/memspace"
 )
 
@@ -54,7 +61,7 @@ func main() {
 		}
 	}
 	if len(os.Args) < 3 {
-		fatalf("usage: cusan-kir fmt|verify|analyze|run|version <file.kir> [flags]")
+		fatalf("usage: cusan-kir fmt|verify|analyze|race|run|version <file.kir> [flags]")
 	}
 	cmd, path := os.Args[1], os.Args[2]
 	switch cmd {
@@ -64,16 +71,43 @@ func main() {
 		loadModule(path) // Parse verifies
 		fmt.Println("ok")
 	case "analyze":
-		res, err := kaccess.Analyze(loadModule(path))
+		m := loadModule(path)
+		res, err := kaccess.Analyze(m)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Print(res.String())
+		rep, err := kstatic.Analyze(m)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(rep.Kernels) > 0 {
+			fmt.Print("static:\n", indent(rep.String()))
+		}
+	case "race":
+		rep, err := kstatic.Analyze(loadModule(path))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(rep.String())
+		for _, kr := range rep.Kernels {
+			if kr.Verdict == kstatic.VerdictRace {
+				os.Exit(1)
+			}
+		}
 	case "run":
 		runCmd(path, os.Args[3:])
 	default:
 		fatalf("unknown command %q", cmd)
 	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func runCmd(path string, args []string) {

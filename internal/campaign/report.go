@@ -113,6 +113,19 @@ type Record struct {
 	// race-free — only systematic exploration exposes its race.
 	NeedsExploration bool `json:"needs_exploration,omitempty"`
 
+	// Static-kind fields (intra-kernel race checking; all omitempty —
+	// additive, no format bump). Races above is the dynamic oracle's
+	// distinct racing-site count.
+	StaticVerdict string `json:"static_verdict,omitempty"` // "race-free" | "race" | "unknown"
+	// Intervals is the kernel's barrier-interval count (0 when the
+	// segmentation is divergent).
+	Intervals int `json:"intervals,omitempty"`
+	// Witness is the static race witness, empty unless the verdict is
+	// "race".
+	Witness string `json:"witness,omitempty"`
+	// OracleSkipped counts oracle geometries that failed to execute.
+	OracleSkipped int `json:"oracle_skipped,omitempty"`
+
 	// Volatile fields — wall-clock facts, not part of the canonical
 	// byte stream. Attempts counts supervision attempts (1 = first try
 	// succeeded); which attempt produced the result is a wall-clock

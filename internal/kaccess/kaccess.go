@@ -231,6 +231,9 @@ func analyzeFunc(f *kir.Function, res *Result) *Summary {
 				record(state[ins.A], Write)
 			case kir.OpAtomicAddF:
 				record(state[ins.A], ReadWrite)
+			case kir.OpSyncthreads:
+				// Barrier: no dataflow effect. (It must not fall through to
+				// the default: its zero-valued Dst would clobber local 0.)
 			case kir.OpCall:
 				callee := res.summaries[ins.Callee]
 				var argUnion paramMask

@@ -256,6 +256,12 @@ type worker struct {
 	// frames are pooled by call depth.
 	pool  []*frame
 	steps int64
+	// lin is the linear id of the thread currently executing; interval
+	// counts the barriers it has passed. log, when non-nil (LaunchLogged),
+	// receives every memory access.
+	lin      int
+	interval int32
+	log      *AccessLog
 }
 
 func newWorker(e *Engine, v *memspace.View, g geometry, f *kir.Function, args []Arg) *worker {
@@ -301,6 +307,8 @@ func (w *worker) runRange(lo, hi int) error {
 	for lin := lo; lin < hi; lin++ {
 		ctx := w.ctxFor(lin)
 		w.steps = 0
+		w.lin = lin
+		w.interval = 0
 		fr := w.frameAt(0, len(w.entry.LocalTypes))
 		for i, a := range w.args {
 			switch a.Kind {
@@ -314,6 +322,9 @@ func (w *worker) runRange(lo, hi int) error {
 		}
 		if _, _, err := w.exec(w.entry, fr, ctx, 0, maxSteps); err != nil {
 			return &KernelError{Kernel: w.entry.Name, Thread: lin, Err: err}
+		}
+		if w.log != nil {
+			w.log.Totals = append(w.log.Totals, w.interval)
 		}
 	}
 	return nil
@@ -431,6 +442,9 @@ func (w *worker) exec(f *kir.Function, fr *frame, ctx threadCtx, depth int, maxS
 				if err != nil {
 					return 0, 0, fmt.Errorf("%w: load at 0x%x", errNilPtr, uint64(addr))
 				}
+				if w.log != nil {
+					w.record(addr, pt.ElemSize(), AccessRead)
+				}
 				switch pt {
 				case kir.TPtrF64:
 					fr.fregs[in.Dst] = math.Float64frombits(binary.LittleEndian.Uint64(bs))
@@ -448,6 +462,9 @@ func (w *worker) exec(f *kir.Function, fr *frame, ctx threadCtx, depth int, maxS
 				if err != nil {
 					return 0, 0, fmt.Errorf("%w: store at 0x%x", errNilPtr, uint64(addr))
 				}
+				if w.log != nil {
+					w.record(addr, pt.ElemSize(), AccessWrite)
+				}
 				switch pt {
 				case kir.TPtrF64:
 					binary.LittleEndian.PutUint64(bs, math.Float64bits(fr.fregs[in.B]))
@@ -464,10 +481,22 @@ func (w *worker) exec(f *kir.Function, fr *frame, ctx threadCtx, depth int, maxS
 				if err != nil {
 					return 0, 0, fmt.Errorf("%w: atomic add at 0x%x", errNilPtr, uint64(addr))
 				}
+				if w.log != nil {
+					w.record(addr, 8, AccessAtomic)
+				}
 				w.eng.atomicMu.Lock()
 				old := math.Float64frombits(binary.LittleEndian.Uint64(bs))
 				binary.LittleEndian.PutUint64(bs, math.Float64bits(old+fr.fregs[in.B]))
 				w.eng.atomicMu.Unlock()
+			case kir.OpSyncthreads:
+				// The interpreter runs each thread to completion
+				// independently, so the barrier is a pure interval marker:
+				// it partitions the thread's accesses into barrier
+				// intervals for the race oracle. This is faithful for
+				// kernels whose behavior does not depend on cross-thread
+				// data flow within a launch (the serial oracle runs
+				// threads in a fixed order either way).
+				w.interval++
 			case kir.OpCall:
 				callee := w.eng.mod.Func(in.Callee)
 				cfr := w.frameAt(depth+1, len(callee.LocalTypes))

@@ -138,6 +138,11 @@ func (fb *FuncBuilder) AtomicAddF(ptr, val Local) {
 	fb.emit(Instr{Op: OpAtomicAddF, A: ptr, B: val})
 }
 
+// Syncthreads emits a block-level barrier.
+func (fb *FuncBuilder) Syncthreads() {
+	fb.emit(Instr{Op: OpSyncthreads})
+}
+
 // Call emits a void call.
 func (fb *FuncBuilder) Call(callee string, args ...Local) {
 	fb.emit(Instr{Op: OpCall, Dst: -1, Callee: callee, Args: args})

@@ -214,6 +214,9 @@ func (e *Emitter) StoreIdx(ptr, idx, val Value) { e.Store(e.GEP(ptr, idx), val) 
 // AtomicAddF emits an atomic *ptr += val.
 func (e *Emitter) AtomicAddF(ptr, val Value) { e.FB.AtomicAddF(ptr.l, val.l) }
 
+// Syncthreads emits a block-level barrier (__syncthreads()).
+func (e *Emitter) Syncthreads() { e.FB.Syncthreads() }
+
 // Call invokes a void device function.
 func (e *Emitter) Call(callee string, args ...Value) {
 	locals := make([]Local, len(args))

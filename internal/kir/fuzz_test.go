@@ -17,6 +17,9 @@ func FuzzKirParse(f *testing.F) {
 	f.Add("kernel k() {\n  locals %0:i64\nb0:\n  %0 = consti 4\n  condbr %0, b1, b2\nb1:\n  br b3\nb2:\n  br b3\nb3:\n  ret\n}\n")
 	f.Add("device d(f64 x) -> f64 {\nb0:\n  ret %0\n}\n")
 	f.Add("kernel k(f64* p) {\n  locals %1:i64 %2:f64\nb0:\n  %1 = global.id.x\n  %2 = constf 1.5\n  %3 = gep %0, %1\n  store %3, %2\n  ret\n}\n")
+	f.Add("kernel k(f64* p) {\n  locals %1:i64 %2:f64 %3:f64* %4:f64\nb0:\n  %1 = threadIdx.x\n  %2 = constf 0\n  %3 = gep %0, %1\n  store %3, %2\n  syncthreads\n  %4 = load %3\n  ret\n}\n")
+	f.Add("kernel k(f64* a, f64* b) {\n  locals %2:i64\nb0:\n  %2 = globalId.x\n  syncthreads\n  br b1\nb1:\n  syncthreads\n  ret\n}\n")
+	f.Add("kernel k() {\nb0:\n  syncthreads %0\n}\n")
 	f.Add("kernel k() {\nb0:\n  store\n}\n")
 	f.Add("kernel k() {\nb0:\n  br\n}\n")
 	f.Add("kernel k() {\nb0:\n  %0 = constf\n}\n")

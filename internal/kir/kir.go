@@ -118,6 +118,12 @@ const (
 	// OpAtomicAddF : atomically *a += b (float pointee); used by
 	// reduction kernels.
 	OpAtomicAddF
+	// OpSyncthreads : __syncthreads() block-level barrier. All threads of
+	// one block reach the barrier before any proceeds; accesses of the
+	// same block separated by a barrier are ordered (no race), while
+	// threads of different blocks are never ordered by it. It has no
+	// operands.
+	OpSyncthreads
 )
 
 // BinOp enumerates arithmetic operators (meaning depends on OpBinF/OpBinI).

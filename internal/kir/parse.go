@@ -315,6 +315,12 @@ func (p *parser) statement(blk *Block, line string) error {
 		}
 		blk.Instrs = append(blk.Instrs, Instr{Op: OpAtomicAddF, A: a, B: b})
 		return nil
+	case "syncthreads":
+		if len(fields) != 1 {
+			return fail("syncthreads takes no operands")
+		}
+		blk.Instrs = append(blk.Instrs, Instr{Op: OpSyncthreads})
+		return nil
 	case "call":
 		in, err := parseCall(-1, strings.Join(fields, " "))
 		if err != nil {

@@ -100,6 +100,7 @@ func TestParseWholeModulesRoundTrip(t *testing.T) {
 			e.StoreIdx(e.Arg("wp"), i, e.ToInt(e.ToFloat(iv)))
 			e.Call("helper", e.Arg("fp"))
 		})
+		e.Syncthreads()
 		e.For(e.ConstI(0), e.ConstI(4), e.ConstI(1), func(j Value) {
 			e.StoreIdx(e.Arg("ip"), j, j)
 		})
@@ -118,6 +119,45 @@ func TestParseWholeModulesRoundTrip(t *testing.T) {
 		if got != f.String() {
 			t.Fatalf("round trip of %s differs:\n%s\nvs\n%s", f.Name, f.String(), got)
 		}
+	}
+}
+
+func TestParseSyncthreadsRoundTrip(t *testing.T) {
+	// The barrier round-trips through the canonical textual form, and the
+	// parser rejects operands on it.
+	src := `kernel phase(f64* buf, i64 n) {
+  locals %2:i64 %3:f64* %4:f64 %5:f64
+b0: ; entry
+  %2 = threadIdx.x
+  %3 = gep %0, %2
+  %4 = constf 1
+  store %3, %4
+  syncthreads
+  %5 = load %3
+  ret
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("phase")
+	var barriers int
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpSyncthreads {
+				barriers++
+			}
+		}
+	}
+	if barriers != 1 {
+		t.Fatalf("barriers = %d, want 1", barriers)
+	}
+	if got := m.String(); got != src {
+		t.Fatalf("round trip differs:\n%s\nvs\n%s", src, got)
+	}
+	if _, err := Parse("kernel k() {\nb0: ;\n  syncthreads %0\n  ret\n}\n"); err == nil {
+		t.Fatal("syncthreads with operand accepted")
 	}
 }
 

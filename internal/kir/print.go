@@ -81,6 +81,8 @@ func (in Instr) String() string {
 		return fmt.Sprintf("store %s, %s", l(in.A), l(in.B))
 	case OpAtomicAddF:
 		return fmt.Sprintf("atomic.faddstore %s, %s", l(in.A), l(in.B))
+	case OpSyncthreads:
+		return "syncthreads"
 	case OpCall:
 		args := make([]string, len(in.Args))
 		for i, a := range in.Args {

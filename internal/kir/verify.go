@@ -193,6 +193,10 @@ func verifyFunc(m *Module, f *Function) error {
 				if err := check(in.B, TFloat, "val"); err != nil {
 					return err
 				}
+			case OpSyncthreads:
+				// Barrier: no operands, nothing to check. Legal in both
+				// kernels and device functions (a device function called
+				// uniformly from a kernel may contain barriers).
 			case OpCall:
 				callee := m.Func(in.Callee)
 				if callee == nil {

@@ -1,0 +1,348 @@
+package kstatic
+
+import (
+	"math/bits"
+
+	"cusango/internal/kir"
+)
+
+// The kernel-body abstract interpretation: every local carries an affine
+// expr (scalars: the value; pointers: the byte offset from the aliased
+// parameter's base) plus the pointer alias mask. States join at
+// control-flow merges; loop-carried locals whose per-iteration delta is
+// a constant are widened with an induction term (the delta becomes the
+// term's coefficient), everything else saturates to ⊤.
+
+type absState struct {
+	vals []expr
+	mask []uint64
+}
+
+func (s *absState) clone() *absState {
+	c := &absState{vals: make([]expr, len(s.vals)), mask: make([]uint64, len(s.mask))}
+	copy(c.mask, s.mask)
+	for i, v := range s.vals {
+		c.vals[i] = v.clone()
+	}
+	return c
+}
+
+func entryState(f *kir.Function) *absState {
+	n := len(f.LocalTypes)
+	st := &absState{vals: make([]expr, n), mask: make([]uint64, n)}
+	for i := range st.vals {
+		st.vals[i] = topE() // uninitialized locals hold arbitrary values
+	}
+	for i, p := range f.Params {
+		switch {
+		case p.Type.IsPtr():
+			st.mask[i] = 1 << uint(i)
+			st.vals[i] = constE(0)
+		case p.Type == kir.TInt:
+			st.vals[i] = symE(tkParam, i)
+		}
+	}
+	return st
+}
+
+// widener allocates induction-term instances, one per (join block,
+// local) pair, so re-joins of the same loop-carried local converge.
+type widener struct {
+	ivForKey map[[2]int]int
+	count    int
+}
+
+func newWidener() *widener { return &widener{ivForKey: make(map[[2]int]int)} }
+
+// joinInto merges src into dst at block bi, widening loop-carried
+// constants into induction terms. Reports whether dst changed. When
+// force is set, unequal values go straight to ⊤ (convergence backstop).
+func joinInto(dst, src *absState, bi int, w *widener, force bool) bool {
+	changed := false
+	for i, m := range src.mask {
+		if dst.mask[i]|m != dst.mask[i] {
+			dst.mask[i] |= m
+			changed = true
+		}
+	}
+	for i := range src.vals {
+		if dst.vals[i].equal(src.vals[i]) {
+			continue
+		}
+		if !dst.vals[i].ok {
+			continue // already ⊤
+		}
+		if containedIn(src.vals[i], dst.vals[i]) {
+			// src already lies inside dst's induction lattice — e.g. the
+			// loop-entry edge (i = 0) re-joining a widened head state
+			// (i = 0 + stride·k), or the back edge once converged.
+			continue
+		}
+		if containedIn(dst.vals[i], src.vals[i]) {
+			// The incoming value strictly widens dst (a widened loop-head
+			// state propagating into the body): adopt it.
+			dst.vals[i] = src.vals[i].clone()
+			changed = true
+			continue
+		}
+		if !force {
+			if d, ok := subE(src.vals[i], dst.vals[i]).isConst(); ok && d != 0 {
+				key := [2]int{bi, i}
+				if _, seen := w.ivForKey[key]; !seen {
+					id := w.count
+					w.count++
+					w.ivForKey[key] = id
+					nv := dst.vals[i].clone()
+					if nv.t == nil {
+						nv.t = make(map[term]int64, 1)
+					}
+					nv.t[term{kind: tkIV, idx: id}] = d
+					dst.vals[i] = nv.norm()
+					changed = true
+					continue
+				}
+				// Already widened here and still not contained: the
+				// stride is inconsistent — fall through to ⊤.
+			}
+		}
+		dst.vals[i] = topE()
+		changed = true
+	}
+	return changed
+}
+
+// containedIn reports src ⊑ dst when dst carries induction terms: dst
+// denotes the lattice base + Σ ak·zk (zk ∈ ℤ); src is inside iff every
+// coefficient of src − base — constant, shared symbols, and src's own
+// free induction terms alike — is divisible by g = gcd(ak).
+func containedIn(src, dst expr) bool {
+	if !src.ok || !dst.ok {
+		return false
+	}
+	var g int64
+	for t, c := range dst.t {
+		if t.kind == tkIV {
+			g = gcd64(g, c)
+		}
+	}
+	if g == 0 {
+		return false
+	}
+	if (src.c0-dst.c0)%g != 0 {
+		return false
+	}
+	for t, c := range dst.t {
+		if t.kind == tkIV {
+			continue
+		}
+		if (src.coeff(t.kind, t.idx)-c)%g != 0 {
+			return false
+		}
+	}
+	for t, c := range src.t {
+		if t.kind == tkIV {
+			continue
+		}
+		if dst.t[t] != 0 {
+			continue // compared above
+		}
+		if c%g != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// transferAbs interprets one block over st. emit (optional) receives
+// every memory access with its alias mask and symbolic byte offset;
+// onBarrier (optional) fires per syncthreads so the collector can track
+// intra-block interval advances.
+func transferAbs(f *kir.Function, b *kir.Block, st *absState, sums map[string]*funcSummary,
+	emit func(mask uint64, off expr, k AccKind), onBarrier func()) {
+	for ii := range b.Instrs {
+		ins := &b.Instrs[ii]
+		switch ins.Op {
+		case kir.OpConstI:
+			st.vals[ins.Dst] = constE(ins.IImm)
+			st.mask[ins.Dst] = 0
+		case kir.OpConstF:
+			st.vals[ins.Dst] = topE() // float values are not tracked
+			st.mask[ins.Dst] = 0
+		case kir.OpMov:
+			st.vals[ins.Dst] = st.vals[ins.A].clone()
+			st.mask[ins.Dst] = st.mask[ins.A]
+		case kir.OpBinI:
+			a, bb := st.vals[ins.A], st.vals[ins.B]
+			var r expr
+			switch ins.Bin {
+			case kir.Add:
+				r = addE(a, bb)
+			case kir.Sub:
+				r = subE(a, bb)
+			case kir.Mul:
+				r = mulE(a, bb)
+			case kir.Shl:
+				if c, ok := bb.isConst(); ok {
+					r = shlE(a, c)
+				} else {
+					r = topE()
+				}
+			case kir.Div:
+				if c, ok := bb.isConst(); ok && c == 1 {
+					r = a.clone()
+				} else {
+					r = topE()
+				}
+			default: // Rem, Min, Max, And, Or, Shr
+				r = topE()
+			}
+			st.vals[ins.Dst] = r
+			st.mask[ins.Dst] = 0
+		case kir.OpBuiltin:
+			st.vals[ins.Dst] = builtinExpr(ins.Builtin)
+			st.mask[ins.Dst] = 0
+		case kir.OpGEP:
+			es := f.LocalTypes[ins.A].ElemSize()
+			off := addE(st.vals[ins.A], scaleE(st.vals[ins.B], es))
+			st.mask[ins.Dst] = st.mask[ins.A]
+			st.vals[ins.Dst] = off
+		case kir.OpLoad:
+			if emit != nil {
+				emit(st.mask[ins.A], st.vals[ins.A], AccRead)
+			}
+			st.vals[ins.Dst] = topE()
+			st.mask[ins.Dst] = 0
+		case kir.OpStore:
+			if emit != nil {
+				emit(st.mask[ins.A], st.vals[ins.A], AccWrite)
+			}
+		case kir.OpAtomicAddF:
+			if emit != nil {
+				emit(st.mask[ins.A], st.vals[ins.A], AccAtomic)
+			}
+		case kir.OpSyncthreads:
+			if onBarrier != nil {
+				onBarrier()
+			}
+		case kir.OpCall:
+			cs := sums[ins.Callee]
+			var argUnion uint64
+			for ai, a := range ins.Args {
+				if emit != nil && cs != nil && ai < len(cs.params) {
+					// Callee-side accesses surface as opaque records (the
+					// kernel verdict already bails on memory-effect
+					// callees; these keep the access count honest).
+					if cs.params[ai]&bitRead != 0 {
+						emit(st.mask[a], topE(), AccRead)
+					}
+					if cs.params[ai]&bitWrite != 0 {
+						emit(st.mask[a], topE(), AccWrite)
+					}
+				}
+				argUnion |= st.mask[a]
+			}
+			if ins.Dst >= 0 {
+				st.vals[ins.Dst] = topE()
+				if f.LocalTypes[ins.Dst].IsPtr() {
+					st.mask[ins.Dst] = argUnion
+				} else {
+					st.mask[ins.Dst] = 0
+				}
+			}
+		default:
+			// OpBinF, OpCmpF, OpCmpI, OpI2F, OpF2I: untracked results.
+			if ins.Dst >= 0 {
+				st.vals[ins.Dst] = topE()
+				st.mask[ins.Dst] = 0
+			}
+		}
+	}
+}
+
+func builtinExpr(b kir.Builtin) expr {
+	switch b {
+	case kir.ThreadIdxX:
+		return symE(tkTIDX, 0)
+	case kir.ThreadIdxY:
+		return symE(tkTIDY, 0)
+	case kir.BlockIdxX:
+		return symE(tkBIDX, 0)
+	case kir.BlockIdxY:
+		return symE(tkBIDY, 0)
+	case kir.BlockDimX:
+		return symE(tkBDX, 0)
+	case kir.BlockDimY:
+		return symE(tkBDY, 0)
+	case kir.GridDimX:
+		return symE(tkGDX, 0)
+	case kir.GridDimY:
+		return symE(tkGDY, 0)
+	case kir.GlobalIdX:
+		return symE(tkGIDX, 0)
+	case kir.GlobalIdY:
+		return symE(tkGIDY, 0)
+	default:
+		return topE()
+	}
+}
+
+// collectRecs runs the value fixpoint and then one collection pass over
+// the converged in-states, producing every static access record.
+// meltdown reports a failure to converge (then no verdict may rely on
+// the records).
+func collectRecs(f *kir.Function, sums map[string]*funcSummary, intervals []int,
+	divergent bool, unavoid []bool) ([]*rec, bool) {
+	in := make([]*absState, len(f.Blocks))
+	in[0] = entryState(f)
+	w := newWidener()
+	maxPasses := 8*len(f.Blocks) + 64
+	converged := false
+	for pass := 0; pass < maxPasses; pass++ {
+		force := pass > maxPasses/2
+		changed := false
+		for bi, b := range f.Blocks {
+			if in[bi] == nil {
+				continue
+			}
+			out := in[bi].clone()
+			transferAbs(f, b, out, sums, nil, nil)
+			for _, si := range blockSuccs(b) {
+				if in[si] == nil {
+					in[si] = out.clone()
+					changed = true
+					continue
+				}
+				if joinInto(in[si], out, si, w, force) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			converged = true
+			break
+		}
+	}
+
+	var recs []*rec
+	for bi, b := range f.Blocks {
+		if in[bi] == nil {
+			continue // unreachable
+		}
+		iv := 0
+		if !divergent && intervals[bi] >= 0 {
+			iv = intervals[bi]
+		}
+		guarded := !unavoid[bi]
+		st := in[bi].clone()
+		emit := func(mask uint64, off expr, k AccKind) {
+			r := &rec{mask: mask, param: -1, off: topE(), kind: k, interval: iv, guarded: guarded}
+			if mask != 0 && mask&(mask-1) == 0 {
+				r.param = bits.TrailingZeros64(mask)
+				r.off = off.clone()
+			}
+			recs = append(recs, r)
+		}
+		transferAbs(f, b, st, sums, emit, func() { iv++ })
+	}
+	return recs, !converged
+}

@@ -1,0 +1,289 @@
+package kstatic
+
+// The affine abstract domain: integer expressions of the form
+//
+//	c0 + Σ ci·ti
+//
+// where each ti is a symbolic term — a thread-geometry builtin
+// (threadIdx/blockIdx/globalId, which vary per thread), a uniform
+// quantity (blockDim/gridDim or an integer kernel parameter, equal for
+// every thread of a launch), or a loop induction instance introduced by
+// widening (an unconstrained integer multiplier: the term's coefficient
+// is the loop stride). Anything that cannot be expressed exactly is ⊤
+// (ok == false); the checker never approximates a value it keeps.
+
+// termKind enumerates symbolic term kinds. Thread-varying kinds come
+// first so threadVarying() is a simple comparison.
+type termKind uint8
+
+const (
+	tkTIDX termKind = iota
+	tkTIDY
+	tkBIDX
+	tkBIDY
+	tkGIDX
+	tkGIDY
+	// uniform per launch from here on
+	tkBDX
+	tkBDY
+	tkGDX
+	tkGDY
+	// tkParam is an integer kernel parameter (term.idx = param index).
+	tkParam
+	// tkIV is a loop induction instance (term.idx = instance id); it
+	// ranges over all integers, a sound superset of the real trip counts.
+	tkIV
+)
+
+// threadVarying reports whether the term differs between threads of one
+// launch.
+func (k termKind) threadVarying() bool { return k <= tkGIDY }
+
+// term is one symbolic variable.
+type term struct {
+	kind termKind
+	idx  int
+}
+
+// expr is an affine expression or ⊤.
+type expr struct {
+	ok bool
+	c0 int64
+	t  map[term]int64 // nil for constant expressions
+}
+
+// maxCoeff bounds coefficient magnitudes; anything beyond saturates to ⊤
+// so the int64 arithmetic below cannot overflow.
+const maxCoeff = int64(1) << 40
+
+func topE() expr { return expr{} }
+
+func constE(c int64) expr {
+	if c > maxCoeff || c < -maxCoeff {
+		return topE()
+	}
+	return expr{ok: true, c0: c}
+}
+
+func symE(k termKind, idx int) expr {
+	return expr{ok: true, t: map[term]int64{{kind: k, idx: idx}: 1}}
+}
+
+func (e expr) clone() expr {
+	if !e.ok || e.t == nil {
+		return e
+	}
+	t := make(map[term]int64, len(e.t))
+	for k, v := range e.t {
+		t[k] = v
+	}
+	return expr{ok: true, c0: e.c0, t: t}
+}
+
+// isConst returns the constant value when the expression has no terms.
+func (e expr) isConst() (int64, bool) {
+	if !e.ok || len(e.t) != 0 {
+		return 0, false
+	}
+	return e.c0, true
+}
+
+// singleTerm matches c·t with no constant part.
+func (e expr) singleTerm() (term, int64, bool) {
+	if !e.ok || e.c0 != 0 || len(e.t) != 1 {
+		return term{}, 0, false
+	}
+	for k, v := range e.t {
+		return k, v, true
+	}
+	return term{}, 0, false
+}
+
+func (e expr) coeff(k termKind, idx int) int64 {
+	if e.t == nil {
+		return 0
+	}
+	return e.t[term{kind: k, idx: idx}]
+}
+
+// hasIV reports whether any induction-instance term remains: such
+// expressions can be proven disjoint but never drive a race witness (the
+// instance value is not tied to a concrete execution).
+func (e expr) hasIV() bool {
+	for k := range e.t {
+		if k.kind == tkIV {
+			return true
+		}
+	}
+	return false
+}
+
+func (e expr) equal(o expr) bool {
+	if e.ok != o.ok {
+		return false
+	}
+	if !e.ok {
+		return true
+	}
+	if e.c0 != o.c0 || len(e.t) != len(o.t) {
+		return false
+	}
+	for k, v := range e.t {
+		if o.t[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// norm drops zero coefficients and saturates to ⊤ on overflow.
+func (e expr) norm() expr {
+	if !e.ok {
+		return e
+	}
+	if e.c0 > maxCoeff || e.c0 < -maxCoeff {
+		return topE()
+	}
+	for k, v := range e.t {
+		if v == 0 {
+			delete(e.t, k)
+			continue
+		}
+		if v > maxCoeff || v < -maxCoeff {
+			return topE()
+		}
+	}
+	if len(e.t) == 0 {
+		e.t = nil
+	}
+	return e
+}
+
+func addE(a, b expr) expr {
+	if !a.ok || !b.ok {
+		return topE()
+	}
+	r := a.clone()
+	r.c0 += b.c0
+	for k, v := range b.t {
+		if r.t == nil {
+			r.t = make(map[term]int64, len(b.t))
+		}
+		r.t[k] += v
+	}
+	return r.norm()
+}
+
+func negE(a expr) expr { return scaleE(a, -1) }
+
+func subE(a, b expr) expr { return addE(a, negE(b)) }
+
+func scaleE(a expr, c int64) expr {
+	if !a.ok {
+		return topE()
+	}
+	if c > maxCoeff || c < -maxCoeff {
+		return topE()
+	}
+	r := a.clone()
+	r.c0 *= c
+	for k := range r.t {
+		r.t[k] *= c
+	}
+	return r.norm()
+}
+
+// mulE multiplies two affine expressions, staying affine when one side is
+// constant. One non-constant product is recognized exactly:
+// blockIdx·blockDim rewrites to globalId − threadIdx (per dimension),
+// which keeps the ubiquitous `bid*bdim + tid` indexing affine.
+func mulE(a, b expr) expr {
+	if c, ok := a.isConst(); ok {
+		return scaleE(b, c)
+	}
+	if c, ok := b.isConst(); ok {
+		return scaleE(a, c)
+	}
+	if r, ok := bidTimesBdim(a, b); ok {
+		return r
+	}
+	if r, ok := bidTimesBdim(b, a); ok {
+		return r
+	}
+	return topE()
+}
+
+// bidTimesBdim matches (c·blockIdx.d) × (blockDim.d) and returns
+// c·(globalId.d − threadIdx.d).
+func bidTimesBdim(a, b expr) (expr, bool) {
+	ta, ca, okA := a.singleTerm()
+	tb, cb, okB := b.singleTerm()
+	if !okA || !okB || cb != 1 {
+		return expr{}, false
+	}
+	switch {
+	case ta.kind == tkBIDX && tb.kind == tkBDX:
+		return scaleE(subE(symE(tkGIDX, 0), symE(tkTIDX, 0)), ca), true
+	case ta.kind == tkBIDY && tb.kind == tkBDY:
+		return scaleE(subE(symE(tkGIDY, 0), symE(tkTIDY, 0)), ca), true
+	}
+	return expr{}, false
+}
+
+// shlE is a·2^b for constant shifts.
+func shlE(a expr, sh int64) expr {
+	if sh < 0 || sh > 40 {
+		return topE()
+	}
+	return scaleE(a, int64(1)<<uint(sh))
+}
+
+// evalCtx binds symbols to concrete values for witness search.
+type evalCtx struct {
+	tx, ty, bx, by int64
+	bdx, bdy       int64
+	gdx, gdy       int64
+	params         []int64 // integer kernel parameter bindings
+}
+
+// eval computes the concrete value, failing on ⊤ or induction terms.
+func (e expr) eval(c *evalCtx) (int64, bool) {
+	if !e.ok {
+		return 0, false
+	}
+	v := e.c0
+	for k, co := range e.t {
+		var s int64
+		switch k.kind {
+		case tkTIDX:
+			s = c.tx
+		case tkTIDY:
+			s = c.ty
+		case tkBIDX:
+			s = c.bx
+		case tkBIDY:
+			s = c.by
+		case tkGIDX:
+			s = c.bx*c.bdx + c.tx
+		case tkGIDY:
+			s = c.by*c.bdy + c.ty
+		case tkBDX:
+			s = c.bdx
+		case tkBDY:
+			s = c.bdy
+		case tkGDX:
+			s = c.gdx
+		case tkGDY:
+			s = c.gdy
+		case tkParam:
+			if k.idx >= len(c.params) {
+				return 0, false
+			}
+			s = c.params[k.idx]
+		default: // tkIV
+			return 0, false
+		}
+		v += co * s
+	}
+	return v, true
+}

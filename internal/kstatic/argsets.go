@@ -1,0 +1,211 @@
+package kstatic
+
+import (
+	"fmt"
+
+	"cusango/internal/kir"
+)
+
+// This file derives per-argument may-read/may-write sets independently of
+// internal/kaccess: same lattice (per-local bitmask of possibly-aliased
+// pointer parameters), deliberately different implementation (round-robin
+// block sweeps instead of a worklist, recursion-free), so the two passes
+// can audit each other. Because the lattice is finite and the transfer
+// functions monotone, a correct implementation has a unique least
+// fixpoint — the differential test asserts both passes land on it.
+
+// accessBits is a per-parameter read/write bitset.
+type accessBits uint8
+
+const (
+	bitRead accessBits = 1 << iota
+	bitWrite
+)
+
+// funcSummary is the interprocedural summary of one function.
+type funcSummary struct {
+	// params holds may-access bits per formal parameter.
+	params []accessBits
+	// barrier: the function (transitively) executes syncthreads.
+	barrier bool
+	// unattributed: some memory access went through a pointer with an
+	// empty alias mask (a null/zero pointer at runtime); the race
+	// analysis must not claim race-freedom past it.
+	unattributed bool
+	// touchesMem: any load/store/atomic anywhere in the function or its
+	// callees.
+	touchesMem bool
+}
+
+func (s *funcSummary) equal(o *funcSummary) bool {
+	if s.barrier != o.barrier || s.unattributed != o.unattributed || s.touchesMem != o.touchesMem {
+		return false
+	}
+	for i := range s.params {
+		if s.params[i] != o.params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const maxParams = 64
+
+// summarize computes summaries for every function to a fixpoint over the
+// call graph.
+func summarize(m *kir.Module) (map[string]*funcSummary, error) {
+	sums := make(map[string]*funcSummary)
+	funcs := m.Functions()
+	for _, f := range funcs {
+		if len(f.Params) > maxParams {
+			return nil, fmt.Errorf("kstatic: function %q has %d params, max %d", f.Name, len(f.Params), maxParams)
+		}
+		sums[f.Name] = &funcSummary{params: make([]accessBits, len(f.Params))}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range funcs {
+			ns := summarizeFunc(f, sums)
+			if !ns.equal(sums[f.Name]) {
+				sums[f.Name] = ns
+				changed = true
+			}
+		}
+	}
+	return sums, nil
+}
+
+// summarizeFunc recomputes one function's summary under the current
+// callee summaries.
+func summarizeFunc(f *kir.Function, sums map[string]*funcSummary) *funcSummary {
+	nLocals := len(f.LocalTypes)
+	in := make([][]uint64, len(f.Blocks))
+	entry := make([]uint64, nLocals)
+	for i, p := range f.Params {
+		if p.Type.IsPtr() {
+			entry[i] = 1 << uint(i)
+		}
+	}
+	in[0] = entry
+
+	// Round-robin sweeps until in-states stabilize. Masks only grow, so
+	// this terminates.
+	for {
+		changed := false
+		for bi, b := range f.Blocks {
+			if in[bi] == nil {
+				continue
+			}
+			out := make([]uint64, nLocals)
+			copy(out, in[bi])
+			maskTransfer(f, b, out, sums, nil)
+			for _, si := range blockSuccs(b) {
+				if in[si] == nil {
+					in[si] = make([]uint64, nLocals)
+					copy(in[si], out)
+					changed = true
+					continue
+				}
+				for i, m := range out {
+					if in[si][i]|m != in[si][i] {
+						in[si][i] |= m
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	sum := &funcSummary{params: make([]accessBits, len(f.Params))}
+	scratch := make([]uint64, nLocals)
+	for bi, b := range f.Blocks {
+		if in[bi] == nil {
+			continue // unreachable
+		}
+		copy(scratch, in[bi])
+		maskTransfer(f, b, scratch, sums, sum)
+	}
+	return sum
+}
+
+// maskTransfer applies one block to the mask state; when sum is non-nil
+// it also folds accesses and effects into the summary.
+func maskTransfer(f *kir.Function, b *kir.Block, state []uint64, sums map[string]*funcSummary, sum *funcSummary) {
+	record := func(mask uint64, bits accessBits) {
+		if sum == nil {
+			return
+		}
+		sum.touchesMem = true
+		if mask == 0 {
+			sum.unattributed = true
+			return
+		}
+		for i := 0; mask != 0; i++ {
+			if mask&1 != 0 {
+				sum.params[i] |= bits
+			}
+			mask >>= 1
+		}
+	}
+	for _, ins := range b.Instrs {
+		switch ins.Op {
+		case kir.OpMov, kir.OpGEP:
+			state[ins.Dst] = state[ins.A]
+		case kir.OpLoad:
+			record(state[ins.A], bitRead)
+			state[ins.Dst] = 0
+		case kir.OpStore:
+			record(state[ins.A], bitWrite)
+		case kir.OpAtomicAddF:
+			record(state[ins.A], bitRead|bitWrite)
+		case kir.OpSyncthreads:
+			if sum != nil {
+				sum.barrier = true
+			}
+		case kir.OpCall:
+			callee := sums[ins.Callee]
+			var argUnion uint64
+			for ai, a := range ins.Args {
+				if callee != nil && ai < len(callee.params) {
+					if bits := callee.params[ai]; bits != 0 {
+						record(state[a], bits)
+					}
+				}
+				argUnion |= state[a]
+			}
+			if sum != nil && callee != nil {
+				sum.barrier = sum.barrier || callee.barrier
+				sum.unattributed = sum.unattributed || callee.unattributed
+				sum.touchesMem = sum.touchesMem || callee.touchesMem
+			}
+			if ins.Dst >= 0 {
+				if f.LocalTypes[ins.Dst].IsPtr() {
+					state[ins.Dst] = argUnion
+				} else {
+					state[ins.Dst] = 0
+				}
+			}
+		default:
+			// Value-producing scalar ops clear the destination's mask;
+			// OpSyncthreads and OpStore (zero-valued Dst) are handled
+			// above and must not reach here.
+			if ins.Dst >= 0 {
+				state[ins.Dst] = 0
+			}
+		}
+	}
+}
+
+func blockSuccs(b *kir.Block) []int {
+	switch b.Term.Kind {
+	case kir.TermBr:
+		return []int{b.Term.Target}
+	case kir.TermCondBr:
+		return []int{b.Term.Target, b.Term.Else}
+	default:
+		return nil
+	}
+}

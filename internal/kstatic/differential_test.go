@@ -1,0 +1,132 @@
+// Soundness differential: the static checker against the exact dynamic
+// oracle, over every suite and app kernel plus a few hundred generated
+// ones. The contract (package doc) is directional:
+//
+//   - race-free must never be contradicted by the oracle on any geometry;
+//   - race must be confirmed by the oracle whenever the witness geometry
+//     actually executed.
+//
+// External test package: it pulls in testsuite and the apps, which the
+// library must not depend on.
+package kstatic_test
+
+import (
+	"testing"
+
+	"cusango/internal/apps/halo2d"
+	"cusango/internal/apps/jacobi"
+	"cusango/internal/apps/tealeaf"
+	"cusango/internal/kaccess"
+	"cusango/internal/kir"
+	"cusango/internal/kstatic"
+	"cusango/internal/testsuite"
+)
+
+// checkSoundness runs the static checker and the oracle over every
+// kernel of m and asserts the differential contract.
+func checkSoundness(t *testing.T, label string, m *kir.Module) {
+	t.Helper()
+	rep, err := kstatic.Analyze(m)
+	if err != nil {
+		t.Fatalf("%s: Analyze: %v", label, err)
+	}
+	for _, kr := range rep.Kernels {
+		orc, err := kstatic.RunOracle(m, kr.Kernel)
+		if err != nil {
+			t.Fatalf("%s/%s: oracle: %v", label, kr.Kernel, err)
+		}
+		switch kr.Verdict {
+		case kstatic.VerdictRaceFree:
+			if orc.HasRace() {
+				t.Errorf("%s/%s: SOUNDNESS VIOLATION: static race-free but oracle found %d race(s), first: %s",
+					label, kr.Kernel, len(orc.Races), orc.Races[0])
+			}
+		case kstatic.VerdictRace:
+			if kr.Witness == nil {
+				t.Errorf("%s/%s: race verdict without witness", label, kr.Kernel)
+				continue
+			}
+			if orc.CheckedGeom(kr.Witness.Geom) && !orc.HasRace() {
+				t.Errorf("%s/%s: static witness %s but oracle saw no race (checked %v)",
+					label, kr.Kernel, kr.Witness, orc.Checked)
+			}
+		}
+	}
+}
+
+// checkArgAgreement asserts kstatic's independently computed per-arg
+// may-read/may-write sets match kaccess's exactly (mutual inclusion):
+// same lattice, different implementations, unique least fixpoint.
+func checkArgAgreement(t *testing.T, label string, m *kir.Module) {
+	t.Helper()
+	rep, err := kstatic.Analyze(m)
+	if err != nil {
+		t.Fatalf("%s: kstatic: %v", label, err)
+	}
+	acc, err := kaccess.Analyze(m)
+	if err != nil {
+		t.Fatalf("%s: kaccess: %v", label, err)
+	}
+	for _, kr := range rep.Kernels {
+		sum := acc.Summary(kr.Kernel)
+		if sum == nil {
+			t.Errorf("%s/%s: no kaccess summary", label, kr.Kernel)
+			continue
+		}
+		for i, a := range kr.Args {
+			ka := sum.Params[i]
+			if a.Read != ka.MayRead() {
+				t.Errorf("%s/%s arg %q: kstatic read=%v, kaccess read=%v",
+					label, kr.Kernel, a.Name, a.Read, ka.MayRead())
+			}
+			if a.Write != ka.MayWrite() {
+				t.Errorf("%s/%s arg %q: kstatic write=%v, kaccess write=%v",
+					label, kr.Kernel, a.Name, a.Write, ka.MayWrite())
+			}
+		}
+	}
+}
+
+func namedModules() map[string]*kir.Module {
+	return map[string]*kir.Module{
+		"suite":        testsuite.Module(),
+		"apps/jacobi":  jacobi.Module(),
+		"apps/tealeaf": tealeaf.Module(),
+		"apps/halo2d":  halo2d.AppModule(),
+	}
+}
+
+func TestDifferentialSuiteAndApps(t *testing.T) {
+	for label, m := range namedModules() {
+		checkSoundness(t, label, m)
+		checkArgAgreement(t, label, m)
+	}
+}
+
+func TestDifferentialGenerated(t *testing.T) {
+	const n = 250
+	counts := map[kstatic.Verdict]int{}
+	for seed := uint64(1); seed <= n; seed++ {
+		m := kstatic.GenModule(seed)
+		checkSoundness(t, "gen", m)
+		checkArgAgreement(t, "gen", m)
+		rep, err := kstatic.Analyze(m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		counts[rep.Kernels[0].Verdict]++
+	}
+	// The generator must exercise all three verdict paths — a distribution
+	// collapse would silently gut this test.
+	t.Logf("generated verdicts: race-free=%d race=%d unknown=%d",
+		counts[kstatic.VerdictRaceFree], counts[kstatic.VerdictRace], counts[kstatic.VerdictUnknown])
+	for v, want := range map[kstatic.Verdict]int{
+		kstatic.VerdictRaceFree: 10,
+		kstatic.VerdictRace:     10,
+		kstatic.VerdictUnknown:  10,
+	} {
+		if counts[v] < want {
+			t.Errorf("only %d/%d generated kernels got verdict %s (want >= %d)", counts[v], n, v, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package kstatic
+
+// Pairwise disjointness proofs. For two access records a, b through the
+// same pointer parameter, the checker asks: can distinct threads t1 ≠ t2
+// of one launch satisfy off_a(t1) == off_b(t2)? If provably not — for
+// every launch geometry — the pair is excluded.
+//
+// The question is encoded as one linear Diophantine equation per
+// scenario (same block / distinct blocks) over difference variables.
+// Every relaxation below only ENLARGES the solution set (uniform values
+// and induction instances range over all of ℤ, thread-coordinate
+// differences are unconstrained except where stated), so an "unsolvable"
+// answer — the only one acted on — is a proof.
+//
+// Scenario same-block (Δblock = 0): globalId collapses to
+// blockBase + threadIdx, so Δglobal = Δthread and the per-dimension
+// thread coefficient is c[tid] + c[gid]. Distinctness requires some
+// Δthread dimension nonzero.
+//
+// Scenario cross-block (x): ΔblockIdx.x ≠ 0, which (threads being
+// in-range, 0 ≤ tid < blockDim) forces Δglobal.x ≠ 0 too. The pair is
+// excluded for this scenario if the equation is unsolvable with
+// Δglobal.x ≠ 0, or unsolvable with Δblock.x ≠ 0 — either kills every
+// assignment having both nonzero. The y scenario is symmetric and only
+// arises for kernels that read y builtins (others are analyzed under
+// 1-D launches).
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func gcdAll(cs []int64) int64 {
+	var g int64
+	for _, c := range cs {
+		g = gcd64(g, c)
+	}
+	return g
+}
+
+// anySolution reports whether Σ ci·xi = -K has any integer solution.
+func anySolution(K int64, coeffs []int64) bool {
+	g := gcdAll(coeffs)
+	if g == 0 {
+		return K == 0
+	}
+	return K%g == 0
+}
+
+// solvableWithSomeNonzero reports whether Σ ci·xi = -K has an integer
+// solution in which at least one variable indexed by group is nonzero.
+func solvableWithSomeNonzero(K int64, coeffs []int64, group []int) bool {
+	for _, j := range group {
+		m := coeffs[j]
+		var gp int64 // gcd of the other coefficients
+		for i, c := range coeffs {
+			if i != j {
+				gp = gcd64(gp, c)
+			}
+		}
+		if gp == 0 {
+			// Only xj can contribute: m·d = -K with d ≠ 0.
+			if m == 0 {
+				if K == 0 {
+					return true
+				}
+			} else if K != 0 && K%m == 0 {
+				return true
+			}
+			continue
+		}
+		// Need d ≠ 0 with K + m·d ≡ 0 (mod gp); solvable iff
+		// gcd(m, gp) | K (the solution progression always contains a
+		// nonzero d).
+		if K%gcd64(m, gp) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// threadKinds are the per-thread coordinate kinds, x then y.
+var threadKinds = [...]termKind{tkTIDX, tkTIDY, tkBIDX, tkBIDY, tkGIDX, tkGIDY}
+
+// equalThreadCoeffs reports whether a and b agree on every thread-varying
+// coefficient — then the Δ-form collapses the pair to one equation over
+// coordinate differences.
+func equalThreadCoeffs(a, b expr) bool {
+	for _, k := range threadKinds {
+		if a.coeff(k, 0) != b.coeff(k, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// freeDiffVars collects the always-free variables of the Δ-form:
+// coefficient differences of shared uniform terms (blockDim, gridDim,
+// integer params — same value on both sides of one launch) plus every
+// induction term of either side separately (the two accesses may sit at
+// different iterations, so instances never cancel).
+func freeDiffVars(a, b expr) []int64 {
+	var out []int64
+	seen := make(map[term]bool)
+	for t, ca := range a.t {
+		if t.kind.threadVarying() {
+			continue
+		}
+		if t.kind == tkIV {
+			out = append(out, ca)
+			continue
+		}
+		seen[t] = true
+		if d := ca - b.coeff(t.kind, t.idx); d != 0 {
+			out = append(out, d)
+		}
+	}
+	for t, cb := range b.t {
+		if t.kind.threadVarying() {
+			continue
+		}
+		if t.kind == tkIV {
+			out = append(out, cb)
+			continue
+		}
+		if !seen[t] && cb != 0 {
+			out = append(out, -cb)
+		}
+	}
+	return out
+}
+
+// excludedPair proves (or fails to prove) that records a and b can never
+// collide across two distinct threads of any launch. Sound side:
+// returning true is a proof under the execution model; returning false
+// claims nothing.
+func excludedPair(a, b *rec, usesY, divergent bool) bool {
+	offA, offB := a.off, b.off
+
+	if equalThreadCoeffs(offA, offB) {
+		free := freeDiffVars(offA, offB)
+		K := offA.c0 - offB.c0
+
+		// Same-block scenario: ordered by barriers, or unsolvable.
+		sameOK := !divergent && a.interval != b.interval
+		if !sameOK {
+			cTX := offA.coeff(tkTIDX, 0) + offA.coeff(tkGIDX, 0)
+			cTY := offA.coeff(tkTIDY, 0) + offA.coeff(tkGIDY, 0)
+			coeffs := append(append([]int64{}, free...), cTX, cTY)
+			group := []int{len(free)}
+			if usesY {
+				group = append(group, len(free)+1)
+			}
+			sameOK = !solvableWithSomeNonzero(K, coeffs, group)
+		}
+		if !sameOK {
+			return false
+		}
+
+		// Cross-block scenarios: per dimension, distinct blocks force
+		// both Δblock and Δglobal nonzero in that dimension.
+		coeffs := append(append([]int64{}, free...),
+			offA.coeff(tkTIDX, 0), offA.coeff(tkTIDY, 0),
+			offA.coeff(tkGIDX, 0), offA.coeff(tkGIDY, 0),
+			offA.coeff(tkBIDX, 0), offA.coeff(tkBIDY, 0))
+		n := len(free)
+		iGX, iGY, iBX, iBY := n+2, n+3, n+4, n+5
+		crossXExcluded := !solvableWithSomeNonzero(K, coeffs, []int{iGX}) ||
+			!solvableWithSomeNonzero(K, coeffs, []int{iBX})
+		if !crossXExcluded {
+			return false
+		}
+		if usesY {
+			crossYExcluded := !solvableWithSomeNonzero(K, coeffs, []int{iGY}) ||
+				!solvableWithSomeNonzero(K, coeffs, []int{iBY})
+			if !crossYExcluded {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Unequal thread coefficients: both sides' coordinates are
+	// independent variables; exclusion only through global
+	// unsolvability (a GCD/parity argument: e.g. 2·gid vs 2·gid+1).
+	K := offA.c0 - offB.c0
+	var coeffs []int64
+	for _, k := range threadKinds {
+		coeffs = append(coeffs, offA.coeff(k, 0))
+	}
+	for _, k := range threadKinds {
+		coeffs = append(coeffs, offB.coeff(k, 0))
+	}
+	coeffs = append(coeffs, freeDiffVars(offA, offB)...)
+	return !anySolution(K, coeffs)
+}

@@ -1,0 +1,34 @@
+package kstatic_test
+
+import (
+	"testing"
+
+	"cusango/internal/kir"
+	"cusango/internal/kstatic"
+)
+
+// FuzzKstatic feeds arbitrary KIR text through parse → static analysis:
+// the checker must never panic and must be deterministic — two runs over
+// the same module render identical reports.
+func FuzzKstatic(f *testing.F) {
+	f.Add("kernel k(f64* a) {\n  locals %1:i64 %2:f64* %3:f64\nb0:\n  %1 = threadIdx.x\n  %2 = gep %0, %1\n  %3 = load %2\n  store %2, %3\n  ret\n}\n")
+	f.Add("kernel k(f64* a) {\n  locals %1:i64 %2:f64 %3:f64* %4:f64\nb0:\n  %1 = globalId.x\n  %2 = constf 1\n  %3 = gep %0, %1\n  store %3, %2\n  syncthreads\n  %4 = load %3\n  ret\n}\n")
+	f.Add("kernel k(f64* a, i64 n) {\n  locals %2:i64 %3:i64 %4:i64 %5:f64* %6:f64\nb0:\n  %2 = globalId.x\n  %3 = consti 2\n  %4 = muli %2, %3\n  %5 = gep %0, %4\n  %6 = constf 0\n  store %5, %6\n  ret\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := kir.Parse(src)
+		if err != nil {
+			return
+		}
+		r1, err := kstatic.Analyze(m)
+		if err != nil {
+			return // verifier rejections are fine; panics are not
+		}
+		r2, err := kstatic.Analyze(m)
+		if err != nil {
+			t.Fatalf("second Analyze failed after first succeeded: %v", err)
+		}
+		if r1.String() != r2.String() {
+			t.Fatalf("nondeterministic analysis:\n%s\nvs\n%s", r1, r2)
+		}
+	})
+}

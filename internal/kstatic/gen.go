@@ -1,0 +1,130 @@
+package kstatic
+
+import (
+	"cusango/internal/kir"
+)
+
+// Deterministic random kernel generation for the differential soundness
+// tests and the fuzzer: GenModule(seed) is a pure function of the seed
+// (own splitmix64 stream, no math/rand, no global state). Generated
+// kernels mix the shapes the checker must handle — plain affine stores
+// and loads, guarded accesses, barriers, small loops, atomics, the
+// occasional non-affine index or y-dimension use — while keeping every
+// index inside [0, OracleElems) under the oracle's argument binding
+// (integer params = total threads ≤ 16, coefficients and constants
+// small and non-negative), so the oracle checks rather than skips.
+
+type genRand struct{ s uint64 }
+
+func (g *genRand) next() uint64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (g *genRand) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// GenModule builds one single-kernel module from seed. The kernel is
+// named "k" and has parameters (a f64*, b f64*, n i64).
+func GenModule(seed uint64) *kir.Module {
+	r := &genRand{s: seed}
+	m := kir.NewModule()
+	params := []kir.Param{
+		{Name: "a", Type: kir.TPtrF64},
+		{Name: "b", Type: kir.TPtrF64},
+		{Name: "n", Type: kir.TInt},
+	}
+	m.Add(kir.KernelFunc("k", params, func(e *kir.Emitter) {
+		g := &gen{r: r, e: e, useY: r.intn(8) == 0}
+		nStmts := 1 + r.intn(5)
+		for i := 0; i < nStmts; i++ {
+			g.stmt(0)
+		}
+		e.Return()
+	}))
+	return m
+}
+
+type gen struct {
+	r    *genRand
+	e    *kir.Emitter
+	useY bool
+}
+
+// index builds a small non-negative affine (or, rarely, non-affine)
+// index expression, bounded below OracleElems for every oracle binding.
+func (g *gen) index() kir.Value {
+	e := g.e
+	var base kir.Value
+	switch g.r.intn(6) {
+	case 0:
+		base = e.Builtin(kir.ThreadIdxX)
+	case 1:
+		base = e.Builtin(kir.BlockIdxX)
+	case 2:
+		// bid*bdim + tid spelled out (exercises the mulE rewrite)
+		base = e.Add(e.Mul(e.Builtin(kir.BlockIdxX), e.Builtin(kir.BlockDimX)), e.Builtin(kir.ThreadIdxX))
+	case 3:
+		if g.useY {
+			base = e.Add(e.Mul(e.GlobalIDY(), e.ConstI(4)), e.GlobalIDX())
+		} else {
+			base = e.GlobalIDX()
+		}
+	default:
+		base = e.GlobalIDX()
+	}
+	// idx = coeff*base + off, coeff in 1..4, off in 0..7: with base < 16
+	// (total threads) the worst case is 4*15+7+16 < OracleElems.
+	coeff := int64(1 + g.r.intn(4))
+	off := int64(g.r.intn(8))
+	idx := base
+	if coeff != 1 {
+		idx = e.Mul(idx, e.ConstI(coeff))
+	}
+	if off != 0 {
+		idx = e.Add(idx, e.ConstI(off))
+	}
+	if g.r.intn(10) == 0 {
+		// Non-affine spice: idx = idx % 8 + n (Rem is ⊤ statically but
+		// well-defined dynamically and stays in bounds).
+		idx = e.Add(e.Rem(idx, e.ConstI(8)), e.Arg("n"))
+	}
+	return idx
+}
+
+func (g *gen) buf() kir.Value {
+	if g.r.intn(2) == 0 {
+		return g.e.Arg("a")
+	}
+	return g.e.Arg("b")
+}
+
+// stmt emits one random statement; depth bounds nesting.
+func (g *gen) stmt(depth int) {
+	e := g.e
+	switch c := g.r.intn(10); {
+	case c < 3: // store
+		e.StoreIdx(g.buf(), g.index(), e.ConstF(float64(g.r.intn(5))))
+	case c < 5: // load (into a throwaway)
+		e.LoadIdx(g.buf(), g.index())
+	case c == 5: // atomic
+		e.AtomicAddF(e.GEP(g.buf(), g.index()), e.ConstF(1))
+	case c == 6: // barrier
+		e.Syncthreads()
+	case c == 7 && depth < 2: // guarded statement
+		cond := e.Lt(e.GlobalIDX(), e.ConstI(int64(1+g.r.intn(8))))
+		e.If(cond, func() { g.stmt(depth + 1) })
+	case c == 8 && depth < 2: // small loop, stride 1 or 2
+		step := int64(1 + g.r.intn(2))
+		e.For(e.ConstI(0), e.ConstI(int64(2+g.r.intn(3))), e.ConstI(step), func(i kir.Value) {
+			// loop-indexed access: buf[base + i]
+			e.StoreIdx(g.buf(), e.Add(g.index(), i), e.ConstF(2))
+		})
+	default: // arithmetic chaff
+		v := e.Add(e.Builtin(kir.ThreadIdxX), e.ConstI(1))
+		e.Mul(v, e.ConstI(3))
+	}
+}

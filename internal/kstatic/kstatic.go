@@ -1,0 +1,470 @@
+// Package kstatic is the static intra-kernel data-race checker: the
+// cheap second modality next to interpretation (ROADMAP "static kernel
+// race analysis"). It reasons symbolically over internal/kir — no
+// execution — and decides, per kernel, one of three verdicts:
+//
+//   - race-free: every pair of potentially-conflicting accesses is
+//     proven disjoint across distinct threads (affine offset reasoning,
+//     stride/offset GCD arguments, barrier-interval ordering);
+//   - race: a concrete witness exists — two thread ids of a small
+//     launch geometry touching the same element, at least one write;
+//   - unknown: conservative fallback (non-affine indices, loops the
+//     widening cannot bound, data-dependent guards, callees with memory
+//     effects).
+//
+// Soundness direction: race-free is a proof under the execution model
+// below, race carries a replayable witness, and everything else is
+// unknown — the checker never guesses. The dynamic oracle
+// (RunOracle, over the instrumented interpreter) audits exactly this
+// contract in the differential tests and the `static` campaign kind.
+//
+// Execution model (documented in DESIGN.md §15): distinct pointer
+// parameters never alias; a kernel that reads no y-dimension builtins is
+// analyzed for 1-D launches (unused dimensions fixed at 1); syncthreads
+// orders same-block accesses across barrier intervals when every path
+// reaches each block with the same barrier count; atomics do not race
+// with atomics.
+package kstatic
+
+import (
+	"fmt"
+	"strings"
+
+	"cusango/internal/kir"
+)
+
+// Verdict is the per-kernel analysis outcome.
+type Verdict uint8
+
+// Verdicts, ordered so the zero value is the conservative one.
+const (
+	VerdictUnknown Verdict = iota
+	VerdictRaceFree
+	VerdictRace
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictRaceFree:
+		return "race-free"
+	case VerdictRace:
+		return "race"
+	default:
+		return "unknown"
+	}
+}
+
+// AccKind classifies a static access record.
+type AccKind uint8
+
+// Static access kinds (mirrors the oracle's event kinds).
+const (
+	AccRead AccKind = iota
+	AccWrite
+	AccAtomic
+)
+
+func (k AccKind) String() string {
+	switch k {
+	case AccRead:
+		return "read"
+	case AccWrite:
+		return "write"
+	default:
+		return "atomic"
+	}
+}
+
+// conflicts reports whether two access kinds can form a race: at least
+// one side mutates, and atomic pairs are exempt.
+func conflicts(a, b AccKind) bool {
+	if a == AccRead && b == AccRead {
+		return false
+	}
+	if a == AccAtomic && b == AccAtomic {
+		return false
+	}
+	return true
+}
+
+// Geom is one concrete launch geometry used for witness search and by
+// the dynamic oracle.
+type Geom struct {
+	GridX, GridY, BlockX, BlockY int
+}
+
+// Threads returns the launch's total thread count.
+func (g Geom) Threads() int { return g.GridX * g.GridY * g.BlockX * g.BlockY }
+
+func (g Geom) String() string {
+	return fmt.Sprintf("grid=%dx%d block=%dx%d", g.GridX, g.GridY, g.BlockX, g.BlockY)
+}
+
+// Geometries returns the small launch geometries the checker and the
+// oracle share: witness claims are made against exactly the set the
+// oracle enumerates, so a static race is dynamically confirmable.
+func Geometries(usesY bool) []Geom {
+	if usesY {
+		return []Geom{
+			{1, 2, 2, 2},
+			{2, 2, 2, 2},
+			{1, 1, 2, 2},
+			{2, 1, 2, 2},
+		}
+	}
+	return []Geom{
+		{1, 1, 4, 1},
+		{2, 1, 2, 1},
+		{2, 1, 4, 1},
+		{4, 1, 2, 1},
+	}
+}
+
+// Witness is a concrete racing pair: two distinct threads of geometry
+// Geom whose accesses hit the same element of parameter Param.
+type Witness struct {
+	Param   string
+	Geom    Geom
+	Thread1 int
+	Thread2 int
+	// Offset is the byte offset within the parameter's allocation.
+	Offset int64
+	Kind1  AccKind
+	Kind2  AccKind
+}
+
+func (w *Witness) String() string {
+	return fmt.Sprintf("%s+%d: thread %d (%s) vs thread %d (%s) at %s",
+		w.Param, w.Offset, w.Thread1, w.Kind1, w.Thread2, w.Kind2, w.Geom)
+}
+
+// ArgAccess is the kernel-level may-access attribute of one parameter,
+// derived by this package's own fixpoint (audited against kaccess).
+type ArgAccess struct {
+	Name  string
+	Read  bool
+	Write bool
+}
+
+// KernelReport is the static verdict and supporting facts for one kernel.
+type KernelReport struct {
+	Kernel  string
+	Verdict Verdict
+	// Reason explains unknown verdicts and annotates the others.
+	Reason string
+	// Barriers counts syncthreads instructions in the kernel body.
+	Barriers int
+	// Intervals is the barrier-interval count (1 = no barriers). Zero
+	// when Divergent: no consistent segmentation exists.
+	Intervals int
+	// Divergent: some block is reachable with differing barrier counts
+	// (barrier in a loop or conditional), so interval ordering is unusable.
+	Divergent bool
+	// UsesY: the kernel reads y-dimension builtins; verdicts then cover
+	// 2-D launches (otherwise 1-D launches with y dimensions of 1).
+	UsesY bool
+	// Accesses counts the static access records analyzed.
+	Accesses int
+	// Witness is set exactly when Verdict == VerdictRace.
+	Witness *Witness
+	// Args holds the per-parameter may-read/may-write sets.
+	Args []ArgAccess
+}
+
+// Report is the module-level analysis result.
+type Report struct {
+	Kernels []*KernelReport
+	byName  map[string]*KernelReport
+}
+
+// Kernel returns the named kernel's report, or nil.
+func (r *Report) Kernel(name string) *KernelReport { return r.byName[name] }
+
+// String renders one line per kernel, deterministically.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, k := range r.Kernels {
+		fmt.Fprintf(&b, "%s: %s", k.Kernel, k.Verdict)
+		if k.Divergent {
+			fmt.Fprintf(&b, " barriers=%d divergent", k.Barriers)
+		} else {
+			fmt.Fprintf(&b, " intervals=%d", k.Intervals)
+		}
+		fmt.Fprintf(&b, " accesses=%d", k.Accesses)
+		if k.Witness != nil {
+			fmt.Fprintf(&b, " witness{%s}", k.Witness)
+		}
+		if k.Reason != "" {
+			fmt.Fprintf(&b, " (%s)", k.Reason)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Analyze verifies the module and statically checks every kernel. The
+// result is a pure function of the module: no randomness, no execution.
+func Analyze(m *kir.Module) (*Report, error) {
+	if err := kir.Verify(m); err != nil {
+		return nil, err
+	}
+	sums, err := summarize(m)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{byName: make(map[string]*KernelReport)}
+	for _, f := range m.Functions() {
+		if !f.Kernel {
+			continue
+		}
+		kr := analyzeKernel(m, f, sums)
+		rep.Kernels = append(rep.Kernels, kr)
+		rep.byName[f.Name] = kr
+	}
+	return rep, nil
+}
+
+// rec is one static access record: an access site with its symbolic
+// address, barrier interval and guard status.
+type rec struct {
+	// mask is the set of pointer params possibly dereferenced; param is
+	// the single aliased param, or -1 when the mask is not a singleton.
+	mask  uint64
+	param int
+	// off is the affine byte offset from the param base (meaningful only
+	// when param >= 0); ⊤ makes the record opaque.
+	off  expr
+	kind AccKind
+	// interval is the barrier interval of the enclosing block.
+	interval int
+	// guarded: the enclosing block is avoidable (some entry→ret path
+	// skips it), so the access is not guaranteed to execute.
+	guarded bool
+}
+
+// affine reports whether the record supports offset reasoning.
+func (r *rec) affine() bool { return r.param >= 0 && r.off.ok }
+
+func analyzeKernel(m *kir.Module, f *kir.Function, sums map[string]*funcSummary) *KernelReport {
+	kr := &KernelReport{Kernel: f.Name, Barriers: countBarriers(f), UsesY: usesYDim(f)}
+	kr.Args = argAccesses(f, sums[f.Name])
+
+	intervals, divergent := barrierIntervals(f)
+	kr.Divergent = divergent
+	if !divergent {
+		max := 0
+		for bi, iv := range intervals {
+			if iv < 0 {
+				continue // unreachable block
+			}
+			// A block's last interval is its entry count plus its own
+			// barriers.
+			for _, ins := range f.Blocks[bi].Instrs {
+				if ins.Op == kir.OpSyncthreads {
+					iv++
+				}
+			}
+			if iv > max {
+				max = iv
+			}
+		}
+		kr.Intervals = max + 1
+	}
+
+	// Callees with memory effects (or barriers) put their accesses
+	// outside the affine domain; per-arg attributes remain exact, the
+	// race verdict does not.
+	bail := ""
+	sum := sums[f.Name]
+	for _, b := range f.Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Op != kir.OpCall {
+				continue
+			}
+			cs := sums[ins.Callee]
+			if cs != nil && (cs.touchesMem || cs.barrier) {
+				bail = fmt.Sprintf("calls %q which has memory or barrier effects", ins.Callee)
+			}
+		}
+	}
+	if sum != nil && sum.unattributed {
+		bail = "memory access through an unattributed pointer"
+	}
+
+	recs, meltdown := collectRecs(f, sums, intervals, divergent, unavoidableBlocks(f))
+	kr.Accesses = len(recs)
+	if meltdown {
+		bail = "abstract interpretation did not converge"
+	}
+	if bail != "" {
+		kr.Verdict = VerdictUnknown
+		kr.Reason = bail
+		return kr
+	}
+
+	geoms := Geometries(kr.UsesY)
+	unknownReason := ""
+	for p := range f.Params {
+		if !f.Params[p].Type.IsPtr() {
+			continue
+		}
+		through := make([]*rec, 0, len(recs))
+		for _, r := range recs {
+			if r.mask&(1<<uint(p)) != 0 {
+				through = append(through, r)
+			}
+		}
+		for i := 0; i < len(through); i++ {
+			for j := i; j < len(through); j++ {
+				a, b := through[i], through[j]
+				if !conflicts(a.kind, b.kind) {
+					continue
+				}
+				if !a.affine() || !b.affine() || a.param != p || b.param != p {
+					if unknownReason == "" {
+						unknownReason = fmt.Sprintf("non-affine access pair through %q", f.Params[p].Name)
+					}
+					continue
+				}
+				if excludedPair(a, b, kr.UsesY, divergent) {
+					continue
+				}
+				// Candidate race: try to realize it on the shared
+				// geometries; claims need both sides guaranteed to
+				// execute and fully concrete offsets.
+				if !a.guarded && !b.guarded && !a.off.hasIV() && !b.off.hasIV() {
+					if w := searchWitness(f, p, a, b, geoms, divergent); w != nil {
+						kr.Verdict = VerdictRace
+						kr.Witness = w
+						kr.Reason = "concrete witness on shared geometry set"
+						return kr
+					}
+				}
+				if unknownReason == "" {
+					unknownReason = fmt.Sprintf("unprovable access pair through %q", f.Params[p].Name)
+				}
+			}
+		}
+	}
+	if unknownReason != "" {
+		kr.Verdict = VerdictUnknown
+		kr.Reason = unknownReason
+		return kr
+	}
+	kr.Verdict = VerdictRaceFree
+	kr.Reason = "all conflicting pairs proven disjoint"
+	return kr
+}
+
+func countBarriers(f *kir.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == kir.OpSyncthreads {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// usesYDim reports whether the kernel body reads any y-dimension builtin.
+func usesYDim(f *kir.Function) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != kir.OpBuiltin {
+				continue
+			}
+			switch in.Builtin {
+			case kir.ThreadIdxY, kir.BlockIdxY, kir.BlockDimY, kir.GridDimY, kir.GlobalIdY:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// argAccesses converts a funcSummary into the public per-arg attributes.
+func argAccesses(f *kir.Function, sum *funcSummary) []ArgAccess {
+	out := make([]ArgAccess, len(f.Params))
+	for i, p := range f.Params {
+		out[i] = ArgAccess{Name: p.Name}
+		if sum != nil {
+			out[i].Read = sum.params[i]&bitRead != 0
+			out[i].Write = sum.params[i]&bitWrite != 0
+		}
+	}
+	return out
+}
+
+// barrierIntervals assigns each block the number of barriers executed on
+// entry. divergent is set when two paths disagree for some block — then
+// no consistent segmentation exists (barrier inside a loop or branch)
+// and interval ordering must not be used.
+func barrierIntervals(f *kir.Function) (in []int, divergent bool) {
+	in = make([]int, len(f.Blocks))
+	for i := range in {
+		in[i] = -1
+	}
+	in[0] = 0
+	work := []int{0}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := f.Blocks[bi]
+		out := in[bi]
+		for _, ins := range b.Instrs {
+			if ins.Op == kir.OpSyncthreads {
+				out++
+			}
+		}
+		for _, si := range blockSuccs(b) {
+			switch in[si] {
+			case -1:
+				in[si] = out
+				work = append(work, si)
+			case out:
+				// consistent
+			default:
+				divergent = true
+			}
+		}
+	}
+	return in, divergent
+}
+
+// unavoidableBlocks marks blocks every terminating execution must pass:
+// block B is unavoidable iff no entry→ret path exists that skips B.
+func unavoidableBlocks(f *kir.Function) []bool {
+	n := len(f.Blocks)
+	out := make([]bool, n)
+	seen := make([]bool, n)
+	for bi := 0; bi < n; bi++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		// DFS from entry avoiding bi; can we still reach a ret?
+		reachedRet := false
+		if bi != 0 {
+			stack := []int{0}
+			seen[0] = true
+			for len(stack) > 0 && !reachedRet {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				b := f.Blocks[cur]
+				if b.Term.Kind == kir.TermRet {
+					reachedRet = true
+					break
+				}
+				for _, si := range blockSuccs(b) {
+					if si != bi && !seen[si] {
+						seen[si] = true
+						stack = append(stack, si)
+					}
+				}
+			}
+		}
+		out[bi] = !reachedRet
+	}
+	return out
+}

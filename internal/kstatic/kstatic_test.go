@@ -1,0 +1,321 @@
+package kstatic
+
+import (
+	"strings"
+	"testing"
+
+	"cusango/internal/kir"
+)
+
+func analyzeOne(t *testing.T, f *kir.Function) *KernelReport {
+	t.Helper()
+	m := kir.NewModule()
+	m.Add(f)
+	rep, err := Analyze(m)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	kr := rep.Kernel(f.Name)
+	if kr == nil {
+		t.Fatalf("no report for %q", f.Name)
+	}
+	return kr
+}
+
+func pf64(name string) kir.Param { return kir.Param{Name: name, Type: kir.TPtrF64} }
+
+// Each thread touches only its own element: proved race-free.
+func TestOwnElementRaceFree(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_own", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		gid := e.GlobalIDX()
+		v := e.LoadIdx(e.Arg("a"), gid)
+		e.StoreIdx(e.Arg("a"), gid, e.Add(v, e.ConstF(1)))
+		e.Return()
+	}))
+	if kr.Verdict != VerdictRaceFree {
+		t.Fatalf("k_own: got %s (%s), want race-free", kr.Verdict, kr.Reason)
+	}
+	if kr.Accesses != 2 || kr.Intervals != 1 || kr.Divergent || kr.UsesY {
+		t.Fatalf("k_own facts: %+v", kr)
+	}
+}
+
+// Even/odd interleave: store a[2g] vs load a[2g+1] — a parity (GCD)
+// proof, not a per-thread-slot one.
+func TestParityRaceFree(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_parity", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		g2 := e.Mul(e.GlobalIDX(), e.ConstI(2))
+		e.LoadIdx(e.Arg("a"), e.Add(g2, e.ConstI(1)))
+		e.StoreIdx(e.Arg("a"), g2, e.ConstF(0))
+		e.Return()
+	}))
+	if kr.Verdict != VerdictRaceFree {
+		t.Fatalf("k_parity: got %s (%s), want race-free", kr.Verdict, kr.Reason)
+	}
+}
+
+// a[threadIdx.x]: distinct blocks collide — race, with a confirmable
+// witness pinning the whole witness path.
+func TestThreadIdxRace(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_race", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		e.StoreIdx(e.Arg("a"), e.Builtin(kir.ThreadIdxX), e.ConstF(1))
+		e.Return()
+	}))
+	if kr.Verdict != VerdictRace {
+		t.Fatalf("k_race: got %s (%s), want race", kr.Verdict, kr.Reason)
+	}
+	w := kr.Witness
+	if w == nil {
+		t.Fatal("race verdict without witness")
+	}
+	if w.Thread1 == w.Thread2 {
+		t.Fatalf("witness threads equal: %v", w)
+	}
+	if w.Param != "a" || w.Kind1 != AccWrite || w.Kind2 != AccWrite {
+		t.Fatalf("witness: %v", w)
+	}
+	// The witness must be realizable: both threads' offsets evaluate to
+	// Offset under the claimed geometry.
+	if w.Geom.GridX < 2 {
+		t.Fatalf("threadIdx collisions need 2+ blocks, got %v", w.Geom)
+	}
+}
+
+// Barrier splits the kernel into two intervals; same-element reload
+// after the barrier stays race-free and the segmentation is reported.
+func TestBarrierIntervalsReported(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_shift", []kir.Param{pf64("a"), pf64("b")}, func(e *kir.Emitter) {
+		gid := e.GlobalIDX()
+		e.StoreIdx(e.Arg("a"), gid, e.ConstF(2))
+		e.Syncthreads()
+		v := e.LoadIdx(e.Arg("a"), gid)
+		e.StoreIdx(e.Arg("b"), gid, v)
+		e.Return()
+	}))
+	if kr.Verdict != VerdictRaceFree {
+		t.Fatalf("k_shift: got %s (%s), want race-free", kr.Verdict, kr.Reason)
+	}
+	if kr.Barriers != 1 || kr.Intervals != 2 || kr.Divergent {
+		t.Fatalf("k_shift segmentation: %+v", kr)
+	}
+}
+
+// Neighbor load across a barrier: the barrier orders same-block pairs
+// but adjacent global ids span block boundaries — a real race the
+// checker must witness cross-block.
+func TestNeighborRaceDespiteBarrier(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_nbr", []kir.Param{pf64("a"), pf64("b")}, func(e *kir.Emitter) {
+		gid := e.GlobalIDX()
+		e.StoreIdx(e.Arg("a"), gid, e.ConstF(2))
+		e.Syncthreads()
+		v := e.LoadIdx(e.Arg("a"), e.Add(gid, e.ConstI(1)))
+		e.StoreIdx(e.Arg("b"), gid, v)
+		e.Return()
+	}))
+	if kr.Verdict != VerdictRace {
+		t.Fatalf("k_nbr: got %s (%s), want race", kr.Verdict, kr.Reason)
+	}
+	w := kr.Witness
+	if w == nil || w.Param != "a" {
+		t.Fatalf("witness: %v", w)
+	}
+	// Same-block pairs are barrier-ordered; the witness must therefore
+	// cross blocks.
+	g := w.Geom
+	gw := g.GridX * g.BlockX
+	b1 := (w.Thread1 % gw) / g.BlockX
+	b2 := (w.Thread2 % gw) / g.BlockX
+	if b1 == b2 {
+		t.Fatalf("witness threads share block %d: %v", b1, w)
+	}
+}
+
+// A barrier under a thread-dependent guard makes interval segmentation
+// divergent; disjointness proofs that need no ordering still go through.
+func TestDivergentBarrierStillProvable(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_divbar", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		gid := e.GlobalIDX()
+		e.If(e.Lt(gid, e.ConstI(2)), func() {
+			e.Syncthreads()
+		})
+		e.StoreIdx(e.Arg("a"), gid, e.ConstF(1))
+		e.Return()
+	}))
+	if !kr.Divergent {
+		t.Fatalf("expected divergent segmentation: %+v", kr)
+	}
+	if kr.Verdict != VerdictRaceFree {
+		t.Fatalf("k_divbar: got %s (%s), want race-free", kr.Verdict, kr.Reason)
+	}
+}
+
+// Atomics never race with atomics; an atomic against a plain load does.
+func TestAtomicRules(t *testing.T) {
+	atomic := analyzeOne(t, kir.KernelFunc("k_atomic", []kir.Param{pf64("s")}, func(e *kir.Emitter) {
+		e.AtomicAddF(e.GEP(e.Arg("s"), e.ConstI(0)), e.ConstF(1))
+		e.Return()
+	}))
+	if atomic.Verdict != VerdictRaceFree {
+		t.Fatalf("k_atomic: got %s (%s), want race-free", atomic.Verdict, atomic.Reason)
+	}
+	mixed := analyzeOne(t, kir.KernelFunc("k_mixed", []kir.Param{pf64("s"), pf64("o")}, func(e *kir.Emitter) {
+		v := e.LoadIdx(e.Arg("s"), e.ConstI(0))
+		e.AtomicAddF(e.GEP(e.Arg("s"), e.ConstI(0)), e.ConstF(1))
+		e.StoreIdx(e.Arg("o"), e.GlobalIDX(), v)
+		e.Return()
+	}))
+	if mixed.Verdict != VerdictRace {
+		t.Fatalf("k_mixed: got %s (%s), want race", mixed.Verdict, mixed.Reason)
+	}
+}
+
+// A store reachable by only some threads (guarded) must not drive a
+// race claim even when offsets collide — only thread 0 actually writes,
+// so claiming a race would be a phantom. Verdict degrades to unknown.
+func TestGuardedAccessNoPhantomRace(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_guarded", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		e.If(e.Lt(e.GlobalIDX(), e.ConstI(1)), func() {
+			e.StoreIdx(e.Arg("a"), e.ConstI(0), e.ConstF(1))
+		})
+		e.Return()
+	}))
+	if kr.Verdict != VerdictUnknown {
+		t.Fatalf("k_guarded: got %s (%s), want unknown", kr.Verdict, kr.Reason)
+	}
+	if kr.Witness != nil {
+		t.Fatalf("guarded access produced a witness: %v", kr.Witness)
+	}
+}
+
+// Loop with even strides: reads sweep the even elements (offset
+// 2·gid + 2i, an induction term), the only write hits each thread's own
+// odd element. The parity proof must hold with the induction variable in
+// play — iterations range over all of ℤ, and gcd reasoning still
+// separates even from odd.
+func TestLoopParityRaceFree(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_loop_parity", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		g2 := e.Mul(e.GlobalIDX(), e.ConstI(2))
+		e.For(e.ConstI(0), e.ConstI(3), e.ConstI(1), func(i kir.Value) {
+			e.LoadIdx(e.Arg("a"), e.Add(g2, e.Mul(i, e.ConstI(2))))
+		})
+		e.StoreIdx(e.Arg("a"), e.Add(g2, e.ConstI(1)), e.ConstF(0))
+		e.Return()
+	}))
+	if kr.Verdict != VerdictRaceFree {
+		t.Fatalf("k_loop_parity: got %s (%s), want race-free", kr.Verdict, kr.Reason)
+	}
+}
+
+// Unit-stride loops overlap across threads in the ℤ-relaxation: verdict
+// must degrade to unknown, never to a phantom race (induction-bearing
+// offsets cannot witness).
+func TestLoopOverlapUnknown(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_loop", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		g4 := e.Mul(e.GlobalIDX(), e.ConstI(4))
+		e.For(e.ConstI(0), e.ConstI(4), e.ConstI(1), func(i kir.Value) {
+			e.StoreIdx(e.Arg("a"), e.Add(g4, i), e.ConstF(0))
+		})
+		e.Return()
+	}))
+	if kr.Verdict != VerdictUnknown {
+		t.Fatalf("k_loop: got %s (%s), want unknown", kr.Verdict, kr.Reason)
+	}
+	if kr.Witness != nil {
+		t.Fatalf("induction offset produced a witness: %v", kr.Witness)
+	}
+}
+
+// Non-affine indexing (Rem) is ⊤: unknown, not a guess.
+func TestNonAffineUnknown(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_rem", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		e.StoreIdx(e.Arg("a"), e.Rem(e.GlobalIDX(), e.ConstI(8)), e.ConstF(1))
+		e.Return()
+	}))
+	if kr.Verdict != VerdictUnknown {
+		t.Fatalf("k_rem: got %s (%s), want unknown", kr.Verdict, kr.Reason)
+	}
+}
+
+// 2-D kernels: UsesY is reported. Row-major indexing with a fixed row
+// stride is NOT provable — verdicts quantify over all launches, and a
+// blockDim.x wider than the stride folds rows together — so the honest
+// answer is unknown. A 2-D all-atomic kernel is provable.
+func TestUsesYReported(t *testing.T) {
+	rowMajor := analyzeOne(t, kir.KernelFunc("k_2d", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		idx := e.Add(e.Mul(e.GlobalIDY(), e.ConstI(64)), e.GlobalIDX())
+		e.StoreIdx(e.Arg("a"), idx, e.ConstF(1))
+		e.Return()
+	}))
+	if !rowMajor.UsesY {
+		t.Fatalf("expected UsesY: %+v", rowMajor)
+	}
+	if rowMajor.Verdict != VerdictUnknown {
+		t.Fatalf("k_2d: got %s (%s), want unknown", rowMajor.Verdict, rowMajor.Reason)
+	}
+	atomic2d := analyzeOne(t, kir.KernelFunc("k_2d_atomic", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		idx := e.Add(e.Mul(e.GlobalIDY(), e.ConstI(4)), e.GlobalIDX())
+		e.AtomicAddF(e.GEP(e.Arg("a"), idx), e.ConstF(1))
+		e.Return()
+	}))
+	if !atomic2d.UsesY || atomic2d.Verdict != VerdictRaceFree {
+		t.Fatalf("k_2d_atomic: got %s (%s) usesY=%v, want race-free usesY=true",
+			atomic2d.Verdict, atomic2d.Reason, atomic2d.UsesY)
+	}
+}
+
+// The explicit bid*bdim+tid spelling must analyze exactly like the
+// globalId builtin (the mulE rewrite).
+func TestBidBdimTidRewrite(t *testing.T) {
+	kr := analyzeOne(t, kir.KernelFunc("k_spelled", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		gid := e.Add(e.Mul(e.Builtin(kir.BlockIdxX), e.Builtin(kir.BlockDimX)), e.Builtin(kir.ThreadIdxX))
+		e.StoreIdx(e.Arg("a"), gid, e.ConstF(1))
+		e.Return()
+	}))
+	if kr.Verdict != VerdictRaceFree {
+		t.Fatalf("k_spelled: got %s (%s), want race-free", kr.Verdict, kr.Reason)
+	}
+}
+
+// Analysis is a pure function of the module: two runs render identically.
+func TestAnalyzeDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		m := GenModule(seed)
+		r1, err := Analyze(m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r2, err := Analyze(m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r1.String() != r2.String() {
+			t.Fatalf("seed %d: nondeterministic report:\n%s\nvs\n%s", seed, r1, r2)
+		}
+	}
+}
+
+// GenModule is a pure function of the seed.
+func TestGenModuleDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		if GenModule(seed).String() != GenModule(seed).String() {
+			t.Fatalf("seed %d: GenModule nondeterministic", seed)
+		}
+	}
+}
+
+// Report.String mentions each kernel exactly once with its verdict.
+func TestReportString(t *testing.T) {
+	m := kir.NewModule()
+	m.Add(kir.KernelFunc("k_a", []kir.Param{pf64("a")}, func(e *kir.Emitter) {
+		e.StoreIdx(e.Arg("a"), e.GlobalIDX(), e.ConstF(1))
+		e.Return()
+	}))
+	rep, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "k_a: race-free") {
+		t.Fatalf("report: %q", s)
+	}
+}

@@ -1,0 +1,82 @@
+package kstatic
+
+import "cusango/internal/kir"
+
+// Witness search: a race verdict is only claimed when the colliding pair
+// can be realized concretely on one of the shared small geometries — the
+// same set the dynamic oracle replays, with integer parameters bound the
+// same way (total thread count). Candidate records reaching here are
+// affine, induction-free and unguarded, so their offsets evaluate
+// exactly and the accesses are guaranteed to execute; the oracle must
+// therefore observe the collision unless the launch itself errors.
+
+// threadCtx builds the evaluation context of linear thread id lin under
+// geometry g, mirroring the interpreter's thread linearization.
+func threadCtx(lin int, g Geom, params []int64) evalCtx {
+	gw := g.GridX * g.BlockX
+	gx := lin % gw
+	gy := lin / gw
+	return evalCtx{
+		tx: int64(gx % g.BlockX), bx: int64(gx / g.BlockX),
+		ty: int64(gy % g.BlockY), by: int64(gy / g.BlockY),
+		bdx: int64(g.BlockX), bdy: int64(g.BlockY),
+		gdx: int64(g.GridX), gdy: int64(g.GridY),
+		params: params,
+	}
+}
+
+func blockOf(c *evalCtx) int64 { return c.by*c.gdx + c.bx }
+
+// searchWitness looks for two distinct threads whose offsets coincide.
+// Same-block pairs are skipped when barrier intervals order them (or
+// when the segmentation is divergent and nothing can be claimed).
+// Offsets must land inside the oracle's allocation so the witness stays
+// dynamically confirmable. Deterministic: first hit in (geometry,
+// thread1, thread2) order wins.
+func searchWitness(f *kir.Function, p int, a, b *rec, geoms []Geom, divergent bool) *Witness {
+	limit := int64(OracleElems) * int64(f.Params[p].Type.ElemSize())
+	for _, g := range geoms {
+		total := g.Threads()
+		params := make([]int64, len(f.Params))
+		for i, pr := range f.Params {
+			if pr.Type == kir.TInt {
+				params[i] = int64(total)
+			}
+		}
+		for t1 := 0; t1 < total; t1++ {
+			c1 := threadCtx(t1, g, params)
+			o1, ok := a.off.eval(&c1)
+			if !ok || o1 < 0 || o1 >= limit {
+				continue
+			}
+			for t2 := 0; t2 < total; t2++ {
+				if t2 == t1 {
+					continue
+				}
+				c2 := threadCtx(t2, g, params)
+				o2, ok := b.off.eval(&c2)
+				if !ok || o1 != o2 {
+					continue
+				}
+				if blockOf(&c1) == blockOf(&c2) {
+					if divergent {
+						continue // same-block ordering unknowable: claim nothing
+					}
+					if a.interval != b.interval {
+						continue // ordered by a barrier, not a race
+					}
+				}
+				return &Witness{
+					Param:   f.Params[p].Name,
+					Geom:    g,
+					Thread1: t1,
+					Thread2: t2,
+					Offset:  o1,
+					Kind1:   a.kind,
+					Kind2:   b.kind,
+				}
+			}
+		}
+	}
+	return nil
+}

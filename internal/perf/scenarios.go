@@ -8,10 +8,14 @@ import (
 	"time"
 
 	"cusango/internal/apps/halo2d"
+	"cusango/internal/apps/jacobi"
+	"cusango/internal/apps/tealeaf"
 	"cusango/internal/bench"
 	"cusango/internal/campaign"
 	"cusango/internal/core"
 	"cusango/internal/cusan"
+	"cusango/internal/kir"
+	"cusango/internal/kstatic"
 	"cusango/internal/memspace"
 	"cusango/internal/testsuite"
 	"cusango/internal/trace"
@@ -40,6 +44,7 @@ func Scenarios() []Scenario {
 		rangeEngineScenario(),
 		campaignWorkersScenario(),
 		traceThroughputScenario(),
+		staticAnalysisScenario(),
 	}
 	for _, app := range []bench.App{bench.Jacobi, bench.TeaLeaf, bench.Halo2D} {
 		scs = append(scs, fig10Scenario(app))
@@ -279,6 +284,96 @@ func traceThroughputScenario() Scenario {
 				"record_events_per_s": float64(events) / tracedWall.Seconds(),
 				"replay_events_per_s": float64(events) / replayWall.Seconds(),
 			}, ctrs, nil
+		},
+	}
+}
+
+// --- static-analysis ------------------------------------------------------
+
+// Static race-checker workload: the four registered modules (suite +
+// apps) plus a deterministic batch of generated kernels — the same
+// population the differential tests sweep. Verdict counts are exact;
+// the timing loop re-analyzes the whole population a fixed number of
+// times so the per-kernel figure is a median over real work.
+const (
+	saGenModules  = 64
+	saStaticIters = 16
+)
+
+func staticAnalysisScenario() Scenario {
+	return Scenario{
+		Name: "static-analysis",
+		Doc:  "static intra-kernel race checker: per-kernel analysis cost vs the dynamic oracle",
+		Params: fmt.Sprintf("modules=suite,jacobi,tealeaf,halo2d gen=%d iters=%d",
+			saGenModules, saStaticIters),
+		Metrics: []MetricSpec{
+			// The verdict census over a fixed population is exact: any
+			// drift is an analysis precision change, not noise.
+			{Name: "kernels", Unit: "kernels", Class: ClassCount, Better: BetterHigher},
+			{Name: "racefree", Unit: "kernels", Class: ClassCount, Better: BetterHigher},
+			{Name: "races", Unit: "kernels", Class: ClassCount, Better: BetterLower},
+			{Name: "unknown", Unit: "kernels", Class: ClassCount, Better: BetterLower},
+			// Acceptance bar: sub-millisecond median per-kernel analysis.
+			{Name: "static_us_per_kernel", Unit: "us/kernel", Class: ClassTime, Better: BetterLower},
+			{Name: "oracle_us_per_kernel", Unit: "us/kernel", Class: ClassTime, Better: BetterLower},
+			{Name: "static_speedup_vs_oracle", Unit: "x", Class: ClassRatio, Better: BetterHigher, RelTol: 0.80, MADMult: 5},
+		},
+		Run: func() (map[string]float64, *cusan.Counters, error) {
+			mods := []*kir.Module{
+				testsuite.Module(), jacobi.Module(), tealeaf.Module(), halo2d.AppModule(),
+			}
+			for seed := uint64(1); seed <= saGenModules; seed++ {
+				mods = append(mods, kstatic.GenModule(seed))
+			}
+			var kernels, racefree, races, unknown int
+			t0 := time.Now()
+			for i := 0; i < saStaticIters; i++ {
+				kernels, racefree, races, unknown = 0, 0, 0, 0
+				for _, m := range mods {
+					rep, err := kstatic.Analyze(m)
+					if err != nil {
+						return nil, nil, err
+					}
+					for _, kr := range rep.Kernels {
+						kernels++
+						switch kr.Verdict {
+						case kstatic.VerdictRaceFree:
+							racefree++
+						case kstatic.VerdictRace:
+							races++
+						default:
+							unknown++
+						}
+					}
+				}
+			}
+			staticWall := time.Since(t0)
+			if kernels == 0 {
+				return nil, nil, fmt.Errorf("no kernels analyzed")
+			}
+			t0 = time.Now()
+			for _, m := range mods {
+				for _, f := range m.Kernels() {
+					if _, err := kstatic.RunOracle(m, f.Name); err != nil {
+						return nil, nil, fmt.Errorf("oracle %s: %w", f.Name, err)
+					}
+				}
+			}
+			oracleWall := time.Since(t0)
+			staticUS := float64(staticWall.Microseconds()) / float64(saStaticIters*kernels)
+			oracleUS := float64(oracleWall.Microseconds()) / float64(kernels)
+			if staticUS <= 0 || oracleUS <= 0 {
+				return nil, nil, fmt.Errorf("non-positive timing sample")
+			}
+			return map[string]float64{
+				"kernels":                  float64(kernels),
+				"racefree":                 float64(racefree),
+				"races":                    float64(races),
+				"unknown":                  float64(unknown),
+				"static_us_per_kernel":     staticUS,
+				"oracle_us_per_kernel":     oracleUS,
+				"static_speedup_vs_oracle": oracleUS / staticUS,
+			}, nil, nil
 		},
 	}
 }

@@ -160,6 +160,11 @@ func ExecuteJob(j campaign.Job) *campaign.Record {
 // runs down and its step budget truncates runaway ones into the
 // deterministic "budget" verdict.
 func executeJob(j campaign.Job, env Env) *campaign.Record {
+	if j.Kind == KindStatic {
+		// Static cases are "<module>/<kernel>", not suite cases, and
+		// need no engine: dispatch before the case lookup.
+		return execStatic(j.Case)
+	}
 	c, ok := caseIndex()[j.Case]
 	if !ok {
 		return errRecord(fmt.Sprintf("unknown case %q", j.Case))

@@ -1,0 +1,122 @@
+package testsuite
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cusango/internal/apps/halo2d"
+	"cusango/internal/apps/jacobi"
+	"cusango/internal/apps/tealeaf"
+	"cusango/internal/campaign"
+	"cusango/internal/kir"
+	"cusango/internal/kstatic"
+)
+
+// The `static` campaign kind: one job per (module, kernel) running the
+// static intra-kernel race checker AND its dynamic differential oracle,
+// failing only on a soundness violation — static race-free contradicted
+// by the oracle, or a static witness the oracle could not reproduce on
+// a geometry it actually executed. Jobs are pure functions of the
+// module registry (no engines, seeds, or schedules), so results cache
+// perfectly and any -j produces byte-identical reports.
+
+// KindStatic is the static-analysis job kind.
+const KindStatic = "static"
+
+// staticRegistry names every module the static sweep covers. Order is
+// the job enumeration order.
+var staticRegistry = []struct {
+	name  string
+	build func() *kir.Module
+}{
+	{"suite", Module},
+	{"apps/jacobi", jacobi.Module},
+	{"apps/tealeaf", tealeaf.Module},
+	{"apps/halo2d", halo2d.AppModule},
+}
+
+type staticModule struct {
+	mod    *kir.Module
+	report *kstatic.Report
+	err    error
+}
+
+// staticModules builds and analyzes every registered module once.
+var staticModules = sync.OnceValue(func() map[string]*staticModule {
+	out := make(map[string]*staticModule, len(staticRegistry))
+	for _, e := range staticRegistry {
+		sm := &staticModule{mod: e.build()}
+		sm.report, sm.err = kstatic.Analyze(sm.mod)
+		out[e.name] = sm
+	}
+	return out
+})
+
+// StaticJobs enumerates one job per kernel of every registered module.
+// The case name is "<module>/<kernel>".
+func StaticJobs() []campaign.Job {
+	var jobs []campaign.Job
+	for _, e := range staticRegistry {
+		for _, f := range e.build().Kernels() {
+			jobs = append(jobs, campaign.Job{Kind: KindStatic, Case: e.name + "/" + f.Name})
+		}
+	}
+	return jobs
+}
+
+// execStatic checks one kernel: static verdict, dynamic oracle, and the
+// soundness contract between them.
+func execStatic(caseName string) *campaign.Record {
+	slash := strings.LastIndex(caseName, "/")
+	if slash < 0 {
+		return errRecord(fmt.Sprintf("static case %q: want <module>/<kernel>", caseName))
+	}
+	modName, kernel := caseName[:slash], caseName[slash+1:]
+	sm := staticModules()[modName]
+	if sm == nil {
+		return errRecord(fmt.Sprintf("unknown static module %q", modName))
+	}
+	if sm.err != nil {
+		return errRecord(fmt.Sprintf("analyze %q: %v", modName, sm.err))
+	}
+	kr := sm.report.Kernel(kernel)
+	if kr == nil {
+		return errRecord(fmt.Sprintf("module %q has no kernel %q", modName, kernel))
+	}
+	orc, err := kstatic.RunOracle(sm.mod, kernel)
+	if err != nil {
+		return errRecord(fmt.Sprintf("oracle %s: %v", caseName, err))
+	}
+
+	r := &campaign.Record{
+		Verdict:       campaign.VerdictPass,
+		Races:         len(orc.Races),
+		StaticVerdict: kr.Verdict.String(),
+		Intervals:     kr.Intervals,
+		OracleSkipped: len(orc.Skipped),
+	}
+	if kr.Witness != nil {
+		r.Witness = kr.Witness.String()
+	}
+	fail := func(detail string) {
+		r.Verdict = campaign.VerdictFail
+		r.Findings = append(r.Findings,
+			campaign.NewFinding("static-soundness", caseName, detail))
+	}
+	switch kr.Verdict {
+	case kstatic.VerdictRaceFree:
+		if orc.HasRace() {
+			fail(fmt.Sprintf("static race-free but oracle found %d race(s), first: %s",
+				len(orc.Races), orc.Races[0]))
+		}
+	case kstatic.VerdictRace:
+		if kr.Witness == nil {
+			fail("race verdict without witness")
+		} else if orc.CheckedGeom(kr.Witness.Geom) && !orc.HasRace() {
+			fail(fmt.Sprintf("static witness %s not reproduced by oracle (checked %v)",
+				kr.Witness, orc.Checked))
+		}
+	}
+	return r
+}
