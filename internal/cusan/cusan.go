@@ -89,8 +89,16 @@ type Counters struct {
 	EnginePages        int64 `json:"engine_pages"`
 	EngineGranules     int64 `json:"engine_granules"`
 	EngineFastGranules int64 `json:"engine_fast_granules"`
+	EngineSameGranules int64 `json:"engine_same_granules"`
 	RangeCacheHits     int64 `json:"range_cache_hits"`
 	RangeCacheMisses   int64 `json:"range_cache_misses"`
+	// ReleasesBatched counts release annotations satisfied by the
+	// detector's epoch-batched fast path (one clock-component store
+	// instead of a full vector join).
+	ReleasesBatched int64 `json:"releases_batched"`
+	// BatchOps counts range annotations submitted through the batched
+	// parallel checking entry point (kernel-argument batches).
+	BatchOps int64 `json:"batch_ops"`
 	// ShadowPagesShed counts pages dropped by the sanitizer's shadow
 	// budget; non-zero means the run traded completeness (possible
 	// missed races) for bounded memory.
@@ -113,8 +121,11 @@ func CountersFromStats(st tsan.Stats) Counters {
 		EnginePages:        st.EnginePages,
 		EngineGranules:     st.EngineGranules,
 		EngineFastGranules: st.EngineFastGranules,
+		EngineSameGranules: st.EngineSameGranules,
 		RangeCacheHits:     st.RangeCacheHits,
 		RangeCacheMisses:   st.RangeCacheMisses,
+		ReleasesBatched:    st.ReleasesBatched,
+		BatchOps:           st.BatchOps,
 		ShadowPagesShed:    st.ShadowPagesShed,
 	}
 }
@@ -163,6 +174,9 @@ type Runtime struct {
 
 	ctr Counters
 
+	// batchOps is the reusable kernel-argument annotation batch buffer.
+	batchOps []tsan.RangeOp
+
 	// access-info caches, so hot paths don't allocate.
 	kernelInfos map[string][]*tsan.AccessInfo
 	memcpyRead  *tsan.AccessInfo
@@ -204,8 +218,11 @@ func (r *Runtime) Counters() Counters {
 	c.EnginePages = st.EnginePages
 	c.EngineGranules = st.EngineGranules
 	c.EngineFastGranules = st.EngineFastGranules
+	c.EngineSameGranules = st.EngineSameGranules
 	c.RangeCacheHits = st.RangeCacheHits
 	c.RangeCacheMisses = st.RangeCacheMisses
+	c.ReleasesBatched = st.ReleasesBatched
+	c.BatchOps = st.BatchOps
 	c.ShadowPagesShed = st.ShadowPagesShed
 	return c
 }
@@ -366,12 +383,47 @@ func (r *Runtime) annotateRange(a memspace.Addr, n int64, write bool, info *tsan
 	}
 }
 
+// appendRangeOp queues one range annotation for a kernel-argument
+// batch, applying the same ablation and boundary-only splitting (and
+// counter accounting) as annotateRange.
+func (r *Runtime) appendRangeOp(ops []tsan.RangeOp, a memspace.Addr, n int64,
+	write bool, info *tsan.AccessInfo) []tsan.RangeOp {
+	if r.opts.DisableMemoryTracking || n <= 0 {
+		return ops
+	}
+	if b := r.opts.BoundaryBytes; b > 0 && n > 2*b {
+		if write {
+			r.ctr.WriteRanges += 2
+			r.ctr.WriteBytes += 2 * b
+		} else {
+			r.ctr.ReadRanges += 2
+			r.ctr.ReadBytes += 2 * b
+		}
+		return append(ops,
+			tsan.RangeOp{Addr: a, Len: b, Write: write, Info: info},
+			tsan.RangeOp{Addr: a + memspace.Addr(n-b), Len: b, Write: write, Info: info})
+	}
+	if write {
+		r.ctr.WriteRanges++
+		r.ctr.WriteBytes += n
+	} else {
+		r.ctr.ReadRanges++
+		r.ctr.ReadBytes += n
+	}
+	return append(ops, tsan.RangeOp{Addr: a, Len: n, Write: write, Info: info})
+}
+
 // PreKernelLaunch implements the kernel-call protocol of paper §IV-A(b).
+// The argument annotations of one launch are all issued by the stream
+// fiber at one epoch, so they are submitted as a single AnnotateBatch —
+// the sanitizer checks them in parallel when its page index is sharded,
+// and one at a time otherwise.
 func (r *Runtime) PreKernelLaunch(l *cuda.KernelLaunch) {
 	r.ctr.KernelCalls++
 	st := r.trackStream(streamOf(l.Stream))
 	infos := r.kernelArgInfos(l)
 	r.enterStream(st)
+	ops := r.batchOps[:0]
 	for i, arg := range l.Args {
 		if arg.Kind != kinterp.ArgPtr || arg.Ptr == 0 {
 			continue
@@ -386,12 +438,16 @@ func (r *Runtime) PreKernelLaunch(l *cuda.KernelLaunch) {
 			continue
 		}
 		if acc.MayRead() {
-			r.annotateRange(arg.Ptr, extent, false, infos[i])
+			ops = r.appendRangeOp(ops, arg.Ptr, extent, false, infos[i])
 		}
 		if acc.MayWrite() {
-			r.annotateRange(arg.Ptr, extent, true, infos[i])
+			ops = r.appendRangeOp(ops, arg.Ptr, extent, true, infos[i])
 		}
 	}
+	if len(ops) > 0 {
+		r.san.AnnotateBatch(ops)
+	}
+	r.batchOps = ops[:0]
 	r.leaveStream(st)
 }
 
@@ -559,8 +615,11 @@ func (r *Runtime) FormatCounters() string {
 	fmt.Fprintf(&b, "  Pages touched               %8d\n", c.EnginePages)
 	fmt.Fprintf(&b, "  Granules processed          %8d\n", c.EngineGranules)
 	fmt.Fprintf(&b, "  Fast-path granules          %8d\n", c.EngineFastGranules)
+	fmt.Fprintf(&b, "  Screened-same granules      %8d\n", c.EngineSameGranules)
 	fmt.Fprintf(&b, "  Range-cache hits            %8d\n", c.RangeCacheHits)
 	fmt.Fprintf(&b, "  Range-cache misses          %8d\n", c.RangeCacheMisses)
+	fmt.Fprintf(&b, "  Batched releases            %8d\n", c.ReleasesBatched)
+	fmt.Fprintf(&b, "  Batch range ops             %8d\n", c.BatchOps)
 	fmt.Fprintf(&b, "  Shadow pages shed           %8d\n", c.ShadowPagesShed)
 	return b.String()
 }

@@ -30,10 +30,10 @@ import (
 
 // FormatVersion identifies the BENCH_*.json schema. Bump on any change
 // to field names, metric semantics, or section layout.
-const FormatVersion = 1
+const FormatVersion = 2
 
 // Format is the format tag stamped into every file.
-const Format = "cusan-perf/v1"
+const Format = "cusan-perf/v2"
 
 // Class buckets metrics by how trustworthy they are across machines,
 // which drives the comparator's default thresholds and gating.

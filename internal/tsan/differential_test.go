@@ -21,15 +21,31 @@ type cellState struct {
 	info *AccessInfo
 }
 
-// shadowCells flattens the live shadow memory into slot index -> state.
+// shadowCells flattens the live shadow memory into slot index -> state,
+// resolving interned site ids back to pointers so the comparison is
+// representation-independent. Works in both index modes.
 func shadowCells(s *Sanitizer) map[uint64]cellState {
 	out := make(map[uint64]cellState)
 	k := uint64(s.shadow.k)
-	for idx, p := range s.shadow.pages {
-		for i, c := range p.cells {
-			if c != 0 {
-				out[idx*pageGranules*k+uint64(i)] = cellState{cell: c, info: p.infos[i]}
+	collect := func(idx uint64, p *shadowPage) {
+		for slot := uint64(0); slot < k; slot++ {
+			for gi, c := range p.cells[slot] {
+				if c != 0 {
+					out[idx*pageGranules*k+uint64(gi)*k+slot] =
+						cellState{cell: c, info: s.infoTab[p.infos[slot][gi]]}
+				}
 			}
+		}
+	}
+	if s.shadow.shards != nil {
+		for si := range s.shadow.shards {
+			for idx, p := range s.shadow.shards[si].pages {
+				collect(idx, p)
+			}
+		}
+	} else {
+		for idx, p := range s.shadow.pages {
+			collect(idx, p)
 		}
 	}
 	return out

@@ -2,6 +2,7 @@ package tsan
 
 import (
 	"cusango/internal/memspace"
+	"cusango/internal/vclock"
 )
 
 // The batched shadow-range engine (the default, Config.Engine ==
@@ -14,12 +15,17 @@ import (
 // condition on every step. The batched engine instead:
 //
 //  1. resolves each shadow page once and processes every granule it
-//     covers in a tight loop over the page's cell slab;
-//  2. takes a full-mask fast path for interior granules — only the
-//     first and last granule of a range can be partial, and a granule
-//     whose cells are empty (or hold only this fiber's same-kind
-//     access) needs no decode loop at all;
-//  3. consults a per-fiber same-epoch range cache: a fiber
+//     covers in a tight loop over the page's plane-0 slab (8 packed
+//     words per cache line);
+//  2. clips the interior (full-mask) granule range once per page span —
+//     only the first and last granule of a range can be partial — so
+//     the inner loop carries no per-granule mask logic;
+//  3. screens each interior granule with one packed-word compare:
+//     c & screenMask == screen means "same fiber, same access kind",
+//     and if the word is bit-identical to the word we would store (same
+//     epoch, full mask) with the same interned site, the access is a
+//     provable re-annotation and nothing is stored at all;
+//  4. consults a per-fiber same-epoch range cache: a fiber
 //     re-annotating the identical range at its current epoch with the
 //     same access kind and site, before any other walk touched the
 //     shadow, is a provable no-op and returns immediately (the
@@ -28,6 +34,15 @@ import (
 // Both engines funnel every non-trivial granule through checkGranule,
 // so race reports, slot selection, and eviction order are identical;
 // the differential tests in differential_test.go pin that equivalence.
+
+// spanCtr accumulates engine counters locally during a walk; totals are
+// folded into Stats once per range (or per batch worker), keeping the
+// inner loop free of field stores.
+type spanCtr struct {
+	granules int64
+	fast     int64
+	same     int64
+}
 
 // accessRangeBatched records an access to [a, a+n) page span by page
 // span.
@@ -47,66 +62,152 @@ func (s *Sanitizer) accessRangeBatched(a memspace.Addr, n int64, write bool, inf
 		s.stats.RangeCacheMisses++
 	}
 
+	infoID := s.internInfo(info)
 	g := start >> granuleShift
 	gLast := (end - 1) >> granuleShift
-	k := s.shadow.k
-	wbit := uint64(0)
-	if write {
-		wbit = 1
-	}
-	fid := uint64(f.id)
-	fullCell := encodeCell(f.id, ep, write, fullMask)
+	newWord := encodeCell(f.id, ep, write, fullMask)
+	var ctr spanCtr
+	var pages int64
 
 	for g <= gLast {
 		pageIdx := g >> pageGranuleShift
 		p := s.shadow.page(pageIdx)
-		s.stats.EnginePages++
+		pages++
 		gStop := gLast
 		if pageEnd := pageIdx<<pageGranuleShift + pageGranuleMask; pageEnd < gStop {
 			gStop = pageEnd
 		}
-		off := int(g&pageGranuleMask) * k
-		for ; g <= gStop; g, off = g+1, off+k {
-			gBase := g << granuleShift
-			cells := p.cells[off : off+k : off+k]
-			s.stats.EngineGranules++
-			if gBase >= start && gBase+granuleBytes <= end {
-				// Interior granule: the mask is full. If the first cell
-				// is empty or holds this fiber's same-kind access and
-				// every other cell is empty, no conflict is possible and
-				// the slot choice matches checkGranule's (sameSlot,
-				// else emptySlot, both 0) — store and move on.
-				c0 := cells[0]
-				if c0 == 0 || (c0>>52 == fid && c0>>11&1 == wbit) {
-					clean := true
-					for i := 1; i < k; i++ {
-						if cells[i] != 0 {
-							clean = false
-							break
-						}
-					}
-					if clean {
-						cells[0] = fullCell
-						p.infos[off] = info
-						s.stats.EngineFastGranules++
-						continue
-					}
-				}
-				s.checkGranule(cells, p.infos[off:off+k:off+k], g, fullMask,
-					write, f, ep, info, memspace.Addr(gBase))
-				continue
-			}
-			mask := partialMask(gBase, start, end)
-			s.checkGranule(cells, p.infos[off:off+k:off+k], g, mask,
-				write, f, ep, info, memspace.Addr(gBase))
-		}
+		s.walkSpan(p, g, gStop, start, end, write, f, ep, infoID, newWord, nil, &ctr)
+		g = gStop + 1
 	}
 
+	s.stats.EnginePages += pages
+	s.stats.EngineGranules += ctr.granules
+	s.stats.EngineFastGranules += ctr.fast
+	s.stats.EngineSameGranules += ctr.same
 	s.accessSeq++
 	if !s.cfg.DisableRangeCache {
 		s.rangeCache[f.id] = rangeCacheEntry{
 			start: start, end: end, ep: ep, info: info, write: write,
 			valid: true, seq: s.accessSeq,
 		}
+	}
+}
+
+// walkSpan processes granules [g, gStop] of page p for an access to
+// [start, end). It is the one shared inner loop: the sequential batched
+// engine calls it with sink == nil (races reported inline) and
+// AnnotateBatch workers call it with a per-worker candidate sink
+// (shard.go). The interior full-mask sub-range is clipped once, then
+// streamed through the packed-word screen.
+func (s *Sanitizer) walkSpan(p *shadowPage, g, gStop, start, end uint64,
+	write bool, f *Fiber, ep vclock.Epoch, infoID uint32, newWord uint64,
+	sink *[]raceCand, ctr *spanCtr) {
+	// Interior granules of the whole range: full byte mask.
+	gIntLo := (start + granuleBytes - 1) >> granuleShift
+	gIntHi := end>>granuleShift - 1
+	if end < granuleBytes {
+		gIntLo, gIntHi = 1, 0 // no interior
+	}
+
+	// Leading partial granules on this page.
+	for ; g <= gStop && g < gIntLo; g++ {
+		gBase := g << granuleShift
+		s.checkGranule(p, int(g&pageGranuleMask), g, partialMask(gBase, start, end),
+			write, f, ep, infoID, memspace.Addr(gBase), sink)
+		ctr.granules++
+	}
+
+	// Interior granules: one packed-word compare screens out granules
+	// already holding this access; a second compare detects the exact
+	// same shadow word (same epoch, same site) and skips the store too.
+	intStop := gStop
+	if gIntHi < intStop {
+		intStop = gIntHi
+	}
+	if g <= intStop {
+		n := int(intStop-g) + 1
+		ctr.granules += int64(n)
+		k := s.cfg.CellsPerGranule
+		screen := newWord & screenMask
+		giLo := int(g & pageGranuleMask)
+		// Equal-length subslices let the compiler drop the bounds checks
+		// from the streaming loop.
+		c0 := p.cells[0][giLo : giLo+n]
+		f0 := p.infos[0][giLo : giLo+n]
+		switch {
+		case k == 1 || p.aux == 0:
+			// Either there are no secondary planes or (aux == 0) they are
+			// provably all-zero, so screening needs only plane 0. A
+			// checkGranule below may populate a secondary cell, but only
+			// for its own granule — granules still ahead of the loop
+			// keep their secondary cells empty.
+			for j := 0; j < n; j++ {
+				c := c0[j]
+				if c == newWord && f0[j] == infoID {
+					ctr.same++
+					continue
+				}
+				if c == 0 || c&screenMask == screen {
+					c0[j] = newWord
+					f0[j] = infoID
+					ctr.fast++
+					continue
+				}
+				s.checkGranule(p, giLo+j, g+uint64(j), fullMask, write, f, ep,
+					infoID, memspace.Addr((g+uint64(j))<<granuleShift), sink)
+			}
+		case k == 2:
+			c1 := p.cells[1][giLo : giLo+n]
+			for j := 0; j < n; j++ {
+				c := c0[j]
+				if c == newWord && c1[j] == 0 && f0[j] == infoID {
+					ctr.same++
+					continue
+				}
+				if (c == 0 || c&screenMask == screen) && c1[j] == 0 {
+					c0[j] = newWord
+					f0[j] = infoID
+					ctr.fast++
+					continue
+				}
+				s.checkGranule(p, giLo+j, g+uint64(j), fullMask, write, f, ep,
+					infoID, memspace.Addr((g+uint64(j))<<granuleShift), sink)
+			}
+		default:
+			for j := 0; j < n; j++ {
+				c := c0[j]
+				if c == 0 || c&screenMask == screen {
+					clean := true
+					for i := 1; i < k; i++ {
+						if p.cells[i][giLo+j] != 0 {
+							clean = false
+							break
+						}
+					}
+					if clean {
+						if c == newWord && f0[j] == infoID {
+							ctr.same++
+						} else {
+							c0[j] = newWord
+							f0[j] = infoID
+							ctr.fast++
+						}
+						continue
+					}
+				}
+				s.checkGranule(p, giLo+j, g+uint64(j), fullMask, write, f, ep,
+					infoID, memspace.Addr((g+uint64(j))<<granuleShift), sink)
+			}
+		}
+		g += uint64(n)
+	}
+
+	// Trailing partial granules on this page.
+	for ; g <= gStop; g++ {
+		gBase := g << granuleShift
+		s.checkGranule(p, int(g&pageGranuleMask), g, partialMask(gBase, start, end),
+			write, f, ep, infoID, memspace.Addr(gBase), sink)
+		ctr.granules++
 	}
 }

@@ -5,19 +5,31 @@ import "cusango/internal/vclock"
 // Shadow memory layout.
 //
 // Application memory is divided into 8-byte granules. Each granule owns K
-// shadow cells; a cell packs one recorded access into a single uint64:
+// shadow cells; a cell packs one recorded access into a single uint64
+// (the TSan shadow-word discipline — conflict screening compares whole
+// packed words before any vector-clock math):
 //
 //	bits 63..52  fiber id   (12 bits, up to 4095 fibers)
 //	bits 51..12  epoch      (40 bits)
 //	bit  11      write flag
-//	bits  7..0   byte mask  (which bytes of the granule were touched)
+//	bits  7..0   byte mask  (which bytes of the granule were touched:
+//	             access size and offset in one field)
 //
 // A zero word means "empty cell" — fiber 0 (the host) starts at epoch 1,
 // so no real access encodes to zero.
 //
-// Granules are grouped into pages of 4096 granules (32 KiB of application
-// memory) allocated on demand, with the most recently touched page cached
-// for the sequential access patterns range annotations produce.
+// Each cell additionally records its access site as a 32-bit index into
+// the sanitizer's interned site table (see internInfo), so one shadow
+// slot costs 12 bytes: the packed word plus the site id. Storing an
+// index instead of an *AccessInfo pointer keeps the hot store free of
+// GC write barriers and shrinks the shadow by a quarter.
+//
+// Granules are grouped into pages of 4096 granules (32 KiB of
+// application memory) allocated on demand from a chunked arena. Pages
+// are plane-split (structure of arrays): plane i holds slot i of every
+// granule contiguously, so the batched engine's screening loop streams
+// through plane 0 sequentially — 8 granules per cache line — instead of
+// striding over interleaved slots.
 
 const (
 	granuleShift = 3
@@ -32,6 +44,12 @@ const (
 	maxEpoch   = (1 << 40) - 1
 
 	fullMask uint8 = 0xFF
+
+	// screenMask selects the fiber-id and write-flag fields of a packed
+	// cell: c&screenMask == newWord&screenMask is the one-compare
+	// screen for "same execution context, same access kind" that the
+	// batched engine runs before touching any vector clock.
+	screenMask uint64 = uint64(maxFiberID)<<52 | 1<<11
 )
 
 func encodeCell(fiber int, ep vclock.Epoch, write bool, mask uint8) uint64 {
@@ -64,14 +82,33 @@ func partialMask(gBase, start, end uint64) uint8 {
 	return m
 }
 
+// shadowPage is one 32-KiB window of shadow state, plane-split by slot:
+// cells[i][gi] and infos[i][gi] are slot i of granule gi.
 type shadowPage struct {
-	cells []uint64
-	infos []*AccessInfo
+	cells [][]uint64
+	infos [][]uint32
+	// aux counts non-empty cells in planes >= 1. Cells only transition
+	// empty -> non-empty (stores never write zero), so aux == 0 proves
+	// every secondary plane of the page is still all-zero and the
+	// streaming screen loop can skip loading them entirely — the common
+	// case when one fiber at a time owns a buffer.
+	aux int32
 }
 
+// shadowMap is the page index. It runs in one of two modes:
+//
+//   - unsharded (the default): a single map with a one-entry
+//     most-recently-used cache, plus the optional FIFO page budget
+//     (MaxShadowPages graceful degradation);
+//   - sharded (Config.Shards > 1): pages are distributed over a
+//     power-of-two array of shards by a multiplicative hash of the page
+//     index. Each shard owns its own map, lock, and page arena, so
+//     AnnotateBatch can check page-disjoint work from several
+//     goroutines without sharing any allocator or index state.
 type shadowMap struct {
 	k     int
 	pages map[uint64]*shadowPage
+	arena pageArena
 	// one-entry cache: range annotations walk granules sequentially.
 	lastIdx  uint64
 	lastPage *shadowPage
@@ -81,43 +118,74 @@ type shadowMap struct {
 	// Losing shadow state can only hide races (false negatives), never
 	// invent them — an empty cell looks like "never accessed" — so a
 	// budgeted run stays sound for the cases it does report. Shed pages
-	// are counted and surfaced through Stats.
+	// are counted and surfaced through Stats; their planes return to
+	// the arena free list and are reused (zeroed) by later pages.
 	maxPages int
 	order    []uint64 // page indices in creation order (FIFO)
 	shed     int64
+
+	// Sharded mode (nil when unsharded).
+	shards    []pageShard
+	shardMask uint64
 }
 
-func (m *shadowMap) init(k int) {
+func (m *shadowMap) init(k, shards int) {
 	m.k = k
-	m.pages = make(map[uint64]*shadowPage)
 	m.lastIdx = ^uint64(0)
+	if shards > 1 {
+		m.shards = make([]pageShard, shards)
+		m.shardMask = uint64(shards - 1)
+		for i := range m.shards {
+			m.shards[i].pages = make(map[uint64]*shadowPage)
+		}
+		return
+	}
+	m.pages = make(map[uint64]*shadowPage)
+}
+
+// shardIndex maps a page index to its shard number (Fibonacci hashing:
+// page indices are strongly structured — consecutive, or strided by
+// allocation bases — and the golden-ratio multiply spreads both).
+func (m *shadowMap) shardIndex(idx uint64) uint64 {
+	return (idx * 0x9E3779B97F4A7C15) >> 32 & m.shardMask
+}
+
+func (m *shadowMap) shardOf(idx uint64) *pageShard {
+	return &m.shards[m.shardIndex(idx)]
 }
 
 // page resolves (allocating on demand) the shadow page with the given
-// page index. The batched range engine calls this once per page span;
-// the granule-at-a-time reference walk goes through granule below.
+// page index. Only the owning rank goroutine calls this; concurrent
+// batch workers go through pageShard.page directly.
 func (m *shadowMap) page(idx uint64) *shadowPage {
 	if idx == m.lastIdx {
 		return m.lastPage
 	}
-	p, ok := m.pages[idx]
-	if !ok {
-		p = &shadowPage{
-			cells: make([]uint64, pageGranules*m.k),
-			infos: make([]*AccessInfo, pageGranules*m.k),
-		}
-		m.pages[idx] = p
-		if m.maxPages > 0 {
-			m.order = append(m.order, idx)
-			for len(m.pages) > m.maxPages {
-				victim := m.order[0]
-				m.order = m.order[1:]
-				delete(m.pages, victim)
-				if victim == m.lastIdx {
-					m.lastIdx = ^uint64(0)
-					m.lastPage = nil
+	var p *shadowPage
+	if m.shards != nil {
+		sh := m.shardOf(idx)
+		sh.mu.Lock()
+		p = sh.page(idx, m.k)
+		sh.mu.Unlock()
+	} else {
+		var ok bool
+		p, ok = m.pages[idx]
+		if !ok {
+			p = m.arena.newPage(m.k)
+			m.pages[idx] = p
+			if m.maxPages > 0 {
+				m.order = append(m.order, idx)
+				for len(m.pages) > m.maxPages {
+					victim := m.order[0]
+					m.order = m.order[1:]
+					m.arena.free(m.pages[victim])
+					delete(m.pages, victim)
+					if victim == m.lastIdx {
+						m.lastIdx = ^uint64(0)
+						m.lastPage = nil
+					}
+					m.shed++
 				}
-				m.shed++
 			}
 		}
 	}
@@ -126,15 +194,20 @@ func (m *shadowMap) page(idx uint64) *shadowPage {
 	return p
 }
 
-// granule returns the K cells and parallel info slots for granule g.
-func (m *shadowMap) granule(g uint64) ([]uint64, []*AccessInfo) {
-	p := m.page(g >> pageGranuleShift)
-	off := int(g&pageGranuleMask) * m.k
-	return p.cells[off : off+m.k : off+m.k], p.infos[off : off+m.k : off+m.k]
+// pageCount returns the number of live shadow pages in either mode.
+func (m *shadowMap) pageCount() int {
+	if m.shards == nil {
+		return len(m.pages)
+	}
+	n := 0
+	for i := range m.shards {
+		n += len(m.shards[i].pages)
+	}
+	return n
 }
 
-// bytes estimates the shadow footprint: 16 bytes per cell slot
-// (packed word + info pointer).
+// bytes estimates the shadow footprint: 12 bytes per cell slot
+// (packed word + interned site index).
 func (m *shadowMap) bytes() int64 {
-	return int64(len(m.pages)) * pageGranules * int64(m.k) * 16
+	return int64(m.pageCount()) * pageGranules * int64(m.k) * 12
 }

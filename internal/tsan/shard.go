@@ -1,0 +1,190 @@
+package tsan
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"cusango/internal/memspace"
+)
+
+// Parallel batch checking over the sharded page index.
+//
+// AnnotateBatch checks a slice of range annotations — all performed by
+// the current fiber at its current epoch, the shape of a kernel launch
+// annotating every pointer argument — by fanning the work out over
+// GOMAXPROCS-bounded workers. The concurrency discipline is shard
+// ownership: worker w processes exactly the page spans whose shard
+// index hashes to w (mod worker count), so no two workers ever touch
+// the same shard's map, arena, or pages, and the checking loop needs no
+// locks or atomics at all. The partition depends only on page indices,
+// never on timing.
+//
+// Determinism (pinned by TestBatchParityAcrossWorkerCounts): every
+// worker handles its ops in submission order and its granules in
+// address order — the same relative order the sequential engine uses —
+// so the shadow post-state is byte-identical to a sequential run at any
+// worker count. Races are not reported from workers; they are collected
+// as candidates, merge-sorted by (op index, granule), and replayed
+// through the ordinary report path on the driver goroutine, which makes
+// report order, deduplication, and suppression identical to the
+// sequential engine too.
+
+// RangeOp is one range annotation submitted to AnnotateBatch.
+type RangeOp struct {
+	Addr  memspace.Addr
+	Len   int64
+	Write bool
+	Info  *AccessInfo
+}
+
+// batchState holds AnnotateBatch's reusable per-worker buffers so a
+// steady stream of batches does not reallocate them.
+type batchState struct {
+	cands [][]raceCand // race candidates, per worker
+	ctrs  []spanCtr    // engine counters, per worker
+	pages []int64      // page spans resolved, per worker
+	all   []raceCand   // merged candidates (replay order)
+	ids   []uint32     // interned site id per op
+}
+
+// AnnotateBatch records all ops as accesses by the current fiber at its
+// current epoch, equivalent to issuing the corresponding
+// ReadRange/WriteRange calls in order (the same reports in the same
+// order, the same shadow post-state), but checked concurrently when the
+// page index is sharded (Config.Shards > 1). With an unsharded index it
+// simply loops over the ops.
+func (s *Sanitizer) AnnotateBatch(ops []RangeOp) {
+	if len(ops) == 0 {
+		return
+	}
+	s.stats.BatchOps += int64(len(ops))
+	for i := range ops {
+		if ops[i].Write {
+			s.stats.WriteRangeCalls++
+			s.stats.WriteBytes += ops[i].Len
+		} else {
+			s.stats.ReadRangeCalls++
+			s.stats.ReadBytes += ops[i].Len
+		}
+	}
+	if s.ignoreDepth > 0 {
+		return
+	}
+	if s.shadow.shards == nil {
+		for i := range ops {
+			if ops[i].Len > 0 {
+				s.accessRange(ops[i].Addr, ops[i].Len, ops[i].Write, ops[i].Info)
+			}
+		}
+		return
+	}
+
+	nw := s.cfg.BatchWorkers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(s.shadow.shards) {
+		nw = len(s.shadow.shards)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	b := &s.batch
+	for len(b.cands) < nw {
+		b.cands = append(b.cands, nil)
+	}
+	if len(b.ctrs) < nw {
+		b.ctrs = make([]spanCtr, nw)
+	}
+	if len(b.pages) < nw {
+		b.pages = make([]int64, nw)
+	}
+	b.ids = b.ids[:0]
+	// Intern every site up front: infoTab must not be mutated while
+	// workers are running.
+	for i := range ops {
+		b.ids = append(b.ids, s.internInfo(ops[i].Info))
+	}
+
+	f := s.cur
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		b.cands[w] = b.cands[w][:0]
+		b.ctrs[w] = spanCtr{}
+		b.pages[w] = 0
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.batchWorker(w, uint64(nw), ops, b.ids, f, &b.cands[w], &b.ctrs[w], &b.pages[w])
+		}(w)
+	}
+	wg.Wait()
+
+	// Fold worker counters and replay race candidates in the canonical
+	// (op, granule) order — the order a sequential run reports in. Two
+	// candidates with equal keys come from one granule, hence one
+	// worker, and stable sorting keeps their slot order.
+	b.all = b.all[:0]
+	for w := 0; w < nw; w++ {
+		s.stats.EnginePages += b.pages[w]
+		s.stats.EngineGranules += b.ctrs[w].granules
+		s.stats.EngineFastGranules += b.ctrs[w].fast
+		s.stats.EngineSameGranules += b.ctrs[w].same
+		b.all = append(b.all, b.cands[w]...)
+	}
+	sort.SliceStable(b.all, func(i, j int) bool {
+		if b.all[i].op != b.all[j].op {
+			return b.all[i].op < b.all[j].op
+		}
+		return b.all[i].g < b.all[j].g
+	})
+	for i := range b.all {
+		c := &b.all[i]
+		s.report(c.gAddr, c.write, s.infoTab[c.infoID], c.prevFiber, c.prevWrite,
+			s.infoTab[c.prevInfoID])
+	}
+	s.accessSeq += uint64(len(ops))
+}
+
+// batchWorker walks every op's page spans, processing only the spans
+// whose shard this worker owns. ep is re-read from the fiber clock
+// (read-only) so the signature stays small.
+func (s *Sanitizer) batchWorker(w int, nw uint64, ops []RangeOp, ids []uint32,
+	f *Fiber, cands *[]raceCand, ctr *spanCtr, pages *int64) {
+	m := &s.shadow
+	k := s.cfg.CellsPerGranule
+	ep := f.clock.Get(f.id)
+	for i := range ops {
+		op := &ops[i]
+		if op.Len <= 0 {
+			continue
+		}
+		start := uint64(op.Addr)
+		end := start + uint64(op.Len)
+		g := start >> granuleShift
+		gLast := (end - 1) >> granuleShift
+		newWord := encodeCell(f.id, ep, op.Write, fullMask)
+		for g <= gLast {
+			pageIdx := g >> pageGranuleShift
+			gStop := gLast
+			if pageEnd := pageIdx<<pageGranuleShift + pageGranuleMask; pageEnd < gStop {
+				gStop = pageEnd
+			}
+			if shIdx := m.shardIndex(pageIdx); shIdx%nw == uint64(w) {
+				// This worker owns the shard: lock-free access by the
+				// ownership invariant.
+				p := m.shards[shIdx].page(pageIdx, k)
+				before := len(*cands)
+				s.walkSpan(p, g, gStop, start, end, op.Write, f, ep, ids[i],
+					newWord, cands, ctr)
+				for j := before; j < len(*cands); j++ {
+					(*cands)[j].op = i
+				}
+				*pages++
+			}
+			g = gStop + 1
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package tsan
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Parity tests for the sharded page index and AnnotateBatch: the same
+// annotated program must produce byte-identical reports, shadow
+// post-state, and engine totals at every GOMAXPROCS / worker count,
+// and must agree with the unsharded sequential index.
+
+// batchProgram drives a fixed mixed workload through a sanitizer:
+// batched kernel-argument annotations from three fibers, partial sync,
+// overlapping racy ranges, unaligned edges, and a duplicated op.
+func batchProgram(s *Sanitizer) {
+	host := s.HostFiber()
+	k1 := s.CreateFiber("stream 1")
+	k2 := s.CreateFiber("stream 2")
+	bufA := base
+	bufB := base + 9<<20
+	bufC := base + 31<<20
+	wA := &AccessInfo{Site: "kernel init", Object: "arg 0 (A)"}
+	wB := &AccessInfo{Site: "kernel init", Object: "arg 1 (B)"}
+	rC := &AccessInfo{Site: "kernel init", Object: "arg 2 (C)"}
+	k1W := &AccessInfo{Site: "kernel step1", Object: "arg 0 (A)"}
+	k1R := &AccessInfo{Site: "kernel step1", Object: "arg 2 (C)"}
+	k2W := &AccessInfo{Site: "kernel step2", Object: "arg 1 (B)"}
+	k2R := &AccessInfo{Site: "kernel step2", Object: "arg 0 (A)"}
+	key := MakeKey(3, 1)
+
+	// Host initializes everything in one batch (includes a duplicate op
+	// and unaligned partial-granule edges).
+	s.AnnotateBatch([]RangeOp{
+		{Addr: bufA, Len: 256 << 10, Write: true, Info: wA},
+		{Addr: bufB + 3, Len: 100<<10 + 5, Write: true, Info: wB},
+		{Addr: bufC, Len: 64 << 10, Write: false, Info: rC},
+		{Addr: bufA, Len: 256 << 10, Write: true, Info: wA}, // duplicate
+	})
+	s.HappensBefore(key)
+
+	// Stream 1 synchronizes with the host: its overlap with A is
+	// ordered, no race.
+	s.SwitchFiber(k1)
+	s.HappensAfter(key)
+	s.AnnotateBatch([]RangeOp{
+		{Addr: bufA + 16<<10, Len: 32 << 10, Write: true, Info: k1W},
+		{Addr: bufC + 7, Len: 8 << 10, Write: false, Info: k1R},
+	})
+
+	// Stream 2 does NOT synchronize: its writes race with the host's
+	// init of B and with stream 1's writes into A.
+	s.SwitchFiber(k2)
+	s.AnnotateBatch([]RangeOp{
+		{Addr: bufB, Len: 48 << 10, Write: true, Info: k2W},
+		{Addr: bufA + 20<<10, Len: 4 << 10, Write: false, Info: k2R},
+	})
+
+	// Back to the host for a second round over A (races with stream 1
+	// and stream 2's unsynchronized accesses).
+	s.SwitchFiber(host)
+	s.AnnotateBatch([]RangeOp{
+		{Addr: bufA, Len: 64 << 10, Write: true, Info: wA},
+	})
+}
+
+// runState is the comparable outcome of one batchProgram run.
+type runState struct {
+	reports  string
+	races    int64
+	granules int64
+	fast     int64
+	same     int64
+	pages    int64
+	shadow   map[uint64]cellState
+}
+
+func runBatchProgram(t *testing.T, cfg Config) runState {
+	t.Helper()
+	s := New(cfg)
+	batchProgram(s)
+	var b strings.Builder
+	for _, r := range s.Reports() {
+		fmt.Fprintf(&b, "%s\n", r)
+	}
+	st := s.Stats()
+	return runState{
+		reports:  b.String(),
+		races:    st.RacesReported,
+		granules: st.EngineGranules,
+		fast:     st.EngineFastGranules,
+		same:     st.EngineSameGranules,
+		pages:    st.EnginePages,
+		shadow:   shadowCells(s),
+	}
+}
+
+func TestBatchParityAcrossWorkerCounts(t *testing.T) {
+	sweep := []int{1, 4, runtime.NumCPU()}
+	ref := runBatchProgram(t, Config{Shards: 8, BatchWorkers: 1})
+	if ref.races == 0 {
+		t.Fatalf("batch program reported no races; the parity test needs a racy workload")
+	}
+	for _, n := range sweep {
+		// Sweep GOMAXPROCS itself with BatchWorkers unset (workers
+		// default to GOMAXPROCS), plus an explicit worker count.
+		for _, mode := range []string{"gomaxprocs", "workers"} {
+			t.Run(fmt.Sprintf("%s=%d", mode, n), func(t *testing.T) {
+				cfg := Config{Shards: 8}
+				if mode == "workers" {
+					cfg.BatchWorkers = n
+				} else {
+					prev := runtime.GOMAXPROCS(n)
+					defer runtime.GOMAXPROCS(prev)
+				}
+				got := runBatchProgram(t, cfg)
+				if got.reports != ref.reports {
+					t.Errorf("reports differ from 1-worker reference:\n--- ref\n%s--- got\n%s",
+						ref.reports, got.reports)
+				}
+				if got.races != ref.races || got.granules != ref.granules ||
+					got.fast != ref.fast || got.same != ref.same || got.pages != ref.pages {
+					t.Errorf("counters differ: ref={races:%d granules:%d fast:%d same:%d pages:%d} got={races:%d granules:%d fast:%d same:%d pages:%d}",
+						ref.races, ref.granules, ref.fast, ref.same, ref.pages,
+						got.races, got.granules, got.fast, got.same, got.pages)
+				}
+				if !reflect.DeepEqual(got.shadow, ref.shadow) {
+					t.Errorf("shadow post-state differs from 1-worker reference (%d vs %d live cells)",
+						len(got.shadow), len(ref.shadow))
+				}
+			})
+		}
+	}
+}
+
+// TestBatchMatchesSequentialIndex pins that the sharded batch path and
+// the plain unsharded index agree on reports and shadow state: the
+// fallback loop and the worker fan-out are two routes to one result.
+func TestBatchMatchesSequentialIndex(t *testing.T) {
+	seq := runBatchProgram(t, Config{}) // unsharded: AnnotateBatch loops
+	shd := runBatchProgram(t, Config{Shards: 8, BatchWorkers: 4})
+	if seq.reports != shd.reports {
+		t.Errorf("sharded reports differ from sequential:\n--- seq\n%s--- shd\n%s",
+			seq.reports, shd.reports)
+	}
+	if seq.races != shd.races {
+		t.Errorf("race counts differ: seq=%d sharded=%d", seq.races, shd.races)
+	}
+	if !reflect.DeepEqual(seq.shadow, shd.shadow) {
+		t.Errorf("shadow post-state differs between sequential and sharded runs (%d vs %d live cells)",
+			len(seq.shadow), len(shd.shadow))
+	}
+}
+
+// TestShardDistribution sanity-checks the Fibonacci page hash: a run of
+// consecutive page indices must not collapse into one shard.
+func TestShardDistribution(t *testing.T) {
+	s := New(Config{Shards: 8})
+	counts := make(map[uint64]int)
+	for idx := uint64(0); idx < 1024; idx++ {
+		counts[s.shadow.shardIndex(idx)]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("1024 consecutive pages hit only %d of 8 shards", len(counts))
+	}
+	for sh, n := range counts {
+		if n > 1024/8*2 {
+			t.Errorf("shard %d holds %d of 1024 pages (poor spread)", sh, n)
+		}
+	}
+}
+
+// TestShardsNormalization pins the Config.Shards rounding and the
+// MaxShadowPages interaction (the FIFO budget needs the single index).
+func TestShardsNormalization(t *testing.T) {
+	if s := New(Config{Shards: 5}); len(s.shadow.shards) != 8 {
+		t.Errorf("Shards=5 gave %d shards, want 8 (next power of two)", len(s.shadow.shards))
+	}
+	if s := New(Config{Shards: 8, MaxShadowPages: 4}); s.shadow.shards != nil {
+		t.Errorf("MaxShadowPages must force the unsharded index")
+	}
+	if s := New(Config{Shards: 1}); s.shadow.shards != nil {
+		t.Errorf("Shards=1 must keep the unsharded index")
+	}
+}

@@ -47,6 +47,12 @@ type Fiber struct {
 	id    int
 	name  string
 	clock *vclock.Clock
+	// gen counts acquisitions: it is bumped whenever another context's
+	// knowledge is joined into this fiber's clock (HappensAfter, the
+	// synchronizing fiber switch). Between two bumps the clock changes
+	// only in its own component, which is what makes the epoch-batched
+	// release fast path of HappensBefore sound.
+	gen uint64
 }
 
 // ID returns the fiber's dense id (its vector-clock component index).
@@ -101,8 +107,20 @@ type Stats struct {
 	EnginePages        int64 // shadow pages resolved by the page walker
 	EngineGranules     int64 // granules processed by the page walker
 	EngineFastGranules int64 // granules taken through the full-mask fast path
+	EngineSameGranules int64 // granules screened out by the packed-word compare (no store)
 	RangeCacheHits     int64 // range annotations satisfied by the same-epoch cache
 	RangeCacheMisses   int64 // range annotations that had to walk
+
+	// ReleasesBatched counts HappensBefore calls satisfied by the
+	// epoch-batched release fast path: the sync var had already absorbed
+	// this fiber's clock and nothing but the fiber's own epoch changed
+	// since, so the release touches one clock component instead of
+	// joining the whole vector.
+	ReleasesBatched int64
+
+	// BatchOps counts range annotations submitted through AnnotateBatch
+	// (the sharded parallel checking entry point).
+	BatchOps int64
 
 	// ShadowPagesShed counts pages dropped by the Config.MaxShadowPages
 	// budget (0 when unbounded or never exceeded).
@@ -237,8 +255,19 @@ type Config struct {
 	// application memory each). Exceeding the cap sheds the oldest page:
 	// its recorded accesses read as "never accessed" afterwards, which
 	// can only miss races, never fabricate them. Shed pages are counted
-	// in Stats.ShadowPagesShed. Zero means unbounded.
+	// in Stats.ShadowPagesShed. Zero means unbounded. A page budget
+	// needs the FIFO index, so it forces the unsharded page index
+	// (Shards is ignored when MaxShadowPages > 0).
 	MaxShadowPages int
+	// Shards, when > 1, shards the shadow page index (rounded up to a
+	// power of two) so AnnotateBatch can check page-disjoint work
+	// concurrently across GOMAXPROCS workers. 0 or 1 keeps the single
+	// map with its MRU cache; single-range annotations behave
+	// identically either way.
+	Shards int
+	// BatchWorkers caps the goroutines AnnotateBatch fans out to
+	// (0 = GOMAXPROCS). Only meaningful with Shards > 1.
+	BatchWorkers int
 }
 
 const (
@@ -246,12 +275,25 @@ const (
 	defaultReports = 128
 )
 
+// syncVar is one synchronization variable: its release clock plus the
+// epoch-batching stamp. primed records that clock has absorbed fiber
+// relFiber's clock as of generation relGen; while that fiber's
+// generation is unchanged, a repeated release only needs to advance the
+// releaser's own component (joins are monotone, so the containment
+// survives other fibers releasing into the same variable).
+type syncVar struct {
+	clock    *vclock.Clock
+	relFiber int
+	relGen   uint64
+	primed   bool
+}
+
 // Sanitizer is the per-rank race detector instance.
 type Sanitizer struct {
 	cfg      Config
 	fibers   []*Fiber
 	cur      *Fiber
-	syncVars map[SyncKey]*vclock.Clock
+	syncVars map[SyncKey]*syncVar
 	shadow   shadowMap
 	reports  []*Report
 	seen     map[dedupKey]struct{}
@@ -266,6 +308,23 @@ type Sanitizer struct {
 	// rangeCache holds one same-epoch range entry per fiber, indexed by
 	// fiber id (the batched engine's re-annotation fast path).
 	rangeCache []rangeCacheEntry
+
+	// Access-site interning: shadow cells store 32-bit indexes into
+	// infoTab instead of *AccessInfo pointers (no GC write barriers on
+	// the store path). Index 0 is reserved for "no site".
+	infoTab  []*AccessInfo
+	infoIDs  map[*AccessInfo]uint32
+	lastInfo *AccessInfo
+	lastID   uint32
+
+	// Object arenas (see arena.go): fibers, sync vars, and their vector
+	// clocks are carved from chunked slabs owned by this sanitizer.
+	clockArena *vclock.Arena
+	fiberSlab  []Fiber
+	svSlab     []syncVar
+
+	// batch holds AnnotateBatch's reusable worker state.
+	batch batchState
 }
 
 // rangeCacheEntry remembers one range annotation a fiber performed at
@@ -298,12 +357,22 @@ func New(cfg Config) *Sanitizer {
 	if cfg.MaxReports <= 0 {
 		cfg.MaxReports = defaultReports
 	}
-	s := &Sanitizer{
-		cfg:      cfg,
-		syncVars: make(map[SyncKey]*vclock.Clock),
-		seen:     make(map[dedupKey]struct{}),
+	if cfg.MaxShadowPages > 0 {
+		// The FIFO page budget needs the single creation-ordered index.
+		cfg.Shards = 0
 	}
-	s.shadow.init(cfg.CellsPerGranule)
+	if cfg.Shards > 1 {
+		cfg.Shards = nextPow2(cfg.Shards)
+	}
+	s := &Sanitizer{
+		cfg:        cfg,
+		syncVars:   make(map[SyncKey]*syncVar),
+		seen:       make(map[dedupKey]struct{}),
+		infoTab:    []*AccessInfo{nil},
+		infoIDs:    make(map[*AccessInfo]uint32),
+		clockArena: vclock.NewArena(4),
+	}
+	s.shadow.init(cfg.CellsPerGranule, cfg.Shards)
 	s.shadow.maxPages = cfg.MaxShadowPages
 	host := s.CreateFiber("host thread")
 	s.cur = host
@@ -311,10 +380,29 @@ func New(cfg Config) *Sanitizer {
 	return s
 }
 
+// nextPow2 rounds n up to the next power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+const fiberSlabChunk = 16
+
 // CreateFiber instantiates a new fiber. The fiber's epoch starts at 1 so
 // its very first access is distinguishable from "never synchronized".
+// Fiber objects and their clocks come from the sanitizer's arenas: the
+// MPI layer creates a fiber per non-blocking operation, so fiber
+// creation sits on the request hot path.
 func (s *Sanitizer) CreateFiber(name string) *Fiber {
-	f := &Fiber{id: len(s.fibers), name: name, clock: vclock.New()}
+	if len(s.fiberSlab) == 0 {
+		s.fiberSlab = make([]Fiber, fiberSlabChunk)
+	}
+	f := &s.fiberSlab[0]
+	s.fiberSlab = s.fiberSlab[1:]
+	f.id, f.name, f.clock, f.gen = len(s.fibers), name, s.clockArena.New(), 0
 	f.clock.Tick(f.id)
 	s.fibers = append(s.fibers, f)
 	s.rangeCache = append(s.rangeCache, rangeCacheEntry{})
@@ -322,7 +410,27 @@ func (s *Sanitizer) CreateFiber(name string) *Fiber {
 	if f.id > maxFiberID {
 		panic(fmt.Sprintf("tsan: fiber id %d exceeds shadow encoding capacity", f.id))
 	}
+	// Later clocks should start with room for every live fiber, so a
+	// first Join doesn't immediately re-allocate.
+	s.clockArena.SetHint(len(s.fibers) + 4)
 	return f
+}
+
+// internInfo resolves an access site to its stable 32-bit shadow id.
+// A one-entry cache makes the per-range cost one pointer compare: tools
+// reuse one AccessInfo per annotation site.
+func (s *Sanitizer) internInfo(info *AccessInfo) uint32 {
+	if info == s.lastInfo {
+		return s.lastID
+	}
+	id, ok := s.infoIDs[info]
+	if !ok {
+		id = uint32(len(s.infoTab))
+		s.infoTab = append(s.infoTab, info)
+		s.infoIDs[info] = id
+	}
+	s.lastInfo, s.lastID = info, id
+	return id
 }
 
 // HostFiber returns the implicit host-thread fiber.
@@ -354,6 +462,7 @@ func (s *Sanitizer) switchFiber(f *Fiber, sync bool) {
 	if f != s.cur {
 		if sync {
 			f.clock.Join(s.cur.clock)
+			f.gen++
 		}
 		s.cur = f
 	}
@@ -363,20 +472,45 @@ func (s *Sanitizer) switchFiber(f *Fiber, sync bool) {
 // NumFibers returns the number of fibers created so far.
 func (s *Sanitizer) NumFibers() int { return len(s.fibers) }
 
+const svSlabChunk = 16
+
 // HappensBefore is the release half of a synchronization annotation
 // (AnnotateHappensBefore): the current fiber's clock is merged into the
 // sync variable identified by key, then the fiber's own epoch advances so
 // accesses performed after the release are distinguishable from the
 // released state.
+//
+// Releases are epoch-batched: when the variable already holds this
+// fiber's clock (recorded as a (fiber, generation) stamp) and the fiber
+// has not acquired anything since, the full vector join degenerates to
+// advancing the releaser's own component — release sequences touch the
+// clock store once per batch of acquisitions instead of once per
+// release. Stream arcs and MPI request arcs release in exactly this
+// pattern, so the fast path carries the steady state.
 func (s *Sanitizer) HappensBefore(key SyncKey) {
 	s.stats.HappensBefore++
 	f := s.cur
 	sv, ok := s.syncVars[key]
 	if !ok {
-		sv = vclock.New()
+		if len(s.svSlab) == 0 {
+			s.svSlab = make([]syncVar, svSlabChunk)
+		}
+		sv = &s.svSlab[0]
+		s.svSlab = s.svSlab[1:]
+		sv.clock = s.clockArena.New()
 		s.syncVars[key] = sv
 	}
-	sv.Join(f.clock)
+	if sv.primed && sv.relFiber == f.id && sv.relGen == f.gen {
+		// sv.clock ⊇ f.clock held at the stamp, and since then f's clock
+		// changed only in component f.id; restore containment with one
+		// store. Joins into sv by other fibers only grew sv, so the
+		// containment could not have been lost.
+		sv.clock.Set(f.id, f.clock.Get(f.id))
+		s.stats.ReleasesBatched++
+	} else {
+		sv.clock.Join(f.clock)
+		sv.relFiber, sv.relGen, sv.primed = f.id, f.gen, true
+	}
 	f.clock.Tick(f.id)
 }
 
@@ -386,7 +520,8 @@ func (s *Sanitizer) HappensBefore(key SyncKey) {
 func (s *Sanitizer) HappensAfter(key SyncKey) {
 	s.stats.HappensAfter++
 	if sv, ok := s.syncVars[key]; ok {
-		s.cur.clock.Join(sv)
+		s.cur.clock.Join(sv.clock)
+		s.cur.gen++
 	}
 }
 
@@ -442,6 +577,7 @@ func (s *Sanitizer) accessRange(a memspace.Addr, n int64, write bool, info *Acce
 func (s *Sanitizer) accessRangeSlow(a memspace.Addr, n int64, write bool, info *AccessInfo) {
 	f := s.cur
 	ep := s.epoch()
+	infoID := s.internInfo(info)
 	start := uint64(a)
 	end := start + uint64(n)
 	g := start >> granuleShift
@@ -452,30 +588,41 @@ func (s *Sanitizer) accessRangeSlow(a memspace.Addr, n int64, write bool, info *
 		if gBase < start || gBase+granuleBytes > end {
 			mask = partialMask(gBase, start, end)
 		}
-		s.accessGranule(g, mask, write, f, ep, info, memspace.Addr(gBase))
+		p := s.shadow.page(g >> pageGranuleShift)
+		s.checkGranule(p, int(g&pageGranuleMask), g, mask, write, f, ep,
+			infoID, memspace.Addr(gBase), nil)
 	}
 	s.accessSeq++
 }
 
-// accessGranule checks one granule against its shadow cells and records
-// the access (slow-engine entry point).
-func (s *Sanitizer) accessGranule(g uint64, mask uint8, write bool, f *Fiber,
-	ep vclock.Epoch, info *AccessInfo, gAddr memspace.Addr) {
-	cells, infos := s.shadow.granule(g)
-	s.checkGranule(cells, infos, g, mask, write, f, ep, info, gAddr)
+// raceCand is one unreported race candidate: AnnotateBatch workers
+// collect candidates instead of reporting directly, and the batch
+// driver replays them through report in canonical order (shard.go).
+type raceCand struct {
+	op         int
+	g          uint64
+	gAddr      memspace.Addr
+	write      bool
+	infoID     uint32
+	prevFiber  int
+	prevWrite  bool
+	prevInfoID uint32
 }
 
-// checkGranule races the access against the granule's K shadow cells and
-// records it. Both engines funnel through this, so slot selection,
-// reporting, and eviction are identical by construction.
-func (s *Sanitizer) checkGranule(cells []uint64, infos []*AccessInfo, g uint64,
-	mask uint8, write bool, f *Fiber, ep vclock.Epoch, info *AccessInfo, gAddr memspace.Addr) {
+// checkGranule races the access against granule gi of page p (global
+// granule index g) and records it. Both engines and the batch workers
+// funnel through this, so slot selection, reporting, and eviction are
+// identical by construction. With sink == nil races are reported
+// immediately; otherwise they are appended as candidates.
+func (s *Sanitizer) checkGranule(p *shadowPage, gi int, g uint64,
+	mask uint8, write bool, f *Fiber, ep vclock.Epoch, infoID uint32,
+	gAddr memspace.Addr, sink *[]raceCand) {
 	k := s.cfg.CellsPerGranule
 	sameSlot := -1
 	emptySlot := -1
 	orderedSlot := -1
 	for i := 0; i < k; i++ {
-		c := cells[i]
+		c := p.cells[i][gi]
 		if c == 0 {
 			if emptySlot < 0 {
 				emptySlot = i
@@ -499,7 +646,15 @@ func (s *Sanitizer) checkGranule(cells []uint64, infos []*AccessInfo, g uint64,
 		}
 		// Concurrent with the stored access: race iff conflicting.
 		if (write || cWrite) && mask&cMask != 0 {
-			s.report(gAddr, write, info, cFiber, cWrite, infos[i])
+			if sink != nil {
+				*sink = append(*sink, raceCand{
+					g: g, gAddr: gAddr, write: write, infoID: infoID,
+					prevFiber: cFiber, prevWrite: cWrite, prevInfoID: p.infos[i][gi],
+				})
+			} else {
+				s.report(gAddr, write, s.infoTab[infoID], cFiber, cWrite,
+					s.infoTab[p.infos[i][gi]])
+			}
 		}
 	}
 	nc := encodeCell(f.id, ep, write, mask)
@@ -514,8 +669,11 @@ func (s *Sanitizer) checkGranule(cells []uint64, infos []*AccessInfo, g uint64,
 		// All cells hold concurrent accesses from other fibers; rotate.
 		slot = int(g) % k
 	}
-	cells[slot] = nc
-	infos[slot] = info
+	if slot != 0 && p.cells[slot][gi] == 0 {
+		p.aux++
+	}
+	p.cells[slot][gi] = nc
+	p.infos[slot][gi] = infoID
 }
 
 func (s *Sanitizer) report(addr memspace.Addr, curWrite bool, curInfo *AccessInfo,
@@ -587,7 +745,7 @@ func (s *Sanitizer) DumpSyncKeys() string {
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var b strings.Builder
 	for _, k := range keys {
-		fmt.Fprintf(&b, "0x%x -> %s\n", uint64(k), s.syncVars[k])
+		fmt.Fprintf(&b, "0x%x -> %s\n", uint64(k), s.syncVars[k].clock)
 	}
 	return b.String()
 }

@@ -48,7 +48,18 @@ func (c *Clock) grow(id int) {
 	if id < len(c.ts) {
 		return
 	}
-	ns := make([]Epoch, id+1)
+	if id < cap(c.ts) {
+		// Grow in place. The extension must be zeroed explicitly: the
+		// backing array may carry stale epochs from a prior Assign that
+		// shrank the clock, or uninitialized arena memory.
+		old := len(c.ts)
+		c.ts = c.ts[:id+1]
+		for i := old; i <= id; i++ {
+			c.ts[i] = 0
+		}
+		return
+	}
+	ns := make([]Epoch, id+1, max(id+1, 2*cap(c.ts)))
 	copy(ns, c.ts)
 	c.ts = ns
 }
@@ -110,6 +121,59 @@ func (c *Clock) Concurrent(other *Clock) bool {
 
 // Len returns the number of components tracked.
 func (c *Clock) Len() int { return len(c.ts) }
+
+// Arena is a chunked allocator for clocks. The race detector creates a
+// clock per fiber and per synchronization variable; allocating the
+// Clock headers and their epoch backing arrays out of shared slabs
+// keeps steady-state detector operation free of per-object heap
+// allocations and places hot clocks contiguously in memory.
+//
+// Clocks handed out by an Arena never return to it individually — the
+// whole arena is dropped (garbage collected) with its owner, the
+// "reset per run" lifecycle. A clock that outgrows its slab-backed
+// capacity falls back to the ordinary heap transparently via grow.
+type Arena struct {
+	clocks []Clock
+	epochs []Epoch
+	hint   int
+}
+
+const (
+	arenaClockChunk = 32
+	minArenaHint    = 4
+)
+
+// NewArena returns an arena whose clocks start with capacity hint.
+func NewArena(hint int) *Arena {
+	a := &Arena{}
+	a.SetHint(hint)
+	return a
+}
+
+// SetHint adjusts the initial capacity of subsequently allocated
+// clocks (callers raise it as the number of execution contexts grows,
+// so later clocks do not immediately re-allocate on first Join).
+func (a *Arena) SetHint(hint int) {
+	if hint < minArenaHint {
+		hint = minArenaHint
+	}
+	a.hint = hint
+}
+
+// New carves a zeroed clock with capacity a.hint out of the arena.
+func (a *Arena) New() *Clock {
+	if len(a.clocks) == 0 {
+		a.clocks = make([]Clock, arenaClockChunk)
+	}
+	c := &a.clocks[0]
+	a.clocks = a.clocks[1:]
+	if len(a.epochs) < a.hint {
+		a.epochs = make([]Epoch, arenaClockChunk*a.hint)
+	}
+	c.ts = a.epochs[:0:a.hint]
+	a.epochs = a.epochs[a.hint:]
+	return c
+}
 
 // String renders the clock as {id:epoch ...} for diagnostics, omitting
 // zero components.
